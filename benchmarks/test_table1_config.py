@@ -1,0 +1,55 @@
+"""Table 1: architectural parameters of the simulated processor.
+
+This benchmark verifies (and prints) that the live default configuration of
+the simulator reproduces Table 1 of the paper, and measures how long it
+takes to instantiate the full machine (core + memory hierarchy + all three
+prediction schemes at their paper sizes).
+"""
+
+from conftest import emit
+
+from repro.experiments.setup import (
+    make_conventional_scheme,
+    make_peppa_scheme,
+    make_predicate_scheme,
+    paper_table1,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline import OutOfOrderCore
+
+
+def _build_machine():
+    core = OutOfOrderCore(memory=MemoryHierarchy())
+    schemes = (
+        make_conventional_scheme(),
+        make_peppa_scheme(),
+        make_predicate_scheme(),
+    )
+    return core, schemes
+
+
+def test_table1_configuration(benchmark):
+    core, schemes = benchmark.pedantic(_build_machine, rounds=3, iterations=1)
+
+    table = paper_table1()
+    body = "\n".join(f"{key:28s} {value}" for key, value in table.items())
+    emit("Table 1 - main architectural parameters", body)
+
+    # Table 1 headline values.
+    assert "6 instructions" in table["Fetch Width"]
+    assert "256 entries" in table["Reorder Buffer"]
+    assert "120 cycles" in table["Main Memory"]
+
+    # Predictor budgets: ~148 KB conventional second level and predicate
+    # predictor, 144 KB PEP-PA, 4 KB first level.
+    conventional, peppa, predicate = schemes
+    assert 148 <= conventional.predictor.size_report().total_kib <= 160
+    assert abs(peppa.predictor.size_report().total_kib - 144) < 1
+    assert 140 <= predicate.predictor.size_report().total_kib <= 156
+
+    benchmark.extra_info["conventional_kib"] = round(
+        conventional.predictor.size_report().total_kib, 1
+    )
+    benchmark.extra_info["predicate_kib"] = round(
+        predicate.predictor.size_report().total_kib, 1
+    )

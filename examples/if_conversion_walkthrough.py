@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Figure 1 walkthrough: what if-conversion does to the code.
+
+Builds a small routine shaped like Figure 1a of the paper — two nested
+hard-to-predict conditions guarding an early return — then runs the
+if-converter and prints the before/after disassembly, pointing out the
+phenomena the paper builds on:
+
+* the removed conditional branches (their correlation information leaves a
+  conventional branch predictor's history);
+* the guarded *region branch* (``(p) br.ret``) that now needs prediction at
+  every fetch;
+* the ``cmp.unc`` compares produced for the nested condition;
+* the unchanged architectural results (both versions are executed to
+  completion and compared).
+
+Run with::
+
+    python examples/if_conversion_walkthrough.py
+"""
+
+from repro.compiler.if_conversion import IfConversionOptions, IfConversionPass
+from repro.emulator import Emulator
+from repro.isa import GR, PR, CompareRelation, disassemble
+from repro.program import ProgramBuilder, validate_program
+
+
+def build_figure1_like_program():
+    """A loop whose body mirrors Figure 1a: nested conditions + early exit."""
+    values_a = [3, 9, 1, 8, 2, 7, 4, 6, 0, 5] * 4
+    values_b = [7, 2, 8, 1, 9, 3, 6, 4, 5, 0] * 4
+    pb = ProgramBuilder("figure1")
+    base_a = pb.array("cond1_data", values_a)
+    base_b = pb.array("cond2_data", values_b)
+    rb = pb.routine("main")
+
+    rb.block("entry")
+    rb.movi(GR(10), base_a)
+    rb.movi(GR(11), base_b)
+    rb.movi(GR(1), 0)                 # i
+    rb.movi(GR(2), len(values_a))     # n
+    rb.movi(GR(32), 0)                # r32 of Figure 1
+    rb.movi(GR(33), 0)                # r33 of Figure 1
+    rb.movi(GR(35), 0)                # r35 of Figure 1
+
+    rb.block("loop")
+    rb.load(GR(20), GR(10))
+    rb.cmp(CompareRelation.GT, PR(1), PR(2), GR(20), 5)   # cond1 -> p1/p2
+    rb.br_cond("cond1_true", qp=PR(1))
+
+    rb.block("cond1_false")
+    rb.movi(GR(32), 1, )
+    rb.load(GR(21), GR(11))
+    rb.cmp(CompareRelation.GT, PR(3), PR(4), GR(21), 5)   # cond2 -> p3/p4
+    rb.br_cond("skip_exit", qp=PR(4))
+    rb.block("early_exit")
+    rb.addi(GR(35), GR(35), 1)
+    rb.br("latch")                     # escapes the region (Figure 1a br.ret)
+    rb.block("skip_exit")
+    rb.br("join")
+
+    rb.block("cond1_true")
+    rb.movi(GR(32), 0)
+
+    rb.block("join")
+    rb.add(GR(33), GR(33), GR(32))
+
+    rb.block("latch")
+    rb.addi(GR(10), GR(10), 8)
+    rb.addi(GR(11), GR(11), 8)
+    rb.addi(GR(1), GR(1), 1)
+    rb.cmp(CompareRelation.LT, PR(6), PR(7), GR(1), GR(2))
+    rb.br_cond("loop", qp=PR(6))
+
+    rb.block("exit")
+    rb.br_ret()
+    program = pb.finish()
+    validate_program(program)
+    return program
+
+
+def run_to_completion(program):
+    emulator = Emulator(program)
+    list(emulator.run(200_000))
+    assert emulator.halted
+    return emulator.state
+
+
+def main() -> None:
+    original = build_figure1_like_program()
+    print("=" * 72)
+    print("Original code (Figure 1a shape): multiple control-flow paths")
+    print("=" * 72)
+    print(disassemble(original.routine("main").instructions(), with_addresses=False))
+
+    converted = build_figure1_like_program()
+    report = IfConversionPass(IfConversionOptions(ignore_profile=True, max_passes=3)).run(
+        converted
+    )
+    converted.layout()
+    validate_program(converted)
+
+    print()
+    print("=" * 72)
+    print("If-converted code (Figure 1b shape): paths collapsed, code predicated")
+    print("=" * 72)
+    print(disassemble(converted.routine("main").instructions(), with_addresses=False))
+
+    print()
+    print(
+        f"branches removed by if-conversion: {report.total_converted} "
+        f"(hammocks={report.converted_hammocks}, diamonds={report.converted_diamonds}, "
+        f"escapes={report.converted_escapes})"
+    )
+    print(f"guarded region branches created: {report.region_branches_created}")
+
+    before = run_to_completion(original)
+    after = run_to_completion(converted)
+    registers = [32, 33, 35]
+    print()
+    print("architectural results (must match):")
+    for register in registers:
+        print(
+            f"  r{register}: original={before.general[register]} "
+            f"if-converted={after.general[register]}"
+        )
+    assert [before.general[r] for r in registers] == [after.general[r] for r in registers]
+    print("identical - if-conversion preserved the program's semantics")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Reproduce every figure of the paper's evaluation in one run.
+
+Runs Figure 5, Figure 6a/6b, the idealized-predictor study and the selective
+predicated-execution IPC comparison over the full 22-program synthetic
+suite, and prints the paper's headline numbers next to the measured ones.
+
+This is the script behind EXPERIMENTS.md.  A full run takes several minutes
+in pure Python; pass a smaller per-benchmark instruction budget or a
+benchmark subset to iterate faster::
+
+    python examples/reproduce_paper_figures.py                 # full suite
+    python examples/reproduce_paper_figures.py 10000           # smaller budget
+    python examples/reproduce_paper_figures.py 10000 gzip,swim # subset
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentRunner,
+    run_figure5,
+    run_figure6,
+    run_idealized_study,
+    run_selective_ipc,
+)
+from repro.experiments.runner import BASELINE, IF_CONVERTED
+from repro.experiments.setup import ExperimentProfile, paper_table1
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    benchmarks = sys.argv[2].split(",") if len(sys.argv) > 2 else None
+    profile = ExperimentProfile(
+        name="figures",
+        instructions_per_benchmark=budget,
+        benchmarks=benchmarks,
+        profile_budget=min(budget, 20_000),
+    )
+    runner = ExperimentRunner(profile)
+    started = time.time()
+
+    print("Table 1 - main architectural parameters")
+    print("-" * 60)
+    for key, value in paper_table1().items():
+        print(f"{key:28s} {value}")
+
+    print()
+    figure5 = run_figure5(runner=runner)
+    print(figure5.render())
+
+    print()
+    figure6 = run_figure6(runner=runner)
+    print(figure6.render())
+
+    print()
+    idealized = run_idealized_study(BASELINE, runner=runner)
+    print(idealized.render())
+
+    print()
+    idealized_converted = run_idealized_study(IF_CONVERTED, runner=runner)
+    print(idealized_converted.render())
+
+    print()
+    ipc = run_selective_ipc(runner=runner)
+    print(ipc.render())
+
+    print()
+    print(f"total wall-clock time: {time.time() - started:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs are unavailable; this shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``) work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Improving Branch Prediction and Predicated
+Execution in Out-of-Order Processors" (Quiñones, Parcerisa, González;
+HPCA 2007).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.isa`, :mod:`repro.program`, :mod:`repro.compiler`,
+  :mod:`repro.workloads`, :mod:`repro.emulator`, :mod:`repro.memory`,
+  :mod:`repro.pipeline`, :mod:`repro.predictors` — the substrates
+  (a predicated compare-branch ISA, an if-converting compiler, synthetic
+  SPEC2000-like workloads, a functional emulator, the memory hierarchy, the
+  out-of-order pipeline and the raw predictor structures);
+* :mod:`repro.core` — the paper's contribution: the predicate-prediction
+  branch-handling scheme (and the baselines it is compared with);
+* :mod:`repro.experiments` — the harness that regenerates every table and
+  figure of the evaluation;
+* :mod:`repro.stats` — statistics and reporting.
+
+Quick start::
+
+    from repro.experiments import FAST_PROFILE, run_figure6
+
+    result = run_figure6(profile=FAST_PROFILE)
+    print(result.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "isa",
+    "program",
+    "compiler",
+    "workloads",
+    "emulator",
+    "memory",
+    "predictors",
+    "pipeline",
+    "core",
+    "stats",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``table1``
+    Print the simulated machine configuration (Table 1).
+``figure5`` / ``figure6`` / ``idealized`` / ``ablations`` / ``ipc``
+    Regenerate the corresponding experiment and print its report.
+``simulate BENCHMARK``
+    Run one benchmark under one scheme and print the headline metrics.
+``list``
+    List the available benchmarks.
+
+Common options: ``--instructions N`` (per-benchmark budget),
+``--benchmarks a,b,c`` (subset of the suite), and for ``simulate``:
+``--scheme``, ``--flavour``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.ablations import run_history_ablation, run_pvt_ablation
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.idealized import run_idealized_study
+from repro.experiments.runner import BASELINE, IF_CONVERTED, ExperimentRunner
+from repro.experiments.selective_ipc import run_selective_ipc
+from repro.experiments.setup import (
+    ExperimentProfile,
+    make_conventional_scheme,
+    make_peppa_scheme,
+    make_predicate_scheme,
+    paper_table1,
+)
+from repro.workloads.spec_suite import workload_names
+
+_SCHEME_FACTORIES = {
+    "conventional": make_conventional_scheme,
+    "pep-pa": make_peppa_scheme,
+    "predicate": make_predicate_scheme,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Improving Branch Prediction and Predicated "
+        "Execution in Out-of-Order Processors' (HPCA 2007)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=20_000,
+        help="fetched-instruction budget per benchmark per scheme (default: 20000)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default="",
+        help="comma-separated benchmark subset (default: the full 22-program suite)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="print the Table 1 machine configuration")
+    subparsers.add_parser("list", help="list the available benchmarks")
+    subparsers.add_parser("figure5", help="Figure 5: non-if-converted accuracy")
+    subparsers.add_parser("figure6", help="Figure 6a/6b: if-converted accuracy")
+    idealized = subparsers.add_parser("idealized", help="idealized-predictor study")
+    idealized.add_argument(
+        "--flavour",
+        choices=[BASELINE, IF_CONVERTED],
+        default=BASELINE,
+        help="binary flavour to evaluate",
+    )
+    subparsers.add_parser("ablations", help="PVT and history ablations")
+    subparsers.add_parser("ipc", help="selective predicated-execution IPC comparison")
+
+    simulate = subparsers.add_parser("simulate", help="simulate one benchmark")
+    simulate.add_argument("benchmark", help="benchmark name (see 'list')")
+    simulate.add_argument(
+        "--scheme",
+        choices=sorted(_SCHEME_FACTORIES),
+        default="predicate",
+        help="branch-handling scheme (default: predicate)",
+    )
+    simulate.add_argument(
+        "--flavour",
+        choices=[BASELINE, IF_CONVERTED],
+        default=IF_CONVERTED,
+        help="binary flavour (default: if-converted)",
+    )
+    return parser
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    benchmarks: Optional[List[str]] = None
+    if args.benchmarks:
+        benchmarks = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    profile = ExperimentProfile(
+        name="cli",
+        instructions_per_benchmark=args.instructions,
+        benchmarks=benchmarks,
+        profile_budget=min(args.instructions, 20_000),
+    )
+    return ExperimentRunner(profile)
+
+
+def _command_table1(_args: argparse.Namespace) -> str:
+    return "\n".join(f"{key:28s} {value}" for key, value in paper_table1().items())
+
+
+def _command_list(_args: argparse.Namespace) -> str:
+    return "\n".join(workload_names())
+
+
+def _command_figure5(args: argparse.Namespace) -> str:
+    return run_figure5(runner=_runner(args)).render()
+
+
+def _command_figure6(args: argparse.Namespace) -> str:
+    return run_figure6(runner=_runner(args)).render()
+
+
+def _command_idealized(args: argparse.Namespace) -> str:
+    return run_idealized_study(args.flavour, runner=_runner(args)).render()
+
+
+def _command_ablations(args: argparse.Namespace) -> str:
+    runner = _runner(args)
+    return "\n\n".join(
+        [run_pvt_ablation(runner=runner).render(), run_history_ablation(runner=runner).render()]
+    )
+
+
+def _command_ipc(args: argparse.Namespace) -> str:
+    return run_selective_ipc(runner=_runner(args)).render()
+
+
+def _command_simulate(args: argparse.Namespace) -> str:
+    runner = _runner(args)
+    if args.benchmark not in workload_names():
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}; see 'repro list'")
+    run = runner.run_scheme(args.benchmark, args.flavour, _SCHEME_FACTORIES[args.scheme])
+    metrics = run.result.metrics
+    accuracy = run.result.accuracy
+    lines = [
+        f"benchmark            {args.benchmark} ({args.flavour})",
+        f"scheme               {run.result.scheme_name}",
+        f"instructions         {metrics.committed_instructions}",
+        f"cycles               {metrics.cycles}",
+        f"IPC                  {metrics.ipc:.3f}",
+        f"conditional branches {accuracy.branches}",
+        f"misprediction rate   {100 * accuracy.misprediction_rate:.2f}%",
+        f"early-resolved       {100 * accuracy.early_resolved_fraction:.1f}%",
+        f"cancelled at rename  {metrics.cancelled_at_rename}",
+        f"predicate flushes    {metrics.predicate_flushes}",
+    ]
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "table1": _command_table1,
+    "list": _command_list,
+    "figure5": _command_figure5,
+    "figure6": _command_figure6,
+    "idealized": _command_idealized,
+    "ablations": _command_ablations,
+    "ipc": _command_ipc,
+    "simulate": _command_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Compiler substrate: profiling, if-conversion and instruction scheduling.
+
+The original evaluation compiles SPEC2000 with Intel's Electron compiler
+twice: once without predication and once "with only if-conversion
+transformations enabled", both with profile feedback (section 4.1).  This
+package reproduces the relevant parts of that tool-chain:
+
+* :mod:`repro.compiler.profiler` — edge/branch profiling by running the
+  program on the functional emulator;
+* :mod:`repro.compiler.if_conversion` — profile-guided if-conversion of
+  hammock, diamond and escape regions, including nested regions
+  (producing ``cmp.unc`` compares and guarded *region branches* exactly as
+  in Figure 1b);
+* :mod:`repro.compiler.scheduling` — a dependence-preserving list scheduler
+  that hoists compare instructions away from their consuming branches,
+  creating the *early-resolved* branches the predicate predictor exploits;
+* :mod:`repro.compiler.predicate_alloc` — predicate register allocation for
+  the predicates introduced by if-conversion;
+* :mod:`repro.compiler.pipeline` — the driver assembling these passes into
+  the two binary flavours used by the evaluation;
+* :mod:`repro.compiler.binaries` — a small factory producing matched
+  (non-if-converted, if-converted) binary pairs for a workload.
+"""
+
+from repro.compiler.profiler import BranchProfile, BranchSiteProfile, profile_program
+from repro.compiler.if_conversion import IfConversionOptions, IfConversionPass
+from repro.compiler.scheduling import CompareHoistingScheduler
+from repro.compiler.predicate_alloc import PredicateAllocator
+from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.compiler.binaries import BinaryFactory, BinaryPair
+
+__all__ = [
+    "BranchProfile",
+    "BranchSiteProfile",
+    "profile_program",
+    "IfConversionOptions",
+    "IfConversionPass",
+    "CompareHoistingScheduler",
+    "PredicateAllocator",
+    "CompilerOptions",
+    "compile_program",
+    "BinaryFactory",
+    "BinaryPair",
+]

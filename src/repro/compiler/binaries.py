@@ -1,0 +1,68 @@
+"""Matched binary pairs: the two compilations of every benchmark.
+
+The evaluation needs, for every benchmark, a *non-if-converted* binary
+(Figure 5) and an *if-converted* binary (Figure 6) built from the same
+source.  :class:`BinaryFactory` takes a deterministic program generator and
+produces both, so the only difference between them is the predication
+transformation — exactly the experimental control of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.compiler.if_conversion import IfConversionOptions
+from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.program.program import Program
+
+#: A deterministic program generator (e.g. a workload's ``build`` function).
+ProgramGenerator = Callable[[], Program]
+
+
+@dataclass
+class BinaryPair:
+    """The two compiled flavours of one benchmark."""
+
+    name: str
+    baseline: Program
+    if_converted: Program
+
+    @property
+    def removed_branches(self) -> int:
+        report = self.if_converted.metadata.get("if_conversion_report")
+        return report.total_converted if report is not None else 0
+
+
+class BinaryFactory:
+    """Builds compiled binaries from deterministic program generators."""
+
+    def __init__(
+        self,
+        if_conversion_options: Optional[IfConversionOptions] = None,
+        profile_budget: int = 20_000,
+    ) -> None:
+        self.if_conversion_options = if_conversion_options or IfConversionOptions()
+        self.profile_budget = profile_budget
+
+    # ------------------------------------------------------------------
+    def build_baseline(self, name: str, generator: ProgramGenerator) -> Program:
+        """Build the non-predicated binary of ``name``."""
+        options = CompilerOptions.baseline()
+        options.profile_budget = self.profile_budget
+        return compile_program(generator(), options)
+
+    def build_if_converted(self, name: str, generator: ProgramGenerator) -> Program:
+        """Build the if-converted binary of ``name``."""
+        options = CompilerOptions.if_converted()
+        options.if_conversion = self.if_conversion_options
+        options.profile_budget = self.profile_budget
+        return compile_program(generator(), options)
+
+    def build_pair(self, name: str, generator: ProgramGenerator) -> BinaryPair:
+        """Build both flavours from the same generator."""
+        return BinaryPair(
+            name=name,
+            baseline=self.build_baseline(name, generator),
+            if_converted=self.build_if_converted(name, generator),
+        )

@@ -1,0 +1,359 @@
+"""Profile-guided if-conversion (hyperblock formation).
+
+The pass walks each routine's CFG looking for three region shapes rooted at a
+conditional branch:
+
+* **hammock** — if-then: one side block, both paths meeting at a join;
+* **diamond** — if-then-else: two side blocks meeting at a join;
+* **escape hammock** — if-then where the "then" side leaves the region with
+  a return or a jump (Figure 1a); converting it produces a guarded *region
+  branch* (Figure 1b's ``(p3) br.ret``).
+
+A region is converted when its head branch is *hard to predict* according to
+the profile (bias below the threshold) and the region is small enough.  The
+conversion:
+
+1. finds the compare that produces the branch's guarding predicate and, if
+   needed, rewrites its ``p0`` don't-care target into a real predicate so
+   the complementary guard exists;
+2. guards every instruction of the side block(s) with the appropriate
+   predicate (taken-path blocks with the branch's own predicate, fall-through
+   blocks with its complement);
+3. turns nested compares into ``cmp.unc`` so a false outer guard clears the
+   inner predicates (exactly the nesting of Figure 1b);
+4. removes the branch, merges the side blocks into the head, and removes
+   them from the routine.
+
+Running the pass more than once converts nested regions: inner conversions
+first create larger single blocks, which outer passes can then absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.compiler.predicate_alloc import PredicateAllocator
+from repro.compiler.profiler import BranchProfile
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.compare import CompareInstruction, CompareType
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Label
+from repro.isa.registers import P0, Register
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import DiamondRegion, EscapeRegion
+from repro.program.program import Program
+from repro.program.routine import Routine
+
+
+@dataclass
+class IfConversionOptions:
+    """Tuning knobs of the if-conversion pass."""
+
+    #: Convert branches whose profile bias is below this threshold
+    #: (bias = probability of the dominant direction).
+    bias_threshold: float = 0.925
+    #: Minimum profiled executions for a branch to be considered.
+    min_executions: int = 8
+    #: Maximum number of instructions allowed in the side block(s).
+    max_region_size: int = 16
+    #: How many times the pass is repeated (nested regions).
+    max_passes: int = 2
+    #: When True, structural eligibility is enough (used by unit tests).
+    ignore_profile: bool = False
+
+
+@dataclass
+class IfConversionReport:
+    """What the pass did."""
+
+    converted_hammocks: int = 0
+    converted_diamonds: int = 0
+    converted_escapes: int = 0
+    rejected_by_profile: int = 0
+    rejected_by_shape: int = 0
+    region_branches_created: int = 0
+    removed_branches: List[int] = field(default_factory=list)
+
+    @property
+    def total_converted(self) -> int:
+        return self.converted_hammocks + self.converted_diamonds + self.converted_escapes
+
+
+class IfConversionPass:
+    """Applies if-conversion to a program in place."""
+
+    def __init__(
+        self,
+        options: Optional[IfConversionOptions] = None,
+        profile: Optional[BranchProfile] = None,
+    ) -> None:
+        self.options = options or IfConversionOptions()
+        self.profile = profile
+        self.report = IfConversionReport()
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program) -> IfConversionReport:
+        for routine in program.routines.values():
+            for _ in range(self.options.max_passes):
+                changed = self._convert_routine(routine)
+                if not changed:
+                    break
+        program.laid_out = False
+        program.metadata["if_converted"] = True
+        program.metadata["if_conversion_report"] = self.report
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _convert_routine(self, routine: Routine) -> bool:
+        changed = False
+        self._remove_empty_blocks(routine)
+        index = 0
+        while index < len(routine.blocks):
+            block = routine.blocks[index]
+            routine.invalidate_cfg()
+            cfg = routine.cfg
+            region = cfg.diamond_region(block.label)
+            if (
+                region is not None
+                and self._is_forward_branch(routine, region.branch)
+                and self._region_allowed(routine, region.branch, region.side_labels)
+            ):
+                self._convert_diamond(routine, region)
+                changed = True
+                continue  # re-examine the same (grown) block
+            escape = cfg.escape_hammock(block.label)
+            if (
+                escape is not None
+                and self._is_forward_branch(routine, escape.branch)
+                and self._escape_allowed(routine, escape)
+            ):
+                self._convert_escape(routine, escape)
+                changed = True
+                continue
+            index += 1
+        routine.invalidate_cfg()
+        return changed
+
+    def _is_forward_branch(self, routine: Routine, branch: BranchInstruction) -> bool:
+        """True when the branch jumps forward in layout order.
+
+        Loop back-edges are never if-converted (removing them would turn the
+        loop structure inside out, and their bias makes them poor candidates
+        anyway).
+        """
+        if branch.target is None or branch.block_label is None:
+            return False
+        try:
+            head_index = routine.block_index(branch.block_label)
+            target_index = routine.block_index(branch.target.name)
+        except KeyError:  # pragma: no cover - malformed program
+            return False
+        return target_index > head_index
+
+    def _remove_empty_blocks(self, routine: Routine) -> None:
+        """Remove empty fall-through blocks left behind by earlier passes.
+
+        An empty block is a pure fall-through: branches targeting it are
+        retargeted to the block that follows it in layout order, and the
+        block is deleted.  This keeps nested regions detectable (an inner
+        conversion's empty join block would otherwise hide the outer
+        region's shape).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for index, block in enumerate(routine.blocks):
+                if block.instructions or index == 0:
+                    continue
+                if index + 1 >= len(routine.blocks):
+                    continue
+                successor = routine.blocks[index + 1].label
+                for inst in routine.instructions():
+                    if (
+                        isinstance(inst, BranchInstruction)
+                        and inst.target is not None
+                        and inst.target.name == block.label
+                    ):
+                        inst.target = Label(successor)
+                        inst.srcs = [Label(successor)]
+                routine.remove_block(block.label)
+                changed = True
+                break
+        routine.invalidate_cfg()
+
+    # ------------------------------------------------------------------
+    def _branch_is_hard(self, branch: BranchInstruction) -> bool:
+        if self.options.ignore_profile or self.profile is None:
+            return True
+        site = self.profile.lookup(branch)
+        if site is None or site.executions < self.options.min_executions:
+            self.report.rejected_by_profile += 1
+            return False
+        if site.bias >= self.options.bias_threshold:
+            self.report.rejected_by_profile += 1
+            return False
+        return True
+
+    def _region_allowed(
+        self, routine: Routine, branch: BranchInstruction, side_labels: List[str]
+    ) -> bool:
+        size = sum(len(routine.block(label)) for label in side_labels)
+        if size > self.options.max_region_size:
+            self.report.rejected_by_shape += 1
+            return False
+        if self._producer_compare(routine, branch) is None:
+            self.report.rejected_by_shape += 1
+            return False
+        return self._branch_is_hard(branch)
+
+    def _escape_allowed(self, routine: Routine, region: EscapeRegion) -> bool:
+        escape_block = routine.block(region.escape)
+        if len(escape_block) > self.options.max_region_size:
+            self.report.rejected_by_shape += 1
+            return False
+        if self._producer_compare(routine, region.branch) is None:
+            self.report.rejected_by_shape += 1
+            return False
+        return self._branch_is_hard(region.branch)
+
+    # ------------------------------------------------------------------
+    def _producer_compare(
+        self, routine: Routine, branch: BranchInstruction
+    ) -> Optional[CompareInstruction]:
+        """Find the compare in the branch's own block that defines its guard."""
+        head = routine.block(branch.block_label) if branch.block_label else None
+        if head is None:
+            return None
+        guard = branch.qp
+        for inst in reversed(head.instructions):
+            if inst is branch:
+                continue
+            if isinstance(inst, CompareInstruction) and guard in (inst.pt, inst.pf):
+                return inst
+        return None
+
+    def _complement_guard(
+        self, routine: Routine, compare: CompareInstruction, guard: Register
+    ) -> Register:
+        """Return (allocating if necessary) the predicate complementary to
+        ``guard`` as produced by ``compare``."""
+        complement = compare.pf if guard == compare.pt else compare.pt
+        if not complement.is_hardwired:
+            return complement
+        allocator = PredicateAllocator(routine)
+        fresh = allocator.allocate()
+        if guard == compare.pt:
+            compare.dests[1] = fresh
+        else:
+            compare.dests[0] = fresh
+        return fresh
+
+    # ------------------------------------------------------------------
+    def _guard_instructions(self, instructions: List[Instruction], guard: Register) -> int:
+        """Predicate ``instructions`` with ``guard``; return how many branches
+        became region branches."""
+        region_branches = 0
+        for inst in instructions:
+            if inst.qp == P0:
+                inst.qp = guard
+                if isinstance(inst, CompareInstruction):
+                    inst.ctype = CompareType.UNC
+                if isinstance(inst, BranchInstruction):
+                    region_branches += 1
+                inst.annotations["if_converted_guard"] = guard.index
+            # Instructions already predicated were guarded by an inner
+            # (nested) conversion; their guard compare has just been made
+            # unconditional-type and guarded by the outer predicate, so a
+            # false outer guard clears the inner predicates.
+        return region_branches
+
+    def _merge_side(
+        self,
+        routine: Routine,
+        head: BasicBlock,
+        side_label: str,
+        guard: Register,
+        drop_trailing_jump_to: Optional[str],
+    ) -> None:
+        side = routine.block(side_label)
+        instructions = list(side.instructions)
+        if (
+            drop_trailing_jump_to is not None
+            and instructions
+            and isinstance(instructions[-1], BranchInstruction)
+            and instructions[-1].kind is BranchKind.UNCOND
+            and not instructions[-1].is_predicated
+            and instructions[-1].target is not None
+            and instructions[-1].target.name == drop_trailing_jump_to
+        ):
+            instructions = instructions[:-1]
+        self.report.region_branches_created += self._guard_instructions(instructions, guard)
+        for inst in instructions:
+            head.append(inst)
+        routine.remove_block(side_label)
+
+    def _ensure_fallthrough(self, routine: Routine, head: BasicBlock, join_label: str) -> None:
+        """Guarantee control reaches ``join_label`` after the merged block."""
+        head_index = routine.block_index(head.label)
+        next_label = (
+            routine.blocks[head_index + 1].label
+            if head_index + 1 < len(routine.blocks)
+            else None
+        )
+        if next_label != join_label:
+            head.append(BranchInstruction(BranchKind.UNCOND, Label(join_label)))
+
+    # ------------------------------------------------------------------
+    def _convert_diamond(self, routine: Routine, region: DiamondRegion) -> None:
+        head = routine.block(region.head)
+        branch = region.branch
+        compare = self._producer_compare(routine, branch)
+        assert compare is not None  # checked by _region_allowed
+        guard = branch.qp
+        complement = self._complement_guard(routine, compare, guard)
+
+        head.remove(branch)
+        self.report.removed_branches.append(branch.uid)
+
+        if region.else_side is None:
+            side_guard = guard if region.then_on_taken_path else complement
+            self._merge_side(
+                routine, head, region.then_side, side_guard, drop_trailing_jump_to=region.join
+            )
+            self.report.converted_hammocks += 1
+        else:
+            # Fall-through (not-taken) side executes under the complement;
+            # the taken side under the branch's own guard.
+            self._merge_side(
+                routine, head, region.then_side, complement, drop_trailing_jump_to=region.join
+            )
+            self._merge_side(
+                routine, head, region.else_side, guard, drop_trailing_jump_to=region.join
+            )
+            self.report.converted_diamonds += 1
+
+        head.annotations["if_converted"] = True
+        self._ensure_fallthrough(routine, head, region.join)
+        routine.invalidate_cfg()
+
+    def _convert_escape(self, routine: Routine, region: EscapeRegion) -> None:
+        head = routine.block(region.head)
+        branch = region.branch
+        compare = self._producer_compare(routine, branch)
+        assert compare is not None
+        guard = branch.qp
+        complement = self._complement_guard(routine, compare, guard)
+
+        head.remove(branch)
+        self.report.removed_branches.append(branch.uid)
+        # The escape side (fall-through) executes when the branch would not
+        # have been taken, i.e. under the complement; its trailing return or
+        # jump is kept and becomes a guarded region branch.
+        self._merge_side(
+            routine, head, region.escape, complement, drop_trailing_jump_to=None
+        )
+        head.annotations["if_converted"] = True
+        self.report.converted_escapes += 1
+        self._ensure_fallthrough(routine, head, region.continuation)
+        routine.invalidate_cfg()

@@ -1,0 +1,75 @@
+"""The compile driver: profile → if-convert → schedule → layout → validate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.if_conversion import IfConversionOptions, IfConversionPass
+from repro.compiler.profiler import BranchProfile, profile_program
+from repro.compiler.scheduling import CompareHoistingScheduler
+from repro.program.program import Program
+from repro.program.validate import validate_program
+
+
+@dataclass
+class CompilerOptions:
+    """Options of a compilation run.
+
+    The evaluation uses two flavours (section 4.1): binaries "compiled
+    without enabling predication techniques" and binaries "compiled with only
+    if-conversion transformations enabled"; both use profile feedback and
+    full optimisation (here: compare-hoisting scheduling).
+    """
+
+    enable_if_conversion: bool = False
+    if_conversion: IfConversionOptions = field(default_factory=IfConversionOptions)
+    enable_scheduling: bool = True
+    #: Instruction budget of the profiling run.
+    profile_budget: int = 20_000
+    #: Validate the program after compilation (cheap; recommended).
+    validate: bool = True
+
+    @classmethod
+    def baseline(cls) -> "CompilerOptions":
+        """The non-predicated binary set."""
+        return cls(enable_if_conversion=False)
+
+    @classmethod
+    def if_converted(cls) -> "CompilerOptions":
+        """The if-converted binary set."""
+        return cls(enable_if_conversion=True)
+
+
+def compile_program(
+    program: Program,
+    options: Optional[CompilerOptions] = None,
+    profile: Optional[BranchProfile] = None,
+) -> Program:
+    """Compile ``program`` in place and return it.
+
+    A pre-computed :class:`BranchProfile` may be supplied (useful when the
+    caller already profiled the program); otherwise a profiling run is
+    performed first.
+    """
+    options = options or CompilerOptions()
+
+    if options.enable_if_conversion:
+        if profile is None and not options.if_conversion.ignore_profile:
+            if not program.laid_out:
+                program.layout()
+            profile = profile_program(program, options.profile_budget)
+        converter = IfConversionPass(options.if_conversion, profile)
+        converter.run(program)
+
+    if options.enable_scheduling:
+        scheduler = CompareHoistingScheduler()
+        scheduler.run(program)
+
+    program.layout()
+    if options.validate:
+        validate_program(program)
+
+    program.metadata["compiler_options"] = options
+    program.metadata["predication_enabled"] = options.enable_if_conversion
+    return program

@@ -1,0 +1,67 @@
+"""Predicate register allocation for compiler passes.
+
+If-conversion needs fresh predicate registers in two situations:
+
+* a compare used ``p0`` as its don't-care second target, but the
+  complementary predicate is now needed to guard the other side of the
+  region;
+* an inner region's guard must not collide with an outer region's guard.
+
+The allocator scans a routine for predicate registers already referenced and
+hands out unused ones.  Predicate registers p1–p5 are conventionally left to
+the (synthetic) programmer, so allocation starts at p6 unless everything
+below is free.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.isa.registers import NUM_PREDICATE_REGISTERS, PR, Register, RegisterKind
+from repro.program.routine import Routine
+
+
+class PredicateAllocationError(Exception):
+    """Raised when a routine has no free predicate registers left."""
+
+
+class PredicateAllocator:
+    """Hands out predicate registers unused by a routine."""
+
+    def __init__(self, routine: Routine, first_index: int = 6) -> None:
+        self.routine = routine
+        self.first_index = first_index
+        self._used: Set[int] = {0}
+        self._collect_used()
+
+    def _collect_used(self) -> None:
+        for inst in self.routine.instructions():
+            if inst.qp.kind is RegisterKind.PREDICATE:
+                self._used.add(inst.qp.index)
+            for reg in list(inst.dests) + [s for s in inst.srcs if isinstance(s, Register)]:
+                if reg.kind is RegisterKind.PREDICATE:
+                    self._used.add(reg.index)
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> Register:
+        """Return a predicate register not yet used in the routine."""
+        for index in range(self.first_index, NUM_PREDICATE_REGISTERS):
+            if index not in self._used:
+                self._used.add(index)
+                return PR(index)
+        # Fall back to the low range before giving up.
+        for index in range(1, self.first_index):
+            if index not in self._used:
+                self._used.add(index)
+                return PR(index)
+        raise PredicateAllocationError(
+            f"routine {self.routine.name!r} has no free predicate registers"
+        )
+
+    def mark_used(self, reg: Register) -> None:
+        if reg.kind is RegisterKind.PREDICATE:
+            self._used.add(reg.index)
+
+    @property
+    def used_count(self) -> int:
+        return len(self._used)

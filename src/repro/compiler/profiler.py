@@ -1,0 +1,78 @@
+"""Profile collection: per-branch execution counts and taken rates.
+
+The compiler passes (if-conversion in particular) are profile-guided, like
+the paper's set-up ("all benchmarks have been compiled ... using maximum
+optimization levels and profile information").  The profiler simply runs the
+program on the functional emulator for a configurable instruction budget and
+aggregates per-static-branch statistics, keyed by the branch instruction's
+unique id so the data survives later program transformations and re-layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.emulator.executor import Emulator
+from repro.isa.branches import BranchInstruction
+from repro.program.program import Program
+
+
+@dataclass
+class BranchSiteProfile:
+    """Profile of one static branch instruction."""
+
+    executions: int = 0
+    taken: int = 0
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+    @property
+    def bias(self) -> float:
+        """Bias towards the dominant direction, in [0.5, 1.0]."""
+        if not self.executions:
+            return 1.0
+        rate = self.taken_rate
+        return max(rate, 1.0 - rate)
+
+
+@dataclass
+class BranchProfile:
+    """Profile of a whole program, keyed by branch instruction uid."""
+
+    sites: Dict[int, BranchSiteProfile] = field(default_factory=dict)
+    profiled_instructions: int = 0
+
+    def site(self, branch: BranchInstruction) -> BranchSiteProfile:
+        return self.sites.setdefault(branch.uid, BranchSiteProfile())
+
+    def lookup(self, branch: BranchInstruction) -> Optional[BranchSiteProfile]:
+        return self.sites.get(branch.uid)
+
+    def hard_branches(self, bias_threshold: float = 0.9, min_executions: int = 8):
+        """Uids of branches executed often enough and biased below the
+        threshold — the if-conversion candidates."""
+        return {
+            uid
+            for uid, site in self.sites.items()
+            if site.executions >= min_executions and site.bias < bias_threshold
+        }
+
+
+def profile_program(program: Program, budget: int = 20_000) -> BranchProfile:
+    """Run ``program`` for ``budget`` fetched instructions and profile it."""
+    if not program.laid_out:
+        program.layout()
+    emulator = Emulator(program)
+    profile = BranchProfile()
+    for dyn in emulator.run(budget):
+        profile.profiled_instructions += 1
+        inst = dyn.inst
+        if isinstance(inst, BranchInstruction) and inst.is_conditional:
+            site = profile.site(inst)
+            site.executions += 1
+            if dyn.taken:
+                site.taken += 1
+    return profile

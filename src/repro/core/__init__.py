@@ -1,0 +1,34 @@
+"""The paper's contribution: branch-handling schemes built on predicate
+prediction, plus the baseline schemes it is compared against.
+
+Three schemes implement the :class:`repro.pipeline.scheme_api.BranchHandlingScheme`
+interface:
+
+* :class:`~repro.core.conventional.ConventionalScheme` — the two-level
+  override branch predictor of Table 1 (4 KB gshare + 148 KB perceptron);
+* :class:`~repro.core.peppa_scheme.PEPPAScheme` — the 144 KB PEP-PA
+  predictor of August et al., driven by the out-of-order logical predicate
+  register file;
+* :class:`~repro.core.predicate_scheme.PredicatePredictionScheme` — the
+  paper's scheme: a 148 KB predicate perceptron indexed by compare PC whose
+  predictions are stored in the PPRF, consumed by branches (overriding the
+  fetch-time gshare prediction) and by if-converted instructions (selective
+  predicate prediction), with early-resolved branches reading the computed
+  value directly.
+"""
+
+from repro.core.conventional import ConventionalScheme
+from repro.core.peppa_scheme import PEPPAScheme
+from repro.core.predicate_scheme import PredicatePredictionScheme, PredicateSchemeOptions
+from repro.core.selective import SelectivePredicationPolicy
+from repro.core.early_resolution import accuracy_breakdown, AccuracyBreakdown
+
+__all__ = [
+    "ConventionalScheme",
+    "PEPPAScheme",
+    "PredicatePredictionScheme",
+    "PredicateSchemeOptions",
+    "SelectivePredicationPolicy",
+    "accuracy_breakdown",
+    "AccuracyBreakdown",
+]

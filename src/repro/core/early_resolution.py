@@ -1,0 +1,77 @@
+"""Accuracy-difference breakdown (Figure 6b).
+
+The paper splits the accuracy difference between the predicate-predictor
+scheme and the conventional scheme into two contributions:
+
+* **early-resolved improvement** — "we have counted the number of times that
+  the predicate was ready and the conventional branch predictor did a wrong
+  prediction";
+* **correlation improvement** — "the remaining accuracy difference".
+
+Because both schemes are simulated over the identical correct-path dynamic
+instruction stream, the two runs see exactly the same dynamic conditional
+branches in the same order, so the per-branch vectors can be intersected
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.accuracy import BranchAccuracy
+
+
+@dataclass
+class AccuracyBreakdown:
+    """Per-benchmark breakdown of the accuracy difference."""
+
+    benchmark: str
+    conventional_misprediction_rate: float
+    predicate_misprediction_rate: float
+    #: Fraction of dynamic branches that were early-resolved by the predicate
+    #: scheme *and* mispredicted by the conventional scheme.
+    early_resolved_improvement: float
+    #: Remaining accuracy difference, attributed to correlation (this bucket
+    #: also absorbs the scheme's negative effects, exactly as in the paper,
+    #: which is why it can be negative for some benchmarks).
+    correlation_improvement: float
+
+    @property
+    def total_improvement(self) -> float:
+        """Total accuracy increase of the predicate scheme (can be negative)."""
+        return self.conventional_misprediction_rate - self.predicate_misprediction_rate
+
+
+def accuracy_breakdown(
+    benchmark: str,
+    conventional: BranchAccuracy,
+    predicate: BranchAccuracy,
+) -> AccuracyBreakdown:
+    """Compute the Figure 6b breakdown from two same-trace runs."""
+    if conventional.branches != predicate.branches:
+        raise ValueError(
+            f"{benchmark}: runs saw different branch counts "
+            f"({conventional.branches} vs {predicate.branches}); the breakdown "
+            f"requires both schemes to be simulated over the same trace"
+        )
+    total = conventional.branches
+    if total == 0:
+        return AccuracyBreakdown(benchmark, 0.0, 0.0, 0.0, 0.0)
+
+    conv_wrong = conventional.mispredicted_vector()
+    early = predicate.early_resolved_vector()
+    early_and_conv_wrong = sum(
+        1 for is_early, is_wrong in zip(early, conv_wrong) if is_early and is_wrong
+    )
+    early_improvement = early_and_conv_wrong / total
+    total_improvement = (
+        conventional.misprediction_rate - predicate.misprediction_rate
+    )
+    correlation = total_improvement - early_improvement
+    return AccuracyBreakdown(
+        benchmark=benchmark,
+        conventional_misprediction_rate=conventional.misprediction_rate,
+        predicate_misprediction_rate=predicate.misprediction_rate,
+        early_resolved_improvement=early_improvement,
+        correlation_improvement=correlation,
+    )

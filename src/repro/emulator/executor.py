@@ -1,0 +1,351 @@
+"""The functional executor: walks a program along its correct path.
+
+The executor produces :class:`DynInst` records — one per *fetched* dynamic
+instruction along the correct control-flow path, including instructions whose
+qualifying predicate evaluates to false (they are fetched and occupy pipeline
+resources until nullified, which is precisely the cost the selective
+predicate predictor removes).
+
+The timing pipeline (:mod:`repro.pipeline`) is trace-driven: it replays this
+stream, charging mispredicted branches with flush/refill penalties rather
+than simulating wrong-path instructions.  This is a standard simplification
+for predictor studies; the quantities the paper reports (misprediction rates
+per scheme, early-resolved counts, relative IPC) are preserved because every
+prediction, every PPRF read and every predicate computation happens at the
+same pipeline positions as in an execution-driven model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.emulator.memory_image import to_signed64
+from repro.emulator.state import ArchState
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.compare import CompareInstruction
+from repro.isa.instructions import (
+    Instruction,
+    LoadInstruction,
+    StoreInstruction,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Immediate, Label
+from repro.isa.registers import Register
+from repro.program.program import Program
+from repro.program.routine import Routine
+
+
+class EmulationLimit(Exception):
+    """Raised when the executor exceeds a hard safety limit."""
+
+
+class DynInst:
+    """One dynamic (fetched) instruction along the correct path."""
+
+    __slots__ = (
+        "seq",
+        "inst",
+        "pc",
+        "qp_value",
+        "executed",
+        "taken",
+        "target_pc",
+        "next_pc",
+        "mem_address",
+        "pred_writes",
+        "guard_producer_seq",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        inst: Instruction,
+        pc: int,
+        qp_value: bool,
+        guard_producer_seq: int,
+    ) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.pc = pc
+        #: Architectural value of the qualifying predicate when executed.
+        self.qp_value = qp_value
+        #: True when the instruction's qualifying predicate was true.
+        self.executed = qp_value
+        #: For branches: whether the branch was architecturally taken.
+        self.taken: Optional[bool] = None
+        #: For taken branches: address of the branch target.
+        self.target_pc: Optional[int] = None
+        #: Address of the next dynamic instruction on the correct path.
+        self.next_pc: Optional[int] = None
+        #: For memory operations with a true predicate: effective address.
+        self.mem_address: Optional[int] = None
+        #: Architectural predicate writes performed: tuple of (index, value).
+        self.pred_writes: Tuple[Tuple[int, bool], ...] = ()
+        #: Dynamic sequence number of the instruction that produced the
+        #: current value of this instruction's qualifying predicate
+        #: (-1 when the value predates the trace, e.g. ``p0``).
+        self.guard_producer_seq = guard_producer_seq
+
+    # ------------------------------------------------------------------
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def is_compare(self) -> bool:
+        return self.inst.is_compare
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return isinstance(self.inst, BranchInstruction) and self.inst.is_conditional
+
+    def __repr__(self) -> str:
+        return f"<DynInst #{self.seq} pc={self.pc:#x} {self.inst!r}>"
+
+
+class _Frame:
+    """A call frame: where execution resumes inside a routine."""
+
+    __slots__ = ("routine", "block_index", "inst_index")
+
+    def __init__(self, routine: Routine, block_index: int, inst_index: int) -> None:
+        self.routine = routine
+        self.block_index = block_index
+        self.inst_index = inst_index
+
+
+class Emulator:
+    """Functional emulator over a laid-out program."""
+
+    #: Hard cap on dynamic instructions to protect against infinite loops in
+    #: malformed programs; the run budget passed to :meth:`run` is normally
+    #: far lower.
+    HARD_LIMIT = 50_000_000
+
+    def __init__(self, program: Program) -> None:
+        if not program.laid_out:
+            program.layout()
+        self.program = program
+        self.state = ArchState.for_program(program)
+        self._seq = 0
+        #: seq of the last architectural writer of each predicate register.
+        self._pred_writer = [-1] * 64
+        self.fetched_instructions = 0
+        self.executed_instructions = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int) -> Iterator[DynInst]:
+        """Yield dynamic instructions until the program halts or the budget
+        of fetched instructions is exhausted."""
+        routine = self.program.entry_routine
+        frame = _Frame(routine, 0, 0)
+        call_stack: List[_Frame] = []
+
+        while self.fetched_instructions < max_instructions:
+            if self._seq >= self.HARD_LIMIT:
+                raise EmulationLimit(
+                    f"exceeded hard emulation limit of {self.HARD_LIMIT} instructions"
+                )
+            blocks = frame.routine.blocks
+            if frame.block_index >= len(blocks):
+                # Fell off the end of the routine: treat as routine return.
+                if not call_stack:
+                    self.halted = True
+                    return
+                frame = call_stack.pop()
+                continue
+            block = blocks[frame.block_index]
+            if frame.inst_index >= len(block.instructions):
+                frame.block_index += 1
+                frame.inst_index = 0
+                continue
+
+            inst = block.instructions[frame.inst_index]
+            dyn = self._make_dyn(inst)
+            self.fetched_instructions += 1
+
+            if isinstance(inst, BranchInstruction):
+                frame, call_stack, stop = self._execute_branch(
+                    dyn, inst, frame, call_stack
+                )
+                yield dyn
+                if stop:
+                    self.halted = True
+                    return
+            else:
+                self._execute_straightline(dyn, inst)
+                frame.inst_index += 1
+                dyn.next_pc = self._pc_after(frame)
+                yield dyn
+
+    # ------------------------------------------------------------------
+    def _make_dyn(self, inst: Instruction) -> DynInst:
+        qp_value = bool(self.state.predicate[inst.qp.index])
+        producer = (
+            self._pred_writer[inst.qp.index] if inst.qp.index != 0 else -1
+        )
+        dyn = DynInst(self._seq, inst, inst.address, qp_value, producer)
+        self._seq += 1
+        if qp_value:
+            self.executed_instructions += 1
+        return dyn
+
+    def _pc_after(self, frame: _Frame) -> Optional[int]:
+        blocks = frame.routine.blocks
+        block_index, inst_index = frame.block_index, frame.inst_index
+        while block_index < len(blocks):
+            block = blocks[block_index]
+            if inst_index < len(block.instructions):
+                return block.instructions[inst_index].address
+            block_index += 1
+            inst_index = 0
+        return None
+
+    # ------------------------------------------------------------------
+    # Straight-line instruction semantics
+    # ------------------------------------------------------------------
+    def _operand_value(self, operand, floating: bool = False):
+        if isinstance(operand, Immediate):
+            return operand.value
+        if isinstance(operand, Register):
+            return self.state.read(operand)
+        if isinstance(operand, Label):  # pragma: no cover - labels only on branches
+            raise TypeError("label operands cannot be evaluated")
+        raise TypeError(f"unsupported operand {operand!r}")  # pragma: no cover
+
+    def _execute_straightline(self, dyn: DynInst, inst: Instruction) -> None:
+        if isinstance(inst, CompareInstruction):
+            self._execute_compare(dyn, inst)
+            return
+        if not dyn.qp_value:
+            return
+        if isinstance(inst, LoadInstruction):
+            base = self.state.read(inst.base)
+            address = to_signed64(base + inst.offset)
+            dyn.mem_address = address
+            value = self.state.memory.read_word(address)
+            if inst.opcode is Opcode.LDF:
+                self.state.write(inst.dests[0], float(value))
+            else:
+                self.state.write(inst.dests[0], value)
+            return
+        if isinstance(inst, StoreInstruction):
+            base = self.state.read(inst.base)
+            address = to_signed64(base + inst.offset)
+            dyn.mem_address = address
+            value = self.state.read(inst.value)
+            self.state.memory.write_word(address, int(value))
+            return
+        opcode = inst.opcode
+        if opcode in (Opcode.MOV, Opcode.MOVI):
+            self.state.write(inst.dests[0], self._operand_value(inst.srcs[0]))
+            return
+        if opcode is Opcode.MOV_TO_BR:
+            self.state.write(inst.dests[0], self._operand_value(inst.srcs[0]))
+            return
+        if opcode is Opcode.NOP:
+            return
+        if opcode in _INT_ALU_OPS:
+            lhs = self._operand_value(inst.srcs[0])
+            rhs = self._operand_value(inst.srcs[1])
+            self.state.write(inst.dests[0], _INT_ALU_OPS[opcode](int(lhs), int(rhs)))
+            return
+        if opcode in _FP_OPS:
+            values = [float(self._operand_value(s)) for s in inst.srcs]
+            self.state.write(inst.dests[0], _FP_OPS[opcode](values))
+            return
+        raise NotImplementedError(f"no semantics for opcode {opcode}")
+
+    def _execute_compare(self, dyn: DynInst, inst: CompareInstruction) -> None:
+        lhs = self._operand_value(inst.srcs[0])
+        rhs = self._operand_value(inst.srcs[1])
+        result = inst.relation.evaluate(int(lhs), int(rhs))
+        old_pt = bool(self.state.predicate[inst.pt.index])
+        old_pf = bool(self.state.predicate[inst.pf.index])
+        new_pt, new_pf = inst.compute_targets(dyn.qp_value, result, old_pt, old_pf)
+        writes: List[Tuple[int, bool]] = []
+        for reg, value in ((inst.pt, new_pt), (inst.pf, new_pf)):
+            if value is None:
+                continue
+            if self.state.write(reg, value):
+                self._pred_writer[reg.index] = dyn.seq
+                writes.append((reg.index, bool(value)))
+        dyn.pred_writes = tuple(writes)
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _execute_branch(
+        self,
+        dyn: DynInst,
+        inst: BranchInstruction,
+        frame: _Frame,
+        call_stack: List[_Frame],
+    ) -> Tuple[_Frame, List[_Frame], bool]:
+        taken = inst.outcome(dyn.qp_value)
+        dyn.taken = taken
+
+        if not taken:
+            frame.inst_index += 1
+            dyn.next_pc = self._pc_after(frame)
+            return frame, call_stack, False
+
+        if inst.kind in (BranchKind.COND, BranchKind.UNCOND):
+            target_block = frame.routine.block(inst.target.name)
+            target_index = frame.routine.block_index(inst.target.name)
+            frame.block_index = target_index
+            frame.inst_index = 0
+            dyn.target_pc = target_block.address
+            dyn.next_pc = target_block.address
+            return frame, call_stack, False
+
+        if inst.kind is BranchKind.CALL:
+            callee = self.program.routine(inst.callee)
+            # The return point is the instruction after the call.
+            return_frame = _Frame(frame.routine, frame.block_index, frame.inst_index + 1)
+            call_stack.append(return_frame)
+            new_frame = _Frame(callee, 0, 0)
+            dyn.target_pc = callee.entry.address
+            dyn.next_pc = callee.entry.address
+            return new_frame, call_stack, False
+
+        if inst.kind is BranchKind.RET:
+            if not call_stack:
+                dyn.next_pc = None
+                return frame, call_stack, True
+            frame = call_stack.pop()
+            dyn.next_pc = self._pc_after(frame)
+            dyn.target_pc = dyn.next_pc
+            return frame, call_stack, False
+
+        raise AssertionError(f"unhandled branch kind {inst.kind}")  # pragma: no cover
+
+
+_U64 = (1 << 64) - 1
+
+_INT_ALU_OPS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.ADDI: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHLI: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: (a & _U64) >> (b & 63),
+    Opcode.SHRI: lambda a, b: (a & _U64) >> (b & 63),
+    Opcode.MUL: lambda a, b: a * b,
+}
+
+_FP_OPS = {
+    Opcode.FADD: lambda v: v[0] + v[1],
+    Opcode.FSUB: lambda v: v[0] - v[1],
+    Opcode.FMUL: lambda v: v[0] * v[1],
+    Opcode.FMA: lambda v: v[0] * v[1] + v[2],
+    Opcode.FDIV: lambda v: v[0] / v[1] if v[1] else 0.0,
+    Opcode.FMOV: lambda v: v[0],
+}

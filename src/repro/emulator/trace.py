@@ -1,0 +1,136 @@
+"""Trace collection helpers and trace-level statistics.
+
+These helpers are used by the tests, the examples and the experiment runner
+to characterise workloads: branch counts, per-branch-site bias, the dynamic
+distance between a compare and its consuming branch, and the fraction of
+fetched instructions that were nullified (false qualifying predicate).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.emulator.executor import DynInst, Emulator
+from repro.program.program import Program
+
+
+@dataclass
+class BranchSiteStats:
+    """Dynamic statistics for one static conditional branch."""
+
+    pc: int
+    executions: int = 0
+    taken: int = 0
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+    @property
+    def bias(self) -> float:
+        """Bias towards the dominant direction, in [0.5, 1.0]."""
+        rate = self.taken_rate
+        return max(rate, 1.0 - rate) if self.executions else 1.0
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics over a dynamic instruction trace."""
+
+    fetched: int = 0
+    executed: int = 0
+    nullified: int = 0
+    conditional_branches: int = 0
+    taken_branches: int = 0
+    unconditional_branches: int = 0
+    compares: int = 0
+    loads: int = 0
+    stores: int = 0
+    predicated_instructions: int = 0
+    branch_sites: Dict[int, BranchSiteStats] = field(default_factory=dict)
+    #: Distribution of dynamic distance (in instructions) between a
+    #: conditional branch and the compare that produced its guard.
+    guard_distances: List[int] = field(default_factory=list)
+
+    @property
+    def nullification_rate(self) -> float:
+        return self.nullified / self.fetched if self.fetched else 0.0
+
+    @property
+    def conditional_branch_fraction(self) -> float:
+        return self.conditional_branches / self.fetched if self.fetched else 0.0
+
+    @property
+    def mean_guard_distance(self) -> float:
+        if not self.guard_distances:
+            return 0.0
+        return sum(self.guard_distances) / len(self.guard_distances)
+
+    def hard_branch_fraction(self, bias_threshold: float = 0.9) -> float:
+        """Fraction of dynamic conditional branches from low-bias sites."""
+        hard = sum(
+            s.executions
+            for s in self.branch_sites.values()
+            if s.bias < bias_threshold and s.executions > 0
+        )
+        return hard / self.conditional_branches if self.conditional_branches else 0.0
+
+
+def collect_trace(program: Program, max_instructions: int) -> List[DynInst]:
+    """Run ``program`` and return the dynamic instruction list."""
+    emulator = Emulator(program)
+    return list(emulator.run(max_instructions))
+
+
+def trace_statistics(trace: List[DynInst]) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` over a dynamic trace."""
+    stats = TraceStatistics()
+    for dyn in trace:
+        stats.fetched += 1
+        if dyn.executed:
+            stats.executed += 1
+        else:
+            stats.nullified += 1
+        inst = dyn.inst
+        if inst.is_predicated:
+            stats.predicated_instructions += 1
+        if dyn.is_compare:
+            stats.compares += 1
+        elif inst.is_load:
+            stats.loads += 1
+        elif inst.is_store:
+            stats.stores += 1
+        elif dyn.is_branch:
+            if dyn.is_conditional_branch:
+                stats.conditional_branches += 1
+                site = stats.branch_sites.get(dyn.pc)
+                if site is None:
+                    site = BranchSiteStats(pc=dyn.pc)
+                    stats.branch_sites[dyn.pc] = site
+                site.executions += 1
+                if dyn.taken:
+                    site.taken += 1
+                    stats.taken_branches += 1
+                if dyn.guard_producer_seq >= 0:
+                    stats.guard_distances.append(dyn.seq - dyn.guard_producer_seq)
+            else:
+                stats.unconditional_branches += 1
+                if dyn.taken:
+                    stats.taken_branches += 1
+    return stats
+
+
+def branch_outcome_stream(trace: List[DynInst]) -> List[bool]:
+    """Return the sequence of conditional-branch outcomes in fetch order."""
+    return [bool(d.taken) for d in trace if d.is_conditional_branch]
+
+
+def per_site_outcomes(trace: List[DynInst]) -> Dict[int, List[bool]]:
+    """Return per-branch-site outcome sequences (keyed by branch PC)."""
+    outcomes: Dict[int, List[bool]] = defaultdict(list)
+    for dyn in trace:
+        if dyn.is_conditional_branch:
+            outcomes[dyn.pc].append(bool(dyn.taken))
+    return dict(outcomes)

@@ -1,0 +1,57 @@
+"""Experiment harness: everything needed to regenerate the paper's results.
+
+* :mod:`repro.experiments.setup` — the Table 1 machine configuration, the
+  scheme factories used by every experiment, and the instruction budgets
+  (``fast`` for the test-suite, ``paper`` for the benchmark harness);
+* :mod:`repro.experiments.runner` — compiles the benchmark binaries, runs
+  the traces through the schemes, and caches intermediate artefacts;
+* :mod:`repro.experiments.figure5` — Figure 5 (non-if-converted binaries);
+* :mod:`repro.experiments.figure6` — Figure 6a and the Figure 6b breakdown
+  (if-converted binaries);
+* :mod:`repro.experiments.idealized` — the idealized (no-alias, perfect
+  history) isolation study of sections 4.2/4.3;
+* :mod:`repro.experiments.ablations` — design-choice ablations called out in
+  section 3.3 (single dual-hashed PVT vs split PVT; history corruption);
+* :mod:`repro.experiments.selective_ipc` — the predicated-execution IPC
+  comparison behind the section 5 claim that the same hardware enables
+  efficient predicated execution.
+"""
+
+from repro.experiments.setup import (
+    ExperimentProfile,
+    PAPER_PROFILE,
+    FAST_PROFILE,
+    make_conventional_scheme,
+    make_peppa_scheme,
+    make_predicate_scheme,
+    paper_table1,
+)
+from repro.experiments.runner import ExperimentRunner, BenchmarkRun
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.idealized import IdealizedResult, run_idealized_study
+from repro.experiments.ablations import AblationResult, run_pvt_ablation, run_history_ablation
+from repro.experiments.selective_ipc import SelectiveIPCResult, run_selective_ipc
+
+__all__ = [
+    "ExperimentProfile",
+    "PAPER_PROFILE",
+    "FAST_PROFILE",
+    "make_conventional_scheme",
+    "make_peppa_scheme",
+    "make_predicate_scheme",
+    "paper_table1",
+    "ExperimentRunner",
+    "BenchmarkRun",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "IdealizedResult",
+    "run_idealized_study",
+    "AblationResult",
+    "run_pvt_ablation",
+    "run_history_ablation",
+    "SelectiveIPCResult",
+    "run_selective_ipc",
+]

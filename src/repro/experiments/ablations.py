@@ -1,0 +1,112 @@
+"""Design-choice ablations called out in section 3.3.
+
+Two design decisions of the predicate predictor are argued qualitatively in
+the paper; these ablations measure them:
+
+* **single dual-hashed PVT vs split PVT** — "Having a split PVT table may
+  result in a suboptimal utilization of the available space, producing an
+  increase of aliasing conflicts.  Instead, we use an unique PVT table that
+  is accessed with two different hash functions";
+* **global-history corruption** — the accuracy lost to the corruption window
+  between a wrong compare prediction and its repair, measured by comparing
+  the real scheme against the same scheme with a perfect-history oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Optional
+
+from repro.experiments.runner import IF_CONVERTED, ExperimentRunner
+from repro.experiments.setup import ExperimentProfile, make_predicate_scheme
+from repro.stats.tables import ResultTable
+
+
+@dataclass
+class AblationResult:
+    """Comparison between the paper's design point and one alternative."""
+
+    name: str
+    table: ResultTable
+    #: average accuracy advantage of the paper's design point (positive =
+    #: the paper's choice is better).
+    average_advantage: float
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                self.table.render(),
+                "",
+                f"{self.name}: average accuracy advantage of the paper's design "
+                f"point = {100 * self.average_advantage:.2f}%",
+            ]
+        )
+
+
+def run_pvt_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> AblationResult:
+    """Single dual-hashed PVT (paper) vs statically split PVT."""
+    runner = runner or ExperimentRunner(profile)
+    paper_label = "dual-hash single PVT"
+    alt_label = "split PVT"
+    table = ResultTable(
+        title="Ablation: PVT organisation (if-converted code)",
+        columns=[paper_label, alt_label],
+    )
+    for benchmark in runner.benchmarks():
+        runs = runner.run_schemes(
+            benchmark,
+            IF_CONVERTED,
+            {
+                paper_label: make_predicate_scheme,
+                alt_label: partial(make_predicate_scheme, split_pvt=True),
+            },
+        )
+        table.add_row(
+            benchmark,
+            {label: run.misprediction_rate for label, run in runs.items()},
+        )
+        runner.drop_trace(benchmark, IF_CONVERTED)
+    return AblationResult(
+        name="PVT organisation",
+        table=table,
+        average_advantage=table.delta(paper_label, alt_label),
+    )
+
+
+def run_history_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> AblationResult:
+    """Real speculative history (with its corruption window) vs oracle update."""
+    runner = runner or ExperimentRunner(profile)
+    real_label = "speculative history"
+    oracle_label = "oracle history"
+    table = ResultTable(
+        title="Ablation: global-history corruption (if-converted code)",
+        columns=[real_label, oracle_label],
+    )
+    for benchmark in runner.benchmarks():
+        runs = runner.run_schemes(
+            benchmark,
+            IF_CONVERTED,
+            {
+                real_label: make_predicate_scheme,
+                oracle_label: partial(make_predicate_scheme, perfect_history=True),
+            },
+        )
+        table.add_row(
+            benchmark,
+            {label: run.misprediction_rate for label, run in runs.items()},
+        )
+        runner.drop_trace(benchmark, IF_CONVERTED)
+    # Here the "paper design point" is the realistic scheme; the advantage is
+    # negative (the oracle is better), quantifying the corruption cost.
+    return AblationResult(
+        name="global-history corruption cost",
+        table=table,
+        average_advantage=table.delta(real_label, oracle_label),
+    )

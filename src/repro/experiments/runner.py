@@ -1,0 +1,111 @@
+"""Experiment runner: binaries → traces → scheme simulations, with caching.
+
+The accuracy experiments simulate the *same* dynamic trace under several
+schemes (that is what makes the Figure 6b per-branch breakdown well
+defined), so the runner caches compiled binaries and collected traces per
+(benchmark, flavour) within its lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.compiler.binaries import BinaryFactory
+from repro.emulator.executor import DynInst, Emulator
+from repro.experiments.setup import ExperimentProfile, PAPER_PROFILE
+from repro.pipeline.core import OutOfOrderCore, SimulationResult
+from repro.pipeline.scheme_api import BranchHandlingScheme
+from repro.program.program import Program
+from repro.workloads.spec_suite import build_workload, workload_names
+
+#: Binary flavours used by the evaluation.
+BASELINE = "baseline"
+IF_CONVERTED = "if-converted"
+
+
+@dataclass
+class BenchmarkRun:
+    """One (benchmark, flavour, scheme) simulation."""
+
+    benchmark: str
+    flavour: str
+    result: SimulationResult
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.result.misprediction_rate
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+
+class ExperimentRunner:
+    """Builds binaries, collects traces and runs schemes over them."""
+
+    def __init__(self, profile: Optional[ExperimentProfile] = None) -> None:
+        self.profile = profile or PAPER_PROFILE
+        self.factory = BinaryFactory(profile_budget=self.profile.profile_budget)
+        self._binaries: Dict[Tuple[str, str], Program] = {}
+        self._traces: Dict[Tuple[str, str], List[DynInst]] = {}
+
+    # ------------------------------------------------------------------
+    def benchmarks(self) -> List[str]:
+        """Benchmarks selected by the profile (default: the full suite)."""
+        return list(self.profile.benchmarks or workload_names())
+
+    def binary(self, benchmark: str, flavour: str) -> Program:
+        """Return (building and caching) one compiled binary."""
+        key = (benchmark, flavour)
+        if key not in self._binaries:
+            generator = lambda: build_workload(benchmark)  # noqa: E731
+            if flavour == BASELINE:
+                program = self.factory.build_baseline(benchmark, generator)
+            elif flavour == IF_CONVERTED:
+                program = self.factory.build_if_converted(benchmark, generator)
+            else:
+                raise ValueError(f"unknown binary flavour {flavour!r}")
+            self._binaries[key] = program
+        return self._binaries[key]
+
+    def trace(self, benchmark: str, flavour: str) -> List[DynInst]:
+        """Return (collecting and caching) the dynamic trace of one binary."""
+        key = (benchmark, flavour)
+        if key not in self._traces:
+            program = self.binary(benchmark, flavour)
+            emulator = Emulator(program)
+            self._traces[key] = list(
+                emulator.run(self.profile.instructions_per_benchmark)
+            )
+        return self._traces[key]
+
+    def drop_trace(self, benchmark: str, flavour: str) -> None:
+        """Free a cached trace (the full suite's traces are sizeable)."""
+        self._traces.pop((benchmark, flavour), None)
+
+    # ------------------------------------------------------------------
+    def run_scheme(
+        self,
+        benchmark: str,
+        flavour: str,
+        scheme_factory: Callable[[], BranchHandlingScheme],
+    ) -> BenchmarkRun:
+        """Simulate one benchmark binary under a freshly-built scheme."""
+        trace = self.trace(benchmark, flavour)
+        core = OutOfOrderCore()
+        scheme = scheme_factory()
+        result = core.run(iter(trace), scheme, program_name=benchmark)
+        return BenchmarkRun(benchmark=benchmark, flavour=flavour, result=result)
+
+    def run_schemes(
+        self,
+        benchmark: str,
+        flavour: str,
+        scheme_factories: Dict[str, Callable[[], BranchHandlingScheme]],
+    ) -> Dict[str, BenchmarkRun]:
+        """Simulate one benchmark under several schemes over the same trace."""
+        return {
+            label: self.run_scheme(benchmark, flavour, factory)
+            for label, factory in scheme_factories.items()
+        }

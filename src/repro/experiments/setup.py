@@ -1,0 +1,173 @@
+"""Experiment configuration: Table 1, scheme factories and run profiles."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.conventional import ConventionalScheme
+from repro.core.peppa_scheme import PEPPAScheme
+from repro.core.predicate_scheme import PredicatePredictionScheme, PredicateSchemeOptions
+from repro.memory.hierarchy import MemoryHierarchyConfig
+from repro.pipeline.config import PipelineConfig
+from repro.predictors.peppa import PEPPAConfig
+from repro.predictors.perceptron import PerceptronConfig
+from repro.predictors.predicate_perceptron import PredicatePredictorConfig
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def paper_table1() -> Dict[str, str]:
+    """Return Table 1 of the paper as reproduced by this code base.
+
+    The values are pulled from the live default configurations so the table
+    printed by the benchmark harness can never drift from what the simulator
+    actually models.
+    """
+    pipeline = PipelineConfig()
+    memory = MemoryHierarchyConfig()
+    perceptron = PerceptronConfig()
+    predicate = PredicatePredictorConfig()
+    peppa = PEPPAConfig()
+    return {
+        "Fetch Width": (
+            f"Up to {pipeline.bundles_per_fetch} bundles "
+            f"({pipeline.fetch_width} instructions)"
+        ),
+        "Issue Queues": (
+            f"Integer: {pipeline.int_queue_entries} entries, "
+            f"FP: {pipeline.fp_queue_entries} entries, "
+            f"Branch: {pipeline.branch_queue_entries} entries, "
+            f"Load-Store: 2 x {pipeline.load_queue_entries} entries"
+        ),
+        "Reorder Buffer": f"{pipeline.rob_entries} entries",
+        "L1D": (
+            f"{memory.l1d.size_bytes // 1024}KB, {memory.l1d.associativity}-way, "
+            f"{memory.l1d.block_bytes}B block, {memory.l1d.hit_latency}-cycle latency, "
+            f"non-blocking ({memory.l1d.primary_misses} primary misses), "
+            f"{memory.l1d_write_buffer_entries} write-buffer entries"
+        ),
+        "L1I": (
+            f"{memory.l1i.size_bytes // 1024}KB, {memory.l1i.associativity}-way, "
+            f"{memory.l1i.block_bytes}B block, {memory.l1i.hit_latency}-cycle latency"
+        ),
+        "L2 unified": (
+            f"{memory.l2.size_bytes // 1024 // 1024}MB, {memory.l2.associativity}-way, "
+            f"{memory.l2.block_bytes}B block, {memory.l2.hit_latency}-cycle latency, "
+            f"{memory.l2_write_buffer_entries} write-buffer entries"
+        ),
+        "DTLB": f"{memory.dtlb.entries} entries, {memory.dtlb.miss_penalty}-cycle miss penalty",
+        "ITLB": f"{memory.itlb.entries} entries, {memory.itlb.miss_penalty}-cycle miss penalty",
+        "Main Memory": f"{memory.memory_latency} cycles of latency",
+        "Multilevel Branch Predictor": (
+            "First level: gshare, 14-bit GHR, 4KB, 1-cycle access. "
+            f"Second level: perceptron, {perceptron.global_bits}-bit GHR, "
+            f"{perceptron.local_bits}-bit LHR, ~148KB, "
+            f"{PipelineConfig().second_level_latency}-cycle access. "
+            f"{PipelineConfig().branch_mispredict_penalty} cycles for misprediction recovery"
+        ),
+        "Predicate Predictor": (
+            f"Perceptron, {predicate.global_bits}-bit GHR, {predicate.local_bits}-bit LHR, "
+            f"~148KB, {PipelineConfig().second_level_latency}-cycle access. "
+            f"{PipelineConfig().predicate_mispredict_penalty} cycles for misprediction recovery"
+        ),
+        "PEP-PA Predictor": (
+            f"{peppa.local_bits}-bit local histories, "
+            f"{peppa.storage_bits() // 8 // 1024}KB"
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Run profiles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """How much work an experiment run performs.
+
+    The paper simulates 100 M committed instructions per benchmark on a C++
+    simulator; the pure-Python reproduction defaults to much smaller budgets
+    that still give stable misprediction rates for the synthetic workloads.
+    """
+
+    name: str
+    instructions_per_benchmark: int
+    benchmarks: Optional[List[str]] = None  # None = the full 22-program suite
+    profile_budget: int = 20_000
+
+    def with_benchmarks(self, benchmarks: List[str]) -> "ExperimentProfile":
+        return ExperimentProfile(
+            name=self.name,
+            instructions_per_benchmark=self.instructions_per_benchmark,
+            benchmarks=list(benchmarks),
+            profile_budget=self.profile_budget,
+        )
+
+
+#: Profile used by the benchmark harness (full suite).
+PAPER_PROFILE = ExperimentProfile(name="paper", instructions_per_benchmark=40_000)
+
+#: Profile used by the test-suite (small budgets, a few benchmarks).
+FAST_PROFILE = ExperimentProfile(
+    name="fast",
+    instructions_per_benchmark=6_000,
+    benchmarks=["gzip", "twolf", "swim"],
+    profile_budget=6_000,
+)
+
+
+def profile_from_environment(default: ExperimentProfile = PAPER_PROFILE) -> ExperimentProfile:
+    """Resolve the active profile, honouring ``REPRO_BENCH_INSTRUCTIONS`` and
+    ``REPRO_BENCH_BENCHMARKS`` environment overrides."""
+    instructions = int(
+        os.environ.get("REPRO_BENCH_INSTRUCTIONS", default.instructions_per_benchmark)
+    )
+    benchmarks_env = os.environ.get("REPRO_BENCH_BENCHMARKS", "")
+    benchmarks = (
+        [b.strip() for b in benchmarks_env.split(",") if b.strip()]
+        if benchmarks_env
+        else default.benchmarks
+    )
+    return ExperimentProfile(
+        name=default.name,
+        instructions_per_benchmark=instructions,
+        benchmarks=benchmarks,
+        profile_budget=default.profile_budget,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scheme factories (one place controls the sizes used everywhere)
+# ----------------------------------------------------------------------
+def make_conventional_scheme(
+    ideal_no_alias: bool = False, perfect_history: bool = False
+) -> ConventionalScheme:
+    """The 148 KB (+4 KB gshare) conventional two-level override predictor."""
+    return ConventionalScheme(
+        perceptron_config=PerceptronConfig(),
+        ideal_no_alias=ideal_no_alias,
+        perfect_history=perfect_history,
+    )
+
+
+def make_peppa_scheme() -> PEPPAScheme:
+    """The 144 KB PEP-PA predictor."""
+    return PEPPAScheme(PEPPAConfig())
+
+
+def make_predicate_scheme(
+    selective_predication: bool = True,
+    ideal_no_alias: bool = False,
+    perfect_history: bool = False,
+    split_pvt: bool = False,
+) -> PredicatePredictionScheme:
+    """The 148 KB predicate perceptron scheme (the paper's proposal)."""
+    options = PredicateSchemeOptions(
+        predictor_config=PredicatePredictorConfig(split_pvt=split_pvt),
+        selective_predication=selective_predication,
+        ideal_no_alias=ideal_no_alias,
+        perfect_history=perfect_history,
+    )
+    return PredicatePredictionScheme(options)

@@ -1,0 +1,87 @@
+"""A compact predicated, compare-branch ISA modelled on IA-64.
+
+The ISA provides exactly the architectural features the paper's mechanisms
+depend on:
+
+* 128 general registers (``r0`` hard-wired to zero), 64 one-bit predicate
+  registers (``p0`` hard-wired to true) and 8 branch registers.
+* Every instruction carries a *qualifying predicate* (``qp``); when the
+  predicate evaluates to false the instruction is nullified.
+* Compare instructions write **two** predicate destinations whose values
+  depend on the comparison result and the compare *type* (``none``, ``unc``,
+  ``and``, ``or``, ``or.andcm``) exactly as in the IA-64 compare model.
+* Branches are guarded by a predicate produced by a previous compare
+  (the *compare-branch* model): a conditional branch is taken iff its
+  qualifying predicate is true.
+
+The package exposes the register model (:mod:`repro.isa.registers`), operand
+model (:mod:`repro.isa.operands`), the instruction classes
+(:mod:`repro.isa.instructions`, :mod:`repro.isa.compare`,
+:mod:`repro.isa.branches`), bundle formation (:mod:`repro.isa.bundles`) and a
+small disassembler (:mod:`repro.isa.disasm`).
+"""
+
+from repro.isa.registers import (
+    RegisterKind,
+    Register,
+    GR,
+    PR,
+    BR,
+    R0,
+    P0,
+    NUM_GENERAL_REGISTERS,
+    NUM_PREDICATE_REGISTERS,
+    NUM_BRANCH_REGISTERS,
+)
+from repro.isa.operands import Immediate, Label, Operand
+from repro.isa.opcodes import Opcode, OpClass, OPCODE_INFO, FunctionalUnitClass
+from repro.isa.instructions import (
+    Instruction,
+    ALUInstruction,
+    MoveInstruction,
+    LoadInstruction,
+    StoreInstruction,
+    NopInstruction,
+    FPInstruction,
+)
+from repro.isa.compare import CompareType, CompareRelation, CompareInstruction
+from repro.isa.branches import BranchKind, BranchInstruction
+from repro.isa.bundles import Bundle, BundleStream, bundle_instructions
+from repro.isa.disasm import disassemble, format_instruction
+
+__all__ = [
+    "RegisterKind",
+    "Register",
+    "GR",
+    "PR",
+    "BR",
+    "R0",
+    "P0",
+    "NUM_GENERAL_REGISTERS",
+    "NUM_PREDICATE_REGISTERS",
+    "NUM_BRANCH_REGISTERS",
+    "Immediate",
+    "Label",
+    "Operand",
+    "Opcode",
+    "OpClass",
+    "OPCODE_INFO",
+    "FunctionalUnitClass",
+    "Instruction",
+    "ALUInstruction",
+    "MoveInstruction",
+    "LoadInstruction",
+    "StoreInstruction",
+    "NopInstruction",
+    "FPInstruction",
+    "CompareType",
+    "CompareRelation",
+    "CompareInstruction",
+    "BranchKind",
+    "BranchInstruction",
+    "Bundle",
+    "BundleStream",
+    "bundle_instructions",
+    "disassemble",
+    "format_instruction",
+]

@@ -1,0 +1,102 @@
+"""Branch instructions of the compare-branch model.
+
+Branches never evaluate conditions themselves: a conditional branch is taken
+iff its *qualifying predicate* is true, and that predicate was produced by a
+previous compare instruction.  This is the property the paper's predicate
+predictor exploits — the correlation information lives with the compare, not
+with the branch.
+
+Branch kinds:
+
+``COND``
+    ``(qp) br.cond target`` — taken iff ``qp`` is true.
+
+``UNCOND``
+    ``br target`` — always taken.  If-conversion may guard it with a
+    predicate, which turns it into a *region branch* that must be predicted
+    (Figure 1b of the paper).
+
+``CALL`` / ``RET``
+    Calls and returns.  ``RET`` may also be guarded after if-conversion
+    (``(p3) br.ret`` in Figure 1b).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Label
+from repro.isa.registers import P0, Register
+
+
+class BranchKind(enum.Enum):
+    COND = "cond"
+    UNCOND = "uncond"
+    CALL = "call"
+    RET = "ret"
+
+
+_KIND_TO_OPCODE = {
+    BranchKind.COND: Opcode.BR_COND,
+    BranchKind.UNCOND: Opcode.BR_UNCOND,
+    BranchKind.CALL: Opcode.BR_CALL,
+    BranchKind.RET: Opcode.BR_RET,
+}
+
+
+class BranchInstruction(Instruction):
+    """A control-transfer instruction."""
+
+    __slots__ = ("kind", "target", "callee")
+
+    def __init__(
+        self,
+        kind: BranchKind,
+        target: Optional[Label] = None,
+        qp: Register = P0,
+        callee: Optional[str] = None,
+    ) -> None:
+        if kind in (BranchKind.COND, BranchKind.UNCOND, BranchKind.CALL) and target is None and callee is None:
+            raise ValueError(f"{kind} branch requires a target")
+        srcs = [target] if target is not None else []
+        super().__init__(_KIND_TO_OPCODE[kind], dests=[], srcs=srcs, qp=qp)
+        self.kind = kind
+        self.target = target
+        self.callee = callee
+
+    # ------------------------------------------------------------------
+    @property
+    def is_conditional(self) -> bool:
+        """True when the branch direction must be predicted at fetch.
+
+        This covers explicit ``br.cond`` branches *and* any branch kind that
+        has been guarded with a non-trivial predicate by if-conversion
+        (region branches such as ``(p3) br.ret``).
+        """
+        return self.kind is BranchKind.COND or self.is_predicated
+
+    @property
+    def guard(self) -> Register:
+        """The guarding predicate deciding the branch direction."""
+        return self.qp
+
+    @property
+    def is_return(self) -> bool:
+        return self.kind is BranchKind.RET
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind is BranchKind.CALL
+
+    # ------------------------------------------------------------------
+    def outcome(self, qp_value: bool) -> bool:
+        """Return whether the branch is taken given its predicate value."""
+        if self.kind is BranchKind.COND:
+            return qp_value
+        # Unconditional kinds are taken when their guard allows them to
+        # execute at all; an if-converted (guarded) return/jump falls through
+        # when nullified.
+        return qp_value

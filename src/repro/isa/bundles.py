@@ -1,0 +1,99 @@
+"""Instruction bundles.
+
+IA-64 groups instructions into 128-bit *bundles* of three instruction slots;
+the modelled front end fetches up to two bundles (six instructions) per cycle
+(Table 1).  The bundle abstraction here is purely a fetch-grouping concept:
+we form bundles greedily over a basic block's instructions, terminating a
+bundle early at a taken control transfer so that fetch behaves realistically
+across branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.isa.instructions import Instruction
+
+#: Number of instruction slots in one bundle.
+BUNDLE_SLOTS = 3
+
+#: Architectural size of a bundle in bytes (used by address layout).
+BUNDLE_BYTES = 16
+
+
+@dataclass
+class Bundle:
+    """An ordered group of up to three instructions fetched together."""
+
+    address: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def full(self) -> bool:
+        return len(self.instructions) >= BUNDLE_SLOTS
+
+    @property
+    def ends_in_branch(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].is_branch
+
+
+def bundle_instructions(
+    instructions: Sequence[Instruction],
+    base_address: int = 0,
+) -> List[Bundle]:
+    """Group ``instructions`` into bundles.
+
+    A bundle is closed when it has three instructions or when it absorbs a
+    branch (branches always terminate their bundle, matching the common
+    compiler convention of placing branches in the last slot).
+    """
+    bundles: List[Bundle] = []
+    current = Bundle(address=base_address)
+    for inst in instructions:
+        current.instructions.append(inst)
+        if current.full or inst.is_branch:
+            bundles.append(current)
+            current = Bundle(address=base_address + len(bundles) * BUNDLE_BYTES)
+    if current.instructions:
+        bundles.append(current)
+    return bundles
+
+
+class BundleStream:
+    """A flattened, addressable view over a sequence of bundles.
+
+    The fetch stage consumes instructions through this helper: it exposes how
+    many instructions can be fetched per cycle given the bundle geometry and
+    the maximum of two bundles per fetch.
+    """
+
+    def __init__(self, bundles: Iterable[Bundle], bundles_per_fetch: int = 2) -> None:
+        self.bundles: List[Bundle] = list(bundles)
+        self.bundles_per_fetch = bundles_per_fetch
+
+    @property
+    def max_fetch_width(self) -> int:
+        """Maximum instructions deliverable in a single fetch cycle."""
+        return self.bundles_per_fetch * BUNDLE_SLOTS
+
+    def fetch_groups(self) -> Iterator[List[Instruction]]:
+        """Yield the instruction groups delivered by successive fetch cycles."""
+        index = 0
+        while index < len(self.bundles):
+            group: List[Instruction] = []
+            consumed = 0
+            while consumed < self.bundles_per_fetch and index < len(self.bundles):
+                bundle = self.bundles[index]
+                group.extend(bundle.instructions)
+                index += 1
+                consumed += 1
+                if bundle.ends_in_branch:
+                    break
+            yield group

@@ -1,0 +1,184 @@
+"""Compare instructions: the predicate producers of the compare-branch model.
+
+A compare evaluates a relation between two operands and writes **two**
+predicate destinations.  How the two destinations are written depends on the
+*compare type* — a faithful subset of the IA-64 compare semantics:
+
+``NONE`` (normal)
+    If the qualifying predicate is true: ``pt = result``, ``pf = !result``.
+    Otherwise neither target is written.
+
+``UNC`` (unconditional)
+    Both targets are written even when the qualifying predicate is false:
+    in that case both are cleared.  This is the type produced by
+    if-conversion for nested conditions (see Figure 1b of the paper).
+
+``AND``
+    If the qualifying predicate is true and the result is false, both targets
+    are cleared; otherwise they are left unchanged (parallel "and" reduction).
+
+``OR``
+    If the qualifying predicate is true and the result is true, both targets
+    are set; otherwise they are left unchanged (parallel "or" reduction).
+
+``OR_ANDCM``
+    If the qualifying predicate is true and the result is true, the first
+    target is set and the second cleared; otherwise unchanged.
+
+The ``AND``/``OR``/``OR_ANDCM`` types are the ones the paper calls out as
+depending on *state not available in the front end* (the previous contents of
+the target predicates), which is why the predictor must always produce two
+independent predictions rather than deriving one from the other.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Operand
+from repro.isa.registers import P0, Register, RegisterKind
+
+
+class CompareRelation(enum.Enum):
+    """Relations a compare can evaluate."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    LTU = "ltu"
+    GEU = "geu"
+
+    def evaluate(self, lhs: int, rhs: int) -> bool:
+        """Evaluate this relation on two integer values."""
+        if self is CompareRelation.EQ:
+            return lhs == rhs
+        if self is CompareRelation.NE:
+            return lhs != rhs
+        if self is CompareRelation.LT:
+            return lhs < rhs
+        if self is CompareRelation.LE:
+            return lhs <= rhs
+        if self is CompareRelation.GT:
+            return lhs > rhs
+        if self is CompareRelation.GE:
+            return lhs >= rhs
+        if self is CompareRelation.LTU:
+            return (lhs & _U64_MASK) < (rhs & _U64_MASK)
+        if self is CompareRelation.GEU:
+            return (lhs & _U64_MASK) >= (rhs & _U64_MASK)
+        raise AssertionError(f"unhandled relation {self}")  # pragma: no cover
+
+
+_U64_MASK = (1 << 64) - 1
+
+
+class CompareType(enum.Enum):
+    """IA-64 style compare types (how the two predicate targets are written)."""
+
+    NONE = "none"
+    UNC = "unc"
+    AND = "and"
+    OR = "or"
+    OR_ANDCM = "or.andcm"
+
+    @property
+    def writes_both_unconditionally(self) -> bool:
+        """True when both targets are written regardless of the result."""
+        return self in (CompareType.NONE, CompareType.UNC)
+
+    @property
+    def depends_on_previous_values(self) -> bool:
+        """True when the targets' new values depend on their previous values."""
+        return self in (CompareType.AND, CompareType.OR, CompareType.OR_ANDCM)
+
+
+class CompareInstruction(Instruction):
+    """``(qp) cmp.<rel>.<ctype> pt, pf = src1, src2``."""
+
+    __slots__ = ("relation", "ctype")
+
+    def __init__(
+        self,
+        relation: CompareRelation,
+        pt: Register,
+        pf: Register,
+        src1: Operand,
+        src2: Operand,
+        ctype: CompareType = CompareType.NONE,
+        qp: Register = P0,
+        floating: bool = False,
+    ) -> None:
+        for target in (pt, pf):
+            if target.kind is not RegisterKind.PREDICATE:
+                raise ValueError(f"compare target {target} is not a predicate register")
+        opcode = Opcode.FCMP if floating else Opcode.CMP
+        super().__init__(opcode, dests=[pt, pf], srcs=[src1, src2], qp=qp)
+        self.relation = relation
+        self.ctype = ctype
+
+    # ------------------------------------------------------------------
+    @property
+    def pt(self) -> Register:
+        """First (true-sense) predicate target."""
+        return self.dests[0]
+
+    @property
+    def pf(self) -> Register:
+        """Second (false-sense) predicate target."""
+        return self.dests[1]
+
+    @property
+    def useful_targets(self) -> Tuple[Register, ...]:
+        """Predicate targets that are architecturally visible (``p0`` dropped).
+
+        Compares frequently use ``p0`` as one of the two targets; such
+        compares need only a single prediction (section 3.3 of the paper).
+        """
+        return tuple(t for t in (self.pt, self.pf) if not t.is_hardwired)
+
+    @property
+    def num_predictions_needed(self) -> int:
+        """How many predicate predictions this compare requires (1 or 2)."""
+        return len(self.useful_targets)
+
+    # ------------------------------------------------------------------
+    def compute_targets(
+        self,
+        qp_value: bool,
+        result: bool,
+        old_pt: bool,
+        old_pf: bool,
+    ) -> Tuple[Optional[bool], Optional[bool]]:
+        """Return the new values of ``(pt, pf)``.
+
+        ``None`` means the corresponding target is not written.  The previous
+        values are required for the parallel compare types.
+        """
+        ctype = self.ctype
+        if ctype is CompareType.UNC:
+            if qp_value:
+                return result, not result
+            return False, False
+        if not qp_value:
+            return None, None
+        if ctype is CompareType.NONE:
+            return result, not result
+        if ctype is CompareType.AND:
+            if not result:
+                return False, False
+            return None, None
+        if ctype is CompareType.OR:
+            if result:
+                return True, True
+            return None, None
+        if ctype is CompareType.OR_ANDCM:
+            if result:
+                return True, False
+            return None, None
+        raise AssertionError(f"unhandled compare type {ctype}")  # pragma: no cover

@@ -1,0 +1,83 @@
+"""A small disassembler used for debugging, examples and error messages.
+
+The output follows IA-64 assembly conventions closely enough to be readable
+next to the paper's Figure 1, e.g.::
+
+    (p2) cmp.unc.eq p3, p0 = r10, r11
+    (p3) br.ret
+         mov r33 = r32
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.branches import BranchInstruction
+from repro.isa.compare import CompareInstruction
+from repro.isa.instructions import (
+    Instruction,
+    LoadInstruction,
+    StoreInstruction,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Immediate, Label
+from repro.isa.registers import Register
+
+
+def _qp_prefix(inst: Instruction) -> str:
+    return f"({inst.qp}) " if inst.is_predicated else ""
+
+
+def _operand(op) -> str:
+    if isinstance(op, (Register, Immediate, Label)):
+        return str(op)
+    return repr(op)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Return a single-line textual rendering of ``inst``."""
+    prefix = _qp_prefix(inst)
+    if isinstance(inst, CompareInstruction):
+        ctype = "" if inst.ctype.value == "none" else f".{inst.ctype.value}"
+        mnemonic = "fcmp" if inst.opcode is Opcode.FCMP else "cmp"
+        return (
+            f"{prefix}{mnemonic}.{inst.relation.value}{ctype} "
+            f"{inst.pt}, {inst.pf} = {_operand(inst.srcs[0])}, {_operand(inst.srcs[1])}"
+        )
+    if isinstance(inst, BranchInstruction):
+        target = ""
+        if inst.target is not None:
+            target = f" {inst.target}"
+        elif inst.callee is not None:
+            target = f" {inst.callee}"
+        return f"{prefix}{inst.opcode}{target}"
+    if isinstance(inst, LoadInstruction):
+        return (
+            f"{prefix}{inst.opcode} {inst.dests[0]} = "
+            f"[{inst.base} + {inst.offset}]"
+        )
+    if isinstance(inst, StoreInstruction):
+        return (
+            f"{prefix}{inst.opcode} [{inst.base} + {inst.offset}] = {inst.value}"
+        )
+    if inst.opcode is Opcode.NOP:
+        return f"{prefix}nop"
+    dests = ", ".join(str(d) for d in inst.dests)
+    srcs = ", ".join(_operand(s) for s in inst.srcs)
+    if dests and srcs:
+        return f"{prefix}{inst.opcode} {dests} = {srcs}"
+    if dests:
+        return f"{prefix}{inst.opcode} {dests}"
+    return f"{prefix}{inst.opcode} {srcs}".rstrip()
+
+
+def disassemble(instructions: Iterable[Instruction], with_addresses: bool = True) -> str:
+    """Return a multi-line disassembly of ``instructions``."""
+    lines: List[str] = []
+    for inst in instructions:
+        text = format_instruction(inst)
+        if with_addresses and inst.address is not None:
+            lines.append(f"{inst.address:#010x}:  {text}")
+        else:
+            lines.append(f"    {text}")
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Static instruction objects.
+
+An :class:`Instruction` is a *static* entity: it belongs to exactly one basic
+block, has a program-counter address assigned at layout time, a qualifying
+predicate, and lists of source and destination registers.  Dynamic instances
+(one per execution) are created by the emulator and the pipeline on top of
+these objects.
+
+Design notes
+------------
+
+* Instructions expose ``sources`` and ``destinations`` uniformly so the
+  compiler's dependence analysis and the pipeline's rename stage never need
+  to special-case opcodes; subclasses simply populate the lists.
+* The qualifying predicate register is always part of ``sources`` unless it
+  is the hard-wired ``p0`` — exactly like real predicated hardware, where a
+  ``p0``-guarded instruction has no predicate dependence.
+* Instructions are mutable only during program construction (the compiler
+  rewrites qualifying predicates during if-conversion); once a program is
+  laid out they are treated as read-only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from repro.isa.opcodes import Opcode, OpClass, OpcodeInfo, opcode_info
+from repro.isa.operands import Immediate, Operand, as_operand
+from repro.isa.registers import P0, Register, RegisterKind
+
+_uid_counter = itertools.count()
+
+
+class Instruction:
+    """Base class for all static instructions.
+
+    Parameters
+    ----------
+    opcode:
+        The operation performed.
+    dests:
+        Destination registers written by the instruction.
+    srcs:
+        Source operands (registers, immediates or labels).
+    qp:
+        Qualifying predicate register.  Defaults to ``p0`` (always true).
+    """
+
+    __slots__ = (
+        "uid",
+        "opcode",
+        "dests",
+        "srcs",
+        "qp",
+        "address",
+        "block_label",
+        "slot",
+        "annotations",
+    )
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dests: Sequence[Register] = (),
+        srcs: Sequence[Operand] = (),
+        qp: Register = P0,
+    ) -> None:
+        if qp.kind is not RegisterKind.PREDICATE:
+            raise ValueError(f"qualifying predicate must be a predicate register, got {qp}")
+        self.uid: int = next(_uid_counter)
+        self.opcode = opcode
+        self.dests: List[Register] = list(dests)
+        self.srcs: List[Operand] = [as_operand(s) for s in srcs]
+        self.qp = qp
+        #: Program counter, assigned by :meth:`repro.program.program.Program.layout`.
+        self.address: Optional[int] = None
+        #: Label of the owning basic block (set when appended to a block).
+        self.block_label: Optional[str] = None
+        #: Slot index within the owning basic block.
+        self.slot: Optional[int] = None
+        #: Free-form annotations used by compiler passes (e.g. if-conversion).
+        self.annotations: dict = {}
+
+    # ------------------------------------------------------------------
+    # Static properties
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> OpcodeInfo:
+        """Static metadata for this instruction's opcode."""
+        return opcode_info(self.opcode)
+
+    @property
+    def opclass(self) -> OpClass:
+        return self.info.opclass
+
+    @property
+    def latency(self) -> int:
+        return self.info.latency
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_compare(self) -> bool:
+        return self.opclass is OpClass.COMPARE
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_predicated(self) -> bool:
+        """True when the instruction is guarded by a non-trivial predicate."""
+        return self.qp != P0
+
+    @property
+    def writes_predicates(self) -> bool:
+        return any(d.kind is RegisterKind.PREDICATE for d in self.dests)
+
+    # ------------------------------------------------------------------
+    # Register views used by dependence analysis and rename
+    # ------------------------------------------------------------------
+    def source_registers(self, include_qp: bool = True) -> List[Register]:
+        """All register sources (optionally including the qualifying predicate)."""
+        regs = [s for s in self.srcs if isinstance(s, Register)]
+        if include_qp and self.is_predicated:
+            regs.append(self.qp)
+        return regs
+
+    def destination_registers(self) -> List[Register]:
+        """All destination registers, excluding hard-wired ones."""
+        return [d for d in self.dests if not d.is_hardwired]
+
+    def predicate_destinations(self) -> List[Register]:
+        """Predicate registers written by this instruction (``p0`` excluded)."""
+        return [
+            d
+            for d in self.dests
+            if d.kind is RegisterKind.PREDICATE and not d.is_hardwired
+        ]
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "Instruction":
+        """Return a copy of this instruction with a fresh unique id.
+
+        Used by compiler passes that duplicate code (e.g. tail duplication in
+        hyperblock formation).  Layout-assigned fields are not copied.
+        """
+        new = self.__class__.__new__(self.__class__)
+        for slot_name in Instruction.__slots__:
+            setattr(new, slot_name, getattr(self, slot_name))
+        # Reset identity- and layout-related fields.
+        new.uid = next(_uid_counter)
+        new.dests = list(self.dests)
+        new.srcs = list(self.srcs)
+        new.annotations = dict(self.annotations)
+        new.address = None
+        new.block_label = None
+        new.slot = None
+        # Copy subclass-specific slots, if any.
+        for klass in type(self).__mro__:
+            for slot_name in getattr(klass, "__slots__", ()):
+                if slot_name not in Instruction.__slots__:
+                    setattr(new, slot_name, getattr(self, slot_name))
+        return new
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        from repro.isa.disasm import format_instruction
+
+        return format_instruction(self)
+
+
+class ALUInstruction(Instruction):
+    """Integer arithmetic / logical operation with a general-register result."""
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dest: Register,
+        src1: Operand,
+        src2: Operand,
+        qp: Register = P0,
+    ) -> None:
+        if opcode_info(opcode).opclass not in (OpClass.ALU, OpClass.MUL):
+            raise ValueError(f"{opcode} is not an ALU/MUL opcode")
+        super().__init__(opcode, dests=[dest], srcs=[src1, src2], qp=qp)
+
+
+class FPInstruction(Instruction):
+    """Floating-point operation (modelled with integer semantics, FP latency)."""
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dest: Register,
+        srcs: Sequence[Operand],
+        qp: Register = P0,
+    ) -> None:
+        if opcode_info(opcode).opclass is not OpClass.FP:
+            raise ValueError(f"{opcode} is not an FP opcode")
+        super().__init__(opcode, dests=[dest], srcs=list(srcs), qp=qp)
+
+
+class MoveInstruction(Instruction):
+    """Register/immediate move."""
+
+    __slots__ = ()
+
+    def __init__(self, dest: Register, src: Operand, qp: Register = P0) -> None:
+        opcode = Opcode.MOVI if isinstance(as_operand(src), Immediate) else Opcode.MOV
+        super().__init__(opcode, dests=[dest], srcs=[src], qp=qp)
+
+
+class LoadInstruction(Instruction):
+    """Load from memory: ``dest = mem[base + offset]``."""
+
+    __slots__ = ("offset",)
+
+    def __init__(
+        self,
+        dest: Register,
+        base: Register,
+        offset: int = 0,
+        qp: Register = P0,
+        floating: bool = False,
+    ) -> None:
+        opcode = Opcode.LDF if floating else Opcode.LD
+        super().__init__(opcode, dests=[dest], srcs=[base], qp=qp)
+        self.offset = offset
+
+    @property
+    def base(self) -> Register:
+        return self.srcs[0]  # type: ignore[return-value]
+
+
+class StoreInstruction(Instruction):
+    """Store to memory: ``mem[base + offset] = value``."""
+
+    __slots__ = ("offset",)
+
+    def __init__(
+        self,
+        value: Register,
+        base: Register,
+        offset: int = 0,
+        qp: Register = P0,
+        floating: bool = False,
+    ) -> None:
+        opcode = Opcode.STF if floating else Opcode.ST
+        super().__init__(opcode, dests=[], srcs=[value, base], qp=qp)
+        self.offset = offset
+
+    @property
+    def value(self) -> Register:
+        return self.srcs[0]  # type: ignore[return-value]
+
+    @property
+    def base(self) -> Register:
+        return self.srcs[1]  # type: ignore[return-value]
+
+
+class NopInstruction(Instruction):
+    """No-operation (used as filler by the scheduler and bundle formation)."""
+
+    __slots__ = ()
+
+    def __init__(self, qp: Register = P0) -> None:
+        super().__init__(Opcode.NOP, qp=qp)

@@ -1,0 +1,158 @@
+"""Opcode definitions and static opcode metadata.
+
+Every opcode carries:
+
+* an :class:`OpClass` describing its broad category (used by decode, the
+  issue queues and the statistics machinery);
+* the :class:`FunctionalUnitClass` it executes on;
+* its execution latency in cycles (Table 1 class latencies).
+
+The table is intentionally small — it contains exactly the operations the
+synthetic SPEC2000-like workloads and the compiler need — but it is complete
+in the sense that nothing else in the code base hard-codes opcode knowledge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class OpClass(enum.Enum):
+    """Broad instruction categories used by decode and the issue queues."""
+
+    ALU = "alu"
+    MUL = "mul"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+    COMPARE = "compare"
+    BRANCH = "branch"
+    MOVE = "move"
+    NOP = "nop"
+
+
+class FunctionalUnitClass(enum.Enum):
+    """Functional unit pools of the modelled core."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    FP_UNIT = "fp_unit"
+    LOAD_PORT = "load_port"
+    STORE_PORT = "store_port"
+    BRANCH_UNIT = "branch_unit"
+
+
+class Opcode(enum.Enum):
+    """Concrete operations of the ISA."""
+
+    # Integer ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SHLI = "shli"
+    SHRI = "shri"
+    # Integer multiply / divide-ish (long latency integer)
+    MUL = "mul"
+    # Moves
+    MOV = "mov"
+    MOVI = "movi"
+    MOV_TO_BR = "mov_to_br"
+    # Floating point (modelled on the FP unit with longer latency)
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FMA = "fma"
+    FDIV = "fdiv"
+    FMOV = "fmov"
+    # Memory
+    LD = "ld"
+    ST = "st"
+    LDF = "ldf"
+    STF = "stf"
+    # Compare (integer and floating point flavours)
+    CMP = "cmp"
+    FCMP = "fcmp"
+    # Branches
+    BR_COND = "br.cond"
+    BR_UNCOND = "br"
+    BR_CALL = "br.call"
+    BR_RET = "br.ret"
+    # No-operation
+    NOP = "nop"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    opclass: OpClass
+    unit: FunctionalUnitClass
+    latency: int
+    writes_general: bool = False
+    writes_predicate: bool = False
+    writes_float: bool = False
+    is_control: bool = False
+
+
+_INT1 = FunctionalUnitClass.INT_ALU
+_MUL = FunctionalUnitClass.INT_MUL
+_FP = FunctionalUnitClass.FP_UNIT
+_LD = FunctionalUnitClass.LOAD_PORT
+_ST = FunctionalUnitClass.STORE_PORT
+_BRU = FunctionalUnitClass.BRANCH_UNIT
+
+
+OPCODE_INFO: Dict[Opcode, OpcodeInfo] = {
+    Opcode.ADD: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.SUB: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.AND: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.OR: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.XOR: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.SHL: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.SHR: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.ADDI: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.ANDI: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.ORI: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.XORI: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.SHLI: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.SHRI: OpcodeInfo(OpClass.ALU, _INT1, 1, writes_general=True),
+    Opcode.MUL: OpcodeInfo(OpClass.MUL, _MUL, 3, writes_general=True),
+    Opcode.MOV: OpcodeInfo(OpClass.MOVE, _INT1, 1, writes_general=True),
+    Opcode.MOVI: OpcodeInfo(OpClass.MOVE, _INT1, 1, writes_general=True),
+    Opcode.MOV_TO_BR: OpcodeInfo(OpClass.MOVE, _INT1, 1),
+    Opcode.FADD: OpcodeInfo(OpClass.FP, _FP, 4, writes_float=True),
+    Opcode.FSUB: OpcodeInfo(OpClass.FP, _FP, 4, writes_float=True),
+    Opcode.FMUL: OpcodeInfo(OpClass.FP, _FP, 4, writes_float=True),
+    Opcode.FMA: OpcodeInfo(OpClass.FP, _FP, 4, writes_float=True),
+    Opcode.FDIV: OpcodeInfo(OpClass.FP, _FP, 12, writes_float=True),
+    Opcode.FMOV: OpcodeInfo(OpClass.FP, _FP, 1, writes_float=True),
+    Opcode.LD: OpcodeInfo(OpClass.LOAD, _LD, 2, writes_general=True),
+    Opcode.LDF: OpcodeInfo(OpClass.LOAD, _LD, 2, writes_float=True),
+    Opcode.ST: OpcodeInfo(OpClass.STORE, _ST, 1),
+    Opcode.STF: OpcodeInfo(OpClass.STORE, _ST, 1),
+    Opcode.CMP: OpcodeInfo(OpClass.COMPARE, _INT1, 1, writes_predicate=True),
+    Opcode.FCMP: OpcodeInfo(OpClass.COMPARE, _FP, 2, writes_predicate=True),
+    Opcode.BR_COND: OpcodeInfo(OpClass.BRANCH, _BRU, 1, is_control=True),
+    Opcode.BR_UNCOND: OpcodeInfo(OpClass.BRANCH, _BRU, 1, is_control=True),
+    Opcode.BR_CALL: OpcodeInfo(OpClass.BRANCH, _BRU, 1, is_control=True),
+    Opcode.BR_RET: OpcodeInfo(OpClass.BRANCH, _BRU, 1, is_control=True),
+    Opcode.NOP: OpcodeInfo(OpClass.NOP, _INT1, 1),
+}
+
+
+def opcode_info(opcode: Opcode) -> OpcodeInfo:
+    """Return the static metadata of ``opcode``."""
+    return OPCODE_INFO[opcode]

@@ -1,0 +1,56 @@
+"""Operand model: registers, immediates and labels.
+
+Instruction sources are either :class:`~repro.isa.registers.Register`
+instances, :class:`Immediate` constants, or :class:`Label` references to
+basic blocks (used only by branches before address layout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.isa.registers import Register
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A signed integer immediate operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"imm({self.value})"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic reference to a basic block, resolved at layout time."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"label({self.name})"
+
+
+#: Anything that may appear as an instruction source operand.
+Operand = Union[Register, Immediate, Label]
+
+
+def as_operand(value: Union[Operand, int]) -> Operand:
+    """Coerce ``value`` into an operand.
+
+    Plain integers are wrapped into :class:`Immediate`; registers and labels
+    pass through unchanged.
+    """
+    if isinstance(value, int):
+        return Immediate(value)
+    if isinstance(value, (Register, Immediate, Label)):
+        return value
+    raise TypeError(f"cannot use {value!r} as an instruction operand")

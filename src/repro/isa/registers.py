@@ -1,0 +1,106 @@
+"""Register model of the predicated ISA.
+
+The register files mirror the IA-64 application architecture at the level of
+detail the paper's mechanisms require:
+
+* ``r0``–``r127`` general registers, with ``r0`` hard-wired to zero.
+* ``p0``–``p63`` one-bit predicate registers, with ``p0`` hard-wired to true.
+  Writes to ``p0`` are silently discarded, which matters for compares whose
+  second destination is ``p0`` (only one useful prediction is needed — see
+  section 3.3 of the paper).
+* ``b0``–``b7`` branch registers used by indirect branches and returns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+NUM_GENERAL_REGISTERS = 128
+NUM_PREDICATE_REGISTERS = 64
+NUM_BRANCH_REGISTERS = 8
+
+
+class RegisterKind(enum.Enum):
+    """The architectural register files defined by the ISA."""
+
+    GENERAL = "r"
+    PREDICATE = "p"
+    BRANCH = "b"
+    FLOAT = "f"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegisterKind.{self.name}"
+
+
+_FILE_SIZES = {
+    RegisterKind.GENERAL: NUM_GENERAL_REGISTERS,
+    RegisterKind.PREDICATE: NUM_PREDICATE_REGISTERS,
+    RegisterKind.BRANCH: NUM_BRANCH_REGISTERS,
+    RegisterKind.FLOAT: NUM_GENERAL_REGISTERS,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Register:
+    """An architectural register: a (kind, index) pair.
+
+    Instances are immutable and hashable so they can be used as dictionary
+    keys throughout the compiler, emulator and the rename stage.
+    """
+
+    kind: RegisterKind
+    index: int
+
+    def __post_init__(self) -> None:
+        limit = _FILE_SIZES[self.kind]
+        if not 0 <= self.index < limit:
+            raise ValueError(
+                f"register index {self.index} out of range for "
+                f"{self.kind.name.lower()} file (0..{limit - 1})"
+            )
+
+    @property
+    def is_hardwired(self) -> bool:
+        """True for registers whose value can never change (``r0``, ``p0``)."""
+        return self.index == 0 and self.kind in (
+            RegisterKind.GENERAL,
+            RegisterKind.PREDICATE,
+        )
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.value}{self.index}"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def GR(index: int) -> Register:
+    """Return the general register ``r<index>``."""
+    return Register(RegisterKind.GENERAL, index)
+
+
+def PR(index: int) -> Register:
+    """Return the predicate register ``p<index>``."""
+    return Register(RegisterKind.PREDICATE, index)
+
+
+def BR(index: int) -> Register:
+    """Return the branch register ``b<index>``."""
+    return Register(RegisterKind.BRANCH, index)
+
+
+def FR(index: int) -> Register:
+    """Return the floating-point register ``f<index>``."""
+    return Register(RegisterKind.FLOAT, index)
+
+
+#: The hard-wired zero general register.
+R0 = GR(0)
+
+#: The hard-wired true predicate register used as default qualifying predicate.
+P0 = PR(0)

@@ -1,0 +1,16 @@
+"""Main memory latency model (120 cycles, Table 1)."""
+
+from __future__ import annotations
+
+
+class MainMemory:
+    """A flat-latency main memory."""
+
+    def __init__(self, latency: int = 120) -> None:
+        self.latency = latency
+        self.accesses = 0
+
+    def access(self, address: int) -> int:
+        """Return the access latency for ``address``."""
+        self.accesses += 1
+        return self.latency

@@ -1,0 +1,45 @@
+"""Translation lookaside buffers (512 entries, 10-cycle miss penalty)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    name: str
+    entries: int = 512
+    page_bytes: int = 8192
+    miss_penalty: int = 10
+
+
+class TLB:
+    """A fully-associative TLB with LRU replacement."""
+
+    def __init__(self, config: TLBConfig) -> None:
+        self.config = config
+        self._pages: List[int] = []
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> int:
+        """Translate ``address``; return the latency penalty (0 on a hit)."""
+        page = address // self.config.page_bytes
+        self.accesses += 1
+        if page in self._pages:
+            self._pages.remove(page)
+            self._pages.append(page)
+            return 0
+        self.misses += 1
+        if len(self._pages) >= self.config.entries:
+            self._pages.pop(0)
+        self._pages.append(page)
+        return self.config.miss_penalty
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def flush(self) -> None:
+        self._pages = []

@@ -1,0 +1,48 @@
+"""Write buffers in front of the caches.
+
+Stores retire into a write buffer; the buffer drains one entry every
+``drain_interval`` cycles.  When the buffer is full the store (and therefore
+commit) must stall — that back-pressure is the only effect the pipeline
+needs, so the model tracks occupancy rather than data.
+"""
+
+from __future__ import annotations
+
+
+class WriteBuffer:
+    """Occupancy model of a write buffer."""
+
+    def __init__(self, entries: int, drain_interval: int = 4) -> None:
+        if entries < 1:
+            raise ValueError("write buffer needs at least one entry")
+        self.entries = entries
+        self.drain_interval = drain_interval
+        self._occupancy = 0
+        self._last_drain_cycle = 0
+        self.full_stalls = 0
+        self.stores_accepted = 0
+
+    def tick(self, now: int) -> None:
+        """Drain entries according to elapsed cycles."""
+        if self._occupancy == 0:
+            self._last_drain_cycle = now
+            return
+        elapsed = now - self._last_drain_cycle
+        drained = elapsed // self.drain_interval
+        if drained > 0:
+            self._occupancy = max(0, self._occupancy - drained)
+            self._last_drain_cycle = now
+
+    def try_insert(self, now: int) -> bool:
+        """Insert a store; returns ``False`` (stall) when the buffer is full."""
+        self.tick(now)
+        if self._occupancy >= self.entries:
+            self.full_stalls += 1
+            return False
+        self._occupancy += 1
+        self.stores_accepted += 1
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy

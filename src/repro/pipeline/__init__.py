@@ -1,0 +1,42 @@
+"""Out-of-order pipeline timing model.
+
+The core (:class:`~repro.pipeline.core.OutOfOrderCore`) is a trace-driven,
+eight-stage out-of-order timing model of the processor in Table 1.  It
+replays the correct-path dynamic instruction stream produced by
+:mod:`repro.emulator` and computes, for every dynamic instruction, the cycle
+at which it passes each pipeline stage (fetch, decode, rename, dispatch,
+issue, execute/complete, commit) subject to:
+
+* fetch-width / bundle limits, instruction-cache and ITLB latency, and
+  fetch redirects after mispredictions and front-end overrides;
+* rename width, reorder-buffer occupancy, issue-queue occupancy and
+  load/store-queue occupancy;
+* true data dependences through general, floating-point and predicate
+  registers (plus the conservative old-destination dependence of predicated
+  instructions that are not handled by selective predicate prediction);
+* functional-unit contention and instruction latencies;
+* data-cache, DTLB and store-buffer behaviour for memory operations.
+
+Branch-handling policy is delegated to a *scheme*
+(:mod:`repro.core`): the pipeline calls scheme hooks at fetch, rename,
+completion and resolution times, and charges the flush/redirect penalties the
+scheme's decisions imply.  This is exactly the separation the paper draws
+between the microarchitectural substrate (the LSE-based IA-64 core model) and
+the three prediction schemes being compared.
+"""
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.uop import Uop
+from repro.pipeline.metrics import PipelineMetrics
+from repro.pipeline.pprf import PredicatePhysicalRegisterFile, PPRFEntry
+from repro.pipeline.core import OutOfOrderCore, SimulationResult
+
+__all__ = [
+    "PipelineConfig",
+    "Uop",
+    "PipelineMetrics",
+    "PredicatePhysicalRegisterFile",
+    "PPRFEntry",
+    "OutOfOrderCore",
+    "SimulationResult",
+]

@@ -1,0 +1,408 @@
+"""The out-of-order core: a one-pass, trace-driven timing engine.
+
+For every dynamic instruction the engine computes the cycle at which it
+passes each stage of the eight-stage pipeline, subject to the fetch, rename,
+window, functional-unit and memory constraints configured in
+:class:`~repro.pipeline.config.PipelineConfig`, and calls the branch-handling
+scheme's hooks at the pipeline positions the paper's mechanisms care about:
+
+* predictions are initiated at **fetch** (``on_fetch``);
+* the PPRF is written and read at **rename** (``on_compare_rename``,
+  ``on_branch_rename``, ``on_predicated_rename``) — this is where the
+  prediction stored by the compare overrides the fetch-time prediction, and
+  where early-resolved branches read the already-computed value;
+* computed predicate values appear at **execute/writeback**
+  (``on_compare_complete``), which is also when mispredictions caused by
+  consumed predictions are discovered and flushes are charged;
+* branches train their predictors when they **resolve**
+  (``on_branch_resolved``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.emulator.executor import DynInst
+from repro.isa.compare import CompareInstruction
+from repro.isa.opcodes import FunctionalUnitClass, OpClass
+from repro.isa.registers import Register
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.lsq import LoadStoreUnit
+from repro.pipeline.metrics import PipelineMetrics
+from repro.pipeline.resources import (
+    FunctionalUnitPool,
+    RegisterTimingTable,
+    SlidingWindowResource,
+)
+from repro.pipeline.scheme_api import BranchHandlingScheme
+from repro.pipeline.uop import RenameDecision, Uop
+from repro.stats.accuracy import BranchAccuracy
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produces."""
+
+    program_name: str
+    scheme_name: str
+    metrics: PipelineMetrics
+    accuracy: BranchAccuracy
+    uops: Optional[List[Uop]] = field(default=None, repr=False)
+
+    @property
+    def ipc(self) -> float:
+        return self.metrics.ipc
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.accuracy.misprediction_rate
+
+
+class _InOrderSlotter:
+    """Width-limited, in-order slot assignment (rename and commit stages)."""
+
+    __slots__ = ("width", "_cycle", "_used")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._cycle = -1
+        self._used = 0
+
+    def place(self, earliest: int) -> int:
+        cycle = max(earliest, self._cycle)
+        if cycle == self._cycle and self._used >= self.width:
+            cycle += 1
+        if cycle > self._cycle:
+            self._cycle = cycle
+            self._used = 0
+        self._used += 1
+        return cycle
+
+
+class OutOfOrderCore:
+    """Trace-driven out-of-order timing model."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        memory: Optional[MemoryHierarchy] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.memory = memory if memory is not None else MemoryHierarchy()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Iterable[DynInst],
+        scheme: BranchHandlingScheme,
+        program_name: str = "program",
+        keep_uops: bool = False,
+    ) -> SimulationResult:
+        """Simulate ``trace`` under ``scheme`` and return the results."""
+        cfg = self.config
+        fetch = FetchEngine(cfg, self.memory)
+        regs = RegisterTimingTable()
+        fus = FunctionalUnitPool(cfg.fu_counts)
+        lsu = LoadStoreUnit(cfg, self.memory)
+        rob = SlidingWindowResource("rob", cfg.rob_entries)
+        int_queue = SlidingWindowResource("int-iq", cfg.int_queue_entries)
+        fp_queue = SlidingWindowResource("fp-iq", cfg.fp_queue_entries)
+        branch_queue = SlidingWindowResource("br-iq", cfg.branch_queue_entries)
+        rename_slots = _InOrderSlotter(cfg.rename_width)
+        commit_slots = _InOrderSlotter(cfg.commit_width)
+
+        metrics = PipelineMetrics()
+        kept: Optional[List[Uop]] = [] if keep_uops else None
+        last_commit = 0
+
+        for dyn in trace:
+            uop = Uop(dyn)
+            inst = dyn.inst
+
+            # ----------------------------------------------------- fetch
+            uop.fetch_cycle = fetch.fetch(dyn)
+            scheme.on_fetch(dyn, uop.fetch_cycle)
+            uop.decode_cycle = uop.fetch_cycle + cfg.decode_latency
+
+            # ---------------------------------------------------- rename
+            queue = self._queue_resource(inst, int_queue, fp_queue, branch_queue)
+            uop.rename_cycle = self._rename_cycle(uop, rob, lsu, rename_slots, queue)
+            guard_ready = (
+                regs.ready_cycle(inst.qp) if inst.is_predicated else 0
+            )
+
+            # ------------------------------------------- per-class handling
+            if dyn.is_branch:
+                self._handle_branch(
+                    uop, scheme, fetch, fus, branch_queue, regs, metrics, guard_ready
+                )
+            elif dyn.is_compare:
+                self._handle_compare(uop, scheme, fus, int_queue, fp_queue, regs)
+            else:
+                self._handle_simple(
+                    uop,
+                    scheme,
+                    fetch,
+                    fus,
+                    int_queue,
+                    fp_queue,
+                    regs,
+                    lsu,
+                    rob,
+                    rename_slots,
+                    metrics,
+                    guard_ready,
+                )
+
+            # ---------------------------------------------------- commit
+            store_penalty = 0
+            if inst.is_store and dyn.executed:
+                store_penalty = lsu.store_commit_penalty(dyn.mem_address, uop.complete_cycle)
+            uop.commit_cycle = commit_slots.place(uop.complete_cycle + 1 + store_penalty)
+            last_commit = max(last_commit, uop.commit_cycle)
+
+            rob.allocate(uop.commit_cycle)
+            if inst.is_memory and not uop.cancelled:
+                lsu.record_allocation(inst.is_store, uop.commit_cycle)
+
+            # -------------------------------------------------- accounting
+            metrics.fetched_instructions += 1
+            metrics.committed_instructions += 1
+            if dyn.executed:
+                metrics.executed_instructions += 1
+            else:
+                metrics.nullified_instructions += 1
+            if kept is not None:
+                kept.append(uop)
+
+        metrics.cycles = last_commit
+        metrics.memory_stats = self.memory.statistics() if self.memory else {}
+        metrics.fu_utilisation = fus.utilisation()
+        metrics.counters.set("lsq_forwarded_loads", lsu.forwarded_loads)
+        metrics.counters.set("fetch_redirects", fetch.redirects)
+        metrics.counters.set("icache_stall_cycles", fetch.icache_stall_cycles)
+
+        return SimulationResult(
+            program_name=program_name,
+            scheme_name=scheme.name,
+            metrics=metrics,
+            accuracy=scheme.accuracy,
+            uops=kept,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage helpers
+    # ------------------------------------------------------------------
+    def _rename_cycle(
+        self,
+        uop: Uop,
+        rob: SlidingWindowResource,
+        lsu: LoadStoreUnit,
+        rename_slots: _InOrderSlotter,
+        queue: Optional[SlidingWindowResource],
+    ) -> int:
+        cfg = self.config
+        desired = uop.fetch_cycle + cfg.fetch_to_rename
+        cycle = rob.earliest_allocation(desired)
+        if uop.inst.is_memory:
+            cycle = lsu.queue_constraint(uop.inst.is_store, cycle)
+        elif queue is not None:
+            # A full issue queue stalls dispatch, which backs up rename.
+            cycle = queue.earliest_allocation(cycle)
+        return rename_slots.place(cycle)
+
+    def _queue_resource(
+        self,
+        inst,
+        int_queue: SlidingWindowResource,
+        fp_queue: SlidingWindowResource,
+        branch_queue: SlidingWindowResource,
+    ) -> Optional[SlidingWindowResource]:
+        """The issue queue an instruction dispatches into (None for memory
+        operations, which occupy the load/store queues instead)."""
+        if inst.is_memory:
+            return None
+        if inst.opclass is OpClass.BRANCH:
+            return branch_queue
+        if inst.info.unit is FunctionalUnitClass.FP_UNIT:
+            return fp_queue
+        return int_queue
+
+    def _source_registers(self, dyn: DynInst, decision: RenameDecision) -> List[Register]:
+        inst = dyn.inst
+        sources = [s for s in inst.srcs if isinstance(s, Register)]
+        if not inst.is_predicated:
+            return sources
+        if decision is RenameDecision.ASSUME_TRUE:
+            return sources
+        # Conservative handling: the predicate is a data dependence, and a
+        # predicated definition also depends on the previous value of its
+        # destination (conditional-move expansion of the multiple-definition
+        # problem).
+        sources = sources + [inst.qp]
+        sources.extend(inst.destination_registers())
+        return sources
+
+    # ------------------------------------------------------------------
+    def _handle_branch(
+        self,
+        uop: Uop,
+        scheme: BranchHandlingScheme,
+        fetch: FetchEngine,
+        fus: FunctionalUnitPool,
+        branch_queue: SlidingWindowResource,
+        regs: RegisterTimingTable,
+        metrics: PipelineMetrics,
+        guard_ready: int,
+    ) -> None:
+        cfg = self.config
+        dyn = uop.dyn
+        uop.dispatch_cycle = uop.rename_cycle + 1
+        ready = max(uop.dispatch_cycle + 1, guard_ready)
+        uop.ready_cycle = ready
+        uop.issue_cycle = fus.acquire(FunctionalUnitClass.BRANCH_UNIT, ready)
+        branch_queue.allocate(uop.issue_cycle)
+        uop.complete_cycle = uop.issue_cycle + dyn.inst.latency
+
+        if not dyn.is_conditional_branch:
+            return
+
+        metrics.conditional_branches += 1
+        handling = scheme.on_branch_rename(
+            dyn, uop.fetch_cycle, uop.rename_cycle, guard_ready
+        )
+        resolve_cycle = uop.complete_cycle
+        mispredicted = handling.final_prediction != bool(dyn.taken)
+        uop.branch_mispredicted = mispredicted
+        uop.override_flush = handling.override_flush
+
+        redirect: Optional[int] = None
+        if handling.override_flush:
+            metrics.override_flushes += 1
+            redirect = uop.rename_cycle + cfg.override_flush_penalty
+        if mispredicted:
+            metrics.branch_mispredictions += 1
+            redirect = resolve_cycle + cfg.branch_mispredict_penalty
+        if redirect is not None:
+            fetch.redirect(redirect)
+
+        scheme.on_branch_resolved(dyn, resolve_cycle, mispredicted)
+
+    def _handle_compare(
+        self,
+        uop: Uop,
+        scheme: BranchHandlingScheme,
+        fus: FunctionalUnitPool,
+        int_queue: SlidingWindowResource,
+        fp_queue: SlidingWindowResource,
+        regs: RegisterTimingTable,
+    ) -> None:
+        dyn = uop.dyn
+        inst = dyn.inst
+        scheme.on_compare_rename(dyn, uop.fetch_cycle, uop.rename_cycle)
+
+        uop.dispatch_cycle = uop.rename_cycle + 1
+        sources = [s for s in inst.srcs if isinstance(s, Register)]
+        if inst.is_predicated:
+            sources.append(inst.qp)
+        if isinstance(inst, CompareInstruction) and inst.ctype.depends_on_previous_values:
+            sources.extend(inst.predicate_destinations())
+        ready = max(uop.dispatch_cycle + 1, regs.ready_for(sources))
+        uop.ready_cycle = ready
+
+        queue = (
+            fp_queue if inst.info.unit is FunctionalUnitClass.FP_UNIT else int_queue
+        )
+        uop.issue_cycle = fus.acquire(inst.info.unit, ready)
+        queue.allocate(uop.issue_cycle)
+        uop.complete_cycle = uop.issue_cycle + inst.latency
+
+        for dest in inst.destination_registers():
+            regs.set_ready(dest, uop.complete_cycle)
+        scheme.on_compare_complete(dyn, uop.complete_cycle)
+
+    def _handle_simple(
+        self,
+        uop: Uop,
+        scheme: BranchHandlingScheme,
+        fetch: FetchEngine,
+        fus: FunctionalUnitPool,
+        int_queue: SlidingWindowResource,
+        fp_queue: SlidingWindowResource,
+        regs: RegisterTimingTable,
+        lsu: LoadStoreUnit,
+        rob: SlidingWindowResource,
+        rename_slots: _InOrderSlotter,
+        metrics: PipelineMetrics,
+        guard_ready: int,
+    ) -> None:
+        cfg = self.config
+        dyn = uop.dyn
+        inst = dyn.inst
+
+        decision = RenameDecision.CONSERVATIVE
+        if inst.is_predicated:
+            handling = scheme.on_predicated_rename(
+                dyn, uop.fetch_cycle, uop.rename_cycle, guard_ready
+            )
+            decision = handling.decision
+            if handling.mispredicted:
+                # The speculation was wrong: the pipeline is flushed from
+                # this instruction (the PPRF entry's ROB pointer) once the
+                # compare computes the true value; the instruction is then
+                # re-fetched and handled conservatively.
+                metrics.predicate_flushes += 1
+                uop.predicate_flush = True
+                resume = handling.flush_discovery_cycle + cfg.predicate_mispredict_penalty
+                uop.fetch_cycle = fetch.refetch_current(dyn, resume)
+                uop.decode_cycle = uop.fetch_cycle + cfg.decode_latency
+                queue = self._queue_resource(inst, int_queue, fp_queue, None)
+                uop.rename_cycle = self._rename_cycle(uop, rob, lsu, rename_slots, queue)
+                decision = RenameDecision.CONSERVATIVE
+
+        uop.rename_decision = decision
+        if decision is RenameDecision.CANCEL:
+            # Cancelled at rename: never dispatched, no issue queue entry,
+            # no functional unit, destinations keep their previous mapping.
+            uop.cancelled = True
+            metrics.cancelled_at_rename += 1
+            uop.dispatch_cycle = uop.rename_cycle
+            uop.issue_cycle = uop.rename_cycle
+            uop.complete_cycle = uop.rename_cycle
+            return
+
+        if inst.is_predicated:
+            if decision is RenameDecision.ASSUME_TRUE:
+                metrics.assume_true_predicated += 1
+            else:
+                metrics.conservative_predicated += 1
+
+        uop.dispatch_cycle = uop.rename_cycle + 1
+        sources = self._source_registers(dyn, decision)
+        ready = max(uop.dispatch_cycle + 1, regs.ready_for(sources))
+        uop.ready_cycle = ready
+
+        if inst.is_memory:
+            uop.issue_cycle = fus.acquire(inst.info.unit, ready)
+            if inst.is_load:
+                address = dyn.mem_address if dyn.executed else None
+                uop.complete_cycle = lsu.load_complete_cycle(address, uop.issue_cycle)
+            else:
+                uop.complete_cycle = uop.issue_cycle + inst.latency
+                address = dyn.mem_address if dyn.executed else None
+                lsu.store_execute(address, uop.complete_cycle)
+        else:
+            queue = (
+                fp_queue
+                if inst.info.unit is FunctionalUnitClass.FP_UNIT
+                else int_queue
+            )
+            uop.issue_cycle = fus.acquire(inst.info.unit, ready)
+            queue.allocate(uop.issue_cycle)
+            uop.complete_cycle = uop.issue_cycle + inst.latency
+
+        for dest in inst.destination_registers():
+            regs.set_ready(dest, uop.complete_cycle)

@@ -1,0 +1,73 @@
+"""Pipeline-level metrics (cycles, IPC, flush accounting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.stats.counters import CounterSet
+
+
+@dataclass
+class PipelineMetrics:
+    """Timing results of one simulation run."""
+
+    cycles: int = 0
+    fetched_instructions: int = 0
+    committed_instructions: int = 0
+    executed_instructions: int = 0
+    nullified_instructions: int = 0
+    cancelled_at_rename: int = 0
+    conservative_predicated: int = 0
+    assume_true_predicated: int = 0
+    conditional_branches: int = 0
+    branch_mispredictions: int = 0
+    override_flushes: int = 0
+    predicate_flushes: int = 0
+    counters: CounterSet = field(default_factory=CounterSet)
+    memory_stats: Dict[str, float] = field(default_factory=dict)
+    fu_utilisation: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def useful_ipc(self) -> float:
+        """Committed, architecturally-executed instructions per cycle
+        (nullified instructions excluded)."""
+        return self.executed_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        if not self.conditional_branches:
+            return 0.0
+        return self.branch_mispredictions / self.conditional_branches
+
+    @property
+    def mpki(self) -> float:
+        """Branch mispredictions per thousand committed instructions."""
+        if not self.committed_instructions:
+            return 0.0
+        return 1000.0 * self.branch_mispredictions / self.committed_instructions
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": float(self.cycles),
+            "committed": float(self.committed_instructions),
+            "ipc": self.ipc,
+            "useful_ipc": self.useful_ipc,
+            "branch_misprediction_rate": self.branch_misprediction_rate,
+            "mpki": self.mpki,
+            "override_flushes": float(self.override_flushes),
+            "predicate_flushes": float(self.predicate_flushes),
+            "cancelled_at_rename": float(self.cancelled_at_rename),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<PipelineMetrics cycles={self.cycles} ipc={self.ipc:.3f} "
+            f"bmr={100 * self.branch_misprediction_rate:.2f}%>"
+        )

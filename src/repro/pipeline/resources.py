@@ -1,0 +1,137 @@
+"""Pipeline resource models: occupancy windows, functional units, register
+timing.
+
+The timing model is a one-pass computation over the dynamic instruction
+stream, so resources are expressed as constraints on stage timestamps:
+
+* a :class:`SlidingWindowResource` models a queue of N entries where an
+  entry is allocated at one pipeline event and released at another — the
+  N-th most recent allocation cannot happen before the matching release
+  (e.g. rename cannot proceed while the ROB is full);
+* a :class:`FunctionalUnitPool` hands out the earliest free slot of a pool
+  of fully-pipelined units;
+* a :class:`RegisterTimingTable` records, per architectural register, the
+  cycle at which the value of its most recent (in program order) writer
+  becomes available — exactly the information rename obtains by mapping the
+  register to the physical register of that writer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.isa.opcodes import FunctionalUnitClass
+from repro.isa.registers import Register
+
+
+class SlidingWindowResource:
+    """A queue with ``capacity`` entries: allocation N waits for release N-capacity."""
+
+    __slots__ = ("name", "capacity", "_release_cycles")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._release_cycles: Deque[int] = deque()
+
+    def earliest_allocation(self, desired_cycle: int) -> int:
+        """Earliest cycle an allocation can happen, given the desired cycle."""
+        if len(self._release_cycles) < self.capacity:
+            return desired_cycle
+        oldest_release = self._release_cycles[0]
+        return max(desired_cycle, oldest_release)
+
+    def allocate(self, release_cycle: int) -> None:
+        """Record an allocation whose entry frees at ``release_cycle``."""
+        if len(self._release_cycles) >= self.capacity:
+            self._release_cycles.popleft()
+        self._release_cycles.append(release_cycle)
+
+    def __repr__(self) -> str:
+        return f"<SlidingWindowResource {self.name} capacity={self.capacity}>"
+
+
+class FunctionalUnitPool:
+    """A pool of fully-pipelined functional units per unit class."""
+
+    def __init__(self, counts: Dict[FunctionalUnitClass, int]) -> None:
+        self._next_free: Dict[FunctionalUnitClass, List[int]] = {
+            unit: [0] * max(1, count) for unit, count in counts.items()
+        }
+        self.issue_counts: Dict[FunctionalUnitClass, int] = {
+            unit: 0 for unit in counts
+        }
+
+    def acquire(self, unit: FunctionalUnitClass, ready_cycle: int) -> int:
+        """Return the issue cycle on the earliest available unit of ``unit``.
+
+        Units are fully pipelined: a unit accepts a new operation every
+        cycle, so acquiring it pushes its next-free time one cycle past the
+        issue cycle.
+        """
+        slots = self._next_free[unit]
+        best_index = 0
+        best_cycle = slots[0]
+        for index in range(1, len(slots)):
+            if slots[index] < best_cycle:
+                best_cycle = slots[index]
+                best_index = index
+        issue_cycle = max(ready_cycle, best_cycle)
+        slots[best_index] = issue_cycle + 1
+        self.issue_counts[unit] = self.issue_counts.get(unit, 0) + 1
+        return issue_cycle
+
+    def utilisation(self) -> Dict[str, int]:
+        return {unit.value: count for unit, count in self.issue_counts.items()}
+
+
+class RegisterTimingTable:
+    """Per-architectural-register value-ready cycles (program order writers)."""
+
+    def __init__(self) -> None:
+        self._ready: Dict[Register, int] = {}
+
+    def ready_cycle(self, reg: Register) -> int:
+        """Cycle at which the current (program-order latest) value of ``reg``
+        is available; 0 for registers not written inside the trace."""
+        if reg.is_hardwired:
+            return 0
+        return self._ready.get(reg, 0)
+
+    def ready_for(self, regs: Iterable[Register]) -> int:
+        latest = 0
+        for reg in regs:
+            cycle = self.ready_cycle(reg)
+            if cycle > latest:
+                latest = cycle
+        return latest
+
+    def set_ready(self, reg: Register, cycle: int) -> None:
+        if not reg.is_hardwired:
+            self._ready[reg] = cycle
+
+
+class StoreForwardingTable:
+    """Recent stores by word address, used for memory dependences."""
+
+    __slots__ = ("window", "_stores")
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self._stores: Dict[int, int] = {}
+
+    def record_store(self, address: int, data_ready_cycle: int) -> None:
+        self._stores[address & ~7] = data_ready_cycle
+
+    def forwarding_cycle(self, address: int, load_issue_cycle: int) -> Optional[int]:
+        """If a recent store wrote this word, return the cycle its data is
+        forwardable; ``None`` when the load should go to the cache."""
+        ready = self._stores.get(address & ~7)
+        if ready is None:
+            return None
+        if ready < load_issue_cycle - self.window:
+            return None
+        return ready

@@ -1,0 +1,124 @@
+"""The contract between the pipeline and a branch-handling scheme.
+
+A *scheme* decides how conditional branches and predicated instructions are
+handled: which predictor structures exist, when they are read, how
+predictions reach their consumers, and what has to be flushed when a
+prediction is wrong.  The three schemes evaluated in the paper —
+conventional two-level branch prediction, PEP-PA, and the proposed predicate
+prediction scheme — are implemented in :mod:`repro.core` against this
+interface.
+
+The pipeline calls the hooks in program order and supplies the timestamps it
+has computed so far:
+
+``on_fetch``
+    every instruction, with its fetch cycle;
+``on_compare_rename`` / ``on_compare_complete``
+    compare instructions at rename and at completion (when the predicate
+    values are computed);
+``on_branch_rename``
+    conditional branches at rename; the scheme returns the final prediction
+    used for this branch, whether the fetch-time prediction was overridden,
+    and whether the branch was early-resolved;
+``on_branch_resolved``
+    conditional branches when they resolve (train, repair history);
+``on_predicated_rename``
+    predicated non-branch instructions at rename; the scheme returns how the
+    rename stage must handle them (conservative, assume-true or cancel) and,
+    when the underlying speculation is wrong, when the misprediction will be
+    discovered so the pipeline can charge the flush.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.emulator.executor import DynInst
+from repro.stats.accuracy import BranchAccuracy
+from repro.stats.counters import CounterSet
+from repro.pipeline.uop import RenameDecision
+
+
+@dataclass
+class BranchHandling:
+    """What the scheme decided for one dynamic conditional branch."""
+
+    #: The prediction that steers the front end after rename (and is checked
+    #: against the architectural outcome at resolution).
+    final_prediction: bool
+    #: The fast, fetch-time prediction (``None`` if the scheme has none).
+    fetch_prediction: Optional[bool] = None
+    #: True when the computed predicate value was available at rename
+    #: (the paper's early-resolved branches — always correct).
+    early_resolved: bool = False
+    #: True when the final prediction disagrees with the fetch prediction,
+    #: which costs a front-end flush.
+    override_flush: bool = False
+
+
+@dataclass
+class PredicatedHandling:
+    """What the scheme decided for one predicated non-branch instruction."""
+
+    decision: RenameDecision = RenameDecision.CONSERVATIVE
+    #: When the decision speculates (cancel / assume-true) and the
+    #: speculation is wrong, the cycle at which the producing compare
+    #: computes the true value and the misprediction is discovered.
+    flush_discovery_cycle: Optional[int] = None
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.flush_discovery_cycle is not None
+
+
+class BranchHandlingScheme(abc.ABC):
+    """Base class of all branch-handling schemes."""
+
+    #: Short machine-readable name used in result tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.accuracy = BranchAccuracy()
+        self.counters = CounterSet()
+
+    # ------------------------------------------------------------------
+    # Hooks with default no-op behaviour
+    # ------------------------------------------------------------------
+    def on_fetch(self, dyn: DynInst, fetch_cycle: int) -> None:
+        """Called for every fetched instruction."""
+
+    def on_compare_rename(self, dyn: DynInst, fetch_cycle: int, rename_cycle: int) -> None:
+        """Called when a compare instruction renames."""
+
+    def on_compare_complete(self, dyn: DynInst, complete_cycle: int) -> None:
+        """Called when a compare executes and its predicate values are known."""
+
+    @abc.abstractmethod
+    def on_branch_rename(
+        self,
+        dyn: DynInst,
+        fetch_cycle: int,
+        rename_cycle: int,
+        guard_ready_cycle: int,
+    ) -> BranchHandling:
+        """Called when a conditional branch renames; must return the handling."""
+
+    def on_branch_resolved(self, dyn: DynInst, resolve_cycle: int, mispredicted: bool) -> None:
+        """Called when a conditional branch resolves."""
+
+    def on_predicated_rename(
+        self,
+        dyn: DynInst,
+        fetch_cycle: int,
+        rename_cycle: int,
+        guard_ready_cycle: int,
+    ) -> PredicatedHandling:
+        """Called when a predicated non-branch instruction renames."""
+        return PredicatedHandling(RenameDecision.CONSERVATIVE)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable description used by reports."""
+        return self.name

@@ -1,0 +1,67 @@
+"""Branch- and predicate-prediction structures.
+
+The package contains the raw prediction structures; *schemes* (how the
+pipeline drives them — when history is updated, how recovery works, how
+predictions flow through the PPRF) live in :mod:`repro.core`.
+
+Structures provided:
+
+* :class:`~repro.predictors.counters.SaturatingCounter` and counter tables;
+* :class:`~repro.predictors.history.GlobalHistoryRegister` and
+  :class:`~repro.predictors.history.LocalHistoryTable` with speculative
+  update, bit repair and checkpointing;
+* :class:`~repro.predictors.gshare.GsharePredictor` — the fast first-level
+  predictor of the two-level scheme (Table 1);
+* :class:`~repro.predictors.perceptron.PerceptronPredictor` — the slow,
+  highly accurate second-level predictor (global + local history);
+* :class:`~repro.predictors.multilevel.TwoLevelOverridePredictor` — the
+  Alpha/Power-style override organisation;
+* :class:`~repro.predictors.peppa.PEPPAPredictor` — the Predicate Enhanced
+  Prediction scheme of August et al. used as a comparison point;
+* :class:`~repro.predictors.predicate_perceptron.PredicatePerceptronPredictor`
+  — the paper's predictor: a perceptron indexed by *compare* PC producing two
+  predicate predictions through two hash functions over a single PVT;
+* :class:`~repro.predictors.confidence.ConfidenceEstimator` — the saturating
+  counter confidence filter used by selective predicate prediction;
+* idealized variants (no aliasing, oracle history) used by the paper's
+  isolation experiments.
+"""
+
+from repro.predictors.base import DirectionPredictor, PredictorSizeReport
+from repro.predictors.counters import SaturatingCounter, CounterTable
+from repro.predictors.history import GlobalHistoryRegister, LocalHistoryTable
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.perceptron import PerceptronPredictor, PerceptronConfig
+from repro.predictors.multilevel import TwoLevelOverridePredictor
+from repro.predictors.peppa import PEPPAPredictor, PEPPAConfig
+from repro.predictors.predicate_perceptron import (
+    PredicatePerceptronPredictor,
+    PredicatePredictorConfig,
+)
+from repro.predictors.confidence import ConfidenceEstimator
+from repro.predictors.ideal import (
+    IdealHistoryOracle,
+    NoAliasPerceptron,
+    NoAliasPredicatePerceptron,
+)
+
+__all__ = [
+    "DirectionPredictor",
+    "PredictorSizeReport",
+    "SaturatingCounter",
+    "CounterTable",
+    "GlobalHistoryRegister",
+    "LocalHistoryTable",
+    "GsharePredictor",
+    "PerceptronPredictor",
+    "PerceptronConfig",
+    "TwoLevelOverridePredictor",
+    "PEPPAPredictor",
+    "PEPPAConfig",
+    "PredicatePerceptronPredictor",
+    "PredicatePredictorConfig",
+    "ConfidenceEstimator",
+    "IdealHistoryOracle",
+    "NoAliasPerceptron",
+    "NoAliasPredicatePerceptron",
+]

@@ -1,0 +1,73 @@
+"""Common predictor interfaces and hardware-budget accounting."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PredictorSizeReport:
+    """Hardware budget of a predictor, in bits, broken down by structure.
+
+    The paper compares predictors of equal size (148 KB conventional vs
+    148 KB predicate predictor, 144 KB PEP-PA); this report lets the
+    experiment setup assert that the configurations are in fact comparable.
+    """
+
+    components: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, bits: int) -> None:
+        self.components[name] = self.components.get(name, 0) + int(bits)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.components.values())
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / 1024
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}b" for k, v in self.components.items())
+        return f"<PredictorSizeReport {self.total_kib:.1f} KiB ({parts})>"
+
+
+class DirectionPredictor(abc.ABC):
+    """Interface of a branch-direction predictor.
+
+    The raw predictors are *stateless with respect to history*: global and
+    local history values are passed in by the scheme layer, which owns the
+    speculative-update and recovery policy.  This keeps the same structure
+    reusable for branch prediction (indexed by branch PC) and predicate
+    prediction (indexed by compare PC).
+    """
+
+    @abc.abstractmethod
+    def predict(self, pc: int, global_history: int) -> bool:
+        """Predict taken/true (``True``) or not-taken/false (``False``)."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, global_history: int, outcome: bool) -> None:
+        """Train the predictor with the resolved outcome."""
+
+    @abc.abstractmethod
+    def size_report(self) -> PredictorSizeReport:
+        """Return the hardware budget of this predictor."""
+
+
+def fold_pc(pc: int, bits: int) -> int:
+    """Fold a program counter into ``bits`` bits by xor-ing 16-bit chunks.
+
+    Instruction addresses are 4-byte aligned, so the two low bits are dropped
+    first.  This is the hash every table-indexed structure uses, keeping
+    aliasing behaviour consistent across predictors.
+    """
+    value = pc >> 2
+    folded = 0
+    while value:
+        folded ^= value & 0xFFFF
+        value >>= 16
+    mask = (1 << bits) - 1
+    return (folded ^ (folded >> bits)) & mask if bits < 16 else folded & mask

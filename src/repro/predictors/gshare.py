@@ -1,0 +1,38 @@
+"""Gshare: the fast, single-cycle first-level predictor (Table 1).
+
+A pattern history table of 2-bit counters indexed by the exclusive-or of the
+folded branch PC and the global history register.  The paper's first level
+is a 4 KB gshare with a 14-bit GHR: 16384 two-bit counters.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import DirectionPredictor, PredictorSizeReport, fold_pc
+from repro.predictors.counters import CounterTable
+
+
+class GsharePredictor(DirectionPredictor):
+    """Classic gshare with n-bit counters."""
+
+    def __init__(self, history_bits: int = 14, counter_bits: int = 2) -> None:
+        self.history_bits = history_bits
+        self.counter_bits = counter_bits
+        self.entries = 1 << history_bits
+        self.table = CounterTable(self.entries, bits=counter_bits, initial=1)
+
+    # ------------------------------------------------------------------
+    def _index(self, pc: int, global_history: int) -> int:
+        mask = self.entries - 1
+        return (fold_pc(pc, self.history_bits) ^ (global_history & mask)) & mask
+
+    def predict(self, pc: int, global_history: int) -> bool:
+        return self.table.taken(self._index(pc, global_history))
+
+    def update(self, pc: int, global_history: int, outcome: bool) -> None:
+        self.table.train(self._index(pc, global_history), outcome)
+
+    def size_report(self) -> PredictorSizeReport:
+        report = PredictorSizeReport()
+        report.add("gshare-pht", self.entries * self.counter_bits)
+        report.add("gshare-ghr", self.history_bits)
+        return report

@@ -1,0 +1,158 @@
+"""Global and local history structures with speculative update and repair.
+
+The history machinery is where the conventional and the predicate-prediction
+schemes differ most (section 3.3 of the paper):
+
+* A conventional predictor speculatively updates the global history register
+  (GHR) at prediction time and the *same branch* repairs it on a
+  misprediction, so no correct-path instruction ever observes a stale bit.
+* The predicate predictor's GHR is updated by *compare* instructions, but
+  recovery is triggered by the predicate *consumer* (a branch or an
+  if-converted instruction).  Compares fetched between the producer and the
+  consumer observe the corrupted bit — a genuine accuracy cost that the
+  idealized experiments remove.
+
+:class:`GlobalHistoryRegister` therefore assigns a *token* to every pushed
+bit so a scheme can later repair exactly that bit (if it is still within the
+register) when the computed value disagrees with the prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.predictors.base import fold_pc
+
+
+class GlobalHistoryRegister:
+    """A fixed-width shift register of branch/predicate outcome bits."""
+
+    __slots__ = ("bits", "_value", "_next_token", "_tokens")
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("history register needs at least one bit")
+        self.bits = bits
+        self._value = 0
+        self._next_token = 0
+        #: tokens of the bits currently in the register, oldest first.
+        self._tokens: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """Current contents as an integer (bit 0 = most recent outcome)."""
+        return self._value
+
+    def snapshot(self) -> Tuple[int, Tuple[int, ...]]:
+        """Checkpoint the register (contents + bit tokens)."""
+        return self._value, tuple(self._tokens)
+
+    def restore(self, snapshot: Tuple[int, Tuple[int, ...]]) -> None:
+        """Restore a previously captured checkpoint."""
+        self._value, tokens = snapshot
+        self._tokens = list(tokens)
+
+    # ------------------------------------------------------------------
+    def push(self, outcome: bool) -> int:
+        """Shift ``outcome`` in and return the token identifying this bit."""
+        token = self._next_token
+        self._next_token += 1
+        self._value = ((self._value << 1) | (1 if outcome else 0)) & ((1 << self.bits) - 1)
+        self._tokens.append(token)
+        if len(self._tokens) > self.bits:
+            self._tokens.pop(0)
+        return token
+
+    def repair(self, token: int, correct_outcome: bool) -> bool:
+        """Correct the bit identified by ``token`` if it is still present.
+
+        Returns ``True`` when the bit was found and corrected.  Bits that
+        have already been shifted out cannot be repaired — by then they have
+        stopped influencing predictions anyway.
+        """
+        try:
+            position_from_old = self._tokens.index(token)
+        except ValueError:
+            return False
+        # tokens list is oldest-first; bit 0 of _value is the newest bit.
+        shift = len(self._tokens) - 1 - position_from_old
+        mask = 1 << shift
+        if correct_outcome:
+            self._value |= mask
+        else:
+            self._value &= ~mask
+        return True
+
+    def __repr__(self) -> str:
+        return f"<GHR {self._value:0{self.bits}b}>"
+
+
+class LocalHistoryTable:
+    """A table of per-PC local history registers.
+
+    The paper's second-level perceptron uses a 10-bit local history; PEP-PA
+    uses 14-bit local histories.  Following the paper's own simplification,
+    local histories are updated with resolved outcomes ("updated
+    speculatively and correctly recovered on a branch misprediction"), which
+    in a correct-path, trace-driven simulation is equivalent to updating with
+    the actual outcome at prediction time.
+    """
+
+    __slots__ = ("entries", "bits", "_histories")
+
+    def __init__(self, entries: int, bits: int) -> None:
+        self.entries = entries
+        self.bits = bits
+        self._histories: List[int] = [0] * entries
+
+    def _index(self, pc: int) -> int:
+        return fold_pc(pc, 16) % self.entries
+
+    def read(self, pc: int) -> int:
+        return self._histories[self._index(pc)]
+
+    def update(self, pc: int, outcome: bool) -> None:
+        i = self._index(pc)
+        mask = (1 << self.bits) - 1
+        self._histories[i] = ((self._histories[i] << 1) | (1 if outcome else 0)) & mask
+
+    def storage_bits(self) -> int:
+        return self.entries * self.bits
+
+    def __len__(self) -> int:
+        return self.entries
+
+
+class HistorySnapshotManager:
+    """Bookkeeping of per-instruction history checkpoints.
+
+    Schemes create a checkpoint when a prediction is made and either discard
+    it (correct prediction) or use it during recovery.  Checkpoints are keyed
+    by an opaque id chosen by the scheme (the dynamic sequence number).
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+
+    def save(self, key: int, ghr: GlobalHistoryRegister) -> None:
+        self._snapshots[key] = ghr.snapshot()
+
+    def restore(self, key: int, ghr: GlobalHistoryRegister) -> bool:
+        snapshot = self._snapshots.pop(key, None)
+        if snapshot is None:
+            return False
+        ghr.restore(snapshot)
+        return True
+
+    def discard(self, key: int) -> None:
+        self._snapshots.pop(key, None)
+
+    def discard_before(self, key: int) -> None:
+        """Drop all snapshots older than ``key`` (retired instructions)."""
+        stale = [k for k in self._snapshots if k < key]
+        for k in stale:
+            del self._snapshots[k]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

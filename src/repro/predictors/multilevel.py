@@ -1,0 +1,87 @@
+"""Two-level override branch prediction (Alpha 21264 / POWER4 style).
+
+Table 1 specifies the conventional branch predictor as a two-level scheme:
+a fast 4 KB gshare that keeps the front end running at one prediction per
+cycle, overridden by a slower (3-cycle) 148 KB perceptron.  When the two
+levels disagree, the front end is flushed and refetched from the second
+prediction, costing a few cycles but keeping the final accuracy that of the
+perceptron.
+
+The paper's predicate predictor replaces only the *second* level: the fast
+first-level predictor still guesses at fetch, and the prediction read from
+the PPRF at rename overrides it (section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.predictors.base import DirectionPredictor, PredictorSizeReport
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.perceptron import PerceptronConfig, PerceptronPredictor
+
+
+@dataclass
+class OverridePrediction:
+    """The pair of predictions produced by the two levels."""
+
+    fast: bool
+    slow: bool
+
+    @property
+    def final(self) -> bool:
+        return self.slow
+
+    @property
+    def overridden(self) -> bool:
+        """True when the second level disagreed with the first."""
+        return self.fast != self.slow
+
+
+class TwoLevelOverridePredictor(DirectionPredictor):
+    """Fast gshare + slow perceptron, second level wins."""
+
+    def __init__(
+        self,
+        fast: Optional[GsharePredictor] = None,
+        slow: Optional[PerceptronPredictor] = None,
+        perceptron_config: Optional[PerceptronConfig] = None,
+    ) -> None:
+        self.fast = fast or GsharePredictor(history_bits=14)
+        self.slow = slow or PerceptronPredictor(perceptron_config)
+        self.override_count = 0
+        self.prediction_count = 0
+
+    # ------------------------------------------------------------------
+    def predict_both(self, pc: int, global_history: int) -> OverridePrediction:
+        """Predict with both levels and account for overrides."""
+        fast = self.fast.predict(pc, global_history)
+        slow = self.slow.predict(pc, global_history)
+        prediction = OverridePrediction(fast=fast, slow=slow)
+        self.prediction_count += 1
+        if prediction.overridden:
+            self.override_count += 1
+        return prediction
+
+    def predict(self, pc: int, global_history: int) -> bool:
+        return self.predict_both(pc, global_history).final
+
+    def update(self, pc: int, global_history: int, outcome: bool) -> None:
+        self.fast.update(pc, global_history, outcome)
+        self.slow.update(pc, global_history, outcome)
+
+    # ------------------------------------------------------------------
+    @property
+    def override_rate(self) -> float:
+        if not self.prediction_count:
+            return 0.0
+        return self.override_count / self.prediction_count
+
+    def size_report(self) -> PredictorSizeReport:
+        report = PredictorSizeReport()
+        for name, bits in self.fast.size_report().components.items():
+            report.add(name, bits)
+        for name, bits in self.slow.size_report().components.items():
+            report.add(name, bits)
+        return report

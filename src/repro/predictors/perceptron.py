@@ -1,0 +1,166 @@
+"""Perceptron predictor (Jiménez & Lin, HPCA 2001) with global + local history.
+
+This is the paper's second-level branch predictor and — re-indexed by compare
+PC — the basis of the predicate predictor (section 3.3): "The Perceptron
+branch predictor ... obtains a very high accuracy ... the slow computation
+time of the prediction function may suppose an important drawback to use
+perceptrons as a single cycle branch predictor.  As explained before, our
+scheme supports multicycle predicate predictions, so it makes the perceptron
+a good candidate."
+
+The implementation follows the original algorithm:
+
+* each table entry holds one signed weight per history bit plus a bias
+  weight;
+* the prediction is the sign of the dot product between the weights and the
+  bipolar (+1/−1) history bits;
+* training bumps each weight towards agreement with the outcome whenever the
+  prediction was wrong or the magnitude of the output was below the
+  threshold θ = ⌊1.93·h + 14⌋.
+
+The history input concatenates ``global_bits`` bits of global history with
+``local_bits`` bits of per-PC local history (Table 1: 30-bit GHR, 10-bit
+LHR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.predictors.base import DirectionPredictor, PredictorSizeReport, fold_pc
+from repro.predictors.history import LocalHistoryTable
+
+
+@dataclass(frozen=True)
+class PerceptronConfig:
+    """Geometry of a perceptron predictor.
+
+    The default values reproduce the 148 KB configuration of Table 1:
+    30 bits of global history, 10 bits of local history, 8-bit weights and
+    as many entries as fit in the 148 KB budget
+    (table + local-history storage together come to ~148 KB at 3634 entries).
+    """
+
+    global_bits: int = 30
+    local_bits: int = 10
+    weight_bits: int = 8
+    entries: int = 3634
+    local_history_entries: int = 2048
+
+    @property
+    def num_weights(self) -> int:
+        return self.global_bits + self.local_bits + 1
+
+    @property
+    def theta(self) -> int:
+        history_length = self.global_bits + self.local_bits
+        return int(1.93 * history_length + 14)
+
+    @property
+    def weight_min(self) -> int:
+        return -(1 << (self.weight_bits - 1))
+
+    @property
+    def weight_max(self) -> int:
+        return (1 << (self.weight_bits - 1)) - 1
+
+    def storage_bits(self) -> int:
+        table = self.entries * self.num_weights * self.weight_bits
+        local = self.local_history_entries * self.local_bits
+        return table + local + self.global_bits
+
+
+def perceptron_output(row: List[int], combined_history: int) -> int:
+    """Dot product of a weight row with bipolar history bits (+ bias).
+
+    ``row[0]`` is the bias weight; history bit ``i`` maps to ``row[i + 1]``.
+    Shared by the branch perceptron and the predicate perceptron.
+    """
+    total = row[0]
+    history = combined_history
+    for i in range(1, len(row)):
+        if history & 1:
+            total += row[i]
+        else:
+            total -= row[i]
+        history >>= 1
+    return total
+
+
+def perceptron_train(
+    row: List[int],
+    combined_history: int,
+    outcome: bool,
+    weight_min: int,
+    weight_max: int,
+) -> None:
+    """Apply the perceptron learning rule to one weight row in place."""
+    delta = 1 if outcome else -1
+    row[0] = min(weight_max, max(weight_min, row[0] + delta))
+    history = combined_history
+    for i in range(1, len(row)):
+        bit_agrees = bool(history & 1) == outcome
+        step = 1 if bit_agrees else -1
+        row[i] = min(weight_max, max(weight_min, row[i] + step))
+        history >>= 1
+
+
+class PerceptronPredictor(DirectionPredictor):
+    """A global+local perceptron predictor."""
+
+    def __init__(self, config: Optional[PerceptronConfig] = None) -> None:
+        self.config = config or PerceptronConfig()
+        cfg = self.config
+        self._weights: List[List[int]] = [
+            [0] * cfg.num_weights for _ in range(cfg.entries)
+        ]
+        self.local_histories = LocalHistoryTable(cfg.local_history_entries, cfg.local_bits)
+
+    # ------------------------------------------------------------------
+    def _index(self, pc: int) -> int:
+        return fold_pc(pc, 24) % self.config.entries
+
+    def _output(self, row: List[int], combined_history: int) -> int:
+        return perceptron_output(row, combined_history)
+
+    def _combined_history(self, pc: int, global_history: int) -> int:
+        cfg = self.config
+        global_part = global_history & ((1 << cfg.global_bits) - 1)
+        local_part = self.local_histories.read(pc) & ((1 << cfg.local_bits) - 1)
+        return (local_part << cfg.global_bits) | global_part
+
+    # ------------------------------------------------------------------
+    def predict_with_output(self, pc: int, global_history: int) -> Tuple[bool, int]:
+        """Return (direction, raw perceptron output)."""
+        row = self._weights[self._index(pc)]
+        output = self._output(row, self._combined_history(pc, global_history))
+        return output >= 0, output
+
+    def predict(self, pc: int, global_history: int) -> bool:
+        taken, _ = self.predict_with_output(pc, global_history)
+        return taken
+
+    def update(self, pc: int, global_history: int, outcome: bool) -> None:
+        """Train the entry for ``pc`` and update its local history."""
+        cfg = self.config
+        row = self._weights[self._index(pc)]
+        combined = self._combined_history(pc, global_history)
+        output = self._output(row, combined)
+        prediction = output >= 0
+        if prediction != outcome or abs(output) <= cfg.theta:
+            self._train_row(row, combined, outcome)
+        self.local_histories.update(pc, outcome)
+
+    def _train_row(self, row: List[int], combined_history: int, outcome: bool) -> None:
+        cfg = self.config
+        perceptron_train(row, combined_history, outcome, cfg.weight_min, cfg.weight_max)
+
+    # ------------------------------------------------------------------
+    def size_report(self) -> PredictorSizeReport:
+        cfg = self.config
+        report = PredictorSizeReport()
+        report.add("perceptron-table", cfg.entries * cfg.num_weights * cfg.weight_bits)
+        report.add("local-history-table", self.local_histories.storage_bits())
+        report.add("ghr", cfg.global_bits)
+        return report

@@ -1,0 +1,165 @@
+"""The paper's predicate perceptron predictor (section 3.3, Figure 4).
+
+Differences with the conventional perceptron of
+:mod:`repro.predictors.perceptron`:
+
+* it is indexed with the **compare** PC, not the branch PC — branches never
+  touch the predictor at all;
+* each compare may need **two** predictions (one per predicate target).
+  Rather than splitting the perceptron vector table (PVT), which would waste
+  space because many compares use the read-only ``p0`` as their second
+  target, a single PVT is accessed with two hash functions: ``f1`` folds the
+  PC over the table, and ``f2`` simply inverts the most significant index
+  bit of ``f1``;
+* its global history register is fed by *predicate predictions* (one bit per
+  predicted predicate target), not by branch outcomes — that policy lives in
+  the scheme layer, the structure itself just consumes the supplied history
+  value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.predictors.base import PredictorSizeReport, fold_pc
+from repro.predictors.history import LocalHistoryTable
+from repro.predictors.perceptron import (
+    PerceptronConfig,
+    perceptron_output,
+    perceptron_train,
+)
+
+
+@dataclass(frozen=True)
+class PredicatePredictorConfig:
+    """Geometry of the predicate perceptron (148 KB, Table 1)."""
+
+    global_bits: int = 30
+    local_bits: int = 10
+    weight_bits: int = 8
+    entries: int = 3634
+    local_history_entries: int = 2048
+    #: When True the PVT is statically split in two halves, one per predicate
+    #: target, instead of sharing a single table through two hash functions.
+    #: Section 3.3 argues (and the ablation benchmark confirms) that the
+    #: split wastes capacity because many compares only need one prediction.
+    split_pvt: bool = False
+
+    @property
+    def num_weights(self) -> int:
+        return self.global_bits + self.local_bits + 1
+
+    @property
+    def theta(self) -> int:
+        return int(1.93 * (self.global_bits + self.local_bits) + 14)
+
+    @property
+    def weight_min(self) -> int:
+        return -(1 << (self.weight_bits - 1))
+
+    @property
+    def weight_max(self) -> int:
+        return (1 << (self.weight_bits - 1)) - 1
+
+    @classmethod
+    def matching(cls, perceptron: PerceptronConfig) -> "PredicatePredictorConfig":
+        """Build a configuration with the same geometry as a conventional
+        perceptron configuration (used to keep the comparison size-fair)."""
+        return cls(
+            global_bits=perceptron.global_bits,
+            local_bits=perceptron.local_bits,
+            weight_bits=perceptron.weight_bits,
+            entries=perceptron.entries,
+            local_history_entries=perceptron.local_history_entries,
+        )
+
+
+class PredicatePerceptronPredictor:
+    """Perceptron predictor over compare instructions with a dual-hash PVT."""
+
+    #: Index of the first (true-sense) predicate target of a compare.
+    SLOT_FIRST = 0
+    #: Index of the second (false-sense) predicate target of a compare.
+    SLOT_SECOND = 1
+
+    def __init__(self, config: Optional[PredicatePredictorConfig] = None) -> None:
+        self.config = config or PredicatePredictorConfig()
+        cfg = self.config
+        self._pvt: List[List[int]] = [[0] * cfg.num_weights for _ in range(cfg.entries)]
+        self.local_histories = LocalHistoryTable(cfg.local_history_entries, cfg.local_bits)
+
+    # ------------------------------------------------------------------
+    # Hashing: f1 folds the PC; f2 inverts the MSB of f1's index.
+    # ------------------------------------------------------------------
+    def _f1(self, pc: int) -> int:
+        return fold_pc(pc, 24) % self.config.entries
+
+    def _f2(self, pc: int) -> int:
+        index = self._f1(pc)
+        if self.config.entries < 2:
+            return index
+        # Invert the most significant bit of the index (section 3.3).  The
+        # MSB position is taken from the index width needed to address the
+        # table, so the flipped index is always different from f1's.
+        msb = 1 << ((self.config.entries - 1).bit_length() - 1)
+        return (index ^ msb) % self.config.entries
+
+    def index_for_slot(self, pc: int, slot: int) -> int:
+        """PVT index used for a compare's predicate target ``slot`` (0 or 1)."""
+        if slot not in (self.SLOT_FIRST, self.SLOT_SECOND):
+            raise ValueError(f"invalid predicate slot {slot}")
+        if self.config.split_pvt:
+            half = max(1, self.config.entries // 2)
+            base = fold_pc(pc, 24) % half
+            return base + (half if slot == self.SLOT_SECOND else 0)
+        if slot == self.SLOT_FIRST:
+            return self._f1(pc)
+        return self._f2(pc)
+
+    def _local_key(self, pc: int, slot: int) -> int:
+        # Distinguish the two targets' local histories without a second table.
+        return pc + (slot << 1)
+
+    def _combined_history(self, pc: int, slot: int, global_history: int) -> int:
+        cfg = self.config
+        global_part = global_history & ((1 << cfg.global_bits) - 1)
+        local_part = self.local_histories.read(self._local_key(pc, slot))
+        local_part &= (1 << cfg.local_bits) - 1
+        return (local_part << cfg.global_bits) | global_part
+
+    # ------------------------------------------------------------------
+    def predict_slot(self, pc: int, slot: int, global_history: int) -> Tuple[bool, int]:
+        """Predict one predicate target of the compare at ``pc``.
+
+        Returns ``(predicted_value, raw_output)``.
+        """
+        row = self._pvt[self.index_for_slot(pc, slot)]
+        output = perceptron_output(row, self._combined_history(pc, slot, global_history))
+        return output >= 0, output
+
+    def predict_compare(self, pc: int, global_history: int) -> Tuple[bool, bool]:
+        """Predict both predicate targets of the compare at ``pc``."""
+        first, _ = self.predict_slot(pc, self.SLOT_FIRST, global_history)
+        second, _ = self.predict_slot(pc, self.SLOT_SECOND, global_history)
+        return first, second
+
+    def update_slot(self, pc: int, slot: int, global_history: int, outcome: bool) -> None:
+        """Train the entry used for (``pc``, ``slot``) with the computed value."""
+        cfg = self.config
+        row = self._pvt[self.index_for_slot(pc, slot)]
+        combined = self._combined_history(pc, slot, global_history)
+        output = perceptron_output(row, combined)
+        prediction = output >= 0
+        if prediction != outcome or abs(output) <= cfg.theta:
+            perceptron_train(row, combined, outcome, cfg.weight_min, cfg.weight_max)
+        self.local_histories.update(self._local_key(pc, slot), outcome)
+
+    # ------------------------------------------------------------------
+    def size_report(self) -> PredictorSizeReport:
+        cfg = self.config
+        report = PredictorSizeReport()
+        report.add("pvt", cfg.entries * cfg.num_weights * cfg.weight_bits)
+        report.add("local-history-table", self.local_histories.storage_bits())
+        report.add("ghr", cfg.global_bits)
+        return report

@@ -1,0 +1,26 @@
+"""Program representation: basic blocks, control-flow graphs, routines.
+
+The compiler (:mod:`repro.compiler`), the functional emulator
+(:mod:`repro.emulator`) and the workload generators
+(:mod:`repro.workloads`) all operate on this representation.
+"""
+
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import ControlFlowGraph, Edge
+from repro.program.routine import Routine
+from repro.program.program import Program, DataSegment
+from repro.program.builder import RoutineBuilder, ProgramBuilder
+from repro.program.validate import validate_program, ValidationError
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Edge",
+    "Routine",
+    "Program",
+    "DataSegment",
+    "RoutineBuilder",
+    "ProgramBuilder",
+    "validate_program",
+    "ValidationError",
+]

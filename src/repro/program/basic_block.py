@@ -1,0 +1,96 @@
+"""Basic blocks: straight-line instruction sequences with a single entry.
+
+A block may contain *predicated* control transfers in its interior only after
+if-conversion (region branches); before if-conversion the only branch in a
+block is its terminator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.isa.branches import BranchInstruction
+from repro.isa.instructions import Instruction
+
+
+class BasicBlock:
+    """A labelled, ordered list of instructions."""
+
+    __slots__ = ("label", "instructions", "address", "annotations")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.instructions: List[Instruction] = []
+        #: Base address assigned at program layout.
+        self.address: Optional[int] = None
+        #: Free-form annotations used by compiler passes and generators.
+        self.annotations: dict = {}
+
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst`` to the block and record its position."""
+        inst.block_label = self.label
+        inst.slot = len(self.instructions)
+        self.instructions.append(inst)
+        return inst
+
+    def extend(self, instructions) -> None:
+        for inst in instructions:
+            self.append(inst)
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert ``inst`` at ``index`` and renumber slots."""
+        self.instructions.insert(index, inst)
+        self._renumber()
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        """Remove ``inst`` from the block and renumber slots."""
+        self.instructions.remove(inst)
+        self._renumber()
+
+    def replace_instructions(self, instructions: List[Instruction]) -> None:
+        """Replace the whole instruction list (used by scheduling passes)."""
+        self.instructions = []
+        for inst in instructions:
+            self.append(inst)
+
+    def _renumber(self) -> None:
+        for slot, inst in enumerate(self.instructions):
+            inst.block_label = self.label
+            inst.slot = slot
+
+    # ------------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[BranchInstruction]:
+        """The block's final branch, if it ends in one."""
+        if self.instructions and isinstance(self.instructions[-1], BranchInstruction):
+            return self.instructions[-1]
+        return None
+
+    @property
+    def branches(self) -> List[BranchInstruction]:
+        """All branches in the block (interior region branches included)."""
+        return [i for i in self.instructions if isinstance(i, BranchInstruction)]
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control may continue to the next block in layout order."""
+        term = self.terminator
+        if term is None:
+            return True
+        if term.kind.value == "uncond" and not term.is_predicated:
+            return False
+        if term.kind.value == "ret" and not term.is_predicated:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self.instructions)} instructions>"

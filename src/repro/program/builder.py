@@ -1,0 +1,249 @@
+"""Builder DSL for constructing programs.
+
+The workload generators (:mod:`repro.workloads`) and the tests build programs
+through these helpers rather than instantiating instruction classes directly,
+which keeps program construction readable::
+
+    pb = ProgramBuilder("example")
+    data = pb.array("input", [3, 1, 4, 1, 5])
+    rb = pb.routine("main")
+    rb.block("entry")
+    rb.movi(GR(10), data)
+    rb.load(GR(11), GR(10))
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(11), 2)
+    rb.br_cond("bigger", qp=PR(6))
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.compare import CompareInstruction, CompareRelation, CompareType
+from repro.isa.instructions import (
+    ALUInstruction,
+    FPInstruction,
+    Instruction,
+    LoadInstruction,
+    MoveInstruction,
+    NopInstruction,
+    StoreInstruction,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Label
+from repro.isa.registers import P0, Register
+from repro.program.basic_block import BasicBlock
+from repro.program.program import DATA_BASE, Program
+from repro.program.routine import Routine
+
+
+class RoutineBuilder:
+    """Builds one routine block by block."""
+
+    def __init__(self, routine: Routine) -> None:
+        self.routine = routine
+        self._current: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    def block(self, label: str) -> BasicBlock:
+        """Start (or switch to) the block with the given label."""
+        for existing in self.routine.blocks:
+            if existing.label == label:
+                self._current = existing
+                return existing
+        new_block = BasicBlock(label)
+        self.routine.add_block(new_block)
+        self._current = new_block
+        return new_block
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no current block: call block(label) first")
+        return self._current
+
+    def emit(self, inst: Instruction) -> Instruction:
+        """Append an already-constructed instruction to the current block."""
+        return self.current.append(inst)
+
+    # ------------------------------------------------------------------
+    # Integer ALU
+    # ------------------------------------------------------------------
+    def _alu(self, opcode: Opcode, dest, src1, src2, qp) -> Instruction:
+        return self.emit(ALUInstruction(opcode, dest, src1, src2, qp=qp))
+
+    def add(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.ADD, dest, src1, src2, qp)
+
+    def addi(self, dest, src1, imm: int, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.ADDI, dest, src1, imm, qp)
+
+    def sub(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.SUB, dest, src1, src2, qp)
+
+    def and_(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.AND, dest, src1, src2, qp)
+
+    def andi(self, dest, src1, imm: int, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.ANDI, dest, src1, imm, qp)
+
+    def or_(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.OR, dest, src1, src2, qp)
+
+    def xor(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.XOR, dest, src1, src2, qp)
+
+    def xori(self, dest, src1, imm: int, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.XORI, dest, src1, imm, qp)
+
+    def shl(self, dest, src1, amount, qp: Register = P0) -> Instruction:
+        opcode = Opcode.SHLI if isinstance(amount, int) else Opcode.SHL
+        return self._alu(opcode, dest, src1, amount, qp)
+
+    def shr(self, dest, src1, amount, qp: Register = P0) -> Instruction:
+        opcode = Opcode.SHRI if isinstance(amount, int) else Opcode.SHR
+        return self._alu(opcode, dest, src1, amount, qp)
+
+    def mul(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._alu(Opcode.MUL, dest, src1, src2, qp)
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def mov(self, dest: Register, src, qp: Register = P0) -> Instruction:
+        return self.emit(MoveInstruction(dest, src, qp=qp))
+
+    def movi(self, dest: Register, value: int, qp: Register = P0) -> Instruction:
+        return self.emit(MoveInstruction(dest, value, qp=qp))
+
+    # ------------------------------------------------------------------
+    # Floating point
+    # ------------------------------------------------------------------
+    def _fp(self, opcode: Opcode, dest, srcs, qp) -> Instruction:
+        return self.emit(FPInstruction(opcode, dest, srcs, qp=qp))
+
+    def fadd(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._fp(Opcode.FADD, dest, [src1, src2], qp)
+
+    def fsub(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._fp(Opcode.FSUB, dest, [src1, src2], qp)
+
+    def fmul(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._fp(Opcode.FMUL, dest, [src1, src2], qp)
+
+    def fma(self, dest, src1, src2, src3, qp: Register = P0) -> Instruction:
+        return self._fp(Opcode.FMA, dest, [src1, src2, src3], qp)
+
+    def fdiv(self, dest, src1, src2, qp: Register = P0) -> Instruction:
+        return self._fp(Opcode.FDIV, dest, [src1, src2], qp)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        dest: Register,
+        base: Register,
+        offset: int = 0,
+        qp: Register = P0,
+        floating: bool = False,
+    ) -> Instruction:
+        return self.emit(LoadInstruction(dest, base, offset, qp=qp, floating=floating))
+
+    def store(
+        self,
+        value: Register,
+        base: Register,
+        offset: int = 0,
+        qp: Register = P0,
+        floating: bool = False,
+    ) -> Instruction:
+        return self.emit(StoreInstruction(value, base, offset, qp=qp, floating=floating))
+
+    # ------------------------------------------------------------------
+    # Compares
+    # ------------------------------------------------------------------
+    def cmp(
+        self,
+        relation: CompareRelation,
+        pt: Register,
+        pf: Register,
+        src1,
+        src2,
+        ctype: CompareType = CompareType.NONE,
+        qp: Register = P0,
+        floating: bool = False,
+    ) -> CompareInstruction:
+        inst = CompareInstruction(
+            relation, pt, pf, src1, src2, ctype=ctype, qp=qp, floating=floating
+        )
+        self.emit(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # Branches
+    # ------------------------------------------------------------------
+    def br_cond(self, target: str, qp: Register) -> BranchInstruction:
+        inst = BranchInstruction(BranchKind.COND, Label(target), qp=qp)
+        self.emit(inst)
+        return inst
+
+    def br(self, target: str, qp: Register = P0) -> BranchInstruction:
+        inst = BranchInstruction(BranchKind.UNCOND, Label(target), qp=qp)
+        self.emit(inst)
+        return inst
+
+    def br_call(self, callee: str, qp: Register = P0) -> BranchInstruction:
+        inst = BranchInstruction(BranchKind.CALL, callee=callee, qp=qp)
+        self.emit(inst)
+        return inst
+
+    def br_ret(self, qp: Register = P0) -> BranchInstruction:
+        inst = BranchInstruction(BranchKind.RET, qp=qp)
+        self.emit(inst)
+        return inst
+
+    def nop(self, qp: Register = P0) -> Instruction:
+        return self.emit(NopInstruction(qp=qp))
+
+
+class ProgramBuilder:
+    """Builds a whole program: routines plus the data segment."""
+
+    def __init__(self, name: str, entry: str = "main") -> None:
+        self.program = Program(name, entry=entry)
+        self._data_cursor = DATA_BASE
+        self._arrays: Dict[str, int] = {}
+
+    def routine(self, name: str) -> RoutineBuilder:
+        """Create a new routine and return its builder."""
+        routine = Routine(name)
+        self.program.add_routine(routine)
+        return RoutineBuilder(routine)
+
+    # ------------------------------------------------------------------
+    def array(self, name: str, values: Sequence[int], stride: int = 8) -> int:
+        """Place an array in the data segment and return its base address."""
+        if name in self._arrays:
+            raise ValueError(f"duplicate array name {name!r}")
+        base = self._data_cursor
+        self.program.data.store_array(base, list(values), stride=stride)
+        self._arrays[name] = base
+        self._data_cursor = base + max(len(values), 1) * stride
+        # Keep arrays apart so strided accesses from different arrays do not
+        # accidentally overlap and so cache-set behaviour is interesting.
+        self._data_cursor += 64
+        return base
+
+    def array_base(self, name: str) -> int:
+        return self._arrays[name]
+
+    # ------------------------------------------------------------------
+    def finish(self, layout: bool = True) -> Program:
+        """Finalize the program (optionally laying out addresses)."""
+        if layout:
+            self.program.layout()
+        return self.program

@@ -1,0 +1,303 @@
+"""Control-flow graph over a routine's basic blocks.
+
+Edges are derived from block terminators and layout order:
+
+* a conditional branch contributes a *taken* edge to its target and a
+  *fall-through* edge to the next block in layout order;
+* an unconditional, unpredicated branch contributes only its taken edge;
+* a return contributes no intraprocedural edge;
+* a block without a terminator falls through to the next block.
+
+The CFG also provides the small amount of structural analysis the
+if-conversion pass needs: single-entry/single-exit *hammock* and *diamond*
+region detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.program.basic_block import BasicBlock
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed CFG edge."""
+
+    src: str
+    dst: str
+    kind: str  # "taken" | "fallthrough" | "call-return"
+
+    def __repr__(self) -> str:
+        return f"{self.src} -[{self.kind}]-> {self.dst}"
+
+
+class ControlFlowGraph:
+    """CFG over an ordered list of basic blocks."""
+
+    def __init__(self, blocks: Sequence[BasicBlock]) -> None:
+        self.blocks: List[BasicBlock] = list(blocks)
+        self.block_map: Dict[str, BasicBlock] = {b.label: b for b in self.blocks}
+        if len(self.block_map) != len(self.blocks):
+            raise ValueError("duplicate basic block labels in routine")
+        self._succ: Dict[str, List[Edge]] = {}
+        self._pred: Dict[str, List[Edge]] = {}
+        self._build_edges()
+
+    # ------------------------------------------------------------------
+    def _build_edges(self) -> None:
+        self._succ = {b.label: [] for b in self.blocks}
+        self._pred = {b.label: [] for b in self.blocks}
+        for index, block in enumerate(self.blocks):
+            next_label = (
+                self.blocks[index + 1].label if index + 1 < len(self.blocks) else None
+            )
+            for edge in self._edges_for_block(block, next_label):
+                self._succ[edge.src].append(edge)
+                self._pred[edge.dst].append(edge)
+
+    def _edges_for_block(
+        self, block: BasicBlock, next_label: Optional[str]
+    ) -> List[Edge]:
+        edges: List[Edge] = []
+        term = block.terminator
+        if term is not None and term.kind in (BranchKind.COND, BranchKind.UNCOND):
+            if term.target is not None and term.target.name in self.block_map:
+                edges.append(Edge(block.label, term.target.name, "taken"))
+        if term is not None and term.kind is BranchKind.CALL:
+            # Calls return to the fall-through block.
+            if next_label is not None:
+                edges.append(Edge(block.label, next_label, "call-return"))
+            return edges
+        if block.falls_through and next_label is not None:
+            edges.append(Edge(block.label, next_label, "fallthrough"))
+        return edges
+
+    def rebuild(self) -> None:
+        """Recompute edges after a pass mutated blocks or terminators."""
+        self.block_map = {b.label: b for b in self.blocks}
+        self._build_edges()
+
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        return self.block_map[label]
+
+    def successors(self, label: str) -> List[str]:
+        return [e.dst for e in self._succ[label]]
+
+    def predecessors(self, label: str) -> List[str]:
+        return [e.src for e in self._pred[label]]
+
+    def out_edges(self, label: str) -> List[Edge]:
+        return list(self._succ[label])
+
+    def in_edges(self, label: str) -> List[Edge]:
+        return list(self._pred[label])
+
+    def taken_successor(self, label: str) -> Optional[str]:
+        for edge in self._succ[label]:
+            if edge.kind == "taken":
+                return edge.dst
+        return None
+
+    def fallthrough_successor(self, label: str) -> Optional[str]:
+        for edge in self._succ[label]:
+            if edge.kind in ("fallthrough", "call-return"):
+                return edge.dst
+        return None
+
+    # ------------------------------------------------------------------
+    # Structural region detection used by if-conversion
+    # ------------------------------------------------------------------
+    def diamond_region(self, label: str) -> Optional["DiamondRegion"]:
+        """Detect an if-then-else *diamond* (or if-then *hammock*) rooted at ``label``.
+
+        A diamond is: a block ending in a conditional branch whose two
+        successors are distinct single-predecessor blocks that both fall into
+        (or jump to) the same join block.  A hammock is the degenerate form
+        where one successor *is* the join block.
+
+        Side blocks may end in an unpredicated unconditional branch to the
+        join (the classic compiled shape of an if-then-else); any other
+        internal branch disqualifies the region.  Returns ``None`` when the
+        shape does not match.
+        """
+        block = self.block_map.get(label)
+        if block is None:
+            return None
+        term = block.terminator
+        if term is None or term.kind is not BranchKind.COND:
+            return None
+        taken = self.taken_successor(label)
+        fall = self.fallthrough_successor(label)
+        if taken is None or fall is None or taken == fall:
+            return None
+
+        def single_succ(lbl: str) -> Optional[str]:
+            succ = self.successors(lbl)
+            return succ[0] if len(succ) == 1 else None
+
+        # Hammock: one side is a single block joining at the other successor.
+        for then_label, join_label, on_taken in (
+            (fall, taken, False),
+            (taken, fall, True),
+        ):
+            if (
+                single_succ(then_label) == join_label
+                and len(self.predecessors(then_label)) == 1
+                and self._side_block_convertible(then_label)
+            ):
+                return DiamondRegion(
+                    head=label,
+                    then_side=then_label,
+                    else_side=None,
+                    join=join_label,
+                    branch=term,
+                    then_on_taken_path=on_taken,
+                )
+        # Full diamond: both successors are single-pred blocks joining at the
+        # same third block.
+        join_taken = single_succ(taken)
+        join_fall = single_succ(fall)
+        if (
+            join_taken is not None
+            and join_taken == join_fall
+            and len(self.predecessors(taken)) == 1
+            and len(self.predecessors(fall)) == 1
+            and self._side_block_convertible(taken)
+            and self._side_block_convertible(fall)
+        ):
+            return DiamondRegion(
+                head=label,
+                then_side=fall,
+                else_side=taken,
+                join=join_taken,
+                branch=term,
+                then_on_taken_path=False,
+            )
+        return None
+
+    def _side_block_convertible(self, label: str) -> bool:
+        """A side block may contain predicated (region) branches anywhere and
+        at most one unpredicated branch, which must be its unconditional
+        terminator."""
+        block = self.block(label)
+        unpredicated = [b for b in block.branches if not b.is_predicated]
+        if not unpredicated:
+            return True
+        if len(unpredicated) > 1:
+            return False
+        term = block.terminator
+        return term is unpredicated[0] and term.kind is BranchKind.UNCOND
+
+    def escape_hammock(self, label: str) -> Optional["EscapeRegion"]:
+        """Detect an *escape hammock* rooted at ``label``.
+
+        Shape: a conditional branch whose taken target is the continuation,
+        while the fall-through side is a single-predecessor block ending in
+        an unpredicated return or unconditional jump that leaves the region
+        (Figure 1a's shape, where the escape side ends in ``br.ret``).
+        If-converting such a region turns the escaping branch into a guarded
+        *region branch* — the phenomenon Figure 1b illustrates.
+        """
+        block = self.block_map.get(label)
+        if block is None:
+            return None
+        term = block.terminator
+        if term is None or term.kind is not BranchKind.COND:
+            return None
+        taken = self.taken_successor(label)
+        fall = self.fallthrough_successor(label)
+        if taken is None or fall is None or taken == fall:
+            return None
+        escape = self.block(fall)
+        if len(self.predecessors(fall)) != 1:
+            return None
+        escape_term = escape.terminator
+        if escape_term is None or escape_term.is_predicated:
+            return None
+        if escape_term.kind is BranchKind.RET:
+            pass
+        elif escape_term.kind is BranchKind.UNCOND:
+            if escape_term.target is not None and escape_term.target.name == taken:
+                return None  # ordinary hammock, not an escape
+            # If the jump target is where the taken path also ends up, this
+            # is an ordinary diamond whose sides re-join, not an escape.
+            taken_succ = self.successors(taken)
+            if (
+                escape_term.target is not None
+                and len(taken_succ) == 1
+                and escape_term.target.name == taken_succ[0]
+            ):
+                return None
+        else:
+            return None
+        interior = escape.instructions[:-1]
+        if any(isinstance(i, BranchInstruction) and not i.is_predicated for i in interior):
+            return None
+        return EscapeRegion(
+            head=label,
+            escape=fall,
+            continuation=taken,
+            branch=term,
+        )
+
+    def reachable_blocks(self) -> List[str]:
+        """Labels of blocks reachable from the entry, in DFS order."""
+        seen: List[str] = []
+        seen_set = set()
+        stack = [self.entry.label]
+        while stack:
+            label = stack.pop()
+            if label in seen_set:
+                continue
+            seen_set.add(label)
+            seen.append(label)
+            for succ in reversed(self.successors(label)):
+                if succ not in seen_set:
+                    stack.append(succ)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"<ControlFlowGraph {len(self.blocks)} blocks>"
+
+
+@dataclass
+class DiamondRegion:
+    """A single-entry if-then(-else) region eligible for if-conversion.
+
+    For a full diamond, ``then_side`` is the fall-through (not-taken) block
+    and ``else_side`` the taken block.  For a hammock, ``else_side`` is
+    ``None`` and ``then_on_taken_path`` records which path the single side
+    block lies on.  ``join`` is the block where the paths merge.
+    """
+
+    head: str
+    then_side: str
+    else_side: Optional[str]
+    join: str
+    branch: BranchInstruction
+    then_on_taken_path: bool = False
+
+    @property
+    def side_labels(self) -> List[str]:
+        labels = [self.then_side]
+        if self.else_side is not None:
+            labels.append(self.else_side)
+        return labels
+
+
+@dataclass
+class EscapeRegion:
+    """A hammock whose side block escapes the region (return or jump out)."""
+
+    head: str
+    escape: str
+    continuation: str
+    branch: BranchInstruction

@@ -1,0 +1,119 @@
+"""The top-level program container and address layout.
+
+A :class:`Program` owns a set of routines, an entry routine, and a *data
+segment* describing the initial contents of memory.  :meth:`Program.layout`
+assigns program-counter addresses to every instruction — the addresses branch
+predictors and the predicate predictor index with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.isa.instructions import Instruction
+from repro.program.routine import Routine
+
+#: Byte distance between consecutive instruction slots in the laid-out image.
+#: IA-64 packs three 41-bit instructions in a 16-byte bundle; we use a
+#: fixed per-slot stride which keeps addresses unique and realistically sparse.
+INSTRUCTION_STRIDE = 4
+
+#: Base address of the text segment.
+TEXT_BASE = 0x4000_0000
+
+#: Base address of the data segment.
+DATA_BASE = 0x6000_0000
+
+
+@dataclass
+class DataSegment:
+    """Initial memory contents: a dictionary of word-addressed values.
+
+    Addresses are byte addresses; values are signed integers stored in
+    8-byte words.  The workload generators populate arrays here and the
+    emulator's memory image is initialised from it.
+    """
+
+    words: Dict[int, int] = field(default_factory=dict)
+
+    def store_array(self, base: int, values: List[int], stride: int = 8) -> None:
+        """Store ``values`` as consecutive words starting at ``base``."""
+        for i, value in enumerate(values):
+            self.words[base + i * stride] = int(value)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+class Program:
+    """A complete program: routines + data + entry point."""
+
+    def __init__(self, name: str, entry: str = "main") -> None:
+        self.name = name
+        self.entry_name = entry
+        self.routines: Dict[str, Routine] = {}
+        self.data = DataSegment()
+        #: True once :meth:`layout` has assigned addresses.
+        self.laid_out = False
+        #: Free-form metadata (workload traits, compilation flags, ...).
+        self.metadata: dict = {}
+
+    # ------------------------------------------------------------------
+    def add_routine(self, routine: Routine) -> Routine:
+        if routine.name in self.routines:
+            raise ValueError(f"duplicate routine {routine.name!r}")
+        self.routines[routine.name] = routine
+        self.laid_out = False
+        return routine
+
+    def routine(self, name: str) -> Routine:
+        return self.routines[name]
+
+    @property
+    def entry_routine(self) -> Routine:
+        return self.routines[self.entry_name]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for routine in self.routines.values():
+            yield from routine.instructions()
+
+    @property
+    def size(self) -> int:
+        return sum(r.size for r in self.routines.values())
+
+    # ------------------------------------------------------------------
+    def layout(self, text_base: int = TEXT_BASE) -> None:
+        """Assign addresses to every block and instruction.
+
+        Routines are placed sequentially in insertion order; blocks within a
+        routine in layout order; instructions at a fixed stride.  The layout
+        is deterministic so predictor indexing is reproducible.
+        """
+        address = text_base
+        for routine in self.routines.values():
+            for block in routine.blocks:
+                block.address = address
+                for inst in block.instructions:
+                    inst.address = address
+                    address += INSTRUCTION_STRIDE
+                # Align the next block so addresses do not depend on whether
+                # earlier blocks grew by a couple of instructions after
+                # compilation — keeps cross-binary comparisons stable.
+                address = _align(address, 64)
+            address = _align(address, 256)
+        self.laid_out = True
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"<Program {self.name}: {len(self.routines)} routines, "
+            f"{self.size} instructions>"
+        )
+
+
+def _align(value: int, alignment: int) -> int:
+    remainder = value % alignment
+    if remainder == 0:
+        return value
+    return value + (alignment - remainder)

@@ -1,0 +1,70 @@
+"""Routines: named units of control flow."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.isa.instructions import Instruction
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import ControlFlowGraph
+
+
+class Routine:
+    """A named, ordered collection of basic blocks with an entry block."""
+
+    def __init__(self, name: str, blocks: Optional[List[BasicBlock]] = None) -> None:
+        self.name = name
+        self.blocks: List[BasicBlock] = list(blocks) if blocks else []
+        self._cfg: Optional[ControlFlowGraph] = None
+
+    # ------------------------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        self.blocks.append(block)
+        self._cfg = None
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(f"no block labelled {label!r} in routine {self.name!r}")
+
+    def block_index(self, label: str) -> int:
+        for index, blk in enumerate(self.blocks):
+            if blk.label == label:
+                return index
+        raise KeyError(f"no block labelled {label!r} in routine {self.name!r}")
+
+    def remove_block(self, label: str) -> None:
+        self.blocks = [b for b in self.blocks if b.label != label]
+        self._cfg = None
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"routine {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def cfg(self) -> ControlFlowGraph:
+        """The routine's CFG (rebuilt lazily after structural changes)."""
+        if self._cfg is None:
+            self._cfg = ControlFlowGraph(self.blocks)
+        return self._cfg
+
+    def invalidate_cfg(self) -> None:
+        """Force the CFG to be rebuilt (call after mutating blocks)."""
+        self._cfg = None
+
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over all instructions in layout order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def size(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Routine {self.name}: {len(self.blocks)} blocks, {self.size} instructions>"

@@ -1,0 +1,97 @@
+"""Program validation.
+
+The validator catches the structural mistakes that are easy to make when
+generating programs or writing compiler passes, and that would otherwise show
+up as confusing emulator misbehaviour:
+
+* branch targets that do not resolve to a block in the same routine;
+* calls to routines that do not exist;
+* unpredicated branches in the middle of a basic block (only if-converted
+  *region branches* may appear in block interiors, and they must be guarded);
+* routines whose last reachable block can fall off the end of the routine;
+* instructions that write hard-wired registers (other than compares using
+  ``p0`` as a don't-care target).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.compare import CompareInstruction
+from repro.isa.registers import RegisterKind
+from repro.program.program import Program
+
+
+class ValidationError(Exception):
+    """Raised when a program fails validation."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("\n".join(problems))
+        self.problems = problems
+
+
+def validate_program(program: Program) -> None:
+    """Validate ``program``; raise :class:`ValidationError` on problems."""
+    problems: List[str] = []
+    if program.entry_name not in program.routines:
+        problems.append(f"entry routine {program.entry_name!r} does not exist")
+
+    for routine in program.routines.values():
+        labels = {block.label for block in routine.blocks}
+        if not routine.blocks:
+            problems.append(f"routine {routine.name!r} has no blocks")
+            continue
+        for block in routine.blocks:
+            for index, inst in enumerate(block.instructions):
+                where = f"{routine.name}/{block.label}[{index}]"
+                if isinstance(inst, BranchInstruction):
+                    _check_branch(inst, index, block, labels, program, where, problems)
+                else:
+                    _check_non_branch(inst, where, problems)
+        last = routine.blocks[-1]
+        if last.falls_through and _block_reachable(routine, last.label):
+            problems.append(
+                f"routine {routine.name!r}: final block {last.label!r} can fall "
+                f"off the end of the routine"
+            )
+
+    if problems:
+        raise ValidationError(problems)
+
+
+def _check_branch(inst, index, block, labels, program, where, problems) -> None:
+    is_last = index == len(block.instructions) - 1
+    if not is_last and not inst.is_predicated and inst.kind is not BranchKind.CALL:
+        # Calls return to the following instruction, so they may legally sit
+        # in the middle of a block; any other unpredicated control transfer
+        # must terminate its block.
+        problems.append(
+            f"{where}: unpredicated branch in the middle of a basic block"
+        )
+    if inst.kind in (BranchKind.COND, BranchKind.UNCOND):
+        if inst.target is None:
+            problems.append(f"{where}: branch without a target")
+        elif inst.target.name not in labels:
+            problems.append(
+                f"{where}: branch target {inst.target.name!r} is not a block "
+                f"of this routine"
+            )
+    if inst.kind is BranchKind.CALL:
+        if inst.callee is None:
+            problems.append(f"{where}: call without a callee")
+        elif inst.callee not in program.routines:
+            problems.append(f"{where}: call to unknown routine {inst.callee!r}")
+
+
+def _check_non_branch(inst, where, problems) -> None:
+    for dest in inst.dests:
+        if dest.is_hardwired:
+            # Compares may legitimately name p0 as a don't-care target.
+            if isinstance(inst, CompareInstruction) and dest.kind is RegisterKind.PREDICATE:
+                continue
+            problems.append(f"{where}: instruction writes hard-wired register {dest}")
+
+
+def _block_reachable(routine, label: str) -> bool:
+    return label in routine.cfg.reachable_blocks()

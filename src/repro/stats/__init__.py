@@ -1,0 +1,15 @@
+"""Statistics collection and reporting."""
+
+from repro.stats.counters import CounterSet
+from repro.stats.accuracy import BranchAccuracy, BranchRecord
+from repro.stats.reporting import format_table, format_percent
+from repro.stats.tables import ResultTable
+
+__all__ = [
+    "CounterSet",
+    "BranchAccuracy",
+    "BranchRecord",
+    "format_table",
+    "format_percent",
+    "ResultTable",
+]

@@ -1,0 +1,90 @@
+"""Branch-prediction accuracy accounting.
+
+Every scheme records one :class:`BranchRecord` per dynamic conditional
+branch.  Keeping the full per-branch vector (rather than only aggregate
+counts) is what allows the Figure 6b breakdown, which needs to intersect
+"early-resolved in the predicate scheme" with "mispredicted by the
+conventional scheme" on a per-dynamic-branch basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class BranchRecord:
+    """Outcome of predicting one dynamic conditional branch."""
+
+    pc: int
+    actual: bool
+    predicted: bool
+    #: Prediction made by the fast first-level predictor at fetch (if any).
+    fetch_prediction: Optional[bool] = None
+    #: True when the guarding predicate's computed value was already
+    #: available when the branch renamed (the paper's early-resolved case).
+    early_resolved: bool = False
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.predicted != self.actual
+
+    @property
+    def overridden(self) -> bool:
+        return self.fetch_prediction is not None and self.fetch_prediction != self.predicted
+
+
+@dataclass
+class BranchAccuracy:
+    """Aggregated prediction accuracy over one simulation run."""
+
+    records: List[BranchRecord] = field(default_factory=list)
+
+    def record(self, record: BranchRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def branches(self) -> int:
+        return len(self.records)
+
+    @property
+    def mispredictions(self) -> int:
+        return sum(1 for r in self.records if r.mispredicted)
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per conditional branch, in [0, 1]."""
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.misprediction_rate
+
+    @property
+    def early_resolved_count(self) -> int:
+        return sum(1 for r in self.records if r.early_resolved)
+
+    @property
+    def early_resolved_fraction(self) -> float:
+        return self.early_resolved_count / self.branches if self.branches else 0.0
+
+    @property
+    def override_count(self) -> int:
+        return sum(1 for r in self.records if r.overridden)
+
+    # ------------------------------------------------------------------
+    def mispredicted_vector(self) -> List[bool]:
+        """Per-dynamic-branch mispredict flags (in fetch order)."""
+        return [r.mispredicted for r in self.records]
+
+    def early_resolved_vector(self) -> List[bool]:
+        """Per-dynamic-branch early-resolved flags (in fetch order)."""
+        return [r.early_resolved for r in self.records]
+
+    def __repr__(self) -> str:
+        return (
+            f"<BranchAccuracy {self.branches} branches, "
+            f"{100 * self.misprediction_rate:.2f}% mispredicted>"
+        )

@@ -1,0 +1,57 @@
+"""Plain-text report formatting helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Format a [0, 1] fraction as a percentage string."""
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Numeric cells are right-aligned; everything else is left-aligned.  Used
+    by the benchmark harness to print the per-figure result tables.
+    """
+    materialised: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cells[i]) and i > 0:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.replace("%", "").replace("-", "").replace(".", "").replace("+", "")
+    return stripped.isdigit() and bool(stripped)

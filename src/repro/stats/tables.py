@@ -1,0 +1,81 @@
+"""Result tables: the structure each experiment returns.
+
+A :class:`ResultTable` holds one row per benchmark program and one column
+per scheme/metric, plus derived summary rows (mean, and "accuracy delta"
+rows matching how the paper reports improvements, e.g. "on average, it
+obtains an accuracy increase of 1.5%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.stats.reporting import format_table
+
+
+@dataclass
+class ResultTable:
+    """A named table of per-benchmark results."""
+
+    title: str
+    columns: List[str]
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def add_row(self, benchmark: str, values: Dict[str, float]) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row {benchmark!r} missing columns: {sorted(missing)}")
+        self.rows[benchmark] = {c: float(values[c]) for c in self.columns}
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> List[float]:
+        return [self.rows[b][name] for b in self.rows]
+
+    def mean(self, name: str) -> float:
+        values = self.column(name)
+        return sum(values) / len(values) if values else 0.0
+
+    def benchmarks(self) -> List[str]:
+        return list(self.rows)
+
+    def value(self, benchmark: str, column: str) -> float:
+        return self.rows[benchmark][column]
+
+    def delta(self, better: str, baseline: str) -> float:
+        """Average (baseline − better) across benchmarks.
+
+        When columns hold misprediction rates, a positive delta means the
+        ``better`` column achieves that much *accuracy increase* on average,
+        matching the paper's phrasing.
+        """
+        return self.mean(baseline) - self.mean(better)
+
+    def wins(self, candidate: str, baseline: str) -> int:
+        """Number of benchmarks where ``candidate`` is strictly lower."""
+        return sum(
+            1
+            for b in self.rows
+            if self.rows[b][candidate] < self.rows[b][baseline]
+        )
+
+    # ------------------------------------------------------------------
+    def render(self, percent: bool = True, decimals: int = 2) -> str:
+        def fmt(value: float) -> str:
+            if percent:
+                return f"{100.0 * value:.{decimals}f}"
+            return f"{value:.{decimals}f}"
+
+        body = [
+            [name] + [fmt(self.rows[name][c]) for c in self.columns]
+            for name in self.rows
+        ]
+        body.append(
+            ["average"] + [fmt(self.mean(c)) for c in self.columns]
+        )
+        unit = " (%)" if percent else ""
+        headers = ["benchmark"] + [c + unit for c in self.columns]
+        return format_table(headers, body, title=self.title)
+
+    def __repr__(self) -> str:
+        return f"<ResultTable {self.title!r}: {len(self.rows)} rows>"

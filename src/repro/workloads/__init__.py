@@ -1,0 +1,61 @@
+"""Synthetic SPEC CPU2000-like workload suite.
+
+The original evaluation runs 22 SPEC CPU2000 programs (11 integer, 11
+floating-point) compiled for IA-64 with MinneSpec inputs.  Neither the
+benchmarks, the inputs, nor the IA-64 compiler are redistributable, so this
+package provides 22 *synthetic* programs whose **branch populations** are
+engineered to reproduce the properties the paper's mechanisms interact with:
+
+* a mix of well-biased, loop-control and genuinely hard-to-predict branches,
+  with per-program misprediction rates spanning the few-percent to
+  mid-teens range reported in Figures 5 and 6;
+* *hard* branches guarding small hammock/diamond/escape regions, which the
+  profile-guided if-converter removes (these are the branches whose history
+  the conventional predictor loses);
+* *correlated* branches whose outcome is a (noisy, lagged) boolean function
+  of the hard branches' conditions — predictable through global history when
+  that history is available, nearly unpredictable otherwise;
+* compares scheduled both far from and adjacent to their consuming branches,
+  so a realistic fraction of branches becomes early-resolved;
+* integer programs heavy in control, floating-point programs dominated by
+  predictable loop control and arithmetic.
+
+Every program is a deterministic function of its name (fixed seed), so the
+non-if-converted and if-converted binaries of a benchmark are guaranteed to
+come from identical sources.
+"""
+
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    RegionKind,
+    WorkloadTraits,
+)
+from repro.workloads.generators import ConditionStreams, generate_condition_streams
+from repro.workloads.kernels import build_program_from_traits
+from repro.workloads.spec_suite import (
+    SPEC_SUITE,
+    build_workload,
+    fp_workload_names,
+    integer_workload_names,
+    workload_names,
+    workload_traits,
+)
+
+__all__ = [
+    "CorrelatedBranchSpec",
+    "EasyBranchSpec",
+    "HardRegionSpec",
+    "RegionKind",
+    "WorkloadTraits",
+    "ConditionStreams",
+    "generate_condition_streams",
+    "build_program_from_traits",
+    "SPEC_SUITE",
+    "build_workload",
+    "workload_names",
+    "integer_workload_names",
+    "fp_workload_names",
+    "workload_traits",
+]

@@ -1,0 +1,138 @@
+"""Condition-stream and data-array synthesis for the synthetic workloads.
+
+The interesting behaviour of the workloads lives entirely in their input
+data: every conditional branch tests a loaded value against a fixed
+threshold, so the per-iteration boolean streams generated here determine the
+branch outcome sequences.  The generator produces:
+
+* independent biased Bernoulli streams for the hard regions and the easy
+  branches;
+* *derived* streams for the correlated branches: a boolean function of the
+  hard streams, applied at a configurable iteration lag and perturbed with
+  flip noise;
+* 64-bit value arrays encoding each boolean stream (value > THRESHOLD iff
+  the condition is true) so the program can recover the condition with a
+  single compare;
+* optionally, a pointer-chasing permutation array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.workloads.traits import WorkloadTraits
+
+#: Threshold the generated programs compare loaded values against.
+CONDITION_THRESHOLD = 500
+
+#: Range of generated data values: [0, 2 * CONDITION_THRESHOLD).
+VALUE_RANGE = 2 * CONDITION_THRESHOLD
+
+
+@dataclass
+class ConditionStreams:
+    """All boolean streams and their encoded value arrays for one workload."""
+
+    length: int
+    #: hard-region condition streams, one per HardRegionSpec.
+    hard: List[np.ndarray] = field(default_factory=list)
+    #: correlated-branch condition streams, one per CorrelatedBranchSpec.
+    correlated: List[np.ndarray] = field(default_factory=list)
+    #: easy-branch condition streams, one per EasyBranchSpec.
+    easy: List[np.ndarray] = field(default_factory=list)
+    #: value arrays encoding each stream (name -> 64-bit values).
+    value_arrays: Dict[str, List[int]] = field(default_factory=dict)
+    #: pointer-chase permutation (indices), empty when unused.
+    chain: List[int] = field(default_factory=list)
+
+    def hard_rate(self, index: int) -> float:
+        return float(np.mean(self.hard[index]))
+
+    def correlated_rate(self, index: int) -> float:
+        return float(np.mean(self.correlated[index]))
+
+
+def _encode_values(stream: np.ndarray, rng: np.random.Generator) -> List[int]:
+    """Encode a boolean stream as values around the threshold."""
+    high = rng.integers(CONDITION_THRESHOLD + 1, VALUE_RANGE, size=stream.size)
+    low = rng.integers(0, CONDITION_THRESHOLD + 1, size=stream.size)
+    return [int(h) if flag else int(l) for flag, h, l in zip(stream, high, low)]
+
+
+def _apply_op(op: str, columns: List[np.ndarray]) -> np.ndarray:
+    if op == "copy":
+        return columns[0].copy()
+    if op == "not":
+        return ~columns[0]
+    if op == "and":
+        result = columns[0].copy()
+        for column in columns[1:]:
+            result &= column
+        return result
+    if op == "or":
+        result = columns[0].copy()
+        for column in columns[1:]:
+            result |= column
+        return result
+    if op == "xor":
+        # Deliberately not linearly separable: even a predictor that sees the
+        # source conditions in its history cannot capture it with a single
+        # perceptron (used by the ``twolf`` traits to reproduce the paper's
+        # one exception benchmark).
+        result = columns[0].copy()
+        for column in columns[1:]:
+            result ^= column
+        return result
+    if op == "majority":
+        stacked = np.stack(columns)
+        return stacked.sum(axis=0) * 2 > len(columns)
+    raise ValueError(f"unknown correlation op {op!r}")
+
+
+def generate_condition_streams(traits: WorkloadTraits) -> ConditionStreams:
+    """Generate all boolean streams and value arrays for ``traits``."""
+    rng = np.random.default_rng(traits.seed)
+    length = traits.array_length
+    streams = ConditionStreams(length=length)
+
+    # Hard-region conditions: independent biased coins.  Nested regions get
+    # an extra, independent inner condition stream.
+    for index, spec in enumerate(traits.hard_regions):
+        stream = rng.random(length) < spec.bias
+        streams.hard.append(stream)
+        if spec.nested:
+            inner = rng.random(length) < spec.bias
+            streams.value_arrays[f"hard{index}_inner"] = _encode_values(inner, rng)
+
+    # Correlated-branch conditions: lagged boolean functions of the hard
+    # conditions, with flip noise.  The lag wraps around the array because
+    # the program sweeps the arrays repeatedly.
+    for spec in traits.correlated_branches:
+        columns = [np.roll(streams.hard[s], spec.lag) for s in spec.sources]
+        derived = _apply_op(spec.op, columns)
+        if spec.noise > 0.0:
+            flips = rng.random(length) < spec.noise
+            derived = derived ^ flips
+        streams.correlated.append(derived)
+
+    # Easy branches: heavily biased coins.
+    for spec in traits.easy_branches:
+        streams.easy.append(rng.random(length) < spec.bias)
+
+    # Encode every stream as a value array the program can load and compare.
+    for index, stream in enumerate(streams.hard):
+        streams.value_arrays[f"hard{index}"] = _encode_values(stream, rng)
+    for index, stream in enumerate(streams.correlated):
+        streams.value_arrays[f"corr{index}"] = _encode_values(stream, rng)
+    for index, stream in enumerate(streams.easy):
+        streams.value_arrays[f"easy{index}"] = _encode_values(stream, rng)
+
+    if traits.pointer_chase:
+        permutation = rng.permutation(length)
+        streams.chain = [int(x) for x in permutation]
+        streams.value_arrays["chain"] = streams.chain
+
+    return streams

@@ -1,0 +1,384 @@
+"""Program construction from workload traits.
+
+:func:`build_program_from_traits` turns a :class:`WorkloadTraits` description
+plus its generated condition streams into an executable program with the
+following per-iteration structure (labels shown for one iteration of the main
+loop)::
+
+    iter:    early loads + compares of "early" correlated conditions,
+             integer / floating-point filler, optional pointer chase
+    hrK...:  hard regions (hammock / diamond / escape), compare adjacent to
+             the branch; optionally containing a nested inner hammock
+    crK...:  correlated branches guarding large (non-convertible) bodies
+    ezK...:  well-biased easy branches
+    inner:   optional fixed-trip inner loop
+    latch:   pointer bumps, induction-variable update, loop-back branch
+    outer:   array-pointer reset and outer-loop branch
+    done:    return
+
+The layout is deliberately compiler-like: conditions that guard convertible
+regions are computed right next to their branches (so their correlation
+information disappears from a conventional predictor once the branch is
+removed), while the "remaining" correlated branches may have their compares
+scheduled at the top of the iteration, far ahead of the branch (the paper's
+early-resolved opportunity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.isa.compare import CompareRelation
+from repro.isa.registers import FR, GR, PR, Register
+from repro.program.builder import ProgramBuilder, RoutineBuilder
+from repro.program.program import Program
+from repro.workloads.generators import (
+    CONDITION_THRESHOLD,
+    ConditionStreams,
+    generate_condition_streams,
+)
+from repro.workloads.traits import RegionKind, WorkloadTraits
+
+# ----------------------------------------------------------------------
+# Register-allocation conventions of the generated programs
+# ----------------------------------------------------------------------
+REG_INDEX = GR(1)  # i: index into the data arrays
+REG_LENGTH = GR(2)  # n: array length
+REG_OUTER = GR(3)  # outer-loop counter
+REG_OUTER_LIMIT = GR(4)
+REG_INNER = GR(5)  # inner-loop counter
+REG_INNER_LIMIT = GR(6)
+REG_CHASE_INDEX = GR(64)
+REG_CHASE_TMP1 = GR(65)
+REG_CHASE_TMP2 = GR(66)
+REG_CHAIN_BASE = GR(67)
+
+_FIRST_POINTER_REG = 10
+_FIRST_VALUE_REG = 24
+_FIRST_ACCUM_REG = 70
+_NUM_ACCUM_REGS = 4
+_FIRST_TEMP_REG = 80
+_NUM_TEMP_REGS = 6
+_FIRST_FP_ACCUM = 33
+_NUM_FP_ACCUM = 4
+_FIRST_CONDITION_PR = 6
+# Loop-control predicates (the complementary sense is never needed, so the
+# compares use p0 as their second target, like the condition compares).
+_LOOP_PR_TRUE = PR(56)
+_OUTER_PR_TRUE = PR(58)
+_INNER_PR_TRUE = PR(60)
+
+
+@dataclass
+class _Condition:
+    """A data-driven condition: its array, pointer/value registers, predicates."""
+
+    name: str
+    pointer: Register
+    value: Register
+    pt: Register
+    pf: Register
+
+
+class _KernelBuilder:
+    """Stateful helper that emits the main loop of a workload."""
+
+    def __init__(self, traits: WorkloadTraits, streams: ConditionStreams) -> None:
+        self.traits = traits
+        self.streams = streams
+        self.pb = ProgramBuilder(traits.name)
+        self.rb: RoutineBuilder = self.pb.routine("main")
+        self._conditions: Dict[str, _Condition] = {}
+        self._array_order: List[str] = []
+        self._next_pointer = _FIRST_POINTER_REG
+        self._next_value = _FIRST_VALUE_REG
+        self._next_pr = _FIRST_CONDITION_PR
+        self._filler_state = 0
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Condition / array management
+    # ------------------------------------------------------------------
+    def _register_condition(self, name: str) -> _Condition:
+        values = self.streams.value_arrays[name]
+        self.pb.array(name, values)
+        # Only the false-sense predicate is architecturally needed before
+        # if-conversion (the branch skips the body when the condition is
+        # false), so the true-sense target is the read-only p0 — the common
+        # IA-64 idiom the paper's section 3.3 mentions.  The if-converter
+        # rewrites p0 into a fresh predicate when it needs the complement.
+        condition = _Condition(
+            name=name,
+            pointer=GR(self._next_pointer),
+            value=GR(self._next_value),
+            pt=PR(0),
+            pf=PR(self._next_pr),
+        )
+        self._next_pointer += 1
+        self._next_value += 1
+        self._next_pr += 1
+        self._conditions[name] = condition
+        self._array_order.append(name)
+        return condition
+
+    def _condition(self, name: str) -> _Condition:
+        return self._conditions[name]
+
+    def _label(self, prefix: str) -> str:
+        self._label_counter += 1
+        return f"{prefix}{self._label_counter}"
+
+    # ------------------------------------------------------------------
+    # Code emission helpers
+    # ------------------------------------------------------------------
+    def _emit_load_and_compare(self, condition: _Condition, offset: int = 0) -> None:
+        """Load the condition's element at ``pointer + offset`` and evaluate it."""
+        self.rb.load(condition.value, condition.pointer, offset=offset)
+        self.rb.cmp(
+            CompareRelation.GT,
+            condition.pt,
+            condition.pf,
+            condition.value,
+            CONDITION_THRESHOLD,
+        )
+
+    def _emit_filler(self, count: int, qp: Register = PR(0)) -> None:
+        """Emit ``count`` integer filler operations (accumulator updates)."""
+        rb = self.rb
+        for _ in range(count):
+            state = self._filler_state
+            self._filler_state += 1
+            accum = GR(_FIRST_ACCUM_REG + state % _NUM_ACCUM_REGS)
+            temp = GR(_FIRST_TEMP_REG + state % _NUM_TEMP_REGS)
+            pattern = state % 4
+            if pattern == 0:
+                rb.addi(temp, accum, (state % 31) + 1, qp=qp)
+            elif pattern == 1:
+                rb.xor(accum, accum, temp, qp=qp)
+            elif pattern == 2:
+                rb.shl(temp, accum, (state % 5) + 1, qp=qp)
+            else:
+                rb.add(accum, accum, temp, qp=qp)
+
+    def _emit_fp_filler(self, count: int) -> None:
+        rb = self.rb
+        for _ in range(count):
+            state = self._filler_state
+            self._filler_state += 1
+            dst = FR(_FIRST_FP_ACCUM + state % _NUM_FP_ACCUM)
+            src = FR(_FIRST_FP_ACCUM + (state + 1) % _NUM_FP_ACCUM)
+            if state % 3 == 0:
+                rb.fmul(dst, dst, src)
+            else:
+                rb.fadd(dst, dst, src)
+
+    def _emit_pointer_chase(self) -> None:
+        """One step of a pointer-chasing chain (mcf/art-like)."""
+        rb = self.rb
+        rb.shl(REG_CHASE_TMP1, REG_CHASE_INDEX, 3)
+        rb.add(REG_CHASE_TMP2, REG_CHAIN_BASE, REG_CHASE_TMP1)
+        rb.load(REG_CHASE_INDEX, REG_CHASE_TMP2)
+        rb.add(GR(_FIRST_ACCUM_REG), GR(_FIRST_ACCUM_REG), REG_CHASE_INDEX)
+
+    # ------------------------------------------------------------------
+    # Region emission
+    # ------------------------------------------------------------------
+    def _emit_hard_region(self, index: int) -> None:
+        spec = self.traits.hard_regions[index]
+        condition = self._condition(f"hard{index}")
+        rb = self.rb
+        self._emit_load_and_compare(condition)
+
+        if spec.kind is RegionKind.HAMMOCK:
+            skip = self._label("hskip")
+            rb.br_cond(skip, qp=condition.pf)
+            rb.block(self._label("hbody"))
+            self._emit_region_body(index, spec.body_size)
+            rb.block(skip)
+        elif spec.kind is RegionKind.DIAMOND:
+            else_label = self._label("delse")
+            join_label = self._label("djoin")
+            rb.br_cond(else_label, qp=condition.pf)
+            rb.block(self._label("dthen"))
+            self._emit_filler(max(1, spec.body_size // 2))
+            rb.br(join_label)
+            rb.block(else_label)
+            self._emit_filler(max(1, spec.body_size - spec.body_size // 2))
+            rb.block(join_label)
+        elif spec.kind is RegionKind.ESCAPE:
+            cont = self._label("econt")
+            rb.br_cond(cont, qp=condition.pf)
+            rb.block(self._label("eesc"))
+            self._emit_filler(max(1, spec.body_size))
+            rb.br("latch")
+            rb.block(cont)
+        else:  # pragma: no cover - exhaustive over RegionKind
+            raise AssertionError(f"unhandled region kind {spec.kind}")
+
+    def _emit_region_body(self, index: int, body_size: int) -> None:
+        """Body of a hammock; may contain a nested inner hammock."""
+        spec = self.traits.hard_regions[index]
+        if not spec.nested:
+            self._emit_filler(body_size)
+            return
+        rb = self.rb
+        outer_ops = max(1, body_size // 2)
+        self._emit_filler(outer_ops)
+        inner = self._condition(f"hard{index}_inner")
+        self._emit_load_and_compare(inner)
+        inner_skip = self._label("nskip")
+        rb.br_cond(inner_skip, qp=inner.pf)
+        rb.block(self._label("nbody"))
+        self._emit_filler(max(1, body_size - outer_ops))
+        rb.block(inner_skip)
+
+    def _emit_correlated_branch(self, index: int) -> None:
+        spec = self.traits.correlated_branches[index]
+        condition = self._condition(f"corr{index}")
+        rb = self.rb
+        if not spec.early_compare:
+            self._emit_load_and_compare(condition)
+        skip = self._label("cskip")
+        rb.br_cond(skip, qp=condition.pf)
+        rb.block(self._label("cbody"))
+        self._emit_filler(spec.body_size)
+        rb.block(skip)
+
+    def _emit_easy_branch(self, index: int) -> None:
+        spec = self.traits.easy_branches[index]
+        condition = self._condition(f"easy{index}")
+        rb = self.rb
+        if not spec.early_compare:
+            self._emit_load_and_compare(condition)
+        skip = self._label("zskip")
+        rb.br_cond(skip, qp=condition.pf)
+        rb.block(self._label("zbody"))
+        self._emit_filler(spec.body_size)
+        rb.block(skip)
+
+    def _emit_inner_loop(self) -> None:
+        trips = self.traits.inner_loop_trips
+        rb = self.rb
+        rb.movi(REG_INNER, 0)
+        rb.movi(REG_INNER_LIMIT, trips)
+        rb.block("inner")
+        if self.traits.is_floating_point:
+            self._emit_fp_filler(3)
+        else:
+            self._emit_filler(3)
+        rb.addi(REG_INNER, REG_INNER, 1)
+        rb.cmp(CompareRelation.LT, _INNER_PR_TRUE, PR(0), REG_INNER, REG_INNER_LIMIT)
+        rb.br_cond("inner", qp=_INNER_PR_TRUE)
+
+    # ------------------------------------------------------------------
+    # Whole-program emission
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        traits = self.traits
+        rb = self.rb
+
+        # Register every condition's data array (and the pointer-chase chain).
+        for index in range(len(traits.hard_regions)):
+            self._register_condition(f"hard{index}")
+            if traits.hard_regions[index].nested:
+                self._register_condition(f"hard{index}_inner")
+        for index in range(len(traits.correlated_branches)):
+            self._register_condition(f"corr{index}")
+        for index in range(len(traits.easy_branches)):
+            self._register_condition(f"easy{index}")
+        if traits.pointer_chase:
+            self.pb.array("chain", self.streams.value_arrays["chain"])
+
+        # -------------------------------------------------------- entry
+        rb.block("entry")
+        rb.movi(REG_LENGTH, traits.array_length)
+        rb.movi(REG_OUTER_LIMIT, traits.outer_iterations)
+        rb.movi(REG_OUTER, 0)
+        for offset in range(_NUM_ACCUM_REGS):
+            rb.movi(GR(_FIRST_ACCUM_REG + offset), offset + 1)
+        for offset in range(_NUM_TEMP_REGS):
+            rb.movi(GR(_FIRST_TEMP_REG + offset), offset + 3)
+        if traits.pointer_chase:
+            rb.movi(REG_CHAIN_BASE, self.pb.array_base("chain"))
+            rb.movi(REG_CHASE_INDEX, 0)
+
+        # -------------------------------------------------------- reset
+        rb.block("reset")
+        for name in self._array_order:
+            condition = self._conditions[name]
+            rb.movi(condition.pointer, self.pb.array_base(name))
+        rb.movi(REG_INDEX, 0)
+        # Prologue: conditions whose compares are software-pipelined one
+        # iteration ahead are evaluated here for element 0.
+        for index, spec in enumerate(traits.correlated_branches):
+            if spec.early_compare:
+                self._emit_load_and_compare(self._condition(f"corr{index}"))
+        for index, spec in enumerate(traits.easy_branches):
+            if spec.early_compare:
+                self._emit_load_and_compare(self._condition(f"easy{index}"))
+
+        # ----------------------------------------------------- iteration
+        rb.block("iter")
+        self._emit_filler(traits.filler_alu)
+        if traits.filler_fp:
+            self._emit_fp_filler(traits.filler_fp)
+        if traits.pointer_chase:
+            self._emit_pointer_chase()
+
+        for index in range(len(traits.hard_regions)):
+            self._emit_hard_region(index)
+        for index in range(len(traits.correlated_branches)):
+            self._emit_correlated_branch(index)
+        for index in range(len(traits.easy_branches)):
+            self._emit_easy_branch(index)
+        if traits.inner_loop_trips > 0:
+            self._emit_inner_loop()
+
+        # -------------------------------------------------------- latch
+        rb.block("latch")
+        for name in self._array_order:
+            condition = self._conditions[name]
+            rb.addi(condition.pointer, condition.pointer, 8)
+        # Software-pipelined conditions for the *next* iteration: computing
+        # them here, a full loop body ahead of their consuming branch, is
+        # what makes those branches early-resolved (their compare has long
+        # executed by the time the branch renames).
+        for index, spec in enumerate(traits.correlated_branches):
+            if spec.early_compare:
+                self._emit_load_and_compare(self._condition(f"corr{index}"))
+        for index, spec in enumerate(traits.easy_branches):
+            if spec.early_compare:
+                self._emit_load_and_compare(self._condition(f"easy{index}"))
+        rb.addi(REG_INDEX, REG_INDEX, 1)
+        rb.cmp(CompareRelation.LT, _LOOP_PR_TRUE, PR(0), REG_INDEX, REG_LENGTH)
+        rb.br_cond("iter", qp=_LOOP_PR_TRUE)
+
+        # -------------------------------------------------------- outer
+        rb.block("outer")
+        rb.addi(REG_OUTER, REG_OUTER, 1)
+        rb.cmp(CompareRelation.LT, _OUTER_PR_TRUE, PR(0), REG_OUTER, REG_OUTER_LIMIT)
+        rb.br_cond("reset", qp=_OUTER_PR_TRUE)
+
+        rb.block("done")
+        rb.br_ret()
+
+        program = self.pb.finish(layout=True)
+        program.metadata["workload"] = traits.name
+        program.metadata["category"] = traits.category
+        program.metadata["traits"] = traits
+        return program
+
+
+def build_program_from_traits(
+    traits: WorkloadTraits,
+    streams: Optional[ConditionStreams] = None,
+) -> Program:
+    """Build the (uncompiled) program for ``traits``.
+
+    The same function is used for both binary flavours; the compiler driver
+    applies (or does not apply) if-conversion afterwards.
+    """
+    if streams is None:
+        streams = generate_condition_streams(traits)
+    return _KernelBuilder(traits, streams).build()

@@ -1,0 +1,406 @@
+"""The 22 synthetic SPEC CPU2000-like benchmarks.
+
+Each entry mirrors one of the SPEC CPU2000 programs used by the paper
+(eleven integer, eleven floating-point).  The traits are chosen so that the
+*relative* branch behaviour is plausible for the program being mimicked —
+control-heavy integer codes (``twolf``, ``vpr``, ``crafty``, ``gcc``) carry
+several hard-to-predict regions and correlated branches, while loop-dominated
+floating-point codes (``swim``, ``mgrid``, ``applu``, ``lucas``) are almost
+entirely predictable — without claiming to reproduce the actual programs'
+algorithms.
+
+Calibration intent (not absolute-number matching):
+
+* baseline (non-if-converted) misprediction rates for the conventional
+  predictor span roughly 1–15 %, integer programs higher than floating
+  point, with ``twolf``/``vpr``/``crafty`` at the top — the spread Figure 5
+  shows;
+* every integer program has at least one small, genuinely hard region that
+  the profile-guided if-converter removes, plus one or more *remaining*
+  branches correlated with those removed conditions — the Figure 6
+  mechanism;
+* ``twolf`` uses an exclusive-or correlation, which no perceptron can
+  capture, to play the role of the paper's single exception benchmark.
+
+``build_workload(name)`` is deterministic: it always returns an identical
+program for a given name, which is what allows the evaluation to compile the
+same "source" twice (with and without if-conversion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.program.program import Program
+from repro.workloads.kernels import build_program_from_traits
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    RegionKind,
+    WorkloadTraits,
+)
+
+_H = HardRegionSpec
+_C = CorrelatedBranchSpec
+_E = EasyBranchSpec
+
+
+def _EZ(bias: float, body_size: int) -> EasyBranchSpec:
+    """An easy branch whose compare is software-pipelined one iteration ahead
+    (early-resolved under the predicate predictor)."""
+    return EasyBranchSpec(bias, body_size, early_compare=True)
+
+_HAM = RegionKind.HAMMOCK
+_DIA = RegionKind.DIAMOND
+_ESC = RegionKind.ESCAPE
+
+
+def _suite() -> Dict[str, WorkloadTraits]:
+    """Construct the full suite (kept in a function for readability)."""
+    suite: List[WorkloadTraits] = [
+        # ----------------------------------------------------------------
+        # Integer benchmarks
+        # ----------------------------------------------------------------
+        WorkloadTraits(
+            name="gzip",
+            category="int",
+            seed=101,
+            array_length=1024,
+            hard_regions=(_H(0.72, 5, _HAM), _H(0.68, 6, _DIA)),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=2, noise=0.10, early_compare=False),
+                _C(sources=(0, 1), op="or", lag=1, noise=0.08, early_compare=True),
+            ),
+            easy_branches=(_EZ(0.94, 3), _E(0.96, 2), _E(0.92, 3)),
+            filler_alu=6,
+            inner_loop_trips=3,
+        ),
+        WorkloadTraits(
+            name="vpr",
+            category="int",
+            seed=102,
+            array_length=1024,
+            hard_regions=(_H(0.66, 5, _HAM), _H(0.70, 4, _HAM), _H(0.20, 4, _ESC)),
+            correlated_branches=(
+                _C(sources=(1,), op="not", lag=1, noise=0.12, early_compare=False),
+                _C(sources=(0, 1), op="or", lag=1, noise=0.10, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.93, 3), _E(0.95, 2)),
+            filler_alu=7,
+        ),
+        WorkloadTraits(
+            name="gcc",
+            category="int",
+            seed=103,
+            array_length=2048,
+            hard_regions=(
+                _H(0.68, 6, _HAM, nested=True),
+                _H(0.72, 4, _HAM),
+            ),
+            correlated_branches=(
+                _C(sources=(0, 1), op="or", lag=2, noise=0.12, early_compare=False),
+                _C(sources=(1,), op="copy", lag=1, noise=0.08, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.95, 2), _E(0.93, 3), _E(0.96, 2)),
+            filler_alu=5,
+            inner_loop_trips=2,
+        ),
+        WorkloadTraits(
+            name="mcf",
+            category="int",
+            seed=104,
+            array_length=2048,
+            hard_regions=(_H(0.68, 4, _HAM), _H(0.22, 5, _ESC)),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=1, noise=0.10, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.94, 3), _E(0.95, 2)),
+            filler_alu=4,
+            pointer_chase=True,
+        ),
+        WorkloadTraits(
+            name="crafty",
+            category="int",
+            seed=105,
+            array_length=1024,
+            hard_regions=(
+                _H(0.68, 5, _HAM, nested=True),
+                _H(0.66, 5, _HAM),
+            ),
+            correlated_branches=(
+                _C(sources=(1,), op="copy", lag=1, noise=0.09, early_compare=False),
+                _C(sources=(0, 1), op="and", lag=1, noise=0.07, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.95, 3), _E(0.93, 2)),
+            filler_alu=8,
+            inner_loop_trips=2,
+        ),
+        WorkloadTraits(
+            name="parser",
+            category="int",
+            seed=106,
+            array_length=1024,
+            hard_regions=(_H(0.70, 5, _HAM), _H(0.65, 4, _HAM)),
+            correlated_branches=(
+                _C(sources=(0, 1), op="and", lag=2, noise=0.12, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.93, 3), _E(0.96, 2), _E(0.94, 2)),
+            filler_alu=6,
+            inner_loop_trips=3,
+        ),
+        WorkloadTraits(
+            name="perlbmk",
+            category="int",
+            seed=107,
+            array_length=1024,
+            hard_regions=(_H(0.68, 6, _HAM, nested=True), _H(0.72, 4, _DIA)),
+            correlated_branches=(
+                _C(sources=(0, 1), op="or", lag=1, noise=0.09, early_compare=True),
+            ),
+            easy_branches=(_EZ(0.95, 3), _E(0.94, 2), _E(0.97, 2)),
+            filler_alu=7,
+            inner_loop_trips=2,
+        ),
+        WorkloadTraits(
+            name="gap",
+            category="int",
+            seed=108,
+            array_length=1024,
+            hard_regions=(_H(0.78, 5, _HAM),),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=1, noise=0.08, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.95, 3), _E(0.96, 3), _E(0.94, 2)),
+            filler_alu=8,
+            inner_loop_trips=3,
+        ),
+        WorkloadTraits(
+            name="vortex",
+            category="int",
+            seed=109,
+            array_length=1024,
+            hard_regions=(_H(0.84, 4, _HAM),),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=1, noise=0.05, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.97, 3), _E(0.96, 2), _E(0.95, 2), _E(0.96, 2)),
+            filler_alu=9,
+            inner_loop_trips=4,
+        ),
+        WorkloadTraits(
+            name="bzip2",
+            category="int",
+            seed=110,
+            array_length=1024,
+            hard_regions=(_H(0.68, 5, _HAM), _H(0.62, 4, _DIA)),
+            correlated_branches=(
+                _C(sources=(1,), op="copy", lag=3, noise=0.11, early_compare=False),
+                _C(sources=(0, 1), op="or", lag=1, noise=0.09, early_compare=True),
+            ),
+            easy_branches=(_EZ(0.94, 3), _E(0.95, 2)),
+            filler_alu=6,
+            inner_loop_trips=2,
+        ),
+        WorkloadTraits(
+            name="twolf",
+            category="int",
+            seed=111,
+            array_length=1024,
+            hard_regions=(_H(0.62, 5, _HAM), _H(0.60, 5, _HAM), _H(0.66, 4, _DIA)),
+            correlated_branches=(
+                # The paper's exception benchmark: an exclusive-or of two
+                # same-iteration hard conditions is not linearly separable,
+                # so neither predictor captures it, and the predicate
+                # predictor's extra negative effects leave it slightly behind.
+                _C(sources=(0, 1), op="xor", lag=0, noise=0.05, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.93, 2), _E(0.92, 2)),
+            filler_alu=5,
+        ),
+        # ----------------------------------------------------------------
+        # Floating-point benchmarks
+        # ----------------------------------------------------------------
+        WorkloadTraits(
+            name="wupwise",
+            category="fp",
+            seed=201,
+            array_length=1024,
+            hard_regions=(_H(0.75, 4, _HAM),),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=1, noise=0.06, early_compare=True),
+            ),
+            easy_branches=(_EZ(0.96, 2),),
+            filler_alu=4,
+            filler_fp=6,
+            inner_loop_trips=4,
+        ),
+        WorkloadTraits(
+            name="swim",
+            category="fp",
+            seed=202,
+            array_length=1024,
+            hard_regions=(),
+            correlated_branches=(),
+            easy_branches=(_EZ(0.97, 2), _E(0.96, 3)),
+            filler_alu=3,
+            filler_fp=10,
+            inner_loop_trips=8,
+        ),
+        WorkloadTraits(
+            name="mgrid",
+            category="fp",
+            seed=203,
+            array_length=1024,
+            hard_regions=(),
+            correlated_branches=(),
+            easy_branches=(_EZ(0.97, 2),),
+            filler_alu=3,
+            filler_fp=12,
+            inner_loop_trips=8,
+        ),
+        WorkloadTraits(
+            name="applu",
+            category="fp",
+            seed=204,
+            array_length=1024,
+            hard_regions=(_H(0.85, 3, _HAM),),
+            correlated_branches=(),
+            easy_branches=(_EZ(0.96, 2), _E(0.97, 2)),
+            filler_alu=4,
+            filler_fp=9,
+            inner_loop_trips=6,
+        ),
+        WorkloadTraits(
+            name="mesa",
+            category="fp",
+            seed=205,
+            array_length=1024,
+            hard_regions=(_H(0.70, 4, _HAM), _H(0.78, 4, _HAM)),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=1, noise=0.08, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.95, 3), _E(0.96, 2)),
+            filler_alu=5,
+            filler_fp=5,
+            inner_loop_trips=2,
+        ),
+        WorkloadTraits(
+            name="art",
+            category="fp",
+            seed=206,
+            array_length=2048,
+            hard_regions=(_H(0.68, 4, _HAM), _H(0.25, 4, _ESC)),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=1, noise=0.09, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.94, 2), _E(0.95, 2)),
+            filler_alu=4,
+            filler_fp=6,
+            pointer_chase=True,
+        ),
+        WorkloadTraits(
+            name="equake",
+            category="fp",
+            seed=207,
+            array_length=1024,
+            hard_regions=(_H(0.75, 4, _HAM),),
+            correlated_branches=(
+                _C(sources=(0,), op="not", lag=1, noise=0.06, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.96, 2),),
+            filler_alu=4,
+            filler_fp=7,
+            inner_loop_trips=4,
+        ),
+        WorkloadTraits(
+            name="facerec",
+            category="fp",
+            seed=208,
+            array_length=1024,
+            hard_regions=(_H(0.72, 4, _HAM),),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=2, noise=0.09, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.95, 2), _E(0.96, 2)),
+            filler_alu=5,
+            filler_fp=6,
+            inner_loop_trips=2,
+        ),
+        WorkloadTraits(
+            name="ammp",
+            category="fp",
+            seed=209,
+            array_length=1024,
+            hard_regions=(_H(0.72, 4, _HAM), _H(0.78, 3, _HAM)),
+            correlated_branches=(
+                _C(sources=(0, 1), op="and", lag=1, noise=0.10, early_compare=False),
+            ),
+            easy_branches=(_EZ(0.95, 2), _E(0.96, 2)),
+            filler_alu=5,
+            filler_fp=6,
+            inner_loop_trips=2,
+        ),
+        WorkloadTraits(
+            name="lucas",
+            category="fp",
+            seed=210,
+            array_length=1024,
+            hard_regions=(),
+            correlated_branches=(),
+            easy_branches=(_EZ(0.97, 2), _E(0.96, 2)),
+            filler_alu=3,
+            filler_fp=11,
+            inner_loop_trips=6,
+        ),
+        WorkloadTraits(
+            name="apsi",
+            category="fp",
+            seed=211,
+            array_length=1024,
+            hard_regions=(_H(0.76, 4, _HAM),),
+            correlated_branches=(
+                _C(sources=(0,), op="copy", lag=1, noise=0.07, early_compare=True),
+            ),
+            easy_branches=(_EZ(0.96, 2), _E(0.95, 2)),
+            filler_alu=4,
+            filler_fp=8,
+            inner_loop_trips=4,
+        ),
+    ]
+    return {traits.name: traits for traits in suite}
+
+
+#: The full suite, keyed by benchmark name.
+SPEC_SUITE: Dict[str, WorkloadTraits] = _suite()
+
+
+def workload_names() -> List[str]:
+    """All 22 benchmark names (integer first, then floating point)."""
+    return list(SPEC_SUITE)
+
+
+def integer_workload_names() -> List[str]:
+    return [name for name, traits in SPEC_SUITE.items() if traits.category == "int"]
+
+
+def fp_workload_names() -> List[str]:
+    return [name for name, traits in SPEC_SUITE.items() if traits.category == "fp"]
+
+
+def workload_traits(name: str) -> WorkloadTraits:
+    try:
+        return SPEC_SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(SPEC_SUITE)}"
+        ) from None
+
+
+def build_workload(name: str) -> Program:
+    """Build the (uncompiled) program for benchmark ``name``.
+
+    Deterministic: repeated calls return structurally identical programs
+    driven by identical data.
+    """
+    return build_program_from_traits(workload_traits(name))

@@ -1,0 +1,160 @@
+"""Workload trait descriptions.
+
+A :class:`WorkloadTraits` instance fully determines a synthetic benchmark:
+the branch population (how many hard regions, which branches correlate with
+which, how biased the easy branches are), the amount of straight-line work
+between branches, and the data-set size.  The 22 instances mimicking the
+SPEC CPU2000 programs live in :mod:`repro.workloads.spec_suite`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class RegionKind(enum.Enum):
+    """Shape of the region a hard branch guards."""
+
+    HAMMOCK = "hammock"
+    DIAMOND = "diamond"
+    ESCAPE = "escape"
+
+
+@dataclass(frozen=True)
+class HardRegionSpec:
+    """A hard-to-predict branch guarding a small, if-convertible region.
+
+    ``bias`` is the probability that the condition is true (the region body
+    executes).  The region is kept small so the profile-guided if-converter
+    removes the branch in the if-converted binary.
+    """
+
+    bias: float = 0.55
+    body_size: int = 4
+    kind: RegionKind = RegionKind.HAMMOCK
+    #: When true the region body contains a second, inner hammock guarded by
+    #: its own hard condition — converting it produces the nested
+    #: ``cmp.unc`` + guarded-code shape of Figure 1b.
+    nested: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bias < 1.0:
+            raise ValueError("bias must be strictly between 0 and 1")
+        if self.body_size < 1:
+            raise ValueError("body_size must be positive")
+
+
+@dataclass(frozen=True)
+class CorrelatedBranchSpec:
+    """A branch whose condition is a boolean function of hard conditions.
+
+    ``sources`` are indices into the workload's ``hard_regions`` list;
+    ``lag`` expresses how many loop iterations back the source conditions are
+    taken from (lagged correlation is what a global-history predictor can
+    exploit reliably); ``noise`` is the probability that the constructed
+    condition is flipped.  The guarded body is made larger than the
+    if-converter's region limit, so the branch *remains* after if-conversion
+    — these are the branches whose accuracy the paper's Figure 6 measures.
+
+    ``early_compare`` controls code placement: when true, the condition's
+    compare is emitted at the top of the loop iteration, far ahead of the
+    branch, giving the predicate predictor an early-resolved branch; when
+    false the compare sits right next to the branch.
+    """
+
+    sources: Tuple[int, ...] = (0,)
+    op: str = "and"  # "and" | "or" | "copy" | "not" | "majority" | "xor"
+    lag: int = 1
+    noise: float = 0.05
+    early_compare: bool = True
+    body_size: int = 20
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or", "copy", "not", "majority", "xor"):
+            raise ValueError(f"unknown correlation op {self.op!r}")
+        if not self.sources:
+            raise ValueError("correlated branch needs at least one source")
+        if self.lag < 0:
+            raise ValueError("lag must be non-negative")
+        if not 0.0 <= self.noise < 0.5:
+            raise ValueError("noise must be in [0, 0.5)")
+
+
+@dataclass(frozen=True)
+class EasyBranchSpec:
+    """A well-biased branch (kept by if-conversion because it is easy).
+
+    ``early_compare`` software-pipelines the condition's compare one loop
+    iteration ahead of the branch, exactly like
+    :class:`CorrelatedBranchSpec.early_compare`: such branches become
+    early-resolved under the predicate predictor while remaining ordinary
+    (occasionally mispredicted) branches for a conventional predictor — the
+    source of the paper's Figure 5 improvement on non-if-converted code.
+    """
+
+    bias: float = 0.95
+    body_size: int = 3
+    early_compare: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.bias < 1.0:
+            raise ValueError("easy-branch bias must be in [0.5, 1.0)")
+
+
+@dataclass(frozen=True)
+class WorkloadTraits:
+    """Complete description of one synthetic benchmark."""
+
+    name: str
+    category: str  # "int" | "fp"
+    seed: int
+    array_length: int = 1024
+    outer_iterations: int = 10_000
+    hard_regions: Tuple[HardRegionSpec, ...] = ()
+    correlated_branches: Tuple[CorrelatedBranchSpec, ...] = ()
+    easy_branches: Tuple[EasyBranchSpec, ...] = ()
+    #: Straight-line integer filler operations at the top of each iteration.
+    filler_alu: int = 6
+    #: Straight-line floating-point filler operations per iteration.
+    filler_fp: int = 0
+    #: Trip count of an inner, perfectly-predictable loop (0 disables it).
+    inner_loop_trips: int = 0
+    #: Add a pointer-chasing chain (mcf/art-like memory behaviour).
+    pointer_chase: bool = False
+
+    def __post_init__(self) -> None:
+        if self.category not in ("int", "fp"):
+            raise ValueError("category must be 'int' or 'fp'")
+        if self.array_length < 16:
+            raise ValueError("array_length too small")
+        for spec in self.correlated_branches:
+            for source in spec.sources:
+                if not 0 <= source < len(self.hard_regions):
+                    raise ValueError(
+                        f"{self.name}: correlated branch references hard region "
+                        f"{source}, but only {len(self.hard_regions)} exist"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def condition_count(self) -> int:
+        """Total number of distinct data-driven conditions."""
+        return (
+            len(self.hard_regions)
+            + len(self.correlated_branches)
+            + len(self.easy_branches)
+        )
+
+    @property
+    def is_floating_point(self) -> bool:
+        return self.category == "fp"
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} ({self.category}): {len(self.hard_regions)} hard regions, "
+            f"{len(self.correlated_branches)} correlated branches, "
+            f"{len(self.easy_branches)} easy branches, "
+            f"array={self.array_length}"
+        )

@@ -1,0 +1,271 @@
+"""Tests for the if-conversion pass."""
+
+from repro.compiler.if_conversion import IfConversionOptions, IfConversionPass
+from repro.compiler.profiler import profile_program
+from repro.emulator import Emulator
+from repro.isa import GR, PR, CompareRelation, CompareType
+from repro.isa.branches import BranchInstruction
+from repro.isa.compare import CompareInstruction
+from repro.program import ProgramBuilder, validate_program
+
+from tests.conftest import build_counting_loop, build_diamond_program
+
+
+def _run_registers(program, registers, budget=20_000):
+    emulator = Emulator(program)
+    list(emulator.run(budget))
+    return [emulator.state.general[r] for r in registers]
+
+
+def _convert(program, ignore_profile=True, max_passes=2, bias_threshold=0.925):
+    options = IfConversionOptions(
+        ignore_profile=ignore_profile,
+        max_passes=max_passes,
+        bias_threshold=bias_threshold,
+    )
+    profile = None
+    if not ignore_profile:
+        profile = profile_program(program, 20_000)
+    converter = IfConversionPass(options, profile)
+    report = converter.run(program)
+    program.layout()
+    validate_program(program)
+    return report
+
+
+def _escape_program(values=None):
+    """A loop containing an escape hammock ("continue"-style jump).
+
+    The escape side skips the rest of the iteration (the ``tail`` block), so
+    its jump leaves the region instead of re-joining at the branch's taken
+    successor — the Figure 1a shape.
+    """
+    values = values if values is not None else [1, 9, 2, 8, 3, 7, 4, 6]
+    pb = ProgramBuilder("escape")
+    base = pb.array("data", values)
+    rb = pb.routine("main")
+    rb.block("entry")
+    rb.movi(GR(10), base)
+    rb.movi(GR(11), 0)
+    rb.movi(GR(12), len(values))
+    rb.movi(GR(20), 0)
+    rb.movi(GR(21), 0)
+    rb.movi(GR(23), 0)
+    rb.block("loop")
+    rb.load(GR(14), GR(10))
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(14), 5)
+    rb.br_cond("cont", qp=PR(7))
+    rb.block("esc")
+    rb.addi(GR(20), GR(20), 1)
+    rb.br("latch")
+    rb.block("cont")
+    rb.addi(GR(21), GR(21), 1)
+    rb.block("tail")
+    rb.addi(GR(23), GR(23), 1)
+    rb.block("latch")
+    rb.addi(GR(10), GR(10), 8)
+    rb.addi(GR(11), GR(11), 1)
+    rb.cmp(CompareRelation.LT, PR(8), PR(9), GR(11), GR(12))
+    rb.br_cond("loop", qp=PR(8))
+    rb.block("exit")
+    rb.br_ret()
+    program = pb.finish()
+    validate_program(program)
+    highs = sum(1 for v in values if v > 5)
+    return program, highs, len(values) - highs
+
+
+class TestHammockConversion:
+    def test_branch_removed_and_body_guarded(self):
+        program, _ = build_counting_loop()
+        # Build a fresh hammock program (counting loop has predication, not a
+        # hammock) — use the diamond fixture head with a single side instead.
+        program, highs, lows = build_diamond_program()
+        report = _convert(program)
+        assert report.total_converted >= 1
+        assert report.removed_branches
+
+    def test_semantics_preserved_for_diamond(self):
+        before, highs, lows = build_diamond_program()
+        assert _run_registers(before, [20, 21]) == [highs, lows]
+        after, _, _ = build_diamond_program()
+        _convert(after)
+        assert _run_registers(after, [20, 21]) == [highs, lows]
+
+    def test_diamond_sides_guarded_with_complementary_predicates(self):
+        program, _, _ = build_diamond_program()
+        _convert(program)
+        routine = program.routine("main")
+        guarded = [i for i in routine.instructions() if i.is_predicated and not i.is_branch]
+        guards = {i.qp.index for i in guarded if not i.is_compare}
+        assert len(guards) == 2  # then-side and else-side guards differ
+
+    def test_p0_target_rewritten_when_complement_needed(self):
+        # The diamond fixture uses two real targets already; build a hammock
+        # whose compare uses p0 as the second target.
+        pb = ProgramBuilder("p0-compl")
+        values = [1, 9, 2, 8]
+        base = pb.array("data", values)
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(10), base)
+        rb.movi(GR(11), 0)
+        rb.movi(GR(12), len(values))
+        rb.movi(GR(20), 0)
+        rb.block("loop")
+        rb.load(GR(14), GR(10))
+        rb.cmp(CompareRelation.LE, PR(6), PR(0), GR(14), 5)  # p6 = (v <= 5)
+        rb.br_cond("skip", qp=PR(6))
+        rb.block("body")
+        rb.addi(GR(20), GR(20), 1)
+        rb.block("skip")
+        rb.addi(GR(10), GR(10), 8)
+        rb.addi(GR(11), GR(11), 1)
+        rb.cmp(CompareRelation.LT, PR(8), PR(9), GR(11), GR(12))
+        rb.br_cond("loop", qp=PR(8))
+        rb.block("exit")
+        rb.br_ret()
+        program = pb.finish()
+        expected = sum(1 for v in values if v > 5)
+        assert _run_registers(program, [20]) == [expected]
+
+        program2 = program  # rebuild identical program for conversion
+        pb2 = ProgramBuilder("p0-compl-2")
+        # Re-running the same construction is tedious; instead convert the
+        # original and re-check semantics on a fresh emulator run.
+        report = _convert(program2)
+        assert report.total_converted == 1
+        compare = next(
+            i
+            for i in program2.routine("main").instructions()
+            if isinstance(i, CompareInstruction) and i.relation is CompareRelation.LE
+        )
+        assert not compare.pf.is_hardwired  # p0 target was rewritten
+        assert _run_registers(program2, [20]) == [expected]
+
+
+class TestEscapeConversion:
+    def test_escape_converted_to_region_branch(self):
+        program, highs, lows = _escape_program()
+        report = _convert(program)
+        assert report.converted_escapes == 1
+        assert report.region_branches_created >= 1
+        region_branches = [
+            i
+            for i in program.routine("main").instructions()
+            if isinstance(i, BranchInstruction) and i.is_predicated
+        ]
+        assert region_branches, "expected a guarded region branch"
+
+    def test_escape_semantics_preserved(self):
+        reference, highs, lows = _escape_program()
+        assert _run_registers(reference, [20, 21]) == [lows, highs]
+        converted, _, _ = _escape_program()
+        _convert(converted)
+        assert _run_registers(converted, [20, 21]) == [lows, highs]
+
+
+class TestNestedConversion:
+    def _nested_program(self, values_outer=None, values_inner=None):
+        values_outer = values_outer or [1, 9, 2, 8, 3, 7]
+        values_inner = values_inner or [9, 1, 8, 2, 7, 3]
+        pb = ProgramBuilder("nested")
+        base_a = pb.array("a", values_outer)
+        base_b = pb.array("b", values_inner)
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(10), base_a)
+        rb.movi(GR(15), base_b)
+        rb.movi(GR(11), 0)
+        rb.movi(GR(12), len(values_outer))
+        rb.movi(GR(20), 0)
+        rb.block("loop")
+        rb.load(GR(14), GR(10))
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(14), 5)
+        rb.br_cond("outer_skip", qp=PR(7))
+        rb.block("outer_body")
+        rb.load(GR(16), GR(15))
+        rb.cmp(CompareRelation.GT, PR(10), PR(11), GR(16), 5)
+        rb.br_cond("inner_skip", qp=PR(11))
+        rb.block("inner_body")
+        rb.addi(GR(20), GR(20), 1)
+        rb.block("inner_skip")
+        rb.block("outer_skip")
+        rb.addi(GR(10), GR(10), 8)
+        rb.addi(GR(15), GR(15), 8)
+        rb.addi(GR(11), GR(11), 1)
+        rb.cmp(CompareRelation.LT, PR(8), PR(9), GR(11), GR(12))
+        rb.br_cond("loop", qp=PR(8))
+        rb.block("exit")
+        rb.br_ret()
+        program = pb.finish()
+        expected = sum(
+            1 for a, b in zip(values_outer, values_inner) if a > 5 and b > 5
+        )
+        return program, expected
+
+    def test_nested_regions_converted_with_unc_compare(self):
+        program, expected = self._nested_program()
+        report = _convert(program, max_passes=3)
+        assert report.total_converted >= 2
+        unc_compares = [
+            i
+            for i in program.routine("main").instructions()
+            if isinstance(i, CompareInstruction) and i.ctype is CompareType.UNC
+        ]
+        assert unc_compares, "nested conversion must produce cmp.unc (Figure 1b)"
+        assert all(i.is_predicated for i in unc_compares)
+
+    def test_nested_semantics_preserved(self):
+        program, expected = self._nested_program()
+        _convert(program, max_passes=3)
+        assert _run_registers(program, [20]) == [expected]
+
+
+class TestProfileGating:
+    def test_biased_branch_not_converted(self):
+        # All values high: the data branch is ~100% biased, so a
+        # profile-guided pass must leave it alone.
+        program, _, _ = build_diamond_program([9, 9, 9, 9, 9, 9, 9, 9])
+        report = _convert(program, ignore_profile=False, bias_threshold=0.9)
+        assert report.total_converted == 0
+        assert report.rejected_by_profile >= 1
+
+    def test_hard_branch_converted_with_profile(self):
+        program, _, _ = build_diamond_program()
+        report = _convert(program, ignore_profile=False, bias_threshold=0.925)
+        assert report.total_converted >= 1
+
+    def test_oversized_region_rejected(self):
+        pb = ProgramBuilder("big")
+        values = [1, 9] * 4
+        base = pb.array("data", values)
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(10), base)
+        rb.movi(GR(11), 0)
+        rb.movi(GR(12), len(values))
+        rb.block("loop")
+        rb.load(GR(14), GR(10))
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(14), 5)
+        rb.br_cond("skip", qp=PR(7))
+        rb.block("body")
+        for _ in range(30):
+            rb.addi(GR(20), GR(20), 1)
+        rb.block("skip")
+        rb.addi(GR(10), GR(10), 8)
+        rb.addi(GR(11), GR(11), 1)
+        rb.cmp(CompareRelation.LT, PR(8), PR(9), GR(11), GR(12))
+        rb.br_cond("loop", qp=PR(8))
+        rb.block("exit")
+        rb.br_ret()
+        program = pb.finish()
+        report = _convert(program, ignore_profile=True)
+        assert report.total_converted == 0
+        assert report.rejected_by_shape >= 1
+
+    def test_metadata_recorded(self):
+        program, _, _ = build_diamond_program()
+        _convert(program)
+        assert program.metadata["if_converted"] is True
+        assert program.metadata["if_conversion_report"].total_converted >= 1

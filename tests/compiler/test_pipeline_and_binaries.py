@@ -1,0 +1,61 @@
+"""Tests for the compile driver and the binary-pair factory."""
+
+from repro.compiler.binaries import BinaryFactory
+from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.emulator import Emulator, trace_statistics
+from repro.workloads import build_workload
+
+from tests.conftest import build_diamond_program
+
+
+class TestCompileProgram:
+    def test_baseline_options_do_not_if_convert(self):
+        program, _, _ = build_diamond_program()
+        compile_program(program, CompilerOptions.baseline())
+        assert program.metadata["predication_enabled"] is False
+        assert "if_converted" not in program.metadata
+
+    def test_if_converted_options_convert(self):
+        program, _, _ = build_diamond_program()
+        compile_program(program, CompilerOptions.if_converted())
+        assert program.metadata["predication_enabled"] is True
+        assert program.metadata["if_conversion_report"].total_converted >= 1
+
+    def test_scheduling_runs_by_default(self):
+        program, _, _ = build_diamond_program()
+        compile_program(program, CompilerOptions.baseline())
+        assert program.metadata.get("scheduled") is True
+
+    def test_program_laid_out_and_valid(self):
+        program, _, _ = build_diamond_program()
+        compile_program(program, CompilerOptions.if_converted())
+        assert program.laid_out
+
+
+class TestBinaryFactory:
+    def test_pair_has_both_flavours(self):
+        factory = BinaryFactory(profile_budget=4_000)
+        pair = factory.build_pair("gzip", lambda: build_workload("gzip"))
+        assert pair.baseline.metadata["predication_enabled"] is False
+        assert pair.if_converted.metadata["predication_enabled"] is True
+        assert pair.removed_branches >= 1
+
+    def test_if_conversion_reduces_branch_count_and_adds_nullification(self):
+        factory = BinaryFactory(profile_budget=4_000)
+        pair = factory.build_pair("gzip", lambda: build_workload("gzip"))
+        budget = 6_000
+        base_stats = trace_statistics(list(Emulator(pair.baseline).run(budget)))
+        conv_stats = trace_statistics(list(Emulator(pair.if_converted).run(budget)))
+        assert (
+            conv_stats.conditional_branch_fraction
+            < base_stats.conditional_branch_fraction
+        )
+        assert conv_stats.nullification_rate > base_stats.nullification_rate
+
+    def test_binaries_are_deterministic(self):
+        factory = BinaryFactory(profile_budget=4_000)
+        first = factory.build_baseline("swim", lambda: build_workload("swim"))
+        second = factory.build_baseline("swim", lambda: build_workload("swim"))
+        first_ops = [i.opcode for i in first.instructions()]
+        second_ops = [i.opcode for i in second.instructions()]
+        assert first_ops == second_ops

@@ -1,0 +1,58 @@
+"""Tests for predicate register allocation."""
+
+import pytest
+
+from repro.compiler.predicate_alloc import PredicateAllocationError, PredicateAllocator
+from repro.isa import GR, PR, CompareRelation
+from repro.isa.registers import NUM_PREDICATE_REGISTERS
+from repro.program import ProgramBuilder
+
+
+def _routine_using(*indices):
+    pb = ProgramBuilder("alloc")
+    rb = pb.routine("main")
+    rb.block("entry")
+    for i in indices:
+        rb.cmp(CompareRelation.GT, PR(i), PR(0), GR(1), 0)
+    rb.br_ret()
+    return rb.routine
+
+
+class TestPredicateAllocator:
+    def test_allocates_unused_register(self):
+        allocator = PredicateAllocator(_routine_using(6, 7, 8))
+        fresh = allocator.allocate()
+        assert fresh.index not in (0, 6, 7, 8)
+
+    def test_skips_registers_used_as_guards(self):
+        pb = ProgramBuilder("alloc")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 1, qp=PR(9))
+        rb.br_ret()
+        allocator = PredicateAllocator(rb.routine)
+        for _ in range(10):
+            assert allocator.allocate().index != 9
+
+    def test_successive_allocations_distinct(self):
+        allocator = PredicateAllocator(_routine_using(6))
+        allocated = {allocator.allocate().index for _ in range(10)}
+        assert len(allocated) == 10
+
+    def test_mark_used(self):
+        allocator = PredicateAllocator(_routine_using())
+        allocator.mark_used(PR(10))
+        assert all(allocator.allocate().index != 10 for _ in range(5))
+
+    def test_exhaustion_raises(self):
+        allocator = PredicateAllocator(_routine_using())
+        for _ in range(NUM_PREDICATE_REGISTERS - 1):  # p0 reserved
+            allocator.allocate()
+        with pytest.raises(PredicateAllocationError):
+            allocator.allocate()
+
+    def test_used_count(self):
+        allocator = PredicateAllocator(_routine_using(6, 7))
+        before = allocator.used_count
+        allocator.allocate()
+        assert allocator.used_count == before + 1

@@ -1,0 +1,56 @@
+"""Tests for the branch profiler."""
+
+from repro.compiler.profiler import profile_program
+from repro.isa.branches import BranchInstruction
+
+from tests.conftest import build_counting_loop, build_diamond_program
+
+
+class TestProfiler:
+    def test_execution_counts(self):
+        program, _ = build_counting_loop()
+        profile = profile_program(program, budget=10_000)
+        assert profile.profiled_instructions > 0
+        # Exactly one conditional branch site (the loop-back branch).
+        assert len(profile.sites) == 1
+        site = next(iter(profile.sites.values()))
+        assert site.executions == 8
+        assert site.taken == 7
+
+    def test_bias_computation(self):
+        program, _, _ = build_diamond_program()
+        profile = profile_program(program, budget=10_000)
+        biases = sorted(site.bias for site in profile.sites.values())
+        assert biases[0] < 0.9      # the data-dependent branch
+        assert biases[-1] >= 0.85   # the loop-back branch
+
+    def test_hard_branches_selection(self):
+        program, _, _ = build_diamond_program()
+        profile = profile_program(program, budget=10_000)
+        hard = profile.hard_branches(bias_threshold=0.85, min_executions=4)
+        assert len(hard) == 1
+
+    def test_lookup_by_instruction(self):
+        program, _ = build_counting_loop()
+        profile = profile_program(program, budget=10_000)
+        branch = next(
+            i
+            for i in program.instructions()
+            if isinstance(i, BranchInstruction) and i.is_conditional
+        )
+        assert profile.lookup(branch) is not None
+
+    def test_unknown_branch_lookup_returns_none(self):
+        program, _ = build_counting_loop()
+        profile = profile_program(program, budget=100)
+        foreign = BranchInstruction.__new__(BranchInstruction)
+        # lookup only needs .uid
+        foreign.uid = 10**9
+        assert profile.lookup(foreign) is None
+
+    def test_empty_site_defaults(self):
+        from repro.compiler.profiler import BranchSiteProfile
+
+        site = BranchSiteProfile()
+        assert site.taken_rate == 0.0
+        assert site.bias == 1.0

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Allow running the tests without installing the package (e.g. straight from
+# a source checkout): put src/ on the path if the package is not importable.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover
+        sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.isa import GR, PR, CompareRelation
+from repro.program import ProgramBuilder, validate_program
+
+
+def build_counting_loop(n_values=None, threshold=4):
+    """A small loop that sums array elements greater than ``threshold``.
+
+    Returns ``(program, expected_sum)``.  Used by emulator, pipeline and
+    scheme tests as a well-understood, fully deterministic workload.
+    """
+    values = n_values if n_values is not None else [1, 5, 2, 7, 3, 9, 4, 0]
+    pb = ProgramBuilder("counting-loop")
+    base = pb.array("data", values)
+    rb = pb.routine("main")
+    rb.block("entry")
+    rb.movi(GR(10), base)
+    rb.movi(GR(11), 0)
+    rb.movi(GR(12), len(values))
+    rb.movi(GR(13), 0)
+    rb.block("loop")
+    rb.load(GR(14), GR(10))
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(14), threshold)
+    rb.add(GR(13), GR(13), GR(14), qp=PR(6))
+    rb.addi(GR(10), GR(10), 8)
+    rb.addi(GR(11), GR(11), 1)
+    rb.cmp(CompareRelation.LT, PR(8), PR(9), GR(11), GR(12))
+    rb.br_cond("loop", qp=PR(8))
+    rb.block("exit")
+    rb.br_ret()
+    program = pb.finish()
+    validate_program(program)
+    expected = sum(v for v in values if v > threshold)
+    return program, expected
+
+
+def build_diamond_program(values=None):
+    """A loop with an if-then-else diamond: r20 counts highs, r21 counts lows.
+
+    Returns ``(program, expected_high_count, expected_low_count)``.
+    """
+    values = values if values is not None else [3, 9, 1, 8, 7, 2, 6, 5, 0, 4]
+    pb = ProgramBuilder("diamond")
+    base = pb.array("data", values)
+    rb = pb.routine("main")
+    rb.block("entry")
+    rb.movi(GR(10), base)
+    rb.movi(GR(11), 0)
+    rb.movi(GR(12), len(values))
+    rb.movi(GR(20), 0)
+    rb.movi(GR(21), 0)
+    rb.block("loop")
+    rb.load(GR(14), GR(10))
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(14), 5)
+    rb.br_cond("else_side", qp=PR(7))
+    rb.block("then_side")
+    rb.addi(GR(20), GR(20), 1)
+    rb.br("join")
+    rb.block("else_side")
+    rb.addi(GR(21), GR(21), 1)
+    rb.block("join")
+    rb.addi(GR(10), GR(10), 8)
+    rb.addi(GR(11), GR(11), 1)
+    rb.cmp(CompareRelation.LT, PR(8), PR(9), GR(11), GR(12))
+    rb.br_cond("loop", qp=PR(8))
+    rb.block("exit")
+    rb.br_ret()
+    program = pb.finish()
+    validate_program(program)
+    highs = sum(1 for v in values if v > 5)
+    lows = len(values) - highs
+    return program, highs, lows
+
+
+@pytest.fixture
+def counting_loop():
+    return build_counting_loop()
+
+
+@pytest.fixture
+def diamond_program():
+    return build_diamond_program()

@@ -1,0 +1,153 @@
+"""Tests for the predicate-prediction scheme (the paper's proposal)."""
+
+from repro.compiler.if_conversion import IfConversionOptions, IfConversionPass
+from repro.core import PredicatePredictionScheme
+from repro.core.predicate_scheme import PredicateSchemeOptions
+from repro.emulator import Emulator
+from repro.isa import GR, PR, CompareRelation
+from repro.pipeline import OutOfOrderCore
+from repro.program import ProgramBuilder, validate_program
+
+from tests.conftest import build_counting_loop, build_diamond_program
+
+
+def _run(program, scheme, budget=4_000):
+    return OutOfOrderCore().run(Emulator(program).run(budget), scheme, program.name)
+
+
+def _early_resolved_program(iterations=64):
+    """A loop whose branch guard is computed a long time before the branch.
+
+    The compare is separated from its consuming branch by a long chain of
+    dependent floating-point operations.  The chain throttles the rename
+    stage (through reorder-buffer pressure) without occupying the integer
+    issue queue, so the compare always executes well before the branch
+    renames: nearly every instance must be early-resolved.
+    """
+    from repro.isa.registers import FR
+
+    pb = ProgramBuilder("early")
+    rb = pb.routine("main")
+    rb.block("entry")
+    rb.movi(GR(1), 0)
+    rb.movi(GR(2), iterations)
+    rb.block("loop")
+    rb.addi(GR(1), GR(1), 1)
+    rb.cmp(CompareRelation.LT, PR(6), PR(7), GR(1), GR(2))
+    for _ in range(12):  # long dependent FP chain between compare and branch
+        rb.fmul(FR(33), FR(33), FR(34))
+        rb.fadd(FR(33), FR(33), FR(35))
+    rb.br_cond("loop", qp=PR(6))
+    rb.block("exit")
+    rb.br_ret()
+    program = pb.finish()
+    validate_program(program)
+    return program
+
+
+class TestBranchPrediction:
+    def test_records_per_branch(self, diamond_program):
+        program, _, _ = diamond_program
+        scheme = PredicatePredictionScheme()
+        result = _run(program, scheme)
+        assert scheme.accuracy.branches == result.metrics.conditional_branches
+
+    def test_early_resolved_branches_always_correct(self):
+        program = _early_resolved_program()
+        scheme = PredicatePredictionScheme()
+        _run(program, scheme, budget=3_000)
+        records = scheme.accuracy.records
+        early = [r for r in records if r.early_resolved]
+        assert early, "expected early-resolved branches"
+        assert all(not r.mispredicted for r in early)
+        # With a 12-instruction dependent chain, essentially every branch
+        # should be early-resolved.
+        assert len(early) / len(records) > 0.9
+
+    def test_predictions_consumed_when_compare_adjacent(self, diamond_program):
+        program, _, _ = diamond_program
+        scheme = PredicatePredictionScheme()
+        _run(program, scheme)
+        assert scheme.counters.get("branches_used_prediction") > 0
+        assert scheme.counters.get("predicate_predictions") > 0
+
+    def test_history_repair_happens_on_wrong_predictions(self, diamond_program):
+        program, _, _ = diamond_program
+        scheme = PredicatePredictionScheme()
+        _run(program, scheme)
+        # The diamond's data branch is effectively random, so some predictions
+        # are wrong and their history bits must be repaired at writeback.
+        assert scheme.counters.get("predicate_predictions_wrong") > 0
+        assert scheme.counters.get("history_repairs_at_writeback") > 0
+
+    def test_first_level_can_be_disabled(self, diamond_program):
+        program, _, _ = diamond_program
+        scheme = PredicatePredictionScheme(
+            PredicateSchemeOptions(use_first_level=False)
+        )
+        _run(program, scheme)
+        assert all(r.fetch_prediction is None for r in scheme.accuracy.records)
+
+    def test_describe_lists_options(self):
+        scheme = PredicatePredictionScheme(
+            PredicateSchemeOptions(ideal_no_alias=True, perfect_history=True)
+        )
+        description = scheme.describe()
+        assert "no-alias" in description and "perfect history" in description
+
+
+class TestSelectivePredication:
+    def _if_converted_diamond(self):
+        program, highs, lows = build_diamond_program()
+        IfConversionPass(IfConversionOptions(ignore_profile=True)).run(program)
+        program.layout()
+        validate_program(program)
+        return program
+
+    def test_if_converted_instructions_handled(self):
+        program = self._if_converted_diamond()
+        scheme = PredicatePredictionScheme(PredicateSchemeOptions(confidence_bits=1))
+        result = _run(program, scheme, budget=4_000)
+        handled = (
+            scheme.counters.get("predicated_cancelled")
+            + scheme.counters.get("predicated_assumed_true")
+            + scheme.counters.get("predicated_conservative")
+        )
+        assert handled > 0
+        assert result.metrics.cancelled_at_rename > 0
+
+    def test_selective_disabled_is_conservative(self):
+        program = self._if_converted_diamond()
+        scheme = PredicatePredictionScheme(
+            PredicateSchemeOptions(selective_predication=False)
+        )
+        result = _run(program, scheme)
+        assert result.metrics.cancelled_at_rename == 0
+        assert result.metrics.assume_true_predicated == 0
+
+    def test_wrong_speculation_charges_flushes(self):
+        program = self._if_converted_diamond()
+        # A 1-bit confidence counter speculates aggressively on a ~50% biased
+        # predicate, so some speculations must be wrong and flush.
+        scheme = PredicatePredictionScheme(PredicateSchemeOptions(confidence_bits=1))
+        result = _run(program, scheme, budget=4_000)
+        assert result.metrics.predicate_flushes > 0
+        assert scheme.counters.get("predicate_flushes") > 0
+
+
+class TestIdealizedVariants:
+    def test_no_alias_variant_runs_and_is_not_worse(self, diamond_program):
+        program, _, _ = diamond_program
+        real = PredicatePredictionScheme()
+        ideal = PredicatePredictionScheme(
+            PredicateSchemeOptions(ideal_no_alias=True, perfect_history=True)
+        )
+        real_result = _run(program, real, budget=5_000)
+        ideal_result = _run(program, ideal, budget=5_000)
+        assert ideal_result.misprediction_rate <= real_result.misprediction_rate + 0.02
+
+    def test_perfect_history_pushes_computed_values(self, diamond_program):
+        program, _, _ = diamond_program
+        scheme = PredicatePredictionScheme(PredicateSchemeOptions(perfect_history=True))
+        _run(program, scheme)
+        assert scheme.counters.get("history_repairs_at_writeback") == 0

@@ -1,0 +1,204 @@
+"""Tests for the functional executor."""
+
+import pytest
+
+from repro.emulator import Emulator
+from repro.isa import GR, PR, CompareRelation, CompareType
+from repro.program import ProgramBuilder, validate_program
+
+from tests.conftest import build_counting_loop, build_diamond_program
+
+
+class TestStraightLineExecution:
+    def test_counting_loop_result(self, counting_loop):
+        program, expected = counting_loop
+        emulator = Emulator(program)
+        list(emulator.run(10_000))
+        assert emulator.halted
+        assert emulator.state.general[13] == expected
+
+    def test_diamond_counts(self, diamond_program):
+        program, highs, lows = diamond_program
+        emulator = Emulator(program)
+        list(emulator.run(10_000))
+        assert emulator.state.general[20] == highs
+        assert emulator.state.general[21] == lows
+
+    def test_budget_limits_fetch(self, counting_loop):
+        program, _ = counting_loop
+        emulator = Emulator(program)
+        trace = list(emulator.run(10))
+        assert len(trace) == 10
+        assert not emulator.halted
+
+    def test_store_and_load_roundtrip(self):
+        pb = ProgramBuilder("st")
+        base = pb.array("buf", [0, 0])
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), base)
+        rb.movi(GR(2), 77)
+        rb.store(GR(2), GR(1), offset=8)
+        rb.load(GR(3), GR(1), offset=8)
+        rb.br_ret()
+        program = pb.finish()
+        emulator = Emulator(program)
+        list(emulator.run(100))
+        assert emulator.state.general[3] == 77
+        assert emulator.state.memory.read_word(base + 8) == 77
+
+    def test_fp_operations(self):
+        from repro.isa.registers import FR
+
+        pb = ProgramBuilder("fp")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 3)
+        rb.fadd(FR(33), FR(34), FR(35))  # 0.0 + 0.0
+        rb.fmul(FR(36), FR(33), FR(33))
+        rb.br_ret()
+        emulator = Emulator(pb.finish())
+        list(emulator.run(100))
+        assert emulator.state.floating[33] == 0.0
+
+
+class TestPredication:
+    def test_nullified_instruction_does_not_write(self):
+        pb = ProgramBuilder("pred")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 5)
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 10)  # false
+        rb.movi(GR(2), 99, qp=PR(6))
+        rb.movi(GR(3), 42, qp=PR(7))
+        rb.br_ret()
+        emulator = Emulator(pb.finish())
+        trace = list(emulator.run(100))
+        assert emulator.state.general[2] == 0
+        assert emulator.state.general[3] == 42
+        nullified = [d for d in trace if not d.executed]
+        assert len(nullified) == 1
+
+    def test_unc_compare_clears_targets_when_nullified(self):
+        pb = ProgramBuilder("unc")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 5)
+        # p6/p7 initially set via an unconditional compare.
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 0)  # p6=1, p7=0
+        # Guarded by p7 (false): unc type must clear both targets.
+        rb.cmp(
+            CompareRelation.GT, PR(8), PR(9), GR(1), 0,
+            ctype=CompareType.UNC, qp=PR(7),
+        )
+        rb.br_ret()
+        emulator = Emulator(pb.finish())
+        list(emulator.run(100))
+        assert emulator.state.predicate[8] is False
+        assert emulator.state.predicate[9] is False
+
+    def test_normal_compare_skipped_when_nullified(self):
+        pb = ProgramBuilder("none")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 5)
+        rb.cmp(CompareRelation.GT, PR(8), PR(9), GR(1), 0)   # p8=1, p9=0
+        rb.cmp(CompareRelation.LT, PR(8), PR(9), GR(1), 0, qp=PR(9))  # nullified
+        rb.br_ret()
+        emulator = Emulator(pb.finish())
+        list(emulator.run(100))
+        assert emulator.state.predicate[8] is True
+
+    def test_pred_writes_recorded_on_dyninst(self):
+        pb = ProgramBuilder("writes")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 5)
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 0)
+        rb.br_ret()
+        emulator = Emulator(pb.finish())
+        trace = list(emulator.run(100))
+        compare = next(d for d in trace if d.is_compare)
+        assert dict(compare.pred_writes) == {6: True, 7: False}
+
+    def test_guard_producer_seq_tracks_last_writer(self, counting_loop):
+        program, _ = counting_loop
+        emulator = Emulator(program)
+        trace = list(emulator.run(200))
+        branches = [d for d in trace if d.is_conditional_branch]
+        for branch in branches:
+            producer = trace[branch.guard_producer_seq]
+            assert producer.is_compare
+            assert branch.inst.qp.index in dict(producer.pred_writes)
+
+
+class TestControlFlow:
+    def test_taken_field_and_next_pc(self, counting_loop):
+        program, _ = counting_loop
+        emulator = Emulator(program)
+        trace = list(emulator.run(1000))
+        branches = [d for d in trace if d.is_conditional_branch]
+        assert branches, "expected conditional branches in trace"
+        taken = [b for b in branches if b.taken]
+        not_taken = [b for b in branches if not b.taken]
+        assert taken and not_taken
+        for b in taken:
+            assert b.next_pc == b.target_pc
+        loop_block = program.routine("main").block("loop")
+        assert all(b.target_pc == loop_block.address for b in taken)
+
+    def test_call_and_return(self):
+        pb = ProgramBuilder("calls")
+        helper = pb.routine("helper")
+        helper.block("h")
+        helper.movi(GR(5), 123)
+        helper.br_ret()
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(5), 1)
+        rb.br_call("helper")
+        rb.movi(GR(6), 7)
+        rb.br_ret()
+        program = pb.finish()
+        validate_program(program)
+        emulator = Emulator(program)
+        trace = list(emulator.run(100))
+        assert emulator.halted
+        assert emulator.state.general[5] == 123
+        assert emulator.state.general[6] == 7
+        call = next(d for d in trace if d.inst.is_branch and d.inst.kind.value == "call")
+        assert call.target_pc == program.routine("helper").entry.address
+
+    def test_guarded_return_skipped_when_false(self):
+        pb = ProgramBuilder("guarded-ret")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 1)
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 5)  # false
+        rb.br_ret(qp=PR(6))
+        rb.movi(GR(2), 55)
+        rb.br_ret()
+        emulator = Emulator(pb.finish())
+        list(emulator.run(100))
+        assert emulator.state.general[2] == 55
+
+    def test_guarded_return_taken_when_true(self):
+        pb = ProgramBuilder("guarded-ret2")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 10)
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 5)  # true
+        rb.br_ret(qp=PR(6))
+        rb.movi(GR(2), 55)
+        rb.br_ret()
+        emulator = Emulator(pb.finish())
+        list(emulator.run(100))
+        assert emulator.state.general[2] == 0
+        assert emulator.halted
+
+    def test_counts(self, counting_loop):
+        program, _ = counting_loop
+        emulator = Emulator(program)
+        trace = list(emulator.run(10_000))
+        assert emulator.fetched_instructions == len(trace)
+        assert emulator.executed_instructions <= emulator.fetched_instructions

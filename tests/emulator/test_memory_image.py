@@ -1,0 +1,57 @@
+"""Tests for the sparse memory image."""
+
+from repro.emulator.memory_image import MemoryImage, to_signed64
+
+
+class TestSignedWrap:
+    def test_small_values_unchanged(self):
+        assert to_signed64(5) == 5
+        assert to_signed64(-5) == -5
+
+    def test_wraps_at_64_bits(self):
+        assert to_signed64(2**63) == -(2**63)
+        assert to_signed64(2**64) == 0
+        assert to_signed64(2**64 + 3) == 3
+
+    def test_max_positive(self):
+        assert to_signed64(2**63 - 1) == 2**63 - 1
+
+
+class TestMemoryImage:
+    def test_unwritten_reads_zero(self):
+        assert MemoryImage().read_word(0x1000) == 0
+
+    def test_write_then_read(self):
+        mem = MemoryImage()
+        mem.write_word(0x1000, 42)
+        assert mem.read_word(0x1000) == 42
+
+    def test_unaligned_access_clamped_to_word(self):
+        mem = MemoryImage()
+        mem.write_word(0x1000, 7)
+        assert mem.read_word(0x1003) == 7
+        mem.write_word(0x1005, 9)
+        assert mem.read_word(0x1000) == 9
+
+    def test_initial_contents(self):
+        mem = MemoryImage({0x2000: 11, 0x2008: 22})
+        assert mem.read_word(0x2000) == 11
+        assert mem.read_word(0x2008) == 22
+        assert len(mem) == 2
+
+    def test_contains(self):
+        mem = MemoryImage({0x2000: 11})
+        assert 0x2000 in mem
+        assert 0x2004 in mem  # same word
+        assert 0x2008 not in mem
+
+    def test_copy_is_independent(self):
+        mem = MemoryImage({0x2000: 1})
+        clone = mem.copy()
+        clone.write_word(0x2000, 99)
+        assert mem.read_word(0x2000) == 1
+
+    def test_values_wrap_to_signed(self):
+        mem = MemoryImage()
+        mem.write_word(0x0, 2**63)
+        assert mem.read_word(0x0) == -(2**63)

@@ -1,0 +1,68 @@
+"""Tests for the architectural state."""
+
+from repro.emulator.state import ArchState
+from repro.isa.registers import BR, FR, GR, PR
+from repro.program import ProgramBuilder
+
+
+class TestInitialState:
+    def test_general_registers_zero(self):
+        state = ArchState()
+        assert state.read(GR(5)) == 0
+
+    def test_p0_true_others_false(self):
+        state = ArchState()
+        assert state.read(PR(0)) is True
+        assert state.read(PR(5)) is False
+
+    def test_for_program_loads_data(self):
+        pb = ProgramBuilder("p")
+        base = pb.array("a", [7, 8])
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.br_ret()
+        program = pb.finish()
+        state = ArchState.for_program(program)
+        assert state.memory.read_word(base) == 7
+        assert state.memory.read_word(base + 8) == 8
+
+
+class TestReadsAndWrites:
+    def test_write_general(self):
+        state = ArchState()
+        assert state.write(GR(3), 11)
+        assert state.read(GR(3)) == 11
+
+    def test_write_wraps_to_64_bits(self):
+        state = ArchState()
+        state.write(GR(3), 2**64 + 5)
+        assert state.read(GR(3)) == 5
+
+    def test_write_predicate_bool(self):
+        state = ArchState()
+        state.write(PR(6), 1)
+        assert state.read(PR(6)) is True
+
+    def test_write_float(self):
+        state = ArchState()
+        state.write(FR(33), 2.5)
+        assert state.read(FR(33)) == 2.5
+
+    def test_write_branch_register(self):
+        state = ArchState()
+        state.write(BR(1), 0x4000)
+        assert state.read(BR(1)) == 0x4000
+
+    def test_hardwired_writes_discarded(self):
+        state = ArchState()
+        assert state.write(GR(0), 99) is False
+        assert state.read(GR(0)) == 0
+        assert state.write(PR(0), False) is False
+        assert state.read(PR(0)) is True
+
+    def test_snapshot_predicates(self):
+        state = ArchState()
+        state.write(PR(6), True)
+        snapshot = state.snapshot_predicates()
+        assert snapshot[6] is True
+        assert snapshot[0] is True

@@ -1,0 +1,57 @@
+"""Tests for trace statistics."""
+
+from repro.emulator import collect_trace, trace_statistics
+from repro.emulator.trace import branch_outcome_stream, per_site_outcomes
+
+from tests.conftest import build_counting_loop, build_diamond_program
+
+
+class TestTraceStatistics:
+    def test_counts_add_up(self):
+        program, _ = build_counting_loop()
+        trace = collect_trace(program, 10_000)
+        stats = trace_statistics(trace)
+        assert stats.fetched == len(trace)
+        assert stats.executed + stats.nullified == stats.fetched
+        assert stats.compares > 0
+        assert stats.loads > 0
+        assert stats.conditional_branches > 0
+
+    def test_branch_site_bias(self):
+        program, _, _ = build_diamond_program()
+        trace = collect_trace(program, 10_000)
+        stats = trace_statistics(trace)
+        # The loop-back branch is heavily taken; the data branch is not.
+        biases = sorted(site.bias for site in stats.branch_sites.values())
+        assert biases[-1] > 0.85
+        assert biases[0] < 0.85
+
+    def test_hard_branch_fraction(self):
+        program, _, _ = build_diamond_program()
+        stats = trace_statistics(collect_trace(program, 10_000))
+        assert 0.0 < stats.hard_branch_fraction(bias_threshold=0.9) < 1.0
+
+    def test_guard_distance_recorded(self):
+        program, _ = build_counting_loop()
+        stats = trace_statistics(collect_trace(program, 10_000))
+        assert stats.guard_distances
+        assert stats.mean_guard_distance >= 1.0
+
+    def test_nullification_rate(self):
+        program, _ = build_counting_loop()
+        stats = trace_statistics(collect_trace(program, 10_000))
+        assert 0.0 < stats.nullification_rate < 0.5
+
+    def test_outcome_stream_helpers(self):
+        program, _, _ = build_diamond_program()
+        trace = collect_trace(program, 10_000)
+        outcomes = branch_outcome_stream(trace)
+        per_site = per_site_outcomes(trace)
+        assert len(outcomes) == sum(len(v) for v in per_site.values())
+        assert set(per_site)  # keyed by PC
+
+    def test_empty_trace(self):
+        stats = trace_statistics([])
+        assert stats.fetched == 0
+        assert stats.conditional_branch_fraction == 0.0
+        assert stats.mean_guard_distance == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "list", "figure5", "figure6", "ablations", "ipc"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["--instructions", "500", "simulate", "gzip", "--scheme", "conventional"]
+        )
+        assert args.instructions == 500
+        assert args.benchmark == "gzip"
+        assert args.scheme == "conventional"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_suite(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "gzip" in output and "swim" in output
+
+    def test_table1_prints_configuration(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Reorder Buffer" in output and "256 entries" in output
+
+    def test_simulate_runs_small_budget(self, capsys):
+        code = main(
+            ["--instructions", "1500", "simulate", "swim", "--scheme", "predicate"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "misprediction rate" in output
+        assert "IPC" in output
+
+    def test_simulate_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["--instructions", "1000", "simulate", "doom3"])
+
+    def test_figure5_on_subset(self, capsys):
+        code = main(
+            ["--instructions", "1200", "--benchmarks", "swim", "figure5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        assert "swim" in output

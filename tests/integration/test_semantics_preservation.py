@@ -1,0 +1,117 @@
+"""Integration tests: compilation must not change architectural results.
+
+The strongest correctness property of the compiler substrate is that the
+baseline and if-converted binaries of a workload compute the same values.
+These tests run small custom workloads to completion under both compilations
+and compare the architectural accumulator registers and the final memory
+image word-for-word.
+"""
+
+import pytest
+
+from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.emulator import Emulator
+from repro.workloads.generators import generate_condition_streams
+from repro.workloads.kernels import build_program_from_traits
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    RegionKind,
+    WorkloadTraits,
+)
+
+#: Accumulator registers written by the generated kernels.
+ACCUMULATORS = list(range(70, 74))
+
+
+def _tiny_traits(name, **overrides):
+    params = dict(
+        name=name,
+        category="int",
+        seed=77,
+        array_length=48,
+        outer_iterations=2,
+        hard_regions=(
+            HardRegionSpec(0.6, 4, RegionKind.HAMMOCK),
+            HardRegionSpec(0.5, 5, RegionKind.DIAMOND),
+            HardRegionSpec(0.3, 3, RegionKind.ESCAPE),
+        ),
+        correlated_branches=(
+            CorrelatedBranchSpec(sources=(0, 1), op="and", lag=1, noise=0.05, body_size=18),
+        ),
+        easy_branches=(EasyBranchSpec(0.95, 2),),
+        filler_alu=4,
+        inner_loop_trips=2,
+    )
+    params.update(overrides)
+    return WorkloadTraits(**params)
+
+
+def _run_to_completion(program, limit=120_000):
+    emulator = Emulator(program)
+    list(emulator.run(limit))
+    assert emulator.halted, "program did not finish within the instruction limit"
+    return emulator
+
+
+def _compile_pair(traits):
+    streams = generate_condition_streams(traits)
+    baseline = compile_program(
+        build_program_from_traits(traits, streams), CompilerOptions.baseline()
+    )
+    options = CompilerOptions.if_converted()
+    options.if_conversion.ignore_profile = True  # convert everything eligible
+    converted = compile_program(build_program_from_traits(traits, streams), options)
+    return baseline, converted
+
+
+class TestCompilationPreservesSemantics:
+    @pytest.mark.parametrize(
+        "traits",
+        [
+            _tiny_traits("tiny-default"),
+            _tiny_traits(
+                "tiny-nested",
+                hard_regions=(HardRegionSpec(0.5, 6, RegionKind.HAMMOCK, nested=True),),
+                correlated_branches=(),
+            ),
+            _tiny_traits(
+                "tiny-fp",
+                category="fp",
+                filler_fp=4,
+                hard_regions=(HardRegionSpec(0.7, 4, RegionKind.HAMMOCK),),
+                correlated_branches=(),
+            ),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_accumulators_and_memory_match(self, traits):
+        baseline, converted = _compile_pair(traits)
+        base_state = _run_to_completion(baseline).state
+        conv_state = _run_to_completion(converted).state
+
+        base_accs = [base_state.general[r] for r in ACCUMULATORS]
+        conv_accs = [conv_state.general[r] for r in ACCUMULATORS]
+        assert base_accs == conv_accs
+        assert base_state.memory._words == conv_state.memory._words
+
+    def test_if_conversion_actually_removed_branches(self):
+        baseline, converted = _compile_pair(_tiny_traits("tiny-check"))
+        report = converted.metadata["if_conversion_report"]
+        assert report.total_converted >= 2
+        base_branches = sum(
+            1 for i in baseline.instructions() if i.is_branch and i.opcode.value == "br.cond"
+        )
+        conv_branches = sum(
+            1 for i in converted.instructions() if i.is_branch and i.opcode.value == "br.cond"
+        )
+        assert conv_branches < base_branches
+
+    def test_nullification_appears_only_after_if_conversion(self):
+        baseline, converted = _compile_pair(_tiny_traits("tiny-null"))
+        base_emulator = _run_to_completion(baseline)
+        conv_emulator = _run_to_completion(converted)
+        base_nullified = base_emulator.fetched_instructions - base_emulator.executed_instructions
+        conv_nullified = conv_emulator.fetched_instructions - conv_emulator.executed_instructions
+        assert conv_nullified > base_nullified

@@ -1,0 +1,72 @@
+"""Tests for branch instructions."""
+
+import pytest
+
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.operands import Label
+from repro.isa.registers import P0, PR
+
+
+class TestBranchConstruction:
+    def test_conditional_branch(self):
+        br = BranchInstruction(BranchKind.COND, Label("target"), qp=PR(6))
+        assert br.kind is BranchKind.COND
+        assert br.target == Label("target")
+        assert br.guard == PR(6)
+
+    def test_conditional_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            BranchInstruction(BranchKind.COND, qp=PR(6))
+
+    def test_call_accepts_callee(self):
+        br = BranchInstruction(BranchKind.CALL, callee="helper")
+        assert br.callee == "helper"
+        assert br.is_call
+
+    def test_return_needs_no_target(self):
+        br = BranchInstruction(BranchKind.RET)
+        assert br.is_return
+        assert br.target is None
+
+
+class TestConditionality:
+    def test_cond_branch_is_conditional(self):
+        br = BranchInstruction(BranchKind.COND, Label("x"), qp=PR(6))
+        assert br.is_conditional
+
+    def test_plain_unconditional_is_not_conditional(self):
+        br = BranchInstruction(BranchKind.UNCOND, Label("x"))
+        assert not br.is_conditional
+
+    def test_guarded_unconditional_becomes_region_branch(self):
+        # Figure 1b: an if-converted return becomes a conditional branch.
+        br = BranchInstruction(BranchKind.RET, qp=PR(3))
+        assert br.is_conditional
+        assert br.is_predicated
+
+    def test_plain_return_is_not_conditional(self):
+        assert not BranchInstruction(BranchKind.RET).is_conditional
+
+
+class TestOutcome:
+    def test_cond_outcome_follows_predicate(self):
+        br = BranchInstruction(BranchKind.COND, Label("x"), qp=PR(6))
+        assert br.outcome(True) is True
+        assert br.outcome(False) is False
+
+    def test_unconditional_taken_when_guard_true(self):
+        br = BranchInstruction(BranchKind.UNCOND, Label("x"))
+        assert br.outcome(True) is True
+
+    def test_guarded_return_falls_through_when_nullified(self):
+        br = BranchInstruction(BranchKind.RET, qp=PR(3))
+        assert br.outcome(False) is False
+
+    def test_branch_has_no_destinations(self):
+        br = BranchInstruction(BranchKind.COND, Label("x"), qp=PR(6))
+        assert br.dests == []
+        assert br.qp == PR(6)
+
+    def test_default_guard_is_p0(self):
+        br = BranchInstruction(BranchKind.UNCOND, Label("x"))
+        assert br.qp == P0

@@ -1,0 +1,65 @@
+"""Tests for bundle formation and the bundle fetch stream."""
+
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.bundles import BUNDLE_SLOTS, Bundle, BundleStream, bundle_instructions
+from repro.isa.instructions import ALUInstruction, NopInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Label
+from repro.isa.registers import GR, PR
+
+
+def _alu():
+    return ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+
+
+def _branch():
+    return BranchInstruction(BranchKind.COND, Label("x"), qp=PR(6))
+
+
+class TestBundleFormation:
+    def test_three_instructions_per_bundle(self):
+        bundles = bundle_instructions([_alu() for _ in range(7)])
+        assert [len(b) for b in bundles] == [3, 3, 1]
+
+    def test_branch_terminates_bundle(self):
+        bundles = bundle_instructions([_alu(), _branch(), _alu(), _alu()])
+        assert len(bundles) == 2
+        assert bundles[0].ends_in_branch
+        assert len(bundles[0]) == 2
+
+    def test_bundle_addresses_are_spaced(self):
+        bundles = bundle_instructions([_alu() for _ in range(6)], base_address=0x100)
+        assert bundles[0].address == 0x100
+        assert bundles[1].address > bundles[0].address
+
+    def test_empty_input(self):
+        assert bundle_instructions([]) == []
+
+    def test_full_property(self):
+        bundle = Bundle(address=0, instructions=[_alu()] * BUNDLE_SLOTS)
+        assert bundle.full
+
+    def test_iteration(self):
+        instructions = [_alu(), _alu()]
+        bundle = Bundle(address=0, instructions=instructions)
+        assert list(bundle) == instructions
+
+
+class TestBundleStream:
+    def test_two_bundles_per_fetch(self):
+        bundles = bundle_instructions([_alu() for _ in range(12)])
+        stream = BundleStream(bundles, bundles_per_fetch=2)
+        groups = list(stream.fetch_groups())
+        assert [len(g) for g in groups] == [6, 6]
+        assert stream.max_fetch_width == 6
+
+    def test_fetch_group_ends_at_branch(self):
+        instructions = [_alu(), _alu(), _branch(), _alu(), _alu(), _alu()]
+        stream = BundleStream(bundle_instructions(instructions))
+        groups = list(stream.fetch_groups())
+        # The first group stops at the branch-terminated bundle.
+        assert groups[0][-1].is_branch
+
+    def test_nop_filler_counts_in_slots(self):
+        bundles = bundle_instructions([NopInstruction(), _alu(), _alu(), _alu()])
+        assert len(bundles) == 2

@@ -1,0 +1,117 @@
+"""Tests for compare instructions and their IA-64-style semantics."""
+
+import pytest
+
+from repro.isa.compare import CompareInstruction, CompareRelation, CompareType
+from repro.isa.registers import GR, P0, PR
+
+
+class TestCompareRelations:
+    @pytest.mark.parametrize(
+        "relation,lhs,rhs,expected",
+        [
+            (CompareRelation.EQ, 3, 3, True),
+            (CompareRelation.EQ, 3, 4, False),
+            (CompareRelation.NE, 3, 4, True),
+            (CompareRelation.NE, 4, 4, False),
+            (CompareRelation.LT, 2, 3, True),
+            (CompareRelation.LT, 3, 3, False),
+            (CompareRelation.LE, 3, 3, True),
+            (CompareRelation.LE, 4, 3, False),
+            (CompareRelation.GT, 5, 3, True),
+            (CompareRelation.GT, 3, 5, False),
+            (CompareRelation.GE, 3, 3, True),
+            (CompareRelation.GE, 2, 3, False),
+        ],
+    )
+    def test_signed_relations(self, relation, lhs, rhs, expected):
+        assert relation.evaluate(lhs, rhs) is expected
+
+    def test_unsigned_relations_treat_negative_as_large(self):
+        assert CompareRelation.LTU.evaluate(-1, 1) is False
+        assert CompareRelation.GEU.evaluate(-1, 1) is True
+        assert CompareRelation.LTU.evaluate(1, 2) is True
+
+
+def _cmp(ctype, qp=P0):
+    return CompareInstruction(
+        CompareRelation.GT, PR(6), PR(7), GR(1), GR(2), ctype=ctype, qp=qp
+    )
+
+
+class TestCompareTargets:
+    def test_none_type_writes_complementary_values(self):
+        inst = _cmp(CompareType.NONE)
+        assert inst.compute_targets(True, True, False, False) == (True, False)
+        assert inst.compute_targets(True, False, False, False) == (False, True)
+
+    def test_none_type_skips_write_when_qp_false(self):
+        inst = _cmp(CompareType.NONE)
+        assert inst.compute_targets(False, True, True, True) == (None, None)
+
+    def test_unc_type_clears_both_when_qp_false(self):
+        inst = _cmp(CompareType.UNC)
+        assert inst.compute_targets(False, True, True, True) == (False, False)
+
+    def test_unc_type_behaves_normally_when_qp_true(self):
+        inst = _cmp(CompareType.UNC)
+        assert inst.compute_targets(True, True, False, False) == (True, False)
+
+    def test_and_type_clears_on_false_result(self):
+        inst = _cmp(CompareType.AND)
+        assert inst.compute_targets(True, False, True, True) == (False, False)
+
+    def test_and_type_leaves_unchanged_on_true_result(self):
+        inst = _cmp(CompareType.AND)
+        assert inst.compute_targets(True, True, True, False) == (None, None)
+
+    def test_or_type_sets_on_true_result(self):
+        inst = _cmp(CompareType.OR)
+        assert inst.compute_targets(True, True, False, False) == (True, True)
+
+    def test_or_type_leaves_unchanged_on_false_result(self):
+        inst = _cmp(CompareType.OR)
+        assert inst.compute_targets(True, False, False, False) == (None, None)
+
+    def test_or_andcm_sets_first_clears_second(self):
+        inst = _cmp(CompareType.OR_ANDCM)
+        assert inst.compute_targets(True, True, False, True) == (True, False)
+        assert inst.compute_targets(True, False, False, True) == (None, None)
+
+    def test_parallel_types_do_not_write_when_qp_false(self):
+        for ctype in (CompareType.AND, CompareType.OR, CompareType.OR_ANDCM):
+            inst = _cmp(ctype)
+            assert inst.compute_targets(False, True, True, False) == (None, None)
+
+
+class TestCompareStructure:
+    def test_targets_must_be_predicates(self):
+        with pytest.raises(ValueError):
+            CompareInstruction(CompareRelation.EQ, GR(1), PR(7), GR(1), GR(2))
+
+    def test_useful_targets_drops_p0(self):
+        inst = CompareInstruction(CompareRelation.EQ, PR(0), PR(7), GR(1), GR(2))
+        assert inst.useful_targets == (PR(7),)
+        assert inst.num_predictions_needed == 1
+
+    def test_two_useful_targets(self):
+        inst = CompareInstruction(CompareRelation.EQ, PR(6), PR(7), GR(1), GR(2))
+        assert inst.num_predictions_needed == 2
+
+    def test_compare_type_properties(self):
+        assert CompareType.NONE.writes_both_unconditionally
+        assert CompareType.UNC.writes_both_unconditionally
+        assert not CompareType.AND.writes_both_unconditionally
+        assert CompareType.AND.depends_on_previous_values
+        assert CompareType.OR.depends_on_previous_values
+        assert not CompareType.NONE.depends_on_previous_values
+
+    def test_pt_pf_accessors(self):
+        inst = CompareInstruction(CompareRelation.EQ, PR(6), PR(7), GR(1), GR(2))
+        assert inst.pt == PR(6)
+        assert inst.pf == PR(7)
+
+    def test_is_compare_flag(self):
+        inst = _cmp(CompareType.NONE)
+        assert inst.is_compare
+        assert inst.writes_predicates

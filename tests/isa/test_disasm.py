@@ -1,0 +1,79 @@
+"""Tests for the disassembler output format."""
+
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.compare import CompareInstruction, CompareRelation, CompareType
+from repro.isa.disasm import disassemble, format_instruction
+from repro.isa.instructions import (
+    ALUInstruction,
+    LoadInstruction,
+    MoveInstruction,
+    NopInstruction,
+    StoreInstruction,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Label
+from repro.isa.registers import GR, PR
+
+
+class TestFormatInstruction:
+    def test_alu_format(self):
+        text = format_instruction(ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3)))
+        assert text == "add r1 = r2, r3"
+
+    def test_predicated_prefix(self):
+        text = format_instruction(
+            ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3), qp=PR(6))
+        )
+        assert text.startswith("(p6) ")
+
+    def test_compare_format_mentions_type_and_targets(self):
+        inst = CompareInstruction(
+            CompareRelation.EQ, PR(6), PR(0), GR(1), GR(2), ctype=CompareType.UNC, qp=PR(2)
+        )
+        text = format_instruction(inst)
+        assert "cmp.eq.unc" in text
+        assert "p6, p0" in text
+        assert text.startswith("(p2) ")
+
+    def test_plain_compare_has_no_type_suffix(self):
+        inst = CompareInstruction(CompareRelation.GT, PR(6), PR(7), GR(1), 5)
+        assert "cmp.gt " in format_instruction(inst)
+
+    def test_branch_format(self):
+        inst = BranchInstruction(BranchKind.COND, Label("loop"), qp=PR(6))
+        assert format_instruction(inst) == "(p6) br.cond loop"
+
+    def test_return_format(self):
+        assert format_instruction(BranchInstruction(BranchKind.RET)) == "br.ret"
+
+    def test_call_format_uses_callee(self):
+        inst = BranchInstruction(BranchKind.CALL, callee="helper")
+        assert "helper" in format_instruction(inst)
+
+    def test_load_store_format(self):
+        assert format_instruction(LoadInstruction(GR(1), GR(2), 8)) == "ld r1 = [r2 + 8]"
+        assert format_instruction(StoreInstruction(GR(3), GR(4), 16)) == "st [r4 + 16] = r3"
+
+    def test_move_format(self):
+        assert format_instruction(MoveInstruction(GR(1), 7)) == "movi r1 = 7"
+
+    def test_nop_format(self):
+        assert format_instruction(NopInstruction()) == "nop"
+
+
+class TestDisassemble:
+    def test_with_addresses(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        inst.address = 0x4000_0000
+        text = disassemble([inst])
+        assert "0x40000000" in text
+        assert "add r1" in text
+
+    def test_without_addresses(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        text = disassemble([inst], with_addresses=False)
+        assert "0x" not in text
+
+    def test_multiple_lines(self):
+        insts = [NopInstruction(), NopInstruction()]
+        assert len(disassemble(insts).splitlines()) == 2

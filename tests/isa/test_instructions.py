@@ -1,0 +1,152 @@
+"""Tests for the static instruction classes."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALUInstruction,
+    FPInstruction,
+    LoadInstruction,
+    MoveInstruction,
+    NopInstruction,
+    StoreInstruction,
+)
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.operands import Immediate
+from repro.isa.registers import FR, GR, P0, PR
+
+
+class TestALUInstruction:
+    def test_basic_construction(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        assert inst.dests == [GR(1)]
+        assert inst.srcs == [GR(2), GR(3)]
+        assert inst.qp == P0
+
+    def test_immediate_source_coerced(self):
+        inst = ALUInstruction(Opcode.ADDI, GR(1), GR(2), 5)
+        assert inst.srcs[1] == Immediate(5)
+
+    def test_rejects_non_alu_opcode(self):
+        with pytest.raises(ValueError):
+            ALUInstruction(Opcode.LD, GR(1), GR(2), GR(3))
+
+    def test_rejects_non_predicate_qp(self):
+        with pytest.raises(ValueError):
+            ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3), qp=GR(4))
+
+    def test_unique_ids(self):
+        a = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        b = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        assert a.uid != b.uid
+
+
+class TestPredication:
+    def test_unpredicated_by_default(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        assert not inst.is_predicated
+
+    def test_predicated_with_non_p0(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3), qp=PR(6))
+        assert inst.is_predicated
+
+    def test_qp_in_sources_when_predicated(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3), qp=PR(6))
+        assert PR(6) in inst.source_registers()
+        assert PR(6) not in inst.source_registers(include_qp=False)
+
+    def test_qp_not_in_sources_when_unpredicated(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        assert P0 not in inst.source_registers()
+
+
+class TestRegisterViews:
+    def test_destination_registers_excludes_hardwired(self):
+        inst = MoveInstruction(GR(0), 5)
+        assert inst.destination_registers() == []
+
+    def test_source_registers_only_registers(self):
+        inst = ALUInstruction(Opcode.ADDI, GR(1), GR(2), 7)
+        assert inst.source_registers() == [GR(2)]
+
+    def test_classification_properties(self):
+        load = LoadInstruction(GR(1), GR(2))
+        store = StoreInstruction(GR(1), GR(2))
+        assert load.is_load and load.is_memory and not load.is_store
+        assert store.is_store and store.is_memory and not store.is_load
+        assert not load.is_branch and not load.is_compare
+
+
+class TestMemoryInstructions:
+    def test_load_offset(self):
+        inst = LoadInstruction(GR(1), GR(2), offset=16)
+        assert inst.offset == 16
+        assert inst.base == GR(2)
+        assert inst.opcode is Opcode.LD
+
+    def test_floating_load(self):
+        inst = LoadInstruction(FR(33), GR(2), floating=True)
+        assert inst.opcode is Opcode.LDF
+
+    def test_store_value_and_base(self):
+        inst = StoreInstruction(GR(7), GR(8), offset=8)
+        assert inst.value == GR(7)
+        assert inst.base == GR(8)
+        assert inst.offset == 8
+        assert inst.dests == []
+
+
+class TestMoveInstruction:
+    def test_move_immediate_selects_movi(self):
+        assert MoveInstruction(GR(1), 3).opcode is Opcode.MOVI
+
+    def test_move_register_selects_mov(self):
+        assert MoveInstruction(GR(1), GR(2)).opcode is Opcode.MOV
+
+
+class TestFPInstruction:
+    def test_fma_has_three_sources(self):
+        inst = FPInstruction(Opcode.FMA, FR(33), [FR(34), FR(35), FR(36)])
+        assert len(inst.srcs) == 3
+        assert inst.opclass is OpClass.FP
+
+    def test_rejects_non_fp_opcode(self):
+        with pytest.raises(ValueError):
+            FPInstruction(Opcode.ADD, FR(33), [FR(34), FR(35)])
+
+
+class TestNop:
+    def test_nop_has_no_operands(self):
+        nop = NopInstruction()
+        assert nop.dests == [] and nop.srcs == []
+        assert nop.opclass is OpClass.NOP
+
+
+class TestClone:
+    def test_clone_gets_new_uid(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3), qp=PR(6))
+        copy = inst.clone()
+        assert copy.uid != inst.uid
+
+    def test_clone_preserves_fields(self):
+        inst = LoadInstruction(GR(1), GR(2), offset=24, qp=PR(7))
+        copy = inst.clone()
+        assert copy.opcode is inst.opcode
+        assert copy.offset == 24
+        assert copy.qp == PR(7)
+        assert copy.dests == inst.dests
+
+    def test_clone_resets_layout_fields(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        inst.address = 0x1000
+        inst.block_label = "foo"
+        inst.slot = 3
+        copy = inst.clone()
+        assert copy.address is None
+        assert copy.block_label is None
+        assert copy.slot is None
+
+    def test_clone_copies_are_independent(self):
+        inst = ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+        copy = inst.clone()
+        copy.dests[0] = GR(9)
+        assert inst.dests[0] == GR(1)

@@ -1,0 +1,65 @@
+"""Tests for opcode metadata."""
+
+from repro.isa.opcodes import (
+    OPCODE_INFO,
+    FunctionalUnitClass,
+    OpClass,
+    Opcode,
+    opcode_info,
+)
+
+
+class TestOpcodeTableCompleteness:
+    def test_every_opcode_has_metadata(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_INFO, f"missing metadata for {opcode}"
+
+    def test_all_latencies_positive(self):
+        for opcode, info in OPCODE_INFO.items():
+            assert info.latency >= 1, f"{opcode} has non-positive latency"
+
+    def test_opcode_info_helper(self):
+        assert opcode_info(Opcode.ADD) is OPCODE_INFO[Opcode.ADD]
+
+
+class TestOpcodeClassification:
+    def test_branches_are_control(self):
+        for opcode in (Opcode.BR_COND, Opcode.BR_UNCOND, Opcode.BR_CALL, Opcode.BR_RET):
+            info = opcode_info(opcode)
+            assert info.opclass is OpClass.BRANCH
+            assert info.is_control
+            assert info.unit is FunctionalUnitClass.BRANCH_UNIT
+
+    def test_compares_write_predicates(self):
+        assert opcode_info(Opcode.CMP).writes_predicate
+        assert opcode_info(Opcode.FCMP).writes_predicate
+
+    def test_loads_write_registers(self):
+        assert opcode_info(Opcode.LD).writes_general
+        assert opcode_info(Opcode.LDF).writes_float
+
+    def test_stores_write_nothing(self):
+        info = opcode_info(Opcode.ST)
+        assert not info.writes_general
+        assert not info.writes_predicate
+        assert not info.writes_float
+
+    def test_memory_units(self):
+        assert opcode_info(Opcode.LD).unit is FunctionalUnitClass.LOAD_PORT
+        assert opcode_info(Opcode.ST).unit is FunctionalUnitClass.STORE_PORT
+
+    def test_fp_latency_longer_than_alu(self):
+        assert opcode_info(Opcode.FADD).latency > opcode_info(Opcode.ADD).latency
+
+    def test_fdiv_is_longest_fp(self):
+        fp_latencies = [
+            opcode_info(op).latency
+            for op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMA, Opcode.FMOV)
+        ]
+        assert opcode_info(Opcode.FDIV).latency > max(fp_latencies)
+
+    def test_mul_uses_mul_unit(self):
+        assert opcode_info(Opcode.MUL).unit is FunctionalUnitClass.INT_MUL
+
+    def test_str_of_opcode(self):
+        assert str(Opcode.BR_COND) == "br.cond"

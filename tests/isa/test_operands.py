@@ -1,0 +1,59 @@
+"""Tests for the operand model."""
+
+import pytest
+
+from repro.isa.operands import Immediate, Label, as_operand
+from repro.isa.registers import GR
+
+
+class TestImmediate:
+    def test_value_preserved(self):
+        assert Immediate(42).value == 42
+
+    def test_negative_values(self):
+        assert Immediate(-7).value == -7
+
+    def test_str(self):
+        assert str(Immediate(5)) == "5"
+
+    def test_equality(self):
+        assert Immediate(3) == Immediate(3)
+        assert Immediate(3) != Immediate(4)
+
+
+class TestLabel:
+    def test_name(self):
+        assert Label("loop").name == "loop"
+
+    def test_str(self):
+        assert str(Label("exit")) == "exit"
+
+    def test_equality(self):
+        assert Label("a") == Label("a")
+        assert Label("a") != Label("b")
+
+
+class TestAsOperand:
+    def test_int_becomes_immediate(self):
+        operand = as_operand(9)
+        assert isinstance(operand, Immediate)
+        assert operand.value == 9
+
+    def test_register_passes_through(self):
+        assert as_operand(GR(4)) == GR(4)
+
+    def test_immediate_passes_through(self):
+        imm = Immediate(1)
+        assert as_operand(imm) is imm
+
+    def test_label_passes_through(self):
+        label = Label("x")
+        assert as_operand(label) is label
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand("not an operand")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand(1.5)

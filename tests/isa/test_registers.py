@@ -1,0 +1,95 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    BR,
+    FR,
+    GR,
+    NUM_BRANCH_REGISTERS,
+    NUM_GENERAL_REGISTERS,
+    NUM_PREDICATE_REGISTERS,
+    P0,
+    PR,
+    R0,
+    Register,
+    RegisterKind,
+)
+
+
+class TestRegisterConstruction:
+    def test_general_register_name(self):
+        assert GR(5).name == "r5"
+        assert str(GR(127)) == "r127"
+
+    def test_predicate_register_name(self):
+        assert PR(6).name == "p6"
+
+    def test_branch_register_name(self):
+        assert BR(1).name == "b1"
+
+    def test_float_register_name(self):
+        assert FR(33).name == "f33"
+
+    def test_register_kind(self):
+        assert GR(3).kind is RegisterKind.GENERAL
+        assert PR(3).kind is RegisterKind.PREDICATE
+        assert BR(3).kind is RegisterKind.BRANCH
+        assert FR(3).kind is RegisterKind.FLOAT
+
+    def test_out_of_range_general(self):
+        with pytest.raises(ValueError):
+            GR(NUM_GENERAL_REGISTERS)
+
+    def test_out_of_range_predicate(self):
+        with pytest.raises(ValueError):
+            PR(NUM_PREDICATE_REGISTERS)
+
+    def test_out_of_range_branch(self):
+        with pytest.raises(ValueError):
+            BR(NUM_BRANCH_REGISTERS)
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            GR(-1)
+
+
+class TestHardwiredRegisters:
+    def test_r0_is_hardwired(self):
+        assert R0.is_hardwired
+        assert GR(0).is_hardwired
+
+    def test_p0_is_hardwired(self):
+        assert P0.is_hardwired
+        assert PR(0).is_hardwired
+
+    def test_other_registers_not_hardwired(self):
+        assert not GR(1).is_hardwired
+        assert not PR(1).is_hardwired
+        assert not BR(0).is_hardwired
+        assert not FR(0).is_hardwired
+
+
+class TestRegisterIdentity:
+    def test_equality(self):
+        assert GR(5) == GR(5)
+        assert GR(5) != GR(6)
+        assert GR(5) != PR(5)
+
+    def test_hashable(self):
+        mapping = {GR(5): 1, PR(5): 2}
+        assert mapping[GR(5)] == 1
+        assert mapping[PR(5)] == 2
+
+    def test_orderable(self):
+        assert sorted([GR(7), GR(2), GR(5)]) == [GR(2), GR(5), GR(7)]
+
+    def test_register_is_frozen(self):
+        reg = GR(5)
+        with pytest.raises(Exception):
+            reg.index = 6  # type: ignore[misc]
+
+    def test_kind_and_index_preserved(self):
+        reg = Register(RegisterKind.GENERAL, 42)
+        assert reg.index == 42
+        assert reg.kind is RegisterKind.GENERAL

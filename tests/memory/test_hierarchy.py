@@ -1,0 +1,68 @@
+"""Tests for the assembled memory hierarchy."""
+
+from repro.memory.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+
+
+class TestDefaults:
+    def test_table1_geometry(self):
+        config = MemoryHierarchyConfig()
+        assert config.l1d.size_bytes == 64 * 1024
+        assert config.l1d.associativity == 4
+        assert config.l1d.hit_latency == 2
+        assert config.l1i.size_bytes == 32 * 1024
+        assert config.l1i.hit_latency == 1
+        assert config.l2.size_bytes == 1024 * 1024
+        assert config.l2.associativity == 16
+        assert config.l2.hit_latency == 8
+        assert config.memory_latency == 120
+        assert config.dtlb.entries == 512
+        assert config.dtlb.miss_penalty == 10
+
+
+class TestLoadPath:
+    def test_cold_load_pays_full_path(self):
+        hierarchy = MemoryHierarchy()
+        latency = hierarchy.load_latency(0x6000_0000)
+        # DTLB miss + L1D + L2 + memory.
+        assert latency >= 10 + 2 + 8 + 120
+
+    def test_warm_load_hits_l1(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.load_latency(0x6000_0000)
+        latency = hierarchy.load_latency(0x6000_0000)
+        assert latency == hierarchy.config.l1d.hit_latency
+
+    def test_l2_hit_path(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.load_latency(0x6000_0000)
+        # A different L1 block within the same L2 block (L2 blocks are 128 B).
+        latency = hierarchy.load_latency(0x6000_0040)
+        assert latency == hierarchy.config.l1d.hit_latency + hierarchy.config.l2.hit_latency
+
+    def test_fetch_path_uses_icache(self):
+        hierarchy = MemoryHierarchy()
+        first = hierarchy.fetch_latency(0x4000_0000)
+        second = hierarchy.fetch_latency(0x4000_0000)
+        assert first > second
+        assert second == hierarchy.config.l1i.hit_latency
+
+    def test_store_path_returns_penalty(self):
+        hierarchy = MemoryHierarchy()
+        penalty = hierarchy.store_latency(0x6000_0000)
+        assert penalty >= 0
+
+
+class TestStatistics:
+    def test_statistics_keys(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.load_latency(0x6000_0000)
+        hierarchy.fetch_latency(0x4000_0000)
+        stats = hierarchy.statistics()
+        for key in ("l1d_miss_rate", "l1i_miss_rate", "l2_miss_rate", "dtlb_miss_rate"):
+            assert key in stats
+
+    def test_flush_resets_contents(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.load_latency(0x6000_0000)
+        hierarchy.flush()
+        assert not hierarchy.l1d.lookup(0x6000_0000)

@@ -1,0 +1,69 @@
+"""Tests for TLBs, write buffers and main memory."""
+
+import pytest
+
+from repro.memory.main_memory import MainMemory
+from repro.memory.tlb import TLB, TLBConfig
+from repro.memory.write_buffer import WriteBuffer
+
+
+class TestTLB:
+    def test_first_access_misses(self):
+        tlb = TLB(TLBConfig(name="dtlb", entries=4, miss_penalty=10))
+        assert tlb.access(0x10_0000) == 10
+
+    def test_same_page_hits(self):
+        tlb = TLB(TLBConfig(name="dtlb", entries=4, page_bytes=8192))
+        tlb.access(0x10_0000)
+        assert tlb.access(0x10_0008) == 0
+
+    def test_capacity_eviction(self):
+        tlb = TLB(TLBConfig(name="dtlb", entries=2, page_bytes=8192, miss_penalty=10))
+        pages = [0x0, 0x2000, 0x4000]
+        for p in pages:
+            tlb.access(p)
+        assert tlb.access(0x0) == 10  # evicted (LRU)
+
+    def test_miss_rate(self):
+        tlb = TLB(TLBConfig(name="itlb", entries=8))
+        tlb.access(0x0)
+        tlb.access(0x0)
+        assert tlb.miss_rate == 0.5
+
+    def test_flush(self):
+        tlb = TLB(TLBConfig(name="dtlb", entries=8, miss_penalty=7))
+        tlb.access(0x0)
+        tlb.flush()
+        assert tlb.access(0x0) == 7
+
+
+class TestWriteBuffer:
+    def test_accepts_until_full(self):
+        buffer = WriteBuffer(entries=2, drain_interval=100)
+        assert buffer.try_insert(0)
+        assert buffer.try_insert(0)
+        assert not buffer.try_insert(0)
+        assert buffer.full_stalls == 1
+
+    def test_drains_over_time(self):
+        buffer = WriteBuffer(entries=1, drain_interval=4)
+        assert buffer.try_insert(0)
+        assert not buffer.try_insert(1)
+        assert buffer.try_insert(10)  # drained by cycle 10
+
+    def test_occupancy_tracking(self):
+        buffer = WriteBuffer(entries=4, drain_interval=4)
+        buffer.try_insert(0)
+        buffer.try_insert(0)
+        assert buffer.occupancy == 2
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(entries=0)
+
+
+class TestMainMemory:
+    def test_flat_latency(self):
+        memory = MainMemory(latency=120)
+        assert memory.access(0x1234) == 120
+        assert memory.accesses == 1

@@ -1,0 +1,106 @@
+"""Tests for pipeline resource models."""
+
+import pytest
+
+from repro.isa.opcodes import FunctionalUnitClass
+from repro.isa.registers import GR, PR
+from repro.pipeline.resources import (
+    FunctionalUnitPool,
+    RegisterTimingTable,
+    SlidingWindowResource,
+    StoreForwardingTable,
+)
+
+
+class TestSlidingWindowResource:
+    def test_no_constraint_until_full(self):
+        window = SlidingWindowResource("rob", capacity=3)
+        for release in (10, 20, 30):
+            assert window.earliest_allocation(5) == 5
+            window.allocate(release)
+
+    def test_full_window_delays_allocation(self):
+        window = SlidingWindowResource("rob", capacity=2)
+        window.allocate(100)
+        window.allocate(200)
+        assert window.earliest_allocation(5) == 100
+        window.allocate(300)
+        assert window.earliest_allocation(5) == 200
+
+    def test_desired_cycle_after_release_not_delayed(self):
+        window = SlidingWindowResource("iq", capacity=1)
+        window.allocate(50)
+        assert window.earliest_allocation(80) == 80
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowResource("bad", capacity=0)
+
+
+class TestFunctionalUnitPool:
+    def test_single_unit_serialises(self):
+        pool = FunctionalUnitPool({FunctionalUnitClass.INT_MUL: 1})
+        first = pool.acquire(FunctionalUnitClass.INT_MUL, 10)
+        second = pool.acquire(FunctionalUnitClass.INT_MUL, 10)
+        assert first == 10
+        assert second == 11  # fully pipelined: next cycle
+
+    def test_two_units_issue_same_cycle(self):
+        pool = FunctionalUnitPool({FunctionalUnitClass.INT_ALU: 2})
+        assert pool.acquire(FunctionalUnitClass.INT_ALU, 7) == 7
+        assert pool.acquire(FunctionalUnitClass.INT_ALU, 7) == 7
+        assert pool.acquire(FunctionalUnitClass.INT_ALU, 7) == 8
+
+    def test_ready_cycle_respected(self):
+        pool = FunctionalUnitPool({FunctionalUnitClass.INT_ALU: 1})
+        assert pool.acquire(FunctionalUnitClass.INT_ALU, 42) == 42
+
+    def test_utilisation_counts(self):
+        pool = FunctionalUnitPool({FunctionalUnitClass.BRANCH_UNIT: 1})
+        pool.acquire(FunctionalUnitClass.BRANCH_UNIT, 0)
+        pool.acquire(FunctionalUnitClass.BRANCH_UNIT, 5)
+        assert pool.utilisation()["branch_unit"] == 2
+
+
+class TestRegisterTimingTable:
+    def test_unwritten_registers_ready_at_zero(self):
+        table = RegisterTimingTable()
+        assert table.ready_cycle(GR(5)) == 0
+
+    def test_hardwired_always_ready(self):
+        table = RegisterTimingTable()
+        table.set_ready(GR(0), 100)
+        assert table.ready_cycle(GR(0)) == 0
+
+    def test_last_writer_wins(self):
+        table = RegisterTimingTable()
+        table.set_ready(GR(3), 10)
+        table.set_ready(GR(3), 25)
+        assert table.ready_cycle(GR(3)) == 25
+
+    def test_ready_for_takes_maximum(self):
+        table = RegisterTimingTable()
+        table.set_ready(GR(1), 5)
+        table.set_ready(PR(6), 17)
+        assert table.ready_for([GR(1), PR(6), GR(2)]) == 17
+
+
+class TestStoreForwardingTable:
+    def test_forward_recent_store(self):
+        table = StoreForwardingTable(window=100)
+        table.record_store(0x1000, data_ready_cycle=50)
+        assert table.forwarding_cycle(0x1000, load_issue_cycle=60) == 50
+
+    def test_word_granularity(self):
+        table = StoreForwardingTable(window=100)
+        table.record_store(0x1000, 50)
+        assert table.forwarding_cycle(0x1004, 60) == 50
+
+    def test_old_store_not_forwarded(self):
+        table = StoreForwardingTable(window=10)
+        table.record_store(0x1000, 5)
+        assert table.forwarding_cycle(0x1000, 100) is None
+
+    def test_unknown_address(self):
+        table = StoreForwardingTable(window=10)
+        assert table.forwarding_cycle(0x2000, 5) is None

@@ -1,0 +1,38 @@
+"""Tests for predictor base helpers (PC folding, size reports)."""
+
+from repro.predictors.base import PredictorSizeReport, fold_pc
+
+
+class TestFoldPC:
+    def test_within_range(self):
+        for bits in (8, 10, 14, 16):
+            for pc in (0x4000_0000, 0x4000_0044, 0x7FFF_FFFC, 0x0):
+                assert 0 <= fold_pc(pc, bits) < (1 << bits)
+
+    def test_deterministic(self):
+        assert fold_pc(0x4000_1234, 14) == fold_pc(0x4000_1234, 14)
+
+    def test_nearby_pcs_differ(self):
+        # Instruction addresses are 4-byte aligned; consecutive instructions
+        # should normally land on different indices.
+        values = {fold_pc(0x4000_0000 + 4 * i, 14) for i in range(16)}
+        assert len(values) > 8
+
+    def test_ignores_low_two_bits(self):
+        assert fold_pc(0x4000_0001, 12) == fold_pc(0x4000_0002, 12)
+
+
+class TestPredictorSizeReport:
+    def test_accumulates_components(self):
+        report = PredictorSizeReport()
+        report.add("table", 8192)
+        report.add("table", 8192)
+        report.add("ghr", 30)
+        assert report.components["table"] == 16384
+        assert report.total_bits == 16414
+        assert report.total_kib == 16414 / 8 / 1024
+
+    def test_repr(self):
+        report = PredictorSizeReport()
+        report.add("x", 8)
+        assert "KiB" in repr(report)

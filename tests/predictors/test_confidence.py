@@ -1,0 +1,57 @@
+"""Tests for the confidence estimator."""
+
+import pytest
+
+from repro.predictors.confidence import ConfidenceEstimator
+
+
+class TestConfidenceEstimator:
+    def test_not_confident_initially(self):
+        estimator = ConfidenceEstimator(entries=16, bits=2)
+        assert not estimator.is_confident(3)
+
+    def test_becomes_confident_after_saturation(self):
+        estimator = ConfidenceEstimator(entries=16, bits=2)
+        for _ in range(3):
+            estimator.record_correct(3)
+        assert estimator.is_confident(3)
+
+    def test_misprediction_zeroes_counter(self):
+        estimator = ConfidenceEstimator(entries=16, bits=2)
+        for _ in range(3):
+            estimator.record_correct(3)
+        estimator.record_incorrect(3)
+        assert not estimator.is_confident(3)
+        assert estimator.value(3) == 0
+
+    def test_record_dispatch(self):
+        estimator = ConfidenceEstimator(entries=16, bits=3)
+        estimator.record(5, True)
+        assert estimator.value(5) == 1
+        estimator.record(5, False)
+        assert estimator.value(5) == 0
+
+    def test_counter_saturates(self):
+        estimator = ConfidenceEstimator(entries=4, bits=2)
+        for _ in range(10):
+            estimator.record_correct(1)
+        assert estimator.value(1) == 3
+
+    def test_entries_wrap(self):
+        estimator = ConfidenceEstimator(entries=8, bits=2)
+        for _ in range(3):
+            estimator.record_correct(2)
+        assert estimator.is_confident(2 + 8)
+
+    def test_independent_entries(self):
+        estimator = ConfidenceEstimator(entries=8, bits=2)
+        for _ in range(3):
+            estimator.record_correct(0)
+        assert not estimator.is_confident(1)
+
+    def test_size_report(self):
+        assert ConfidenceEstimator(entries=1024, bits=3).size_report().total_bits == 3072
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(entries=0)

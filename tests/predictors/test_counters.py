@@ -1,0 +1,79 @@
+"""Tests for saturating counters and counter tables."""
+
+import pytest
+
+from repro.predictors.counters import CounterTable, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_initial_value(self):
+        assert SaturatingCounter(bits=2, initial=1).value == 1
+
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(bits=2, initial=3)
+        counter.increment()
+        assert counter.value == 3
+        assert counter.is_saturated
+
+    def test_decrement_floors_at_zero(self):
+        counter = SaturatingCounter(bits=2, initial=0)
+        counter.decrement()
+        assert counter.value == 0
+
+    def test_taken_threshold(self):
+        counter = SaturatingCounter(bits=2, initial=1)
+        assert not counter.taken
+        counter.increment()
+        assert counter.taken
+
+    def test_train_moves_towards_outcome(self):
+        counter = SaturatingCounter(bits=2, initial=2)
+        counter.train(False)
+        assert counter.value == 1
+        counter.train(True)
+        assert counter.value == 2
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=3, initial=5)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=7)
+
+
+class TestCounterTable:
+    def test_learns_direction(self):
+        table = CounterTable(entries=16, bits=2, initial=1)
+        for _ in range(4):
+            table.train(5, True)
+        assert table.taken(5)
+        for _ in range(4):
+            table.train(5, False)
+        assert not table.taken(5)
+
+    def test_index_wraps(self):
+        table = CounterTable(entries=8, bits=2)
+        table.train(3, True)
+        table.train(3 + 8, True)
+        assert table.value(3) == table.value(11)
+
+    def test_values_bounded(self):
+        table = CounterTable(entries=4, bits=2, initial=0)
+        for _ in range(10):
+            table.train(0, True)
+        assert table.value(0) == 3
+
+    def test_size_report(self):
+        table = CounterTable(entries=1024, bits=2)
+        assert table.size_report("pht").total_bits == 2048
+
+    def test_len(self):
+        assert len(CounterTable(entries=32)) == 32
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            CounterTable(entries=0)

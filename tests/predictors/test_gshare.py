@@ -1,0 +1,49 @@
+"""Tests for the gshare predictor."""
+
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.history import GlobalHistoryRegister
+
+
+class TestGshare:
+    def test_learns_strong_bias(self):
+        predictor = GsharePredictor(history_bits=10)
+        ghr = GlobalHistoryRegister(10)
+        correct = 0
+        total = 500
+        for i in range(total):
+            outcome = True  # always taken
+            prediction = predictor.predict(0x4000, ghr.value)
+            if i > 50:
+                correct += prediction == outcome
+            predictor.update(0x4000, ghr.value, outcome)
+            ghr.push(outcome)
+        assert correct / (total - 51) > 0.98
+
+    def test_learns_history_correlated_pattern(self):
+        # outcome = outcome two branches ago (period-2 alternation) is
+        # perfectly predictable through the global history.
+        predictor = GsharePredictor(history_bits=10)
+        ghr = GlobalHistoryRegister(10)
+        correct = 0
+        total = 2000
+        for i in range(total):
+            outcome = (i % 2) == 0
+            prediction = predictor.predict(0x4000, ghr.value)
+            if i > 200:
+                correct += prediction == outcome
+            predictor.update(0x4000, ghr.value, outcome)
+            ghr.push(outcome)
+        assert correct / (total - 201) > 0.95
+
+    def test_size_report_matches_table1(self):
+        predictor = GsharePredictor(history_bits=14)
+        # 4 KB of 2-bit counters plus the GHR itself.
+        assert abs(predictor.size_report().total_kib - 4.0) < 0.01
+
+    def test_different_pcs_can_disagree(self):
+        predictor = GsharePredictor(history_bits=8)
+        for _ in range(8):
+            predictor.update(0x4000, 0, True)
+            predictor.update(0x8088, 0, False)
+        assert predictor.predict(0x4000, 0) is True
+        assert predictor.predict(0x8088, 0) is False

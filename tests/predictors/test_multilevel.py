@@ -1,0 +1,54 @@
+"""Tests for the two-level override predictor."""
+
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.multilevel import TwoLevelOverridePredictor
+from repro.predictors.perceptron import PerceptronConfig, PerceptronPredictor
+
+
+class TestTwoLevelOverride:
+    def test_final_prediction_is_second_level(self):
+        predictor = TwoLevelOverridePredictor(
+            fast=GsharePredictor(history_bits=6),
+            slow=PerceptronPredictor(PerceptronConfig(entries=16)),
+        )
+        # Train only the slow predictor towards taken.
+        for _ in range(50):
+            predictor.slow.update(0x4000, 0, True)
+            predictor.fast.update(0x4000, 0, False)
+        both = predictor.predict_both(0x4000, 0)
+        assert both.final is both.slow
+        assert predictor.predict(0x4000, 0) is both.slow
+
+    def test_override_counted_when_levels_disagree(self):
+        predictor = TwoLevelOverridePredictor(
+            fast=GsharePredictor(history_bits=6),
+            slow=PerceptronPredictor(PerceptronConfig(entries=16)),
+        )
+        for _ in range(50):
+            predictor.slow.update(0x4000, 0, True)
+            predictor.fast.update(0x4000, 0, False)
+        before = predictor.override_count
+        both = predictor.predict_both(0x4000, 0)
+        assert both.overridden
+        assert predictor.override_count == before + 1
+        assert 0.0 < predictor.override_rate <= 1.0
+
+    def test_update_trains_both_levels(self):
+        predictor = TwoLevelOverridePredictor(
+            fast=GsharePredictor(history_bits=6),
+            slow=PerceptronPredictor(PerceptronConfig(entries=16)),
+        )
+        for _ in range(60):
+            predictor.update(0x4000, 0, True)
+        assert predictor.fast.predict(0x4000, 0) is True
+        assert predictor.slow.predict(0x4000, 0) is True
+
+    def test_size_report_combines_levels(self):
+        report = TwoLevelOverridePredictor().size_report()
+        # 4 KB gshare + ~148 KB perceptron.
+        assert 148 <= report.total_kib <= 160
+        assert "gshare-pht" in report.components
+        assert "perceptron-table" in report.components
+
+    def test_override_rate_zero_without_predictions(self):
+        assert TwoLevelOverridePredictor().override_rate == 0.0

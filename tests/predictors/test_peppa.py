@@ -1,0 +1,73 @@
+"""Tests for the PEP-PA predictor structure."""
+
+from repro.predictors.peppa import PEPPAConfig, PEPPAPredictor
+
+
+class TestPEPPA:
+    def test_learns_periodic_pattern_with_stable_selector(self):
+        predictor = PEPPAPredictor(PEPPAConfig(branch_entries=64))
+        pattern = [True] * 7 + [False]
+        correct = 0
+        counted = 0
+        for repetition in range(300):
+            for outcome in pattern:
+                prediction = predictor.predict(0x4000, True)
+                if repetition > 40:
+                    counted += 1
+                    correct += prediction == outcome
+                predictor.update(0x4000, True, outcome)
+        assert correct / counted > 0.95
+
+    def test_selector_splits_histories(self):
+        # With the selector equal to the outcome of the *previous* dynamic
+        # instance, the predictor effectively learns "previous definition
+        # correlates with this branch" — the PEP-PA idea.
+        predictor = PEPPAPredictor(PEPPAConfig(branch_entries=64))
+        outcomes = []
+        previous = True
+        correct = 0
+        counted = 0
+        for i in range(3000):
+            outcome = not previous  # alternating, fully determined by selector
+            prediction = predictor.predict(0x4000, previous)
+            if i > 300:
+                counted += 1
+                correct += prediction == outcome
+            predictor.update(0x4000, previous, outcome)
+            outcomes.append(outcome)
+            previous = outcome
+        assert correct / counted > 0.95
+
+    def test_saturates_to_computed_predicate_when_selector_is_outcome(self):
+        # "For branches whose predicate is available, the PHT counters
+        # quickly saturate, and then prediction becomes equal to the
+        # computed predicate."
+        predictor = PEPPAPredictor(PEPPAConfig(branch_entries=64))
+        import random
+
+        rng = random.Random(5)
+        correct = 0
+        counted = 0
+        for i in range(3000):
+            outcome = rng.random() < 0.5
+            prediction = predictor.predict(0x4000, outcome)  # selector == outcome
+            if i > 500:
+                counted += 1
+                correct += prediction == outcome
+            predictor.update(0x4000, outcome, outcome)
+        assert correct / counted > 0.9
+
+    def test_size_is_144_kib(self):
+        assert abs(PEPPAPredictor().size_report().total_kib - 144.0) < 1.0
+
+    def test_storage_bits_matches_report(self):
+        config = PEPPAConfig()
+        assert config.storage_bits() == PEPPAPredictor(config).size_report().total_bits
+
+    def test_distinct_branches_do_not_interfere_in_entry_table(self):
+        predictor = PEPPAPredictor(PEPPAConfig(branch_entries=1024))
+        for _ in range(64):
+            predictor.update(0x4000, True, True)
+            predictor.update(0x8008, True, False)
+        assert predictor.predict(0x4000, True) is True
+        assert predictor.predict(0x8008, True) is False

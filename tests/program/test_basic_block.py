@@ -1,0 +1,87 @@
+"""Tests for basic blocks."""
+
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.instructions import ALUInstruction, NopInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Label
+from repro.isa.registers import GR, PR
+from repro.program.basic_block import BasicBlock
+
+
+def _alu():
+    return ALUInstruction(Opcode.ADD, GR(1), GR(2), GR(3))
+
+
+class TestAppend:
+    def test_append_sets_block_and_slot(self):
+        block = BasicBlock("bb0")
+        first = block.append(_alu())
+        second = block.append(_alu())
+        assert first.block_label == "bb0" and first.slot == 0
+        assert second.slot == 1
+        assert len(block) == 2
+
+    def test_extend(self):
+        block = BasicBlock("bb0")
+        block.extend([_alu(), _alu(), _alu()])
+        assert [i.slot for i in block] == [0, 1, 2]
+
+    def test_insert_renumbers(self):
+        block = BasicBlock("bb0")
+        block.extend([_alu(), _alu()])
+        inserted = block.insert(1, NopInstruction())
+        assert block.instructions[1] is inserted
+        assert [i.slot for i in block] == [0, 1, 2]
+
+    def test_remove_renumbers(self):
+        block = BasicBlock("bb0")
+        a, b, c = _alu(), _alu(), _alu()
+        block.extend([a, b, c])
+        block.remove(b)
+        assert block.instructions == [a, c]
+        assert [i.slot for i in block] == [0, 1]
+
+    def test_replace_instructions(self):
+        block = BasicBlock("bb0")
+        block.extend([_alu(), _alu()])
+        replacement = [_alu()]
+        block.replace_instructions(replacement)
+        assert list(block) == replacement
+        assert replacement[0].block_label == "bb0"
+
+
+class TestTerminator:
+    def test_no_terminator(self):
+        block = BasicBlock("bb0")
+        block.append(_alu())
+        assert block.terminator is None
+        assert block.falls_through
+
+    def test_conditional_terminator_falls_through(self):
+        block = BasicBlock("bb0")
+        block.append(BranchInstruction(BranchKind.COND, Label("x"), qp=PR(6)))
+        assert block.terminator is not None
+        assert block.falls_through
+
+    def test_unconditional_terminator_does_not_fall_through(self):
+        block = BasicBlock("bb0")
+        block.append(BranchInstruction(BranchKind.UNCOND, Label("x")))
+        assert not block.falls_through
+
+    def test_plain_return_does_not_fall_through(self):
+        block = BasicBlock("bb0")
+        block.append(BranchInstruction(BranchKind.RET))
+        assert not block.falls_through
+
+    def test_guarded_return_falls_through(self):
+        block = BasicBlock("bb0")
+        block.append(BranchInstruction(BranchKind.RET, qp=PR(3)))
+        assert block.falls_through
+
+    def test_branches_property_includes_interior_region_branches(self):
+        block = BasicBlock("bb0")
+        region_branch = BranchInstruction(BranchKind.UNCOND, Label("x"), qp=PR(4))
+        block.append(region_branch)
+        block.append(_alu())
+        assert region_branch in block.branches
+        assert block.terminator is None

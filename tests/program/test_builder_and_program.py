@@ -1,0 +1,135 @@
+"""Tests for the program builder, layout and data segment."""
+
+import pytest
+
+from repro.isa import GR, PR, CompareRelation
+from repro.isa.opcodes import Opcode
+from repro.program import ProgramBuilder
+from repro.program.program import DATA_BASE, TEXT_BASE
+
+
+class TestProgramBuilder:
+    def test_routines_registered(self):
+        pb = ProgramBuilder("prog")
+        pb.routine("main").block("entry").append
+        pb.routine("helper")
+        program = pb.program
+        assert set(program.routines) == {"main", "helper"}
+        assert program.entry_routine.name == "main"
+
+    def test_duplicate_routine_rejected(self):
+        pb = ProgramBuilder("prog")
+        pb.routine("main")
+        with pytest.raises(ValueError):
+            pb.routine("main")
+
+    def test_emit_helpers_produce_expected_opcodes(self):
+        pb = ProgramBuilder("prog")
+        rb = pb.routine("main")
+        rb.block("entry")
+        assert rb.addi(GR(1), GR(2), 3).opcode is Opcode.ADDI
+        assert rb.add(GR(1), GR(2), GR(3)).opcode is Opcode.ADD
+        assert rb.xor(GR(1), GR(2), GR(3)).opcode is Opcode.XOR
+        assert rb.shl(GR(1), GR(2), 3).opcode is Opcode.SHLI
+        assert rb.shl(GR(1), GR(2), GR(3)).opcode is Opcode.SHL
+        assert rb.mul(GR(1), GR(2), GR(3)).opcode is Opcode.MUL
+        assert rb.movi(GR(1), 9).opcode is Opcode.MOVI
+        assert rb.load(GR(1), GR(2)).opcode is Opcode.LD
+        assert rb.store(GR(1), GR(2)).opcode is Opcode.ST
+        assert rb.fadd(GR(1), GR(2), GR(3)).opcode is Opcode.FADD
+        assert rb.nop().opcode is Opcode.NOP
+
+    def test_emit_without_block_raises(self):
+        pb = ProgramBuilder("prog")
+        rb = pb.routine("main")
+        with pytest.raises(RuntimeError):
+            rb.nop()
+
+    def test_block_switching(self):
+        pb = ProgramBuilder("prog")
+        rb = pb.routine("main")
+        first = rb.block("a")
+        rb.nop()
+        rb.block("b")
+        rb.nop()
+        rb.block("a")
+        rb.nop()
+        assert len(first) == 2
+        assert [b.label for b in rb.routine.blocks] == ["a", "b"]
+
+
+class TestDataSegment:
+    def test_array_placement(self):
+        pb = ProgramBuilder("prog")
+        base = pb.array("values", [10, 20, 30])
+        assert base >= DATA_BASE
+        assert pb.program.data.words[base] == 10
+        assert pb.program.data.words[base + 16] == 30
+
+    def test_arrays_do_not_overlap(self):
+        pb = ProgramBuilder("prog")
+        a = pb.array("a", list(range(100)))
+        b = pb.array("b", list(range(10)))
+        assert b >= a + 100 * 8
+
+    def test_duplicate_array_name_rejected(self):
+        pb = ProgramBuilder("prog")
+        pb.array("a", [1])
+        with pytest.raises(ValueError):
+            pb.array("a", [2])
+
+    def test_array_base_lookup(self):
+        pb = ProgramBuilder("prog")
+        base = pb.array("a", [1, 2])
+        assert pb.array_base("a") == base
+
+
+class TestLayout:
+    def _simple_program(self):
+        pb = ProgramBuilder("prog")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 1)
+        rb.movi(GR(2), 2)
+        rb.block("next")
+        rb.cmp(CompareRelation.EQ, PR(6), PR(7), GR(1), GR(2))
+        rb.br_ret()
+        return pb.finish()
+
+    def test_layout_assigns_addresses(self):
+        program = self._simple_program()
+        assert program.laid_out
+        addresses = [inst.address for inst in program.instructions()]
+        assert all(a is not None for a in addresses)
+        assert addresses[0] == TEXT_BASE
+
+    def test_addresses_unique_and_increasing(self):
+        program = self._simple_program()
+        addresses = [inst.address for inst in program.instructions()]
+        assert addresses == sorted(addresses)
+        assert len(set(addresses)) == len(addresses)
+
+    def test_block_addresses_set(self):
+        program = self._simple_program()
+        for routine in program.routines.values():
+            for block in routine.blocks:
+                assert block.address is not None
+
+    def test_layout_is_deterministic(self):
+        first = [i.address for i in self._simple_program().instructions()]
+        second = [i.address for i in self._simple_program().instructions()]
+        assert first == second
+
+    def test_size_property(self):
+        program = self._simple_program()
+        assert program.size == 4
+
+    def test_routine_lookup_helpers(self):
+        program = self._simple_program()
+        routine = program.routine("main")
+        assert routine.block("next").label == "next"
+        assert routine.block_index("next") == 1
+        with pytest.raises(KeyError):
+            routine.block("missing")
+        with pytest.raises(KeyError):
+            routine.block_index("missing")

@@ -1,0 +1,147 @@
+"""Tests for the control-flow graph and its region detection."""
+
+from repro.isa import GR, PR, CompareRelation
+from repro.program import ProgramBuilder
+from repro.program.cfg import ControlFlowGraph
+
+
+def _hammock_routine():
+    pb = ProgramBuilder("hammock")
+    rb = pb.routine("main")
+    rb.block("head")
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 5)
+    rb.br_cond("join", qp=PR(7))
+    rb.block("body")
+    rb.addi(GR(2), GR(2), 1)
+    rb.block("join")
+    rb.br_ret()
+    pb.finish(layout=False)
+    return rb.routine
+
+
+def _diamond_routine():
+    pb = ProgramBuilder("diamond")
+    rb = pb.routine("main")
+    rb.block("head")
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 5)
+    rb.br_cond("else_side", qp=PR(7))
+    rb.block("then_side")
+    rb.addi(GR(2), GR(2), 1)
+    rb.br("join")
+    rb.block("else_side")
+    rb.addi(GR(3), GR(3), 1)
+    rb.block("join")
+    rb.br_ret()
+    pb.finish(layout=False)
+    return rb.routine
+
+
+def _escape_routine():
+    pb = ProgramBuilder("escape")
+    rb = pb.routine("main")
+    rb.block("head")
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 5)
+    rb.br_cond("cont", qp=PR(7))
+    rb.block("esc")
+    rb.addi(GR(2), GR(2), 1)
+    rb.br_ret()
+    rb.block("cont")
+    rb.addi(GR(3), GR(3), 1)
+    rb.br_ret()
+    pb.finish(layout=False)
+    return rb.routine
+
+
+class TestEdges:
+    def test_hammock_edges(self):
+        cfg = _hammock_routine().cfg
+        assert set(cfg.successors("head")) == {"body", "join"}
+        assert cfg.successors("body") == ["join"]
+        assert set(cfg.predecessors("join")) == {"head", "body"}
+
+    def test_taken_and_fallthrough(self):
+        cfg = _hammock_routine().cfg
+        assert cfg.taken_successor("head") == "join"
+        assert cfg.fallthrough_successor("head") == "body"
+
+    def test_return_has_no_successors(self):
+        cfg = _hammock_routine().cfg
+        assert cfg.successors("join") == []
+
+    def test_reachable_blocks(self):
+        cfg = _diamond_routine().cfg
+        assert set(cfg.reachable_blocks()) == {"head", "then_side", "else_side", "join"}
+
+    def test_call_edge_to_fallthrough(self):
+        pb = ProgramBuilder("caller")
+        helper = pb.routine("helper")
+        helper.block("h")
+        helper.br_ret()
+        rb = pb.routine("main")
+        rb.block("a")
+        rb.br_call("helper")
+        rb.block("b")
+        rb.br_ret()
+        pb.finish(layout=False)
+        cfg = rb.routine.cfg
+        edges = cfg.out_edges("a")
+        assert len(edges) == 1
+        assert edges[0].kind == "call-return"
+        assert edges[0].dst == "b"
+
+
+class TestDiamondDetection:
+    def test_detect_hammock(self):
+        cfg = _hammock_routine().cfg
+        region = cfg.diamond_region("head")
+        assert region is not None
+        assert region.then_side == "body"
+        assert region.else_side is None
+        assert region.join == "join"
+        assert region.then_on_taken_path is False
+
+    def test_detect_full_diamond(self):
+        cfg = _diamond_routine().cfg
+        region = cfg.diamond_region("head")
+        assert region is not None
+        assert region.then_side == "then_side"
+        assert region.else_side == "else_side"
+        assert region.join == "join"
+
+    def test_non_branch_block_not_detected(self):
+        cfg = _hammock_routine().cfg
+        assert cfg.diamond_region("body") is None
+
+    def test_escape_is_not_a_diamond(self):
+        cfg = _escape_routine().cfg
+        assert cfg.diamond_region("head") is None
+
+
+class TestEscapeDetection:
+    def test_detect_escape_with_return(self):
+        cfg = _escape_routine().cfg
+        region = cfg.escape_hammock("head")
+        assert region is not None
+        assert region.escape == "esc"
+        assert region.continuation == "cont"
+
+    def test_plain_hammock_is_not_escape(self):
+        cfg = _hammock_routine().cfg
+        assert cfg.escape_hammock("head") is None
+
+    def test_diamond_is_not_escape(self):
+        # The then-side jumps to the join, which is not "leaving the region".
+        cfg = _diamond_routine().cfg
+        assert cfg.escape_hammock("head") is None
+
+
+class TestRebuild:
+    def test_duplicate_labels_rejected(self):
+        from repro.program.basic_block import BasicBlock
+
+        blocks = [BasicBlock("a"), BasicBlock("a")]
+        try:
+            ControlFlowGraph(blocks)
+            assert False, "expected ValueError"
+        except ValueError:
+            pass

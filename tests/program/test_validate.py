@@ -1,0 +1,118 @@
+"""Tests for program validation."""
+
+import pytest
+
+from repro.isa import GR, PR, CompareRelation
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.instructions import MoveInstruction
+from repro.isa.operands import Label
+from repro.program import ProgramBuilder, ValidationError, validate_program
+
+
+def _well_formed():
+    pb = ProgramBuilder("ok")
+    rb = pb.routine("main")
+    rb.block("entry")
+    rb.movi(GR(1), 3)
+    rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 0)
+    rb.br_cond("entry", qp=PR(6))
+    rb.block("exit")
+    rb.br_ret()
+    return pb.finish(layout=False)
+
+
+class TestValidProgram:
+    def test_well_formed_passes(self):
+        validate_program(_well_formed())
+
+    def test_predicated_region_branch_mid_block_allowed(self):
+        pb = ProgramBuilder("region")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.br_ret(qp=PR(3))
+        rb.movi(GR(1), 1)
+        rb.br_ret()
+        program = pb.finish(layout=False)
+        validate_program(program)
+
+
+class TestInvalidPrograms:
+    def test_missing_entry_routine(self):
+        pb = ProgramBuilder("bad", entry="does-not-exist")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.br_ret()
+        with pytest.raises(ValidationError):
+            validate_program(pb.finish(layout=False))
+
+    def test_branch_to_unknown_label(self):
+        pb = ProgramBuilder("bad")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 0)
+        rb.br_cond("nowhere", qp=PR(6))
+        rb.block("exit")
+        rb.br_ret()
+        with pytest.raises(ValidationError) as err:
+            validate_program(pb.finish(layout=False))
+        assert "nowhere" in str(err.value)
+
+    def test_call_to_unknown_routine(self):
+        pb = ProgramBuilder("bad")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.br_call("missing")
+        rb.br_ret()
+        with pytest.raises(ValidationError) as err:
+            validate_program(pb.finish(layout=False))
+        assert "missing" in str(err.value)
+
+    def test_unpredicated_branch_mid_block(self):
+        pb = ProgramBuilder("bad")
+        rb = pb.routine("main")
+        block = rb.block("entry")
+        block.append(BranchInstruction(BranchKind.UNCOND, Label("entry")))
+        rb.movi(GR(1), 1)
+        with pytest.raises(ValidationError) as err:
+            validate_program(pb.finish(layout=False))
+        assert "middle of a basic block" in str(err.value)
+
+    def test_fall_off_end_of_routine(self):
+        pb = ProgramBuilder("bad")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.movi(GR(1), 1)
+        with pytest.raises(ValidationError) as err:
+            validate_program(pb.finish(layout=False))
+        assert "fall" in str(err.value)
+
+    def test_write_to_hardwired_register(self):
+        pb = ProgramBuilder("bad")
+        rb = pb.routine("main")
+        block = rb.block("entry")
+        block.append(MoveInstruction(GR(0), 5))
+        rb.br_ret()
+        with pytest.raises(ValidationError) as err:
+            validate_program(pb.finish(layout=False))
+        assert "hard-wired" in str(err.value)
+
+    def test_compare_may_target_p0(self):
+        pb = ProgramBuilder("ok")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.cmp(CompareRelation.GT, PR(0), PR(7), GR(1), 0)
+        rb.br_ret()
+        validate_program(pb.finish(layout=False))
+
+    def test_multiple_problems_reported(self):
+        pb = ProgramBuilder("bad")
+        rb = pb.routine("main")
+        rb.block("entry")
+        rb.br_call("missing")
+        rb.cmp(CompareRelation.GT, PR(6), PR(7), GR(1), 0)
+        rb.br_cond("nowhere", qp=PR(6))
+        rb.block("tail")
+        rb.movi(GR(1), 1)
+        with pytest.raises(ValidationError) as err:
+            validate_program(pb.finish(layout=False))
+        assert len(err.value.problems) >= 2

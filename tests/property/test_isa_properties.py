@@ -1,0 +1,62 @@
+"""Property-based tests for ISA semantics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.compare import CompareInstruction, CompareRelation, CompareType
+from repro.isa.registers import GR, PR
+
+relations = st.sampled_from(list(CompareRelation))
+ctypes = st.sampled_from(list(CompareType))
+values = st.integers(min_value=-(2**40), max_value=2**40)
+booleans = st.booleans()
+
+
+class TestCompareProperties:
+    @given(relation=relations, lhs=values, rhs=values)
+    @settings(max_examples=200, deadline=None)
+    def test_relation_and_its_negation_partition(self, relation, lhs, rhs):
+        negations = {
+            CompareRelation.EQ: CompareRelation.NE,
+            CompareRelation.NE: CompareRelation.EQ,
+            CompareRelation.LT: CompareRelation.GE,
+            CompareRelation.GE: CompareRelation.LT,
+            CompareRelation.GT: CompareRelation.LE,
+            CompareRelation.LE: CompareRelation.GT,
+            CompareRelation.LTU: CompareRelation.GEU,
+            CompareRelation.GEU: CompareRelation.LTU,
+        }
+        assert relation.evaluate(lhs, rhs) != negations[relation].evaluate(lhs, rhs)
+
+    @given(relation=relations, lhs=values, rhs=values, qp=booleans,
+           old_pt=booleans, old_pf=booleans)
+    @settings(max_examples=200, deadline=None)
+    def test_none_and_unc_write_complementary_values_when_enabled(
+        self, relation, lhs, rhs, qp, old_pt, old_pf
+    ):
+        result = relation.evaluate(lhs, rhs)
+        for ctype in (CompareType.NONE, CompareType.UNC):
+            inst = CompareInstruction(relation, PR(6), PR(7), GR(1), GR(2), ctype=ctype)
+            new_pt, new_pf = inst.compute_targets(qp, result, old_pt, old_pf)
+            if qp:
+                assert new_pt == result and new_pf == (not result)
+            elif ctype is CompareType.UNC:
+                assert new_pt is False and new_pf is False
+            else:
+                assert new_pt is None and new_pf is None
+
+    @given(relation=relations, lhs=values, rhs=values, old_pt=booleans, old_pf=booleans)
+    @settings(max_examples=200, deadline=None)
+    def test_parallel_types_never_write_when_qp_false(self, relation, lhs, rhs, old_pt, old_pf):
+        result = relation.evaluate(lhs, rhs)
+        for ctype in (CompareType.AND, CompareType.OR, CompareType.OR_ANDCM):
+            inst = CompareInstruction(relation, PR(6), PR(7), GR(1), GR(2), ctype=ctype)
+            assert inst.compute_targets(False, result, old_pt, old_pf) == (None, None)
+
+    @given(lhs=values, rhs=values)
+    @settings(max_examples=200, deadline=None)
+    def test_signed_ordering_total(self, lhs, rhs):
+        lt = CompareRelation.LT.evaluate(lhs, rhs)
+        gt = CompareRelation.GT.evaluate(lhs, rhs)
+        eq = CompareRelation.EQ.evaluate(lhs, rhs)
+        assert sum([lt, gt, eq]) == 1

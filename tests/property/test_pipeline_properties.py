@@ -1,0 +1,128 @@
+"""Property-based tests over randomly generated workloads.
+
+These generate small random workload traits, build and compile the program
+both ways, and check the global invariants that must hold for *any* input:
+compilation preserves architectural results, the pipeline's stage timestamps
+are ordered, and every scheme sees the same dynamic branches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.core import ConventionalScheme, PredicatePredictionScheme
+from repro.emulator import Emulator
+from repro.pipeline import OutOfOrderCore
+from repro.workloads.generators import generate_condition_streams
+from repro.workloads.kernels import build_program_from_traits
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    RegionKind,
+    WorkloadTraits,
+)
+
+ACCUMULATORS = list(range(70, 74))
+
+
+@st.composite
+def workload_traits(draw):
+    n_hard = draw(st.integers(0, 2))
+    hard = tuple(
+        HardRegionSpec(
+            bias=draw(st.floats(0.2, 0.8)),
+            body_size=draw(st.integers(1, 6)),
+            kind=draw(st.sampled_from(list(RegionKind))),
+            nested=draw(st.booleans()) if n_hard == 1 else False,
+        )
+        for _ in range(n_hard)
+    )
+    correlated = ()
+    if hard:
+        correlated = tuple(
+            CorrelatedBranchSpec(
+                sources=tuple(sorted(draw(
+                    st.sets(st.integers(0, len(hard) - 1), min_size=1, max_size=len(hard))
+                ))),
+                op=draw(st.sampled_from(["and", "or", "copy", "not", "xor"])),
+                lag=draw(st.integers(0, 2)),
+                noise=draw(st.floats(0.0, 0.2)),
+                early_compare=draw(st.booleans()),
+            )
+            for _ in range(draw(st.integers(0, 1)))
+        )
+    easy = tuple(
+        EasyBranchSpec(bias=draw(st.floats(0.9, 0.99)), body_size=draw(st.integers(1, 3)))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return WorkloadTraits(
+        name="hyp",
+        category=draw(st.sampled_from(["int", "fp"])),
+        seed=draw(st.integers(0, 2**20)),
+        array_length=32,
+        outer_iterations=1,
+        hard_regions=hard,
+        correlated_branches=correlated,
+        easy_branches=easy,
+        filler_alu=draw(st.integers(1, 5)),
+        filler_fp=draw(st.integers(0, 3)),
+        inner_loop_trips=draw(st.integers(0, 3)),
+        pointer_chase=draw(st.booleans()),
+    )
+
+
+def _final_state(program, limit=60_000):
+    emulator = Emulator(program)
+    list(emulator.run(limit))
+    assert emulator.halted
+    return emulator.state
+
+
+class TestGeneratedWorkloadInvariants:
+    @given(traits=workload_traits())
+    @settings(max_examples=12, deadline=None)
+    def test_if_conversion_preserves_results(self, traits):
+        streams = generate_condition_streams(traits)
+        baseline = compile_program(
+            build_program_from_traits(traits, streams), CompilerOptions.baseline()
+        )
+        options = CompilerOptions.if_converted()
+        options.if_conversion.ignore_profile = True
+        converted = compile_program(build_program_from_traits(traits, streams), options)
+
+        base_state = _final_state(baseline)
+        conv_state = _final_state(converted)
+        assert [base_state.general[r] for r in ACCUMULATORS] == [
+            conv_state.general[r] for r in ACCUMULATORS
+        ]
+
+    @given(traits=workload_traits())
+    @settings(max_examples=8, deadline=None)
+    def test_pipeline_invariants_and_scheme_agreement(self, traits):
+        streams = generate_condition_streams(traits)
+        program = compile_program(
+            build_program_from_traits(traits, streams), CompilerOptions.if_converted()
+        )
+        trace = list(Emulator(program).run(3_000))
+
+        conventional = OutOfOrderCore().run(
+            iter(trace), ConventionalScheme(), keep_uops=True
+        )
+        predicate = OutOfOrderCore().run(
+            iter(trace), PredicatePredictionScheme(), keep_uops=True
+        )
+
+        # Stage ordering per uop, in-order commit.
+        for result in (conventional, predicate):
+            previous_commit = 0
+            for uop in result.uops:
+                assert uop.fetch_cycle <= uop.rename_cycle <= uop.commit_cycle
+                assert uop.commit_cycle >= previous_commit
+                previous_commit = uop.commit_cycle
+
+        # Both schemes saw exactly the same dynamic conditional branches.
+        assert conventional.accuracy.branches == predicate.accuracy.branches
+        conv_actuals = [r.actual for r in conventional.accuracy.records]
+        pred_actuals = [r.actual for r in predicate.accuracy.records]
+        assert conv_actuals == pred_actuals

@@ -1,0 +1,133 @@
+"""Tests for condition-stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    CONDITION_THRESHOLD,
+    generate_condition_streams,
+)
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    WorkloadTraits,
+)
+
+
+def _traits(**overrides):
+    params = dict(
+        name="synthetic",
+        category="int",
+        seed=42,
+        array_length=2048,
+        hard_regions=(HardRegionSpec(bias=0.7), HardRegionSpec(bias=0.3)),
+        correlated_branches=(
+            CorrelatedBranchSpec(sources=(0, 1), op="and", lag=1, noise=0.0),
+            CorrelatedBranchSpec(sources=(0,), op="copy", lag=2, noise=0.1),
+        ),
+        easy_branches=(EasyBranchSpec(bias=0.95),),
+    )
+    params.update(overrides)
+    return WorkloadTraits(**params)
+
+
+class TestStreamStatistics:
+    def test_hard_stream_bias_close_to_spec(self):
+        streams = generate_condition_streams(_traits())
+        assert abs(streams.hard_rate(0) - 0.7) < 0.05
+        assert abs(streams.hard_rate(1) - 0.3) < 0.05
+
+    def test_easy_stream_bias(self):
+        streams = generate_condition_streams(_traits())
+        assert np.mean(streams.easy[0]) > 0.9
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_condition_streams(_traits())
+        second = generate_condition_streams(_traits())
+        assert np.array_equal(first.hard[0], second.hard[0])
+        assert first.value_arrays["corr0"] == second.value_arrays["corr0"]
+
+    def test_different_seeds_differ(self):
+        first = generate_condition_streams(_traits(seed=1))
+        second = generate_condition_streams(_traits(seed=2))
+        assert not np.array_equal(first.hard[0], second.hard[0])
+
+
+class TestCorrelationConstruction:
+    def test_and_correlation_with_lag(self):
+        streams = generate_condition_streams(_traits())
+        derived = streams.correlated[0]
+        expected = np.roll(streams.hard[0], 1) & np.roll(streams.hard[1], 1)
+        assert np.array_equal(derived, expected)
+
+    def test_copy_correlation_with_noise_rate(self):
+        streams = generate_condition_streams(_traits())
+        derived = streams.correlated[1]
+        source = np.roll(streams.hard[0], 2)
+        flip_rate = float(np.mean(derived != source))
+        assert 0.05 < flip_rate < 0.16
+
+    @pytest.mark.parametrize(
+        "op,function",
+        [
+            ("or", lambda a, b: a | b),
+            ("xor", lambda a, b: a ^ b),
+            ("and", lambda a, b: a & b),
+        ],
+    )
+    def test_binary_ops(self, op, function):
+        traits = _traits(
+            correlated_branches=(
+                CorrelatedBranchSpec(sources=(0, 1), op=op, lag=0, noise=0.0),
+            )
+        )
+        streams = generate_condition_streams(traits)
+        expected = function(streams.hard[0], streams.hard[1])
+        assert np.array_equal(streams.correlated[0], expected)
+
+    def test_not_op(self):
+        traits = _traits(
+            correlated_branches=(
+                CorrelatedBranchSpec(sources=(0,), op="not", lag=0, noise=0.0),
+            )
+        )
+        streams = generate_condition_streams(traits)
+        assert np.array_equal(streams.correlated[0], ~streams.hard[0])
+
+    def test_majority_op(self):
+        traits = _traits(
+            hard_regions=(HardRegionSpec(0.5), HardRegionSpec(0.5), HardRegionSpec(0.5)),
+            correlated_branches=(
+                CorrelatedBranchSpec(sources=(0, 1, 2), op="majority", lag=0, noise=0.0),
+            ),
+        )
+        streams = generate_condition_streams(traits)
+        stacked = np.stack([streams.hard[0], streams.hard[1], streams.hard[2]])
+        expected = stacked.sum(axis=0) >= 2
+        assert np.array_equal(streams.correlated[0], expected)
+
+
+class TestValueEncoding:
+    def test_values_encode_condition_via_threshold(self):
+        streams = generate_condition_streams(_traits())
+        values = np.array(streams.value_arrays["hard0"])
+        recovered = values > CONDITION_THRESHOLD
+        assert np.array_equal(recovered, streams.hard[0])
+
+    def test_every_condition_has_an_array(self):
+        streams = generate_condition_streams(_traits())
+        for name in ("hard0", "hard1", "corr0", "corr1", "easy0"):
+            assert name in streams.value_arrays
+            assert len(streams.value_arrays[name]) == 2048
+
+    def test_nested_regions_get_inner_arrays(self):
+        traits = _traits(hard_regions=(HardRegionSpec(0.6, nested=True),),
+                         correlated_branches=())
+        streams = generate_condition_streams(traits)
+        assert "hard0_inner" in streams.value_arrays
+
+    def test_pointer_chase_chain_is_permutation(self):
+        traits = _traits(pointer_chase=True)
+        streams = generate_condition_streams(traits)
+        assert sorted(streams.chain) == list(range(2048))

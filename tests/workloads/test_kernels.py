@@ -1,0 +1,135 @@
+"""Tests for the workload kernel builder (generated-code structure)."""
+
+import pytest
+
+from repro.emulator import Emulator, trace_statistics
+from repro.isa.branches import BranchInstruction, BranchKind
+from repro.isa.compare import CompareInstruction
+from repro.program import validate_program
+from repro.workloads.generators import generate_condition_streams
+from repro.workloads.kernels import build_program_from_traits
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    RegionKind,
+    WorkloadTraits,
+)
+
+
+def _traits(**overrides):
+    params = dict(
+        name="kernel-test",
+        category="int",
+        seed=5,
+        array_length=64,
+        outer_iterations=3,
+        hard_regions=(
+            HardRegionSpec(0.6, 4, RegionKind.HAMMOCK),
+            HardRegionSpec(0.5, 4, RegionKind.DIAMOND),
+            HardRegionSpec(0.3, 3, RegionKind.ESCAPE),
+        ),
+        correlated_branches=(
+            CorrelatedBranchSpec(sources=(0,), op="copy", lag=1, early_compare=True),
+        ),
+        easy_branches=(EasyBranchSpec(0.95, 2, early_compare=True), EasyBranchSpec(0.93, 2)),
+        filler_alu=3,
+        inner_loop_trips=2,
+        pointer_chase=True,
+    )
+    params.update(overrides)
+    return WorkloadTraits(**params)
+
+
+class TestGeneratedStructure:
+    def test_program_validates_and_has_expected_blocks(self):
+        program = build_program_from_traits(_traits())
+        validate_program(program)
+        labels = {block.label for block in program.routine("main").blocks}
+        for expected in ("entry", "reset", "iter", "latch", "outer", "done", "inner"):
+            assert expected in labels
+
+    def test_one_array_per_condition_plus_chain(self):
+        traits = _traits()
+        program = build_program_from_traits(traits)
+        # hard0..2, corr0, easy0..1, chain -> 7 arrays; each array occupies
+        # array_length words in the data segment.
+        assert len(program.data.words) == 7 * traits.array_length
+
+    def test_compares_use_p0_as_second_target(self):
+        program = build_program_from_traits(_traits())
+        condition_compares = [
+            inst
+            for inst in program.routine("main").instructions()
+            if isinstance(inst, CompareInstruction) and inst.num_predictions_needed == 1
+        ]
+        # All condition and loop-control compares only need one prediction
+        # before if-conversion.
+        assert condition_compares
+        all_compares = [
+            inst
+            for inst in program.routine("main").instructions()
+            if isinstance(inst, CompareInstruction)
+        ]
+        assert len(condition_compares) == len(all_compares)
+
+    def test_escape_region_jumps_to_latch(self):
+        program = build_program_from_traits(_traits())
+        escape_jumps = [
+            inst
+            for inst in program.routine("main").instructions()
+            if isinstance(inst, BranchInstruction)
+            and inst.kind is BranchKind.UNCOND
+            and inst.target is not None
+            and inst.target.name == "latch"
+        ]
+        assert escape_jumps, "escape regions must leave the iteration via 'latch'"
+
+    def test_early_conditions_computed_in_reset_and_latch(self):
+        program = build_program_from_traits(_traits())
+        routine = program.routine("main")
+        for label in ("reset", "latch"):
+            block = routine.block(label)
+            assert any(isinstance(i, CompareInstruction) for i in block.instructions), (
+                f"block {label!r} must evaluate the software-pipelined conditions"
+            )
+
+    def test_streams_can_be_shared_between_builds(self):
+        traits = _traits()
+        streams = generate_condition_streams(traits)
+        first = build_program_from_traits(traits, streams)
+        second = build_program_from_traits(traits, streams)
+        assert first.data.words == second.data.words
+
+
+class TestGeneratedBehaviour:
+    def test_program_terminates_after_outer_iterations(self):
+        traits = _traits(outer_iterations=2, pointer_chase=False, inner_loop_trips=0)
+        program = build_program_from_traits(traits)
+        emulator = Emulator(program)
+        list(emulator.run(200_000))
+        assert emulator.halted
+
+    def test_branch_outcomes_follow_condition_streams(self):
+        traits = _traits(
+            hard_regions=(HardRegionSpec(0.5, 3, RegionKind.HAMMOCK),),
+            correlated_branches=(),
+            easy_branches=(),
+            inner_loop_trips=0,
+            pointer_chase=False,
+            outer_iterations=1,
+        )
+        streams = generate_condition_streams(traits)
+        program = build_program_from_traits(traits, streams)
+        trace = list(Emulator(program).run(50_000))
+        stats = trace_statistics(trace)
+        # The hard-region branch is taken when the condition is FALSE (it
+        # skips the body), so its taken rate must match 1 - stream mean.
+        hard_rate = streams.hard_rate(0)
+        data_sites = [
+            site for site in stats.branch_sites.values() if 0.02 < site.taken_rate < 0.98
+        ]
+        non_loop = [site for site in data_sites if site.executions >= 32 and site.bias < 0.95]
+        assert non_loop
+        measured = min(non_loop, key=lambda s: abs((1 - s.taken_rate) - hard_rate))
+        assert abs((1 - measured.taken_rate) - hard_rate) < 0.1

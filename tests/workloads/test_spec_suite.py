@@ -1,0 +1,86 @@
+"""Tests for the synthetic SPEC2000-like suite."""
+
+import pytest
+
+from repro.emulator import Emulator, trace_statistics
+from repro.program import validate_program
+from repro.workloads import (
+    SPEC_SUITE,
+    build_workload,
+    fp_workload_names,
+    integer_workload_names,
+    workload_names,
+    workload_traits,
+)
+
+
+class TestSuiteComposition:
+    def test_twenty_two_benchmarks(self):
+        assert len(workload_names()) == 22
+
+    def test_eleven_integer_eleven_fp(self):
+        assert len(integer_workload_names()) == 11
+        assert len(fp_workload_names()) == 11
+
+    def test_expected_names_present(self):
+        names = set(workload_names())
+        for expected in ("gzip", "gcc", "mcf", "twolf", "swim", "art", "ammp"):
+            assert expected in names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload_traits("doom3")
+
+    def test_every_integer_benchmark_has_convertible_hard_region(self):
+        for name in integer_workload_names():
+            traits = workload_traits(name)
+            assert traits.hard_regions, f"{name} has no hard regions"
+
+    def test_correlated_branches_reference_hard_regions(self):
+        for name, traits in SPEC_SUITE.items():
+            for spec in traits.correlated_branches:
+                for source in spec.sources:
+                    assert source < len(traits.hard_regions)
+
+
+class TestBuiltPrograms:
+    @pytest.mark.parametrize("name", ["gzip", "twolf", "mcf", "swim", "art"])
+    def test_programs_validate(self, name):
+        program = build_workload(name)
+        validate_program(program)
+        assert program.laid_out
+
+    def test_build_is_deterministic(self):
+        first = build_workload("vpr")
+        second = build_workload("vpr")
+        assert [i.opcode for i in first.instructions()] == [
+            i.opcode for i in second.instructions()
+        ]
+        assert first.data.words == second.data.words
+
+    def test_metadata_recorded(self):
+        program = build_workload("crafty")
+        assert program.metadata["workload"] == "crafty"
+        assert program.metadata["category"] == "int"
+
+    @pytest.mark.parametrize("name", ["gzip", "swim"])
+    def test_trace_characteristics(self, name):
+        program = build_workload(name)
+        stats = trace_statistics(list(Emulator(program).run(6_000)))
+        # Realistic dynamic mixes: some branches, some memory traffic.
+        assert 0.04 < stats.conditional_branch_fraction < 0.30
+        assert stats.loads > 0
+        assert stats.compares > 0
+
+    def test_int_programs_have_harder_branches_than_fp(self):
+        # Use a threshold below the fixed-trip inner-loop bias (7/8) so that
+        # perfectly periodic loop-control branches do not count as "hard".
+        int_stats = trace_statistics(list(Emulator(build_workload("twolf")).run(8_000)))
+        fp_stats = trace_statistics(list(Emulator(build_workload("swim")).run(8_000)))
+        assert int_stats.hard_branch_fraction(0.85) > fp_stats.hard_branch_fraction(0.85)
+
+    def test_pointer_chase_workload_runs(self):
+        program = build_workload("mcf")
+        emulator = Emulator(program)
+        trace = list(emulator.run(4_000))
+        assert len(trace) == 4_000

@@ -1,0 +1,88 @@
+"""Tests for workload trait validation."""
+
+import pytest
+
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    RegionKind,
+    WorkloadTraits,
+)
+
+
+class TestHardRegionSpec:
+    def test_valid(self):
+        spec = HardRegionSpec(0.6, 5, RegionKind.DIAMOND)
+        assert spec.bias == 0.6
+
+    def test_bias_bounds(self):
+        with pytest.raises(ValueError):
+            HardRegionSpec(bias=0.0)
+        with pytest.raises(ValueError):
+            HardRegionSpec(bias=1.0)
+
+    def test_body_size_positive(self):
+        with pytest.raises(ValueError):
+            HardRegionSpec(body_size=0)
+
+
+class TestCorrelatedBranchSpec:
+    def test_valid_ops(self):
+        for op in ("and", "or", "copy", "not", "majority", "xor"):
+            CorrelatedBranchSpec(sources=(0,), op=op)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            CorrelatedBranchSpec(op="nand")
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            CorrelatedBranchSpec(sources=())
+
+    def test_noise_bounds(self):
+        with pytest.raises(ValueError):
+            CorrelatedBranchSpec(noise=0.5)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelatedBranchSpec(lag=-1)
+
+
+class TestEasyBranchSpec:
+    def test_bias_must_be_high(self):
+        with pytest.raises(ValueError):
+            EasyBranchSpec(bias=0.4)
+
+
+class TestWorkloadTraits:
+    def test_category_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTraits(name="x", category="vector", seed=1)
+
+    def test_correlated_source_bounds_checked(self):
+        with pytest.raises(ValueError):
+            WorkloadTraits(
+                name="x",
+                category="int",
+                seed=1,
+                hard_regions=(HardRegionSpec(),),
+                correlated_branches=(CorrelatedBranchSpec(sources=(3,)),),
+            )
+
+    def test_condition_count(self):
+        traits = WorkloadTraits(
+            name="x",
+            category="int",
+            seed=1,
+            hard_regions=(HardRegionSpec(), HardRegionSpec()),
+            correlated_branches=(CorrelatedBranchSpec(sources=(0,)),),
+            easy_branches=(EasyBranchSpec(),),
+        )
+        assert traits.condition_count == 4
+        assert not traits.is_floating_point
+        assert "2 hard regions" in traits.describe()
+
+    def test_array_length_minimum(self):
+        with pytest.raises(ValueError):
+            WorkloadTraits(name="x", category="int", seed=1, array_length=4)
