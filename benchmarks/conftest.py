@@ -50,18 +50,24 @@ def shared_runner() -> ExperimentRunner:
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
 
 
-def emit(title: str, body: str) -> None:
+def emit(title: str, body: str, name: str = "") -> None:
     """Print a result block and archive it under ``results/``.
 
     The print is visible with ``pytest -s`` (or on failures); the archived
     copy makes the regenerated tables available even when pytest captures
     stdout, so a plain ``pytest benchmarks/ --benchmark-only`` run leaves the
     per-figure tables in ``results/*.txt``.
+
+    ``name`` is the canonical file name of the report (matching the names
+    ``repro all`` writes, see :data:`repro.experiments.suite.REPORT_TITLES`)
+    so the harness and the CLI update the *same* files; it defaults to a
+    slug of the title.
     """
-    separator = "=" * max(len(title), 8)
-    block = f"{separator}\n{title}\n{separator}\n{body}\n"
+    from repro.stats.reporting import report_block, report_slug
+
+    block = report_block(title, body)
     print(f"\n{block}", flush=True)
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    slug = "".join(c if c.isalnum() or c in "-_" else "_" for c in title.lower())[:80]
+    slug = name or report_slug(title)
     with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w", encoding="utf-8") as handle:
         handle.write(block)

@@ -17,7 +17,7 @@ def test_ablation_history_corruption(benchmark, shared_runner):
     result = benchmark.pedantic(
         run_history_ablation, kwargs={"runner": shared_runner}, rounds=1, iterations=1
     )
-    emit("Ablation - global-history corruption", result.render())
+    emit("Ablation - global-history corruption", result.render(), name="ablation_history")
 
     corruption_cost = -result.average_advantage  # oracle minus realistic
     # The corruption window costs accuracy (non-negative) but stays a small

@@ -16,7 +16,7 @@ def test_ablation_pvt_organisation(benchmark, shared_runner):
     result = benchmark.pedantic(
         run_pvt_ablation, kwargs={"runner": shared_runner}, rounds=1, iterations=1
     )
-    emit("Ablation - PVT organisation", result.render())
+    emit("Ablation - PVT organisation", result.render(), name="ablation_pvt")
 
     # The paper's design point (dual-hash single table) should not lose to
     # the split organisation on average.

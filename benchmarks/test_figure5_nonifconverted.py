@@ -20,7 +20,7 @@ def test_figure5_branch_misprediction_rates(benchmark, shared_runner):
         run_figure5, kwargs={"runner": shared_runner}, rounds=1, iterations=1
     )
 
-    emit("Figure 5 - misprediction rates (non-if-converted binaries)", result.render())
+    emit("Figure 5 - misprediction rates (non-if-converted binaries)", result.render(), name="figure5")
 
     benchmarks = result.table.benchmarks()
     assert len(benchmarks) == len(shared_runner.benchmarks())

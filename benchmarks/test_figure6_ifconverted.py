@@ -33,7 +33,7 @@ def test_figure6a_misprediction_rates(benchmark, shared_runner):
     result = benchmark.pedantic(
         _figure6, args=(shared_runner,), rounds=1, iterations=1
     )
-    emit("Figure 6a - misprediction rates (if-converted binaries)", result.render())
+    emit("Figure 6a - misprediction rates (if-converted binaries)", result.render(), name="figure6")
 
     benchmarks = result.table.benchmarks()
     # The predicate predictor is the most accurate scheme on (nearly) every
@@ -71,7 +71,7 @@ def test_figure6b_accuracy_breakdown(benchmark, shared_runner):
     lines.append(
         f"{'average':12s} {100 * early:15.2f} {100 * correlation:12.2f}"
     )
-    emit("Figure 6b - accuracy difference breakdown (percentage points)", "\n".join(lines))
+    emit("Figure 6b - accuracy difference breakdown (percentage points)", "\n".join(lines), name="figure6b")
 
     # Both contributions exist and their sum equals the total improvement.
     assert early >= 0.0

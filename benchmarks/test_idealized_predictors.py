@@ -21,7 +21,7 @@ def test_idealized_nonifconverted(benchmark, shared_runner):
         rounds=1,
         iterations=1,
     )
-    emit("Idealized predictors - non-if-converted code", result.render())
+    emit("Idealized predictors - non-if-converted code", result.render(), name="idealized_baseline")
 
     benchmarks = result.table.benchmarks()
     assert result.average_accuracy_increase > 0.0
@@ -41,7 +41,7 @@ def test_idealized_ifconverted(benchmark, shared_runner):
         rounds=1,
         iterations=1,
     )
-    emit("Idealized predictors - if-converted code", result.render())
+    emit("Idealized predictors - if-converted code", result.render(), name="idealized_if_converted")
 
     assert result.average_accuracy_increase > 0.0
     benchmark.extra_info["avg_accuracy_increase_pct"] = round(

@@ -26,7 +26,7 @@ def test_selective_predication_ipc(benchmark, shared_runner):
     lines = [result.render(), "", "cancelled-at-rename fraction per benchmark:"]
     for name, fraction in result.cancelled_fraction.items():
         lines.append(f"  {name:10s} {100 * fraction:6.2f}%")
-    emit("Selective predicated execution - IPC on if-converted code", "\n".join(lines))
+    emit("Selective predicated execution - IPC on if-converted code", "\n".join(lines), name="selective_ipc")
 
     # Selective predication must actually remove work from the pipeline...
     assert any(fraction > 0.0 for fraction in result.cancelled_fraction.values())

@@ -33,7 +33,7 @@ def test_table1_configuration(benchmark):
 
     table = paper_table1()
     body = "\n".join(f"{key:28s} {value}" for key, value in table.items())
-    emit("Table 1 - main architectural parameters", body)
+    emit("Table 1 - main architectural parameters", body, name="table1")
 
     # Table 1 headline values.
     assert "6 instructions" in table["Fetch Width"]

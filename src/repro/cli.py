@@ -6,14 +6,21 @@ Commands:
     Print the simulated machine configuration (Table 1).
 ``figure5`` / ``figure6`` / ``idealized`` / ``ablations`` / ``ipc``
     Regenerate the corresponding experiment and print its report.
+``all``
+    Run every experiment through one shared, deduplicated engine pass and
+    write the rendered reports under ``results/`` (see ``--output-dir``).
 ``simulate BENCHMARK``
     Run one benchmark under one scheme and print the headline metrics.
+``cache stats`` / ``cache clear`` / ``cache path``
+    Inspect or clear the persistent artifact cache.
 ``list``
     List the available benchmarks.
 
 Common options: ``--instructions N`` (per-benchmark budget),
-``--benchmarks a,b,c`` (subset of the suite), and for ``simulate``:
-``--scheme``, ``--flavour``.
+``--benchmarks a,b,c`` (subset of the suite), ``--jobs N`` (parallel worker
+processes), ``--cache-dir PATH`` / ``--no-cache`` (persistent artifact
+store; defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache``), and for
+``simulate``: ``--scheme``, ``--flavour``.
 """
 
 from __future__ import annotations
@@ -22,25 +29,28 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.engine import (
+    ArtifactStore,
+    BASELINE,
+    ExecutionEngine,
+    IF_CONVERTED,
+    SchemeSpec,
+    default_cache_dir,
+)
+from repro.engine.store import KINDS
 from repro.experiments.ablations import run_history_ablation, run_pvt_ablation
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.idealized import run_idealized_study
-from repro.experiments.runner import BASELINE, IF_CONVERTED, ExperimentRunner
 from repro.experiments.selective_ipc import run_selective_ipc
-from repro.experiments.setup import (
-    ExperimentProfile,
-    make_conventional_scheme,
-    make_peppa_scheme,
-    make_predicate_scheme,
-    paper_table1,
-)
+from repro.experiments.setup import ExperimentProfile, paper_table1
+from repro.experiments.suite import run_all, write_reports
 from repro.workloads.spec_suite import workload_names
 
-_SCHEME_FACTORIES = {
-    "conventional": make_conventional_scheme,
-    "pep-pa": make_peppa_scheme,
-    "predicate": make_predicate_scheme,
+_SCHEME_SPECS = {
+    "conventional": SchemeSpec.make("conventional"),
+    "pep-pa": SchemeSpec.make("pep-pa"),
+    "predicate": SchemeSpec.make("predicate"),
 }
 
 
@@ -63,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated benchmark subset (default: the full 22-program suite)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent (benchmark, flavour) cells "
+        "(default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent artifact cache for this run",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("table1", help="print the Table 1 machine configuration")
@@ -79,11 +107,35 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("ablations", help="PVT and history ablations")
     subparsers.add_parser("ipc", help="selective predicated-execution IPC comparison")
 
+    everything = subparsers.add_parser(
+        "all", help="run every experiment in one shared engine pass"
+    )
+    everything.add_argument(
+        "--output-dir",
+        type=str,
+        default="results",
+        help="directory the rendered reports are written to (default: results)",
+    )
+
+    cache = subparsers.add_parser("cache", help="inspect or clear the artifact cache")
+    cache.add_argument(
+        "action",
+        choices=["stats", "clear", "path"],
+        help="stats: per-kind counts/sizes; clear: delete artifacts; "
+        "path: print the cache directory",
+    )
+    cache.add_argument(
+        "--kind",
+        choices=sorted(KINDS),
+        default=None,
+        help="restrict 'clear' to one artifact kind",
+    )
+
     simulate = subparsers.add_parser("simulate", help="simulate one benchmark")
     simulate.add_argument("benchmark", help="benchmark name (see 'list')")
     simulate.add_argument(
         "--scheme",
-        choices=sorted(_SCHEME_FACTORIES),
+        choices=sorted(_SCHEME_SPECS),
         default="predicate",
         help="branch-handling scheme (default: predicate)",
     )
@@ -96,17 +148,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _runner(args: argparse.Namespace) -> ExperimentRunner:
+def _store(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    if args.no_cache:
+        return None
+    return ArtifactStore(default_cache_dir(args.cache_dir))
+
+
+def _engine(args: argparse.Namespace) -> ExecutionEngine:
     benchmarks: Optional[List[str]] = None
     if args.benchmarks:
         benchmarks = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+        benchmarks = benchmarks or None
+    if benchmarks:
+        unknown = sorted(set(benchmarks) - set(workload_names()))
+        if unknown:
+            raise SystemExit(
+                f"unknown benchmark(s) {', '.join(unknown)}; see 'repro list'"
+            )
     profile = ExperimentProfile(
         name="cli",
         instructions_per_benchmark=args.instructions,
         benchmarks=benchmarks,
         profile_budget=min(args.instructions, 20_000),
     )
-    return ExperimentRunner(profile)
+    return ExecutionEngine(profile, store=_store(args), jobs=args.jobs)
 
 
 def _command_table1(_args: argparse.Namespace) -> str:
@@ -118,38 +183,72 @@ def _command_list(_args: argparse.Namespace) -> str:
 
 
 def _command_figure5(args: argparse.Namespace) -> str:
-    return run_figure5(runner=_runner(args)).render()
+    return run_figure5(engine=_engine(args)).render()
 
 
 def _command_figure6(args: argparse.Namespace) -> str:
-    return run_figure6(runner=_runner(args)).render()
+    return run_figure6(engine=_engine(args)).render()
 
 
 def _command_idealized(args: argparse.Namespace) -> str:
-    return run_idealized_study(args.flavour, runner=_runner(args)).render()
+    return run_idealized_study(args.flavour, engine=_engine(args)).render()
 
 
 def _command_ablations(args: argparse.Namespace) -> str:
-    runner = _runner(args)
+    engine = _engine(args)
     return "\n\n".join(
-        [run_pvt_ablation(runner=runner).render(), run_history_ablation(runner=runner).render()]
+        [run_pvt_ablation(engine=engine).render(), run_history_ablation(engine=engine).render()]
     )
 
 
 def _command_ipc(args: argparse.Namespace) -> str:
-    return run_selective_ipc(runner=_runner(args)).render()
+    return run_selective_ipc(engine=_engine(args)).render()
+
+
+def _command_all(args: argparse.Namespace) -> str:
+    engine = _engine(args)
+    suite = run_all(engine=engine)
+    written = write_reports(suite, args.output_dir)
+    lines = [suite.render(), "", f"wrote {len(written)} reports:"]
+    lines.extend(f"  {path}" for path in written)
+    return "\n".join(lines)
+
+
+def _command_cache(args: argparse.Namespace) -> str:
+    store = ArtifactStore(default_cache_dir(args.cache_dir))
+    if args.action == "path":
+        return store.root
+    if args.action == "clear":
+        removed = store.clear(args.kind)
+        scope = args.kind or "all kinds"
+        return f"removed {removed} artifacts ({scope}) from {store.root}"
+    report = store.stats()
+    lines = [f"artifact cache at {store.root}"]
+    total_count = 0
+    total_bytes = 0
+    for kind in KINDS:
+        entry = report[kind]
+        total_count += entry["count"]
+        total_bytes += entry["bytes"]
+        lines.append(
+            f"  {kind:10s} {entry['count']:6d} artifacts  {entry['bytes'] / 1024:10.1f} KiB"
+        )
+    lines.append(
+        f"  {'total':10s} {total_count:6d} artifacts  {total_bytes / 1024:10.1f} KiB"
+    )
+    return "\n".join(lines)
 
 
 def _command_simulate(args: argparse.Namespace) -> str:
-    runner = _runner(args)
+    engine = _engine(args)
     if args.benchmark not in workload_names():
         raise SystemExit(f"unknown benchmark {args.benchmark!r}; see 'repro list'")
-    run = runner.run_scheme(args.benchmark, args.flavour, _SCHEME_FACTORIES[args.scheme])
-    metrics = run.result.metrics
-    accuracy = run.result.accuracy
+    result = engine.simulate(args.benchmark, args.flavour, _SCHEME_SPECS[args.scheme])
+    metrics = result.metrics
+    accuracy = result.accuracy
     lines = [
         f"benchmark            {args.benchmark} ({args.flavour})",
-        f"scheme               {run.result.scheme_name}",
+        f"scheme               {result.scheme_name}",
         f"instructions         {metrics.committed_instructions}",
         f"cycles               {metrics.cycles}",
         f"IPC                  {metrics.ipc:.3f}",
@@ -170,6 +269,8 @@ _COMMANDS = {
     "idealized": _command_idealized,
     "ablations": _command_ablations,
     "ipc": _command_ipc,
+    "all": _command_all,
+    "cache": _command_cache,
     "simulate": _command_simulate,
 }
 

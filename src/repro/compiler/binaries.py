@@ -9,8 +9,8 @@ transformation — exactly the experimental control of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Optional
 
 from repro.compiler.if_conversion import IfConversionOptions
 from repro.compiler.pipeline import CompilerOptions, compile_program
@@ -44,6 +44,22 @@ class BinaryFactory:
     ) -> None:
         self.if_conversion_options = if_conversion_options or IfConversionOptions()
         self.profile_budget = profile_budget
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, name: str, flavour: str) -> Dict[str, object]:
+        """Stable description of one compilation's inputs.
+
+        The returned mapping contains only primitives and is used by the
+        experiment engine to derive content-addressed cache keys: two factory
+        configurations produce the same fingerprint exactly when they would
+        compile bit-identical binaries from the same deterministic generator.
+        """
+        return {
+            "benchmark": name,
+            "flavour": flavour,
+            "profile_budget": self.profile_budget,
+            "if_conversion": asdict(self.if_conversion_options),
+        }
 
     # ------------------------------------------------------------------
     def build_baseline(self, name: str, generator: ProgramGenerator) -> Program:

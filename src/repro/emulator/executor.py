@@ -102,6 +102,40 @@ class DynInst:
     def __repr__(self) -> str:
         return f"<DynInst #{self.seq} pc={self.pc:#x} {self.inst!r}>"
 
+    # ------------------------------------------------------------------
+    # Serialization (used by the trace artifact store).  ``__slots__``
+    # classes pickle through protocol 2 anyway, but an explicit tuple state
+    # is smaller and keeps the on-disk format independent of slot order.
+    def __getstate__(self):
+        return (
+            self.seq,
+            self.inst,
+            self.pc,
+            self.qp_value,
+            self.executed,
+            self.taken,
+            self.target_pc,
+            self.next_pc,
+            self.mem_address,
+            self.pred_writes,
+            self.guard_producer_seq,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.seq,
+            self.inst,
+            self.pc,
+            self.qp_value,
+            self.executed,
+            self.taken,
+            self.target_pc,
+            self.next_pc,
+            self.mem_address,
+            self.pred_writes,
+            self.guard_producer_seq,
+        ) = state
+
 
 class _Frame:
     """A call frame: where execution resumes inside a routine."""

@@ -8,12 +8,16 @@ fetched instructions that were nullified (false qualifying predicate).
 
 from __future__ import annotations
 
+import pickle
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.emulator.executor import DynInst, Emulator
 from repro.program.program import Program
+
+#: Bump when the on-disk trace encoding changes (invalidates stored traces).
+TRACE_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -82,6 +86,48 @@ def collect_trace(program: Program, max_instructions: int) -> List[DynInst]:
     """Run ``program`` and return the dynamic instruction list."""
     emulator = Emulator(program)
     return list(emulator.run(max_instructions))
+
+
+# ----------------------------------------------------------------------
+# Trace serialization
+# ----------------------------------------------------------------------
+def serialize_trace(trace: List[DynInst]) -> bytes:
+    """Encode a dynamic trace for the on-disk artifact store.
+
+    The encoding carries a format version and is self-contained: the
+    ``Instruction`` objects referenced by the trace are serialized with it
+    (shared instances are preserved by pickle memoization), so a trace can be
+    re-simulated without re-materialising the program it came from.
+    """
+    return pickle.dumps(
+        (TRACE_FORMAT_VERSION, trace), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def deserialize_trace(data: bytes) -> List[DynInst]:
+    """Decode a trace produced by :func:`serialize_trace`.
+
+    Raises :class:`ValueError` on a format-version mismatch so callers (the
+    artifact store) treat stale encodings as cache misses.
+    """
+    version, trace = pickle.loads(data)
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"trace format version {version} != expected {TRACE_FORMAT_VERSION}"
+        )
+    return trace
+
+
+def save_trace(path: str, trace: List[DynInst]) -> None:
+    """Write a trace to ``path`` (see :func:`serialize_trace`)."""
+    with open(path, "wb") as handle:
+        handle.write(serialize_trace(trace))
+
+
+def load_trace(path: str) -> List[DynInst]:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        return deserialize_trace(handle.read())
 
 
 def trace_statistics(trace: List[DynInst]) -> TraceStatistics:

@@ -1,0 +1,78 @@
+"""The job-graph experiment engine.
+
+Every figure of the paper is a sweep over (benchmark × binary-flavour ×
+scheme) cells.  This package turns those sweeps into data and executes them
+efficiently:
+
+* :mod:`repro.engine.jobs` — declarative :class:`JobSpec` objects (build a
+  binary, collect a trace, simulate a scheme) and picklable
+  :class:`SchemeSpec` scheme descriptions;
+* :mod:`repro.engine.planner` — :class:`ExperimentDefinition` sweeps and a
+  planner that expands any number of them into one deduplicated DAG;
+* :mod:`repro.engine.store` — a content-addressed on-disk
+  :class:`ArtifactStore` persisting binaries, traces and results across
+  processes;
+* :mod:`repro.engine.executor` — the :class:`ExecutionEngine`, which runs a
+  graph serially or over ``--jobs N`` worker processes and owns trace
+  lifetime (bounded in-memory LRU);
+* :mod:`repro.engine.hashing` — stable content hashing for cache keys.
+"""
+
+from repro.engine.executor import (
+    EngineStats,
+    ExecutionEngine,
+    ExperimentOutputs,
+    resolve_engine,
+)
+from repro.engine.hashing import canonicalize, stable_hash
+from repro.engine.jobs import (
+    BASELINE,
+    FLAVOURS,
+    IF_CONVERTED,
+    BuildJob,
+    JobSpec,
+    SchemeSpec,
+    SimulateJob,
+    TraceJob,
+)
+from repro.engine.planner import (
+    CellRequest,
+    ExperimentDefinition,
+    JobGraph,
+    plan,
+    sweep,
+)
+from repro.engine.store import (
+    ArtifactStore,
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    STORE_FORMAT_VERSION,
+    default_cache_dir,
+)
+
+__all__ = [
+    "BASELINE",
+    "IF_CONVERTED",
+    "FLAVOURS",
+    "JobSpec",
+    "BuildJob",
+    "TraceJob",
+    "SimulateJob",
+    "SchemeSpec",
+    "CellRequest",
+    "ExperimentDefinition",
+    "JobGraph",
+    "plan",
+    "sweep",
+    "ArtifactStore",
+    "STORE_FORMAT_VERSION",
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "default_cache_dir",
+    "ExecutionEngine",
+    "EngineStats",
+    "ExperimentOutputs",
+    "resolve_engine",
+    "stable_hash",
+    "canonicalize",
+]

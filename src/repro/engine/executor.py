@@ -1,0 +1,309 @@
+"""The execution engine: runs job graphs serially or across processes.
+
+:class:`ExecutionEngine` is the one place artifacts are materialised.  Every
+request goes through the same three-tier lookup — bounded in-memory cache,
+then the persistent :class:`~repro.engine.store.ArtifactStore` (when one is
+configured), then actual work — and every tier records what it did in
+:class:`EngineStats`, which is how the tests (and the acceptance criteria)
+prove that a second run recompiles and re-traces nothing.
+
+Trace lifetime is an engine responsibility: traces are the only sizeable
+artifact (tens of MB for the full suite at paper budgets), so the engine
+keeps at most ``max_cached_traces`` of them in memory and evicts in LRU
+order.  Experiments no longer manage trace memory by hand.
+
+With ``jobs > 1`` the engine executes independent (benchmark, flavour) cells
+in parallel worker processes via :mod:`multiprocessing`; workers share the
+on-disk store (writes are atomic) and return their results by pickle.
+Simulation is deterministic given a trace and a scheme spec, so parallel
+runs are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.binaries import BinaryFactory
+from repro.emulator.executor import DynInst, Emulator
+from repro.engine.jobs import BASELINE, IF_CONVERTED, SchemeSpec, SimulateJob
+from repro.engine.planner import (
+    ExperimentDefinition,
+    JobGraph,
+    make_build_job,
+    make_simulate_job,
+    make_trace_job,
+    plan,
+)
+from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore
+from repro.pipeline.core import OutOfOrderCore, SimulationResult
+from repro.program.program import Program
+from repro.workloads.spec_suite import build_workload, workload_names
+
+#: (benchmark, flavour)
+Cell = Tuple[str, str]
+
+#: What an experiment gets back: (benchmark, label) → result.
+ExperimentOutputs = Dict[Tuple[str, str], SimulationResult]
+
+
+@dataclass
+class EngineStats:
+    """What the engine actually did (vs. served from its caches)."""
+
+    binaries_built: int = 0
+    binaries_loaded: int = 0
+    traces_collected: int = 0
+    traces_loaded: int = 0
+    simulations_run: int = 0
+    results_loaded: int = 0
+
+    def merge(self, other: Dict[str, int]) -> None:
+        for field_ in fields(self):
+            setattr(
+                self,
+                field_.name,
+                getattr(self, field_.name) + int(other.get(field_.name, 0)),
+            )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field_.name: getattr(self, field_.name) for field_ in fields(self)}
+
+    def render(self) -> str:
+        return (
+            f"built {self.binaries_built} binaries ({self.binaries_loaded} cached), "
+            f"collected {self.traces_collected} traces ({self.traces_loaded} cached), "
+            f"ran {self.simulations_run} simulations ({self.results_loaded} cached)"
+        )
+
+
+class ExecutionEngine:
+    """Materialises binaries, traces and results for job graphs."""
+
+    def __init__(
+        self,
+        profile=None,
+        store: Optional[ArtifactStore] = None,
+        jobs: int = 1,
+        max_cached_traces: int = 2,
+    ) -> None:
+        # Lazy import: repro.experiments imports repro.engine.
+        from repro.experiments.setup import PAPER_PROFILE
+
+        self.profile = profile or PAPER_PROFILE
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.max_cached_traces = max(1, int(max_cached_traces))
+        self.factory = BinaryFactory(profile_budget=self.profile.profile_budget)
+        self.stats = EngineStats()
+        self._binaries: Dict[Cell, Program] = {}
+        self._traces: "OrderedDict[Cell, List[DynInst]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def benchmarks(self) -> List[str]:
+        """Benchmarks selected by the profile (default: the full suite)."""
+        return list(self.profile.benchmarks or workload_names())
+
+    # ------------------------------------------------------------------
+    # Artifact materialisation (in-memory cache → store → work)
+    # ------------------------------------------------------------------
+    def build_binary(self, benchmark: str, flavour: str) -> Program:
+        """Return the compiled binary of one cell, building it if needed."""
+        cell = (benchmark, flavour)
+        cached = self._binaries.get(cell)
+        if cached is not None:
+            return cached
+        job = make_build_job(benchmark, flavour, self.factory)
+        program: Optional[Program] = None
+        if self.store is not None:
+            program = self.store.get(BINARIES, job.key)
+        if program is not None:
+            self.stats.binaries_loaded += 1
+        else:
+            program = self._compile(benchmark, flavour)
+            self.stats.binaries_built += 1
+            if self.store is not None:
+                self.store.put(
+                    BINARIES,
+                    job.key,
+                    program,
+                    metadata={"benchmark": benchmark, "flavour": flavour},
+                )
+        self._binaries[cell] = program
+        return program
+
+    def _compile(self, benchmark: str, flavour: str) -> Program:
+        def generator() -> Program:
+            return build_workload(benchmark)
+
+        if flavour == BASELINE:
+            return self.factory.build_baseline(benchmark, generator)
+        if flavour == IF_CONVERTED:
+            return self.factory.build_if_converted(benchmark, generator)
+        raise ValueError(f"unknown binary flavour {flavour!r}")
+
+    def collect_trace(self, benchmark: str, flavour: str) -> List[DynInst]:
+        """Return the dynamic trace of one cell, collecting it if needed."""
+        cell = (benchmark, flavour)
+        cached = self._traces.get(cell)
+        if cached is not None:
+            self._traces.move_to_end(cell)
+            return cached
+        build = make_build_job(benchmark, flavour, self.factory)
+        job = make_trace_job(build, self.profile.instructions_per_benchmark)
+        trace: Optional[List[DynInst]] = None
+        if self.store is not None:
+            trace = self.store.get(TRACES, job.key)
+        if trace is not None:
+            self.stats.traces_loaded += 1
+        else:
+            program = self.build_binary(benchmark, flavour)
+            emulator = Emulator(program)
+            trace = list(emulator.run(job.instructions))
+            self.stats.traces_collected += 1
+            if self.store is not None:
+                self.store.put(
+                    TRACES,
+                    job.key,
+                    trace,
+                    metadata={
+                        "benchmark": benchmark,
+                        "flavour": flavour,
+                        "instructions": len(trace),
+                    },
+                )
+        self._traces[cell] = trace
+        self._traces.move_to_end(cell)
+        while len(self._traces) > self.max_cached_traces:
+            self._traces.popitem(last=False)
+        return trace
+
+    def release_trace(self, benchmark: str, flavour: str) -> None:
+        """Drop one trace from the in-memory cache (a no-op if absent)."""
+        self._traces.pop((benchmark, flavour), None)
+
+    def simulate(
+        self, benchmark: str, flavour: str, scheme: SchemeSpec
+    ) -> SimulationResult:
+        """Return the simulation result of one cell under one scheme."""
+        build = make_build_job(benchmark, flavour, self.factory)
+        trace_job = make_trace_job(build, self.profile.instructions_per_benchmark)
+        job = make_simulate_job(trace_job, scheme)
+        return self._run_simulation(job)
+
+    def _run_simulation(self, job: SimulateJob) -> SimulationResult:
+        if self.store is not None:
+            result = self.store.get(RESULTS, job.key)
+            if result is not None:
+                self.stats.results_loaded += 1
+                return result
+        trace = self.collect_trace(job.benchmark, job.flavour)
+        core = OutOfOrderCore()
+        result = core.run(iter(trace), job.scheme.build(), program_name=job.benchmark)
+        self.stats.simulations_run += 1
+        if self.store is not None:
+            self.store.put(
+                RESULTS,
+                job.key,
+                result,
+                metadata={
+                    "benchmark": job.benchmark,
+                    "flavour": job.flavour,
+                    "scheme": job.scheme.describe(),
+                },
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Graph execution
+    # ------------------------------------------------------------------
+    def plan(self, definitions: Sequence[ExperimentDefinition]) -> JobGraph:
+        return plan(
+            definitions, self.profile.instructions_per_benchmark, self.factory
+        )
+
+    def run(
+        self,
+        definitions: Sequence[ExperimentDefinition],
+        jobs: Optional[int] = None,
+    ) -> Dict[str, ExperimentOutputs]:
+        """Plan and execute ``definitions``; return per-experiment outputs."""
+        graph = self.plan(definitions)
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        cells = graph.cells()
+        if jobs > 1 and len(cells) > 1:
+            results = self._execute_parallel(cells, jobs)
+        else:
+            results = self._execute_serial(cells)
+        outputs: Dict[str, ExperimentOutputs] = {}
+        for name, table in graph.outputs.items():
+            outputs[name] = {slot: results[key] for slot, key in table.items()}
+        return outputs
+
+    def _execute_serial(
+        self, cells: "OrderedDict[Cell, List[SimulateJob]]"
+    ) -> Dict[str, SimulationResult]:
+        results: Dict[str, SimulationResult] = {}
+        for cell_jobs in cells.values():
+            for job in cell_jobs:
+                results[job.key] = self._run_simulation(job)
+        return results
+
+    def _execute_parallel(
+        self, cells: "OrderedDict[Cell, List[SimulateJob]]", jobs: int
+    ) -> Dict[str, SimulationResult]:
+        payloads = [
+            (
+                self.profile,
+                self.store.root if self.store is not None else None,
+                list(cell_jobs),
+            )
+            for cell_jobs in cells.values()
+        ]
+        results: Dict[str, SimulationResult] = {}
+        context = _mp_context()
+        processes = min(jobs, len(payloads))
+        with context.Pool(processes=processes) as pool:
+            for cell_results, stats in pool.imap_unordered(_execute_cell, payloads):
+                results.update(cell_results)
+                self.stats.merge(stats)
+        return results
+
+
+def _mp_context():
+    """Prefer fork (inherits ``sys.path`` hacks of test harnesses)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _execute_cell(
+    payload: Tuple[Any, Optional[str], List[SimulateJob]],
+) -> Tuple[Dict[str, SimulationResult], Dict[str, int]]:
+    """Worker entry point: run one cell's simulations in a fresh engine."""
+    profile, store_root, cell_jobs = payload
+    engine = ExecutionEngine(
+        profile=profile,
+        store=ArtifactStore(store_root) if store_root is not None else None,
+        max_cached_traces=1,
+    )
+    results = {job.key: engine._run_simulation(job) for job in cell_jobs}
+    return results, engine.stats.as_dict()
+
+
+def resolve_engine(engine=None, runner=None, profile=None) -> ExecutionEngine:
+    """The engine an experiment should use.
+
+    Accepts the historical calling conventions of the ``run_*`` experiment
+    functions: an explicit engine wins, then a legacy
+    :class:`~repro.experiments.runner.ExperimentRunner` (whose engine is
+    reused, preserving its caches), then a fresh engine for ``profile``.
+    """
+    if engine is not None:
+        return engine
+    if runner is not None:
+        return runner.engine
+    return ExecutionEngine(profile=profile)

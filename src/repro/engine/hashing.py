@@ -1,0 +1,85 @@
+"""Stable content hashing for cache keys.
+
+Artifact-store keys must be identical across processes and interpreter
+invocations, so they are derived from a *canonical* JSON rendering of the
+job's inputs (``hash()`` is salted per-process and unusable here).  Anything
+JSON cannot express directly — dataclasses, tuples, enums — is normalised
+first; unknown objects fall back to ``repr`` which is stable for the
+configuration dataclasses used throughout this code base.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from functools import lru_cache
+from typing import Any
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serialisable structure."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, dict):
+        items = {_key_string(key): canonicalize(value) for key, value in obj.items()}
+        return dict(sorted(items.items()))
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_key_string(item) for item in obj)
+    return repr(obj)
+
+
+def _key_string(key: Any) -> str:
+    """A deterministic string form of a mapping key or set member."""
+    canonical = canonicalize(key)
+    if isinstance(canonical, str):
+        return canonical
+    return json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(*parts: Any) -> str:
+    """Return a short hex digest uniquely identifying ``parts``."""
+    payload = json.dumps(
+        canonicalize(list(parts)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package.
+
+    Folded into all artifact cache keys: any edit to the simulator, the
+    compiler, the workload generators — anything that could change what a
+    job produces — changes the fingerprint and therefore misses the cache,
+    so a persistent store can never serve results computed by old code.
+    Deliberately conservative (the whole package, not a dependency slice):
+    for a paper reproduction, an unnecessary rebuild is cheap and a stale
+    headline table is not.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:16]

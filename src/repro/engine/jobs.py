@@ -1,0 +1,128 @@
+"""Declarative job specifications: the nodes of the experiment job graph.
+
+Every figure of the paper is a sweep over (benchmark × binary-flavour ×
+scheme) cells, and every cell decomposes into the same three-stage chain:
+
+``BuildJob``
+    compile one (benchmark, flavour) binary;
+``TraceJob``
+    run the binary through the functional emulator and collect its dynamic
+    instruction trace;
+``SimulateJob``
+    replay one trace through the timing pipeline under one branch-handling
+    scheme.
+
+A job is pure data — picklable, hashable, and identified by a
+content-addressed ``key`` derived from everything that determines its
+output.  Two experiments that need the same artifact therefore plan the
+*same* job, which is what makes deduplication and the persistent artifact
+store work across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+#: Binary flavours used by the evaluation (re-exported by the runner shim).
+BASELINE = "baseline"
+IF_CONVERTED = "if-converted"
+
+#: The flavours a planner will accept.
+FLAVOURS = (BASELINE, IF_CONVERTED)
+
+
+# ----------------------------------------------------------------------
+# Scheme specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A declarative, picklable description of one branch-handling scheme.
+
+    ``kind`` names a factory from :mod:`repro.experiments.setup` and
+    ``options`` its keyword arguments as a sorted tuple of pairs, so a spec
+    can cross process boundaries (unlike a closure or ``functools.partial``
+    over a lambda) and contributes deterministically to cache keys.
+    """
+
+    kind: str
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **options: Any) -> "SchemeSpec":
+        return cls(kind=kind, options=tuple(sorted(options.items())))
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """Instantiate the scheme (a fresh object on every call)."""
+        # Imported lazily: repro.experiments imports repro.engine, so a
+        # top-level import here would be circular.
+        from repro.experiments.setup import (
+            make_conventional_scheme,
+            make_peppa_scheme,
+            make_predicate_scheme,
+        )
+
+        builders = {
+            "conventional": make_conventional_scheme,
+            "pep-pa": make_peppa_scheme,
+            "predicate": make_predicate_scheme,
+        }
+        try:
+            builder = builders[self.kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheme kind {self.kind!r}; expected one of "
+                f"{sorted(builders)}"
+            ) from None
+        return builder(**dict(self.options))
+
+    def token(self) -> Dict[str, Any]:
+        """The scheme's contribution to a cache key."""
+        return {"kind": self.kind, "options": dict(self.options)}
+
+    def describe(self) -> str:
+        if not self.options:
+            return self.kind
+        opts = ",".join(f"{k}={v}" for k, v in self.options)
+        return f"{self.kind}({opts})"
+
+
+# ----------------------------------------------------------------------
+# Job specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """Base of every job-graph node: a content-addressed unit of work."""
+
+    key: str
+    benchmark: str
+    flavour: str
+
+    @property
+    def cell(self) -> Tuple[str, str]:
+        """The (benchmark, flavour) cell this job belongs to."""
+        return (self.benchmark, self.flavour)
+
+
+@dataclass(frozen=True)
+class BuildJob(JobSpec):
+    """Compile one binary flavour of one benchmark."""
+
+    profile_budget: int = 20_000
+
+
+@dataclass(frozen=True)
+class TraceJob(JobSpec):
+    """Collect the dynamic trace of one compiled binary."""
+
+    instructions: int = 0
+    build_key: str = ""
+
+
+@dataclass(frozen=True)
+class SimulateJob(JobSpec):
+    """Replay one trace through the timing pipeline under one scheme."""
+
+    scheme: SchemeSpec = SchemeSpec(kind="conventional")
+    trace_key: str = ""

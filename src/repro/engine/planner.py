@@ -1,0 +1,213 @@
+"""The planner: experiment definitions → a deduplicated job DAG.
+
+An :class:`ExperimentDefinition` is the declarative form of one figure/table
+sweep: an ordered list of (benchmark, flavour, column-label, scheme) cell
+requests.  :func:`plan` expands any number of definitions into one
+:class:`JobGraph` of build → trace → simulate jobs, deduplicated by content
+key — so when Figure 6, both ablations and the IPC study all simulate the
+same predicate scheme over the same if-converted trace, the graph contains
+that compilation, that trace and that simulation exactly once, no matter how
+many experiments asked for them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.compiler.binaries import BinaryFactory
+from repro.engine.hashing import code_fingerprint, stable_hash
+from repro.engine.jobs import (
+    FLAVOURS,
+    BuildJob,
+    SchemeSpec,
+    SimulateJob,
+    TraceJob,
+)
+from repro.engine.store import STORE_FORMAT_VERSION
+
+
+# ----------------------------------------------------------------------
+# Definitions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellRequest:
+    """One requested simulation: a cell plus the experiment-local label."""
+
+    benchmark: str
+    flavour: str
+    label: str
+    scheme: SchemeSpec
+
+
+@dataclass
+class ExperimentDefinition:
+    """A named, ordered collection of cell requests."""
+
+    name: str
+    requests: List[CellRequest] = field(default_factory=list)
+
+    def benchmarks(self) -> List[str]:
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for request in self.requests:
+            seen.setdefault(request.benchmark, None)
+        return list(seen)
+
+    def labels(self) -> List[str]:
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for request in self.requests:
+            seen.setdefault(request.label, None)
+        return list(seen)
+
+
+def sweep(
+    name: str,
+    benchmarks: Sequence[str],
+    flavour: str,
+    schemes: Mapping[str, SchemeSpec],
+) -> ExperimentDefinition:
+    """The common single-flavour sweep: benchmarks × labelled schemes."""
+    if flavour not in FLAVOURS:
+        raise ValueError(f"unknown binary flavour {flavour!r}; expected {FLAVOURS}")
+    requests = [
+        CellRequest(benchmark=b, flavour=flavour, label=label, scheme=spec)
+        for b in benchmarks
+        for label, spec in schemes.items()
+    ]
+    return ExperimentDefinition(name=name, requests=requests)
+
+
+# ----------------------------------------------------------------------
+# The graph
+# ----------------------------------------------------------------------
+@dataclass
+class JobGraph:
+    """A deduplicated DAG of build → trace → simulate jobs.
+
+    ``outputs`` maps each experiment name to its (benchmark, label) →
+    simulate-job-key table, which is how per-experiment results are
+    reassembled after (possibly shared) execution.
+    """
+
+    builds: "OrderedDict[str, BuildJob]" = field(default_factory=OrderedDict)
+    traces: "OrderedDict[str, TraceJob]" = field(default_factory=OrderedDict)
+    simulations: "OrderedDict[str, SimulateJob]" = field(default_factory=OrderedDict)
+    outputs: Dict[str, Dict[Tuple[str, str], str]] = field(default_factory=dict)
+
+    def cells(self) -> "OrderedDict[Tuple[str, str], List[SimulateJob]]":
+        """Simulation jobs grouped by (benchmark, flavour) cell.
+
+        A cell is the executor's unit of scheduling: all of a cell's
+        simulations replay the same trace, so they run in the same process
+        and the trace is released once the whole cell is done.
+        """
+        grouped: "OrderedDict[Tuple[str, str], List[SimulateJob]]" = OrderedDict()
+        for job in self.simulations.values():
+            grouped.setdefault(job.cell, []).append(job)
+        return grouped
+
+    def job_counts(self) -> Dict[str, int]:
+        return {
+            "builds": len(self.builds),
+            "traces": len(self.traces),
+            "simulations": len(self.simulations),
+        }
+
+    def requested_simulations(self) -> int:
+        """Total cell requests across definitions (before deduplication)."""
+        return sum(len(table) for table in self.outputs.values())
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def _artifact_key(*parts) -> str:
+    """A cache key: the job's inputs salted with store format and code.
+
+    :func:`~repro.engine.hashing.code_fingerprint` covers every source file
+    of the package, so editing any layer of the simulator invalidates all
+    previously stored artifacts — the store can never serve numbers that the
+    current code would not reproduce.
+    """
+    return stable_hash(STORE_FORMAT_VERSION, code_fingerprint(), *parts)
+
+
+def make_build_job(benchmark: str, flavour: str, factory: BinaryFactory) -> BuildJob:
+    key = _artifact_key("binary", factory.fingerprint(benchmark, flavour))
+    return BuildJob(
+        key=key,
+        benchmark=benchmark,
+        flavour=flavour,
+        profile_budget=factory.profile_budget,
+    )
+
+
+def make_trace_job(build: BuildJob, instructions: int) -> TraceJob:
+    key = _artifact_key("trace", build.key, instructions)
+    return TraceJob(
+        key=key,
+        benchmark=build.benchmark,
+        flavour=build.flavour,
+        instructions=instructions,
+        build_key=build.key,
+    )
+
+
+def make_simulate_job(trace: TraceJob, scheme: SchemeSpec) -> SimulateJob:
+    key = _artifact_key(
+        "result",
+        trace.key,
+        scheme.token(),
+        _machine_fingerprint(),
+    )
+    return SimulateJob(
+        key=key,
+        benchmark=trace.benchmark,
+        flavour=trace.flavour,
+        scheme=scheme,
+        trace_key=trace.key,
+    )
+
+
+@lru_cache(maxsize=1)
+def _machine_fingerprint() -> str:
+    """The simulated machine configuration a result depends on.
+
+    Simulations are run with the default :class:`PipelineConfig` and
+    :class:`MemoryHierarchyConfig`, so those defaults are folded into every
+    result key (in addition to the package-wide code fingerprint).  Constant
+    within a process, hence memoised.
+    """
+    from repro.memory.hierarchy import MemoryHierarchyConfig
+    from repro.pipeline.config import PipelineConfig
+
+    return stable_hash(
+        {
+            "pipeline": PipelineConfig(),
+            "memory": MemoryHierarchyConfig(),
+        }
+    )
+
+
+def plan(
+    definitions: Sequence[ExperimentDefinition],
+    instructions: int,
+    factory: BinaryFactory,
+) -> JobGraph:
+    """Expand ``definitions`` into one deduplicated :class:`JobGraph`."""
+    graph = JobGraph()
+    for definition in definitions:
+        table: Dict[Tuple[str, str], str] = graph.outputs.setdefault(
+            definition.name, {}
+        )
+        for request in definition.requests:
+            build = make_build_job(request.benchmark, request.flavour, factory)
+            graph.builds.setdefault(build.key, build)
+            trace = make_trace_job(build, instructions)
+            graph.traces.setdefault(trace.key, trace)
+            simulate = make_simulate_job(trace, request.scheme)
+            graph.simulations.setdefault(simulate.key, simulate)
+            table[(request.benchmark, request.label)] = simulate.key
+    return graph

@@ -1,0 +1,201 @@
+"""Content-addressed on-disk artifact store.
+
+The store persists the three artifact kinds of the experiment job graph —
+compiled binaries, dynamic traces and simulation results — across processes,
+keyed by the content hash of everything that determines them (profile,
+workload, flavour, scheme configuration; see :mod:`repro.engine.planner`).
+Running ``repro figure6`` after ``repro figure5`` therefore never recompiles
+or re-traces a (benchmark, flavour) cell the first run already produced.
+
+Layout (all artifacts live under a format-version directory so format bumps
+invalidate everything at once)::
+
+    <root>/v1/binaries/<key>.pkl   + <key>.json   (metadata sidecar)
+    <root>/v1/traces/<key>.pkl    + <key>.json
+    <root>/v1/results/<key>.pkl   + <key>.json
+
+Writes are atomic (unique temp file + ``os.replace``) so concurrent worker
+processes can share one store; unreadable or stale artifacts are treated as
+cache misses and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.emulator.trace import deserialize_trace, serialize_trace
+
+#: Bump to invalidate every previously stored artifact.
+STORE_FORMAT_VERSION = 1
+
+#: Artifact kinds, in build order.
+BINARIES = "binaries"
+TRACES = "traces"
+RESULTS = "results"
+KINDS = (BINARIES, TRACES, RESULTS)
+
+#: Default store location (overridable via this environment variable).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir(explicit: Optional[str] = None) -> str:
+    """Resolve the cache directory: explicit arg > env var > default."""
+    return explicit or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def _pickle_dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+#: Per-kind (encode, decode) codecs.  Traces use the versioned encoding from
+#: the emulator layer; binaries and results are plain pickles.
+_CODECS: Dict[str, Tuple[Callable[[Any], bytes], Callable[[bytes], Any]]] = {
+    BINARIES: (_pickle_dumps, pickle.loads),
+    TRACES: (serialize_trace, deserialize_trace),
+    RESULTS: (_pickle_dumps, pickle.loads),
+}
+
+
+class ArtifactStore:
+    """A content-addressed store rooted at one directory."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = default_cache_dir(root)
+
+    # ------------------------------------------------------------------
+    def _kind_dir(self, kind: str) -> str:
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}; expected {KINDS}")
+        return os.path.join(self.root, f"v{STORE_FORMAT_VERSION}", kind)
+
+    def path(self, kind: str, key: str) -> str:
+        """Path of the artifact payload for ``key`` (may not exist)."""
+        return os.path.join(self._kind_dir(kind), f"{key}.pkl")
+
+    def _meta_path(self, kind: str, key: str) -> str:
+        return os.path.join(self._kind_dir(kind), f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def contains(self, kind: str, key: str) -> bool:
+        return os.path.exists(self.path(kind, key))
+
+    def get(self, kind: str, key: str) -> Optional[Any]:
+        """Load one artifact, or ``None`` on a miss.
+
+        Corrupt or stale-format artifacts are removed and reported as
+        misses so the caller transparently regenerates them.
+        """
+        path = self.path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        try:
+            return _CODECS[kind][1](data)
+        except Exception:
+            self._remove(kind, key)
+            return None
+
+    def put(
+        self, kind: str, key: str, obj: Any, metadata: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Store one artifact atomically and return its payload path."""
+        directory = self._kind_dir(kind)
+        os.makedirs(directory, exist_ok=True)
+        data = _CODECS[kind][0](obj)
+        path = self.path(kind, key)
+        self._atomic_write(directory, path, data)
+        meta = dict(metadata or {})
+        meta.update(kind=kind, key=key, size_bytes=len(data), created=time.time())
+        self._atomic_write(
+            directory,
+            self._meta_path(kind, key),
+            json.dumps(meta, sort_keys=True).encode("utf-8"),
+        )
+        return path
+
+    @staticmethod
+    def _atomic_write(directory: str, path: str, data: bytes) -> None:
+        tmp = os.path.join(directory, f".tmp-{uuid.uuid4().hex}")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    def _remove(self, kind: str, key: str) -> None:
+        for path in (self.path(kind, key), self._meta_path(kind, key)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Inspection (the ``repro cache`` CLI)
+    # ------------------------------------------------------------------
+    def entries(self, kind: str) -> List[Dict[str, Any]]:
+        """Metadata of every stored artifact of one kind."""
+        directory = self._kind_dir(kind)
+        found: List[Dict[str, Any]] = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return found
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(directory, name), "r", encoding="utf-8") as fh:
+                    found.append(json.load(fh))
+            except (OSError, ValueError):
+                continue
+        return found
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind artifact counts and payload sizes."""
+        report: Dict[str, Dict[str, int]] = {}
+        for kind in KINDS:
+            directory = self._kind_dir(kind)
+            count = 0
+            size = 0
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                names = []
+            for name in names:
+                if name.endswith(".pkl"):
+                    count += 1
+                    try:
+                        size += os.path.getsize(os.path.join(directory, name))
+                    except OSError:
+                        pass
+            report[kind] = {"count": count, "bytes": size}
+        return report
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete stored artifacts (one kind, or everything); return count."""
+        kinds = (kind,) if kind else KINDS
+        removed = 0
+        for one in kinds:
+            directory = self._kind_dir(one)
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                path = os.path.join(directory, name)
+                if name.endswith(".pkl"):
+                    removed += 1
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<ArtifactStore root={self.root!r}>"

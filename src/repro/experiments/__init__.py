@@ -3,8 +3,9 @@
 * :mod:`repro.experiments.setup` — the Table 1 machine configuration, the
   scheme factories used by every experiment, and the instruction budgets
   (``fast`` for the test-suite, ``paper`` for the benchmark harness);
-* :mod:`repro.experiments.runner` — compiles the benchmark binaries, runs
-  the traces through the schemes, and caches intermediate artefacts;
+* :mod:`repro.experiments.runner` — a thin compatibility shim over the
+  :mod:`repro.engine` job-graph engine, which plans, deduplicates, caches
+  and parallelises the (benchmark × flavour × scheme) sweeps;
 * :mod:`repro.experiments.figure5` — Figure 5 (non-if-converted binaries);
 * :mod:`repro.experiments.figure6` — Figure 6a and the Figure 6b breakdown
   (if-converted binaries);
@@ -14,7 +15,9 @@
   section 3.3 (single dual-hashed PVT vs split PVT; history corruption);
 * :mod:`repro.experiments.selective_ipc` — the predicated-execution IPC
   comparison behind the section 5 claim that the same hardware enables
-  efficient predicated execution.
+  efficient predicated execution;
+* :mod:`repro.experiments.suite` — the whole evaluation in one shared,
+  deduplicated engine pass (the ``repro all`` command).
 """
 
 from repro.experiments.setup import (
@@ -27,11 +30,26 @@ from repro.experiments.setup import (
     paper_table1,
 )
 from repro.experiments.runner import ExperimentRunner, BenchmarkRun
-from repro.experiments.figure5 import Figure5Result, run_figure5
-from repro.experiments.figure6 import Figure6Result, run_figure6
-from repro.experiments.idealized import IdealizedResult, run_idealized_study
-from repro.experiments.ablations import AblationResult, run_pvt_ablation, run_history_ablation
-from repro.experiments.selective_ipc import SelectiveIPCResult, run_selective_ipc
+from repro.experiments.figure5 import Figure5Result, figure5_definition, run_figure5
+from repro.experiments.figure6 import Figure6Result, figure6_definition, run_figure6
+from repro.experiments.idealized import (
+    IdealizedResult,
+    idealized_definition,
+    run_idealized_study,
+)
+from repro.experiments.ablations import (
+    AblationResult,
+    history_ablation_definition,
+    pvt_ablation_definition,
+    run_pvt_ablation,
+    run_history_ablation,
+)
+from repro.experiments.selective_ipc import (
+    SelectiveIPCResult,
+    run_selective_ipc,
+    selective_ipc_definition,
+)
+from repro.experiments.suite import SuiteResult, run_all, write_reports
 
 __all__ = [
     "ExperimentProfile",
@@ -44,14 +62,23 @@ __all__ = [
     "ExperimentRunner",
     "BenchmarkRun",
     "Figure5Result",
+    "figure5_definition",
     "run_figure5",
     "Figure6Result",
+    "figure6_definition",
     "run_figure6",
     "IdealizedResult",
+    "idealized_definition",
     "run_idealized_study",
     "AblationResult",
+    "pvt_ablation_definition",
+    "history_ablation_definition",
     "run_pvt_ablation",
     "run_history_ablation",
     "SelectiveIPCResult",
+    "selective_ipc_definition",
     "run_selective_ipc",
+    "SuiteResult",
+    "run_all",
+    "write_reports",
 ]

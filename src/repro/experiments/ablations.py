@@ -15,12 +15,32 @@ the paper; these ablations measure them:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.experiments.runner import IF_CONVERTED, ExperimentRunner
-from repro.experiments.setup import ExperimentProfile, make_predicate_scheme
+from repro.engine import (
+    IF_CONVERTED,
+    ExperimentDefinition,
+    ExperimentOutputs,
+    SchemeSpec,
+    resolve_engine,
+    sweep,
+)
 from repro.stats.tables import ResultTable
+
+PVT_PAPER = "dual-hash single PVT"
+PVT_ALT = "split PVT"
+HISTORY_REAL = "speculative history"
+HISTORY_ORACLE = "oracle history"
+
+PVT_SCHEMES = {
+    PVT_PAPER: SchemeSpec.make("predicate"),
+    PVT_ALT: SchemeSpec.make("predicate", split_pvt=True),
+}
+
+HISTORY_SCHEMES = {
+    HISTORY_REAL: SchemeSpec.make("predicate"),
+    HISTORY_ORACLE: SchemeSpec.make("predicate", perfect_history=True),
+}
 
 
 @dataclass
@@ -44,69 +64,77 @@ class AblationResult:
         )
 
 
-def run_pvt_ablation(
-    profile: Optional[ExperimentProfile] = None,
-    runner: Optional[ExperimentRunner] = None,
+# ----------------------------------------------------------------------
+# PVT organisation
+# ----------------------------------------------------------------------
+def pvt_ablation_definition(benchmarks: Sequence[str]) -> ExperimentDefinition:
+    return sweep("ablation-pvt", benchmarks, IF_CONVERTED, PVT_SCHEMES)
+
+
+def collect_pvt_ablation(
+    outputs: ExperimentOutputs, benchmarks: Sequence[str]
 ) -> AblationResult:
-    """Single dual-hashed PVT (paper) vs statically split PVT."""
-    runner = runner or ExperimentRunner(profile)
-    paper_label = "dual-hash single PVT"
-    alt_label = "split PVT"
-    table = ResultTable(
+    table = ResultTable.from_results(
         title="Ablation: PVT organisation (if-converted code)",
-        columns=[paper_label, alt_label],
+        columns=[PVT_PAPER, PVT_ALT],
+        benchmarks=benchmarks,
+        outputs=outputs,
     )
-    for benchmark in runner.benchmarks():
-        runs = runner.run_schemes(
-            benchmark,
-            IF_CONVERTED,
-            {
-                paper_label: make_predicate_scheme,
-                alt_label: partial(make_predicate_scheme, split_pvt=True),
-            },
-        )
-        table.add_row(
-            benchmark,
-            {label: run.misprediction_rate for label, run in runs.items()},
-        )
-        runner.drop_trace(benchmark, IF_CONVERTED)
     return AblationResult(
         name="PVT organisation",
         table=table,
-        average_advantage=table.delta(paper_label, alt_label),
+        average_advantage=table.delta(PVT_PAPER, PVT_ALT),
     )
 
 
-def run_history_ablation(
-    profile: Optional[ExperimentProfile] = None,
-    runner: Optional[ExperimentRunner] = None,
+def run_pvt_ablation(
+    profile=None,
+    runner=None,
+    engine=None,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
-    """Real speculative history (with its corruption window) vs oracle update."""
-    runner = runner or ExperimentRunner(profile)
-    real_label = "speculative history"
-    oracle_label = "oracle history"
-    table = ResultTable(
+    """Single dual-hashed PVT (paper) vs statically split PVT."""
+    engine = resolve_engine(engine=engine, runner=runner, profile=profile)
+    benchmarks = engine.benchmarks()
+    definition = pvt_ablation_definition(benchmarks)
+    outputs = engine.run([definition], jobs=jobs)[definition.name]
+    return collect_pvt_ablation(outputs, benchmarks)
+
+
+# ----------------------------------------------------------------------
+# Global-history corruption
+# ----------------------------------------------------------------------
+def history_ablation_definition(benchmarks: Sequence[str]) -> ExperimentDefinition:
+    return sweep("ablation-history", benchmarks, IF_CONVERTED, HISTORY_SCHEMES)
+
+
+def collect_history_ablation(
+    outputs: ExperimentOutputs, benchmarks: Sequence[str]
+) -> AblationResult:
+    table = ResultTable.from_results(
         title="Ablation: global-history corruption (if-converted code)",
-        columns=[real_label, oracle_label],
+        columns=[HISTORY_REAL, HISTORY_ORACLE],
+        benchmarks=benchmarks,
+        outputs=outputs,
     )
-    for benchmark in runner.benchmarks():
-        runs = runner.run_schemes(
-            benchmark,
-            IF_CONVERTED,
-            {
-                real_label: make_predicate_scheme,
-                oracle_label: partial(make_predicate_scheme, perfect_history=True),
-            },
-        )
-        table.add_row(
-            benchmark,
-            {label: run.misprediction_rate for label, run in runs.items()},
-        )
-        runner.drop_trace(benchmark, IF_CONVERTED)
     # Here the "paper design point" is the realistic scheme; the advantage is
     # negative (the oracle is better), quantifying the corruption cost.
     return AblationResult(
         name="global-history corruption cost",
         table=table,
-        average_advantage=table.delta(real_label, oracle_label),
+        average_advantage=table.delta(HISTORY_REAL, HISTORY_ORACLE),
     )
+
+
+def run_history_ablation(
+    profile=None,
+    runner=None,
+    engine=None,
+    jobs: Optional[int] = None,
+) -> AblationResult:
+    """Real speculative history (with its corruption window) vs oracle update."""
+    engine = resolve_engine(engine=engine, runner=runner, profile=profile)
+    benchmarks = engine.benchmarks()
+    definition = history_ablation_definition(benchmarks)
+    outputs = engine.run([definition], jobs=jobs)[definition.name]
+    return collect_history_ablation(outputs, benchmarks)

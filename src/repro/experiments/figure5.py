@@ -6,24 +6,35 @@ and reports that the predicate predictor achieves better accuracy on all but
 three benchmarks, with an average accuracy increase of 1.86 %.
 
 ``run_figure5`` regenerates the same comparison on the synthetic suite and
-returns both the per-benchmark table and the headline summary numbers.
+returns both the per-benchmark table and the headline summary numbers.  The
+sweep itself is declared as an :class:`~repro.engine.ExperimentDefinition`
+and executed by the job-graph engine, so binaries, traces and results are
+shared (in memory and, with a store, on disk) with every other experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import BASELINE, ExperimentRunner
-from repro.experiments.setup import (
-    ExperimentProfile,
-    make_conventional_scheme,
-    make_predicate_scheme,
+from repro.engine import (
+    BASELINE,
+    ExperimentDefinition,
+    ExperimentOutputs,
+    SchemeSpec,
+    resolve_engine,
+    sweep,
 )
 from repro.stats.tables import ResultTable
 
 CONVENTIONAL = "conventional"
 PREDICATE = "predicate-predictor"
+
+#: The schemes Figure 5 sweeps, keyed by column label.
+FIGURE5_SCHEMES = {
+    CONVENTIONAL: SchemeSpec.make("conventional"),
+    PREDICATE: SchemeSpec.make("predicate"),
+}
 
 
 @dataclass
@@ -58,39 +69,25 @@ class Figure5Result:
         return "\n".join(lines)
 
 
-def run_figure5(
-    profile: Optional[ExperimentProfile] = None,
-    runner: Optional[ExperimentRunner] = None,
+def figure5_definition(benchmarks: Sequence[str]) -> ExperimentDefinition:
+    """Declare the Figure 5 sweep over ``benchmarks``."""
+    return sweep("figure5", benchmarks, BASELINE, FIGURE5_SCHEMES)
+
+
+def collect_figure5(
+    outputs: ExperimentOutputs, benchmarks: Sequence[str]
 ) -> Figure5Result:
-    """Regenerate Figure 5 over the selected benchmarks."""
-    runner = runner or ExperimentRunner(profile)
-    table = ResultTable(
+    """Assemble the Figure 5 result from engine outputs."""
+    table = ResultTable.from_results(
         title="Figure 5 - branch misprediction rate, non-if-converted code",
         columns=[CONVENTIONAL, PREDICATE],
+        benchmarks=benchmarks,
+        outputs=outputs,
     )
-    early_resolved: Dict[str, float] = {}
-
-    for benchmark in runner.benchmarks():
-        runs = runner.run_schemes(
-            benchmark,
-            BASELINE,
-            {
-                CONVENTIONAL: make_conventional_scheme,
-                PREDICATE: make_predicate_scheme,
-            },
-        )
-        table.add_row(
-            benchmark,
-            {
-                CONVENTIONAL: runs[CONVENTIONAL].misprediction_rate,
-                PREDICATE: runs[PREDICATE].misprediction_rate,
-            },
-        )
-        early_resolved[benchmark] = runs[
-            PREDICATE
-        ].result.accuracy.early_resolved_fraction
-        runner.drop_trace(benchmark, BASELINE)
-
+    early_resolved = {
+        benchmark: outputs[(benchmark, PREDICATE)].accuracy.early_resolved_fraction
+        for benchmark in benchmarks
+    }
     return Figure5Result(
         table=table,
         average_accuracy_increase=table.delta(PREDICATE, CONVENTIONAL),
@@ -98,3 +95,17 @@ def run_figure5(
         conventional_wins=table.wins(CONVENTIONAL, PREDICATE),
         early_resolved=early_resolved,
     )
+
+
+def run_figure5(
+    profile=None,
+    runner=None,
+    engine=None,
+    jobs: Optional[int] = None,
+) -> Figure5Result:
+    """Regenerate Figure 5 over the selected benchmarks."""
+    engine = resolve_engine(engine=engine, runner=runner, profile=profile)
+    benchmarks = engine.benchmarks()
+    definition = figure5_definition(benchmarks)
+    outputs = engine.run([definition], jobs=jobs)[definition.name]
+    return collect_figure5(outputs, benchmarks)

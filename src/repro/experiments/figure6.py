@@ -19,21 +19,29 @@ early-resolved branches on average.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.early_resolution import AccuracyBreakdown, accuracy_breakdown
-from repro.experiments.runner import IF_CONVERTED, ExperimentRunner
-from repro.experiments.setup import (
-    ExperimentProfile,
-    make_conventional_scheme,
-    make_peppa_scheme,
-    make_predicate_scheme,
+from repro.engine import (
+    IF_CONVERTED,
+    ExperimentDefinition,
+    ExperimentOutputs,
+    SchemeSpec,
+    resolve_engine,
+    sweep,
 )
 from repro.stats.tables import ResultTable
 
 PEPPA = "pep-pa"
 CONVENTIONAL = "conventional"
 PREDICATE = "predicate-predictor"
+
+#: The schemes Figure 6a sweeps, keyed by column label.
+FIGURE6_SCHEMES = {
+    PEPPA: SchemeSpec.make("pep-pa"),
+    CONVENTIONAL: SchemeSpec.make("conventional"),
+    PREDICATE: SchemeSpec.make("predicate"),
+}
 
 
 @dataclass
@@ -75,40 +83,29 @@ class Figure6Result:
         return "\n".join(lines)
 
 
-def run_figure6(
-    profile: Optional[ExperimentProfile] = None,
-    runner: Optional[ExperimentRunner] = None,
+def figure6_definition(benchmarks: Sequence[str]) -> ExperimentDefinition:
+    """Declare the Figure 6 sweep over ``benchmarks``."""
+    return sweep("figure6", benchmarks, IF_CONVERTED, FIGURE6_SCHEMES)
+
+
+def collect_figure6(
+    outputs: ExperimentOutputs, benchmarks: Sequence[str]
 ) -> Figure6Result:
-    """Regenerate Figure 6a and 6b over the selected benchmarks."""
-    runner = runner or ExperimentRunner(profile)
-    table = ResultTable(
+    """Assemble the Figure 6a/6b result from engine outputs."""
+    table = ResultTable.from_results(
         title="Figure 6a - branch misprediction rate, if-converted code",
         columns=[PEPPA, CONVENTIONAL, PREDICATE],
+        benchmarks=benchmarks,
+        outputs=outputs,
     )
-    breakdown: List[AccuracyBreakdown] = []
-
-    for benchmark in runner.benchmarks():
-        runs = runner.run_schemes(
+    breakdown = [
+        accuracy_breakdown(
             benchmark,
-            IF_CONVERTED,
-            {
-                PEPPA: make_peppa_scheme,
-                CONVENTIONAL: make_conventional_scheme,
-                PREDICATE: make_predicate_scheme,
-            },
+            conventional=outputs[(benchmark, CONVENTIONAL)].accuracy,
+            predicate=outputs[(benchmark, PREDICATE)].accuracy,
         )
-        table.add_row(
-            benchmark,
-            {label: run.misprediction_rate for label, run in runs.items()},
-        )
-        breakdown.append(
-            accuracy_breakdown(
-                benchmark,
-                conventional=runs[CONVENTIONAL].result.accuracy,
-                predicate=runs[PREDICATE].result.accuracy,
-            )
-        )
-        runner.drop_trace(benchmark, IF_CONVERTED)
+        for benchmark in benchmarks
+    ]
 
     increases = []
     predicate_best = 0
@@ -132,3 +129,17 @@ def run_figure6(
         average_early_resolved_improvement=sum(early) / count,
         average_correlation_improvement=sum(correlation) / count,
     )
+
+
+def run_figure6(
+    profile=None,
+    runner=None,
+    engine=None,
+    jobs: Optional[int] = None,
+) -> Figure6Result:
+    """Regenerate Figure 6a and 6b over the selected benchmarks."""
+    engine = resolve_engine(engine=engine, runner=runner, profile=profile)
+    benchmarks = engine.benchmarks()
+    definition = figure6_definition(benchmarks)
+    outputs = engine.run([definition], jobs=jobs)[definition.name]
+    return collect_figure6(outputs, benchmarks)

@@ -13,19 +13,31 @@ almost 2 % on if-converted code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.experiments.runner import BASELINE, IF_CONVERTED, ExperimentRunner
-from repro.experiments.setup import (
-    ExperimentProfile,
-    make_conventional_scheme,
-    make_predicate_scheme,
+from repro.engine import (
+    BASELINE,
+    IF_CONVERTED,
+    ExperimentDefinition,
+    ExperimentOutputs,
+    SchemeSpec,
+    resolve_engine,
+    sweep,
 )
 from repro.stats.tables import ResultTable
 
 CONVENTIONAL = "ideal-conventional"
 PREDICATE = "ideal-predicate-predictor"
+
+#: The idealized scheme pair, keyed by column label.
+IDEALIZED_SCHEMES = {
+    CONVENTIONAL: SchemeSpec.make(
+        "conventional", ideal_no_alias=True, perfect_history=True
+    ),
+    PREDICATE: SchemeSpec.make(
+        "predicate", ideal_no_alias=True, perfect_history=True
+    ),
+}
 
 
 @dataclass
@@ -50,41 +62,43 @@ class IdealizedResult:
         )
 
 
-def run_idealized_study(
-    flavour: str = BASELINE,
-    profile: Optional[ExperimentProfile] = None,
-    runner: Optional[ExperimentRunner] = None,
-) -> IdealizedResult:
-    """Run the idealized comparison on one binary flavour."""
+def idealized_definition(
+    flavour: str, benchmarks: Sequence[str]
+) -> ExperimentDefinition:
+    """Declare the idealized sweep for one binary flavour."""
     if flavour not in (BASELINE, IF_CONVERTED):
         raise ValueError(f"unknown binary flavour {flavour!r}")
-    runner = runner or ExperimentRunner(profile)
-    table = ResultTable(
+    return sweep(f"idealized-{flavour}", benchmarks, flavour, IDEALIZED_SCHEMES)
+
+
+def collect_idealized(
+    outputs: ExperimentOutputs, benchmarks: Sequence[str], flavour: str
+) -> IdealizedResult:
+    """Assemble the idealized-study result from engine outputs."""
+    table = ResultTable.from_results(
         title=f"Idealized predictors (no aliasing, perfect history) - {flavour} code",
         columns=[CONVENTIONAL, PREDICATE],
+        benchmarks=benchmarks,
+        outputs=outputs,
     )
-    for benchmark in runner.benchmarks():
-        runs = runner.run_schemes(
-            benchmark,
-            flavour,
-            {
-                CONVENTIONAL: partial(
-                    make_conventional_scheme, ideal_no_alias=True, perfect_history=True
-                ),
-                PREDICATE: partial(
-                    make_predicate_scheme, ideal_no_alias=True, perfect_history=True
-                ),
-            },
-        )
-        table.add_row(
-            benchmark,
-            {label: run.misprediction_rate for label, run in runs.items()},
-        )
-        runner.drop_trace(benchmark, flavour)
-
     return IdealizedResult(
         flavour=flavour,
         table=table,
         average_accuracy_increase=table.delta(PREDICATE, CONVENTIONAL),
         predicate_wins=table.wins(PREDICATE, CONVENTIONAL),
     )
+
+
+def run_idealized_study(
+    flavour: str = BASELINE,
+    profile=None,
+    runner=None,
+    engine=None,
+    jobs: Optional[int] = None,
+) -> IdealizedResult:
+    """Run the idealized comparison on one binary flavour."""
+    engine = resolve_engine(engine=engine, runner=runner, profile=profile)
+    benchmarks = engine.benchmarks()
+    definition = idealized_definition(flavour, benchmarks)
+    outputs = engine.run([definition], jobs=jobs)[definition.name]
+    return collect_idealized(outputs, benchmarks, flavour)

@@ -1,27 +1,32 @@
-"""Experiment runner: binaries → traces → scheme simulations, with caching.
+"""Legacy experiment runner: a thin compatibility shim over the engine.
 
-The accuracy experiments simulate the *same* dynamic trace under several
-schemes (that is what makes the Figure 6b per-branch breakdown well
-defined), so the runner caches compiled binaries and collected traces per
-(benchmark, flavour) within its lifetime.
+Historically this module owned binary/trace caching and every experiment
+looped over it by hand.  That role moved to :mod:`repro.engine`:
+experiments now declare their sweeps as
+:class:`~repro.engine.ExperimentDefinition` objects and the
+:class:`~repro.engine.ExecutionEngine` plans, deduplicates, caches and
+(optionally) parallelises them.  :class:`ExperimentRunner` remains as the
+stable entry point older callers (tests, the benchmark harness, examples)
+already use — it simply forwards to an engine it owns, so a runner shared
+across experiments shares the engine's caches.
+
+Trace lifetime is now an engine responsibility (a bounded LRU), so callers
+no longer need the historical ``drop_trace`` bookkeeping; the method is kept
+for compatibility and simply forwards to the engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
-from repro.compiler.binaries import BinaryFactory
-from repro.emulator.executor import DynInst, Emulator
-from repro.experiments.setup import ExperimentProfile, PAPER_PROFILE
+from repro.emulator.executor import DynInst
+from repro.engine.executor import ExecutionEngine
+from repro.engine.jobs import BASELINE, IF_CONVERTED, SchemeSpec  # noqa: F401 (re-export)
+from repro.engine.store import ArtifactStore
 from repro.pipeline.core import OutOfOrderCore, SimulationResult
 from repro.pipeline.scheme_api import BranchHandlingScheme
 from repro.program.program import Program
-from repro.workloads.spec_suite import build_workload, workload_names
-
-#: Binary flavours used by the evaluation.
-BASELINE = "baseline"
-IF_CONVERTED = "if-converted"
 
 
 @dataclass
@@ -44,45 +49,43 @@ class BenchmarkRun:
 class ExperimentRunner:
     """Builds binaries, collects traces and runs schemes over them."""
 
-    def __init__(self, profile: Optional[ExperimentProfile] = None) -> None:
-        self.profile = profile or PAPER_PROFILE
-        self.factory = BinaryFactory(profile_budget=self.profile.profile_budget)
-        self._binaries: Dict[Tuple[str, str], Program] = {}
-        self._traces: Dict[Tuple[str, str], List[DynInst]] = {}
+    def __init__(
+        self,
+        profile=None,
+        store: Optional[ArtifactStore] = None,
+        jobs: int = 1,
+    ) -> None:
+        self.engine = ExecutionEngine(profile=profile, store=store, jobs=jobs)
+        self.profile = self.engine.profile
+        self.factory = self.engine.factory
+
+    # ------------------------------------------------------------------
+    @property
+    def _binaries(self) -> Dict:
+        """The engine's in-memory binary cache (kept for older callers)."""
+        return self.engine._binaries
+
+    @property
+    def _traces(self) -> Dict:
+        """The engine's bounded in-memory trace cache."""
+        return self.engine._traces
 
     # ------------------------------------------------------------------
     def benchmarks(self) -> List[str]:
         """Benchmarks selected by the profile (default: the full suite)."""
-        return list(self.profile.benchmarks or workload_names())
+        return self.engine.benchmarks()
 
     def binary(self, benchmark: str, flavour: str) -> Program:
         """Return (building and caching) one compiled binary."""
-        key = (benchmark, flavour)
-        if key not in self._binaries:
-            generator = lambda: build_workload(benchmark)  # noqa: E731
-            if flavour == BASELINE:
-                program = self.factory.build_baseline(benchmark, generator)
-            elif flavour == IF_CONVERTED:
-                program = self.factory.build_if_converted(benchmark, generator)
-            else:
-                raise ValueError(f"unknown binary flavour {flavour!r}")
-            self._binaries[key] = program
-        return self._binaries[key]
+        return self.engine.build_binary(benchmark, flavour)
 
     def trace(self, benchmark: str, flavour: str) -> List[DynInst]:
         """Return (collecting and caching) the dynamic trace of one binary."""
-        key = (benchmark, flavour)
-        if key not in self._traces:
-            program = self.binary(benchmark, flavour)
-            emulator = Emulator(program)
-            self._traces[key] = list(
-                emulator.run(self.profile.instructions_per_benchmark)
-            )
-        return self._traces[key]
+        return self.engine.collect_trace(benchmark, flavour)
 
     def drop_trace(self, benchmark: str, flavour: str) -> None:
-        """Free a cached trace (the full suite's traces are sizeable)."""
-        self._traces.pop((benchmark, flavour), None)
+        """Free a cached trace (the engine also evicts automatically)."""
+        self.engine.release_trace(benchmark, flavour)
 
     # ------------------------------------------------------------------
     def run_scheme(
@@ -91,11 +94,21 @@ class ExperimentRunner:
         flavour: str,
         scheme_factory: Callable[[], BranchHandlingScheme],
     ) -> BenchmarkRun:
-        """Simulate one benchmark binary under a freshly-built scheme."""
-        trace = self.trace(benchmark, flavour)
-        core = OutOfOrderCore()
-        scheme = scheme_factory()
-        result = core.run(iter(trace), scheme, program_name=benchmark)
+        """Simulate one benchmark binary under a freshly-built scheme.
+
+        ``scheme_factory`` may be a zero-argument callable (the historical
+        API) or a :class:`~repro.engine.SchemeSpec`; specs additionally hit
+        the engine's persistent result cache when a store is configured.
+        """
+        if isinstance(scheme_factory, SchemeSpec):
+            result = self.engine.simulate(benchmark, flavour, scheme_factory)
+        else:
+            trace = self.engine.collect_trace(benchmark, flavour)
+            core = OutOfOrderCore()
+            result = core.run(
+                iter(trace), scheme_factory(), program_name=benchmark
+            )
+            self.engine.stats.simulations_run += 1
         return BenchmarkRun(benchmark=benchmark, flavour=flavour, result=result)
 
     def run_schemes(

@@ -19,20 +19,27 @@ techniques; here we measure the IPC of the if-converted binaries under:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import IF_CONVERTED, ExperimentRunner
-from repro.experiments.setup import (
-    ExperimentProfile,
-    make_conventional_scheme,
-    make_predicate_scheme,
+from repro.engine import (
+    IF_CONVERTED,
+    ExperimentDefinition,
+    ExperimentOutputs,
+    SchemeSpec,
+    resolve_engine,
+    sweep,
 )
 from repro.stats.tables import ResultTable
 
 CONSERVATIVE = "conventional (conservative predication)"
 NO_SELECTIVE = "predicate predictor, no selective predication"
 SELECTIVE = "predicate predictor + selective predication"
+
+SELECTIVE_IPC_SCHEMES = {
+    CONSERVATIVE: SchemeSpec.make("conventional"),
+    NO_SELECTIVE: SchemeSpec.make("predicate", selective_predication=False),
+    SELECTIVE: SchemeSpec.make("predicate"),
+}
 
 
 @dataclass
@@ -61,33 +68,27 @@ class SelectiveIPCResult:
         )
 
 
-def run_selective_ipc(
-    profile: Optional[ExperimentProfile] = None,
-    runner: Optional[ExperimentRunner] = None,
+def selective_ipc_definition(benchmarks: Sequence[str]) -> ExperimentDefinition:
+    """Declare the IPC sweep over ``benchmarks``."""
+    return sweep("selective-ipc", benchmarks, IF_CONVERTED, SELECTIVE_IPC_SCHEMES)
+
+
+def collect_selective_ipc(
+    outputs: ExperimentOutputs, benchmarks: Sequence[str]
 ) -> SelectiveIPCResult:
-    """Measure IPC of if-converted code under the three handling policies."""
-    runner = runner or ExperimentRunner(profile)
-    table = ResultTable(
+    """Assemble the IPC comparison from engine outputs."""
+    table = ResultTable.from_results(
         title="Selective predicated execution - IPC on if-converted code",
         columns=[CONSERVATIVE, NO_SELECTIVE, SELECTIVE],
+        benchmarks=benchmarks,
+        outputs=outputs,
+        value=lambda result: result.ipc,
     )
     cancelled: Dict[str, float] = {}
-
-    for benchmark in runner.benchmarks():
-        runs = runner.run_schemes(
-            benchmark,
-            IF_CONVERTED,
-            {
-                CONSERVATIVE: make_conventional_scheme,
-                NO_SELECTIVE: partial(make_predicate_scheme, selective_predication=False),
-                SELECTIVE: make_predicate_scheme,
-            },
-        )
-        table.add_row(benchmark, {label: run.ipc for label, run in runs.items()})
-        metrics = runs[SELECTIVE].result.metrics
+    for benchmark in benchmarks:
+        metrics = outputs[(benchmark, SELECTIVE)].metrics
         fetched = metrics.fetched_instructions or 1
         cancelled[benchmark] = metrics.cancelled_at_rename / fetched
-        runner.drop_trace(benchmark, IF_CONVERTED)
 
     conservative_mean = table.mean(CONSERVATIVE)
     non_selective_mean = table.mean(NO_SELECTIVE)
@@ -102,3 +103,17 @@ def run_selective_ipc(
         ),
         cancelled_fraction=cancelled,
     )
+
+
+def run_selective_ipc(
+    profile=None,
+    runner=None,
+    engine=None,
+    jobs: Optional[int] = None,
+) -> SelectiveIPCResult:
+    """Measure IPC of if-converted code under the three handling policies."""
+    engine = resolve_engine(engine=engine, runner=runner, profile=profile)
+    benchmarks = engine.benchmarks()
+    definition = selective_ipc_definition(benchmarks)
+    outputs = engine.run([definition], jobs=jobs)[definition.name]
+    return collect_selective_ipc(outputs, benchmarks)

@@ -10,6 +10,23 @@ def format_percent(value: float, decimals: int = 2) -> str:
     return f"{100.0 * value:.{decimals}f}%"
 
 
+def report_slug(title: str, max_length: int = 80) -> str:
+    """A filesystem-safe slug of a report title."""
+    return "".join(
+        c if c.isalnum() or c in "-_" else "_" for c in title.lower()
+    )[:max_length]
+
+
+def report_block(title: str, body: str) -> str:
+    """One titled report block, as archived under ``results/``.
+
+    Single-sourced here so the ``repro all`` command and the benchmark
+    harness write interchangeable files.
+    """
+    separator = "=" * max(len(title), 8)
+    return f"{separator}\n{title}\n{separator}\n{body}\n"
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],

@@ -9,7 +9,7 @@ obtains an accuracy increase of 1.5%").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro.stats.reporting import format_table
 
@@ -27,6 +27,29 @@ class ResultTable:
         if missing:
             raise ValueError(f"row {benchmark!r} missing columns: {sorted(missing)}")
         self.rows[benchmark] = {c: float(values[c]) for c in self.columns}
+
+    @classmethod
+    def from_results(
+        cls,
+        title: str,
+        columns: Sequence[str],
+        benchmarks: Sequence[str],
+        outputs: Mapping[Tuple[str, str], object],
+        value: Callable[[object], float] = lambda r: r.misprediction_rate,
+    ) -> "ResultTable":
+        """Build a table from experiment-engine outputs.
+
+        ``outputs`` maps (benchmark, column-label) to a simulation result —
+        the structure :meth:`repro.engine.ExecutionEngine.run` returns per
+        experiment; ``value`` extracts the tabulated metric from each result.
+        """
+        table = cls(title=title, columns=list(columns))
+        for benchmark in benchmarks:
+            table.add_row(
+                benchmark,
+                {c: value(outputs[(benchmark, c)]) for c in table.columns},
+            )
+        return table
 
     # ------------------------------------------------------------------
     def column(self, name: str) -> List[float]:

@@ -20,6 +20,17 @@ from repro.isa import GR, PR, CompareRelation
 from repro.program import ProgramBuilder, validate_program
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Point the persistent artifact cache at a per-test scratch directory.
+
+    Without this, tests that invoke the CLI (whose cache is on by default)
+    would write a real ``.repro-cache`` into the working directory and could
+    serve stale artifacts across test runs after source edits.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+
+
 def build_counting_loop(n_values=None, threshold=4):
     """A small loop that sums array elements greater than ``threshold``.
 

@@ -1,0 +1,141 @@
+"""Planner tests: definitions expand into a deduplicated job DAG."""
+
+import pytest
+
+from repro.compiler.binaries import BinaryFactory
+from repro.engine import BASELINE, IF_CONVERTED, SchemeSpec, plan, sweep
+from repro.experiments.ablations import (
+    history_ablation_definition,
+    pvt_ablation_definition,
+)
+from repro.experiments.figure5 import figure5_definition
+from repro.experiments.figure6 import figure6_definition
+from repro.experiments.idealized import idealized_definition
+from repro.experiments.selective_ipc import selective_ipc_definition
+
+BENCHMARKS = ["gzip", "swim"]
+
+
+@pytest.fixture
+def factory():
+    return BinaryFactory(profile_budget=1_000)
+
+
+def plan_graph(definitions, factory):
+    return plan(definitions, instructions=1_000, factory=factory)
+
+
+class TestSweep:
+    def test_expansion(self):
+        definition = sweep(
+            "x", BENCHMARKS, BASELINE, {"a": SchemeSpec.make("conventional")}
+        )
+        assert definition.benchmarks() == BENCHMARKS
+        assert definition.labels() == ["a"]
+        assert len(definition.requests) == 2
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("x", BENCHMARKS, "debug", {"a": SchemeSpec.make("conventional")})
+
+
+class TestDedup:
+    def test_schemes_share_one_trace_per_cell(self, factory):
+        graph = plan_graph([figure6_definition(BENCHMARKS)], factory)
+        # Three schemes per benchmark, but one build and one trace per cell.
+        counts = graph.job_counts()
+        assert counts == {"builds": 2, "traces": 2, "simulations": 6}
+
+    def test_figure5_and_idealized_share_baseline_traces(self, factory):
+        fig5 = figure5_definition(BENCHMARKS)
+        ideal = idealized_definition(BASELINE, BENCHMARKS)
+        separate = sum(
+            plan_graph([d], factory).job_counts()["traces"] for d in (fig5, ideal)
+        )
+        combined = plan_graph([fig5, ideal], factory).job_counts()
+        assert separate == 4
+        assert combined["traces"] == 2
+        assert combined["builds"] == 2
+        # The schemes differ (real vs idealized), so simulations do not merge.
+        assert combined["simulations"] == 8
+
+    def test_figure5_plus_figure6_trace_jobs(self, factory):
+        # Different flavours: the union is 2 cells per benchmark, not 5
+        # trace collections (one per scheme) as a naive expansion would do.
+        graph = plan_graph(
+            [figure5_definition(BENCHMARKS), figure6_definition(BENCHMARKS)], factory
+        )
+        assert graph.job_counts() == {"builds": 4, "traces": 4, "simulations": 10}
+
+    def test_identical_simulations_merge_across_experiments(self, factory):
+        # figure6, both ablations and the IPC study all request the plain
+        # predicate scheme over the if-converted trace: one simulate job.
+        definitions = [
+            figure6_definition(BENCHMARKS),
+            pvt_ablation_definition(BENCHMARKS),
+            history_ablation_definition(BENCHMARKS),
+            selective_ipc_definition(BENCHMARKS),
+        ]
+        graph = plan_graph(definitions, factory)
+        requested = graph.requested_simulations()
+        unique = graph.job_counts()["simulations"]
+        assert requested == 20  # (3 + 2 + 2 + 3) schemes x 2 benchmarks
+        # predicate appears in all four, conventional in figure6 + ipc.
+        assert unique == 12
+        # Each experiment still addresses its own (benchmark, label) slots.
+        for definition in definitions:
+            table = graph.outputs[definition.name]
+            assert set(table) == {
+                (b, label)
+                for b in BENCHMARKS
+                for label in definition.labels()
+            }
+
+    def test_cells_group_by_benchmark_and_flavour(self, factory):
+        graph = plan_graph([figure6_definition(BENCHMARKS)], factory)
+        cells = graph.cells()
+        assert set(cells) == {(b, IF_CONVERTED) for b in BENCHMARKS}
+        assert all(len(jobs) == 3 for jobs in cells.values())
+
+
+class TestKeys:
+    def test_keys_are_stable_across_plans(self, factory):
+        first = plan_graph([figure5_definition(BENCHMARKS)], factory)
+        second = plan_graph([figure5_definition(BENCHMARKS)], factory)
+        assert list(first.simulations) == list(second.simulations)
+        assert list(first.traces) == list(second.traces)
+        assert list(first.builds) == list(second.builds)
+
+    def test_profile_budget_changes_build_keys(self):
+        small = plan_graph([figure5_definition(BENCHMARKS)], BinaryFactory(profile_budget=500))
+        large = plan_graph([figure5_definition(BENCHMARKS)], BinaryFactory(profile_budget=900))
+        assert set(small.builds).isdisjoint(large.builds)
+
+    def test_instruction_budget_changes_trace_keys_not_build_keys(self, factory):
+        short = plan([figure5_definition(BENCHMARKS)], instructions=500, factory=factory)
+        long = plan([figure5_definition(BENCHMARKS)], instructions=900, factory=factory)
+        assert set(short.builds) == set(long.builds)
+        assert set(short.traces).isdisjoint(long.traces)
+
+    def test_code_fingerprint_changes_invalidate_every_key(self, monkeypatch, factory):
+        from repro.engine import planner as planner_mod
+        from repro.engine.hashing import code_fingerprint
+
+        fingerprint = code_fingerprint()
+        assert fingerprint == code_fingerprint()  # deterministic in-process
+        base = plan_graph([figure5_definition(BENCHMARKS)], factory)
+        monkeypatch.setattr(planner_mod, "code_fingerprint", lambda: "0" * 16)
+        changed = plan_graph([figure5_definition(BENCHMARKS)], factory)
+        assert set(base.builds).isdisjoint(changed.builds)
+        assert set(base.traces).isdisjoint(changed.traces)
+        assert set(base.simulations).isdisjoint(changed.simulations)
+
+    def test_scheme_options_change_simulation_keys(self, factory):
+        plain = sweep("x", BENCHMARKS, BASELINE, {"s": SchemeSpec.make("predicate")})
+        tuned = sweep(
+            "x", BENCHMARKS, BASELINE, {"s": SchemeSpec.make("predicate", split_pvt=True)}
+        )
+        graph_plain = plan_graph([plain], factory)
+        graph_tuned = plan_graph([tuned], factory)
+        assert set(graph_plain.simulations).isdisjoint(graph_tuned.simulations)
+        assert set(graph_plain.traces) == set(graph_tuned.traces)

@@ -1,0 +1,144 @@
+"""Artifact-store round-trips: serialize → deserialize → identical metrics."""
+
+import os
+
+import pytest
+
+from repro.compiler.binaries import BinaryFactory
+from repro.emulator.executor import Emulator
+from repro.emulator.trace import load_trace, save_trace, serialize_trace, deserialize_trace
+from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore, default_cache_dir
+from repro.experiments.setup import make_predicate_scheme
+from repro.pipeline.core import OutOfOrderCore
+from repro.workloads.spec_suite import build_workload
+
+BUDGET = 1_200
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    """One compiled binary, its trace and one simulation result."""
+    factory = BinaryFactory(profile_budget=BUDGET)
+    program = factory.build_baseline("gzip", lambda: build_workload("gzip"))
+    trace = list(Emulator(program).run(BUDGET))
+    result = OutOfOrderCore().run(
+        iter(trace), make_predicate_scheme(), program_name="gzip"
+    )
+    return program, trace, result
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "cache"))
+
+
+class TestBinaryRoundTrip:
+    def test_program_round_trip_traces_identically(self, store, artifacts):
+        program, trace, _ = artifacts
+        store.put(BINARIES, "k1", program)
+        reloaded = store.get(BINARIES, "k1")
+        assert reloaded is not program
+        replayed = list(Emulator(reloaded).run(BUDGET))
+        assert len(replayed) == len(trace)
+        assert all(
+            a.pc == b.pc and a.taken == b.taken and a.executed == b.executed
+            for a, b in zip(trace, replayed)
+        )
+
+
+class TestTraceRoundTrip:
+    def test_store_round_trip_simulates_identically(self, store, artifacts):
+        _, trace, result = artifacts
+        store.put(TRACES, "k1", trace)
+        reloaded = store.get(TRACES, "k1")
+        resimulated = OutOfOrderCore().run(
+            iter(reloaded), make_predicate_scheme(), program_name="gzip"
+        )
+        assert resimulated.misprediction_rate == result.misprediction_rate
+        assert resimulated.ipc == result.ipc
+        assert resimulated.metrics.summary() == result.metrics.summary()
+
+    def test_file_helpers(self, tmp_path, artifacts):
+        _, trace, _ = artifacts
+        path = str(tmp_path / "trace.bin")
+        save_trace(path, trace)
+        reloaded = load_trace(path)
+        assert len(reloaded) == len(trace)
+        assert all(a.seq == b.seq and a.pc == b.pc for a, b in zip(trace, reloaded))
+
+    def test_version_mismatch_rejected(self, artifacts):
+        _, trace, _ = artifacts
+        import pickle
+
+        version, payload = pickle.loads(serialize_trace(trace))
+        stale = pickle.dumps((version + 1, payload))
+        with pytest.raises(ValueError):
+            deserialize_trace(stale)
+
+
+class TestResultRoundTrip:
+    def test_identical_metrics(self, store, artifacts):
+        _, _, result = artifacts
+        store.put(RESULTS, "k1", result, metadata={"benchmark": "gzip"})
+        reloaded = store.get(RESULTS, "k1")
+        assert reloaded.metrics.summary() == result.metrics.summary()
+        assert reloaded.accuracy.branches == result.accuracy.branches
+        assert reloaded.misprediction_rate == result.misprediction_rate
+
+
+class TestStoreBehaviour:
+    def test_miss_returns_none(self, store):
+        assert store.get(RESULTS, "missing") is None
+        assert not store.contains(RESULTS, "missing")
+
+    def test_corrupt_artifact_is_a_miss_and_removed(self, store, artifacts):
+        _, _, result = artifacts
+        store.put(RESULTS, "k1", result)
+        with open(store.path(RESULTS, "k1"), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert store.get(RESULTS, "k1") is None
+        assert not store.contains(RESULTS, "k1")
+
+    def test_stats_and_entries(self, store, artifacts):
+        program, trace, result = artifacts
+        store.put(BINARIES, "b", program, metadata={"benchmark": "gzip"})
+        store.put(TRACES, "t", trace)
+        store.put(RESULTS, "r", result)
+        stats = store.stats()
+        assert stats[BINARIES]["count"] == 1
+        assert stats[TRACES]["count"] == 1
+        assert stats[RESULTS]["count"] == 1
+        assert all(entry["bytes"] > 0 for entry in stats.values())
+        entries = store.entries(BINARIES)
+        assert len(entries) == 1
+        assert entries[0]["benchmark"] == "gzip"
+        assert entries[0]["key"] == "b"
+
+    def test_clear_kind_and_all(self, store, artifacts):
+        program, trace, result = artifacts
+        store.put(BINARIES, "b", program)
+        store.put(TRACES, "t", trace)
+        store.put(RESULTS, "r", result)
+        assert store.clear(RESULTS) == 1
+        assert store.get(RESULTS, "r") is None
+        assert store.get(BINARIES, "b") is not None
+        assert store.clear() == 2
+        assert store.stats()[BINARIES]["count"] == 0
+
+    def test_unknown_kind_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.get("bogus", "k")
+
+    def test_default_cache_dir_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() == ".repro-cache"
+        assert default_cache_dir("/explicit") == "/explicit"
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/from-env")
+        assert default_cache_dir() == "/from-env"
+        assert default_cache_dir("/explicit") == "/explicit"
+
+    def test_put_creates_nested_directories(self, tmp_path, artifacts):
+        _, _, result = artifacts
+        store = ArtifactStore(str(tmp_path / "deep" / "nested" / "cache"))
+        path = store.put(RESULTS, "k", result)
+        assert os.path.exists(path)
