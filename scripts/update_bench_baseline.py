@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Refresh the committed throughput baseline in one command.
+
+Re-runs the quick bench suite (the same cells CI measures) and rewrites
+``benchmarks/baseline_bench.json`` with the new numbers and the machine
+metadata of the host that produced them.  Run it after a deliberate
+performance change, commit the result, and the CI gate compares future
+pull requests against it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/update_bench_baseline.py [--repeat N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.perf import bench  # noqa: E402
+from repro.perf.report import render_table  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline_bench.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="simulate each cell N times and keep the fastest (default: 3)",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=DEFAULT_BASELINE,
+        help=f"baseline path to rewrite (default: {DEFAULT_BASELINE})",
+    )
+    args = parser.parse_args(argv)
+
+    report = bench.run_bench(quick=True, repeats=args.repeat)
+    print(render_table(report))
+    path = bench.write_report(report, args.output)
+    print(
+        f"\nrewrote {path} (rev {report['revision']}, "
+        f"normalized score {report['aggregate']['normalized_score']:.4f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ Commands:
     write the rendered reports under ``results/`` (see ``--output-dir``).
 ``simulate BENCHMARK``
     Run one benchmark under one scheme and print the headline metrics.
+``bench``
+    Measure simulator throughput over the standardized cell suite, write a
+    machine-readable ``BENCH_<rev>.json`` and (with ``--check``) gate
+    against a committed baseline.
 ``cache stats`` / ``cache clear`` / ``cache path``
     Inspect or clear the persistent artifact cache.
 ``list``
@@ -117,6 +121,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory the rendered reports are written to (default: results)",
     )
 
+    bench = subparsers.add_parser(
+        "bench", help="measure simulator throughput and gate regressions"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the quick cell suite at a reduced instruction budget (CI)",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="simulate each cell N times and keep the fastest (default: 1)",
+    )
+    bench.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="report path (default: BENCH_<rev>.json in the working directory)",
+    )
+    bench.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the table without writing the JSON report",
+    )
+    bench.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline report and exit non-zero on regression",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated throughput regression for --check (default: 0.25)",
+    )
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--legacy",
+        action="store_true",
+        help="measure the reference (pre-optimization) implementations",
+    )
+    mode.add_argument(
+        "--compare-opt",
+        action="store_true",
+        help="measure legacy and optimized implementations and print the speedup",
+    )
+
     cache = subparsers.add_parser("cache", help="inspect or clear the artifact cache")
     cache.add_argument(
         "action",
@@ -214,9 +268,52 @@ def _command_all(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _command_bench(args: argparse.Namespace) -> str:
+    from repro.perf import bench as bench_mod
+    from repro.perf.compare import compare_reports
+    from repro.perf.report import render_speedup, render_table
+
+    if args.check and args.legacy:
+        # The baseline is measured with the optimized implementations; gating
+        # a deliberately slower legacy run against it would always fail.
+        raise SystemExit("--check cannot be combined with --legacy")
+    lines = []
+    if args.compare_opt:
+        legacy = bench_mod.run_bench(
+            quick=args.quick, repeats=args.repeat, optimized=False
+        )
+        report = bench_mod.run_bench(
+            quick=args.quick, repeats=args.repeat, optimized=True
+        )
+        lines.extend([render_table(report), "", "legacy vs optimized:"])
+        lines.append(render_speedup(legacy, report))
+    else:
+        report = bench_mod.run_bench(
+            quick=args.quick,
+            repeats=args.repeat,
+            optimized=False if args.legacy else None,
+        )
+        lines.append(render_table(report))
+    if not args.no_write:
+        path = args.output or bench_mod.default_output_path(report)
+        bench_mod.write_report(report, path)
+        lines.append(f"wrote {path}")
+    if args.check:
+        baseline = bench_mod.load_report(args.check)
+        ok, verdict = compare_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        lines.append("")
+        lines.extend(verdict)
+        if not ok:
+            raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
 def _command_cache(args: argparse.Namespace) -> str:
     store = ArtifactStore(default_cache_dir(args.cache_dir))
     if args.action == "path":
+        store.ensure_root()
         return store.root
     if args.action == "clear":
         removed = store.clear(args.kind)
@@ -270,6 +367,7 @@ _COMMANDS = {
     "ablations": _command_ablations,
     "ipc": _command_ipc,
     "all": _command_all,
+    "bench": _command_bench,
     "cache": _command_cache,
     "simulate": _command_simulate,
 }

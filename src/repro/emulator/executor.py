@@ -17,7 +17,7 @@ same pipeline positions as in an execution-driven model.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.emulator.memory_image import to_signed64
 from repro.emulator.state import ArchState
@@ -30,7 +30,8 @@ from repro.isa.instructions import (
 )
 from repro.isa.opcodes import Opcode
 from repro.isa.operands import Immediate, Label
-from repro.isa.registers import Register
+from repro.isa.registers import Register, RegisterKind
+from repro.perf.flags import resolve_optimized
 from repro.program.program import Program
 from repro.program.routine import Routine
 
@@ -156,7 +157,7 @@ class Emulator:
     #: far lower.
     HARD_LIMIT = 50_000_000
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, optimized: Optional[bool] = None) -> None:
         if not program.laid_out:
             program.layout()
         self.program = program
@@ -167,6 +168,13 @@ class Emulator:
         self.fetched_instructions = 0
         self.executed_instructions = 0
         self.halted = False
+        #: Decode/dispatch cache of the optimized path: per-static-instruction
+        #: compiled handlers, keyed by instruction uid.  The reference
+        #: interpreter (:meth:`_execute_straightline`) stays reachable with
+        #: ``optimized=False`` / ``REPRO_OPT=0``; the parity tests assert both
+        #: produce identical traces.
+        self.optimized = resolve_optimized(optimized)
+        self._handlers: Dict[int, Callable[[DynInst], None]] = {}
 
     # ------------------------------------------------------------------
     def run(self, max_instructions: int) -> Iterator[DynInst]:
@@ -175,6 +183,8 @@ class Emulator:
         routine = self.program.entry_routine
         frame = _Frame(routine, 0, 0)
         call_stack: List[_Frame] = []
+        handlers = self._handlers if self.optimized else None
+        handlers_get = handlers.get if handlers is not None else None
 
         while self.fetched_instructions < max_instructions:
             if self._seq >= self.HARD_LIMIT:
@@ -208,7 +218,14 @@ class Emulator:
                     self.halted = True
                     return
             else:
-                self._execute_straightline(dyn, inst)
+                if handlers is None:
+                    self._execute_straightline(dyn, inst)
+                else:
+                    handler = handlers_get(inst.uid)
+                    if handler is None:
+                        handler = self._compile_straightline(inst)
+                        handlers[inst.uid] = handler
+                    handler(dyn)
                 frame.inst_index += 1
                 dyn.next_pc = self._pc_after(frame)
                 yield dyn
@@ -306,6 +323,173 @@ class Emulator:
                 self._pred_writer[reg.index] = dyn.seq
                 writes.append((reg.index, bool(value)))
         dyn.pred_writes = tuple(writes)
+
+    # ------------------------------------------------------------------
+    # Decode/dispatch cache (optimized path)
+    # ------------------------------------------------------------------
+    def _compile_read(self, operand) -> Callable[[], object]:
+        """Compile an operand into a zero-argument value accessor."""
+        if isinstance(operand, Immediate):
+            value = operand.value
+            return lambda: value
+        if isinstance(operand, Register):
+            kind = operand.kind
+            index = operand.index
+            if kind is RegisterKind.GENERAL:
+                file_ = self.state.general
+            elif kind is RegisterKind.PREDICATE:
+                file_ = self.state.predicate
+            elif kind is RegisterKind.FLOAT:
+                file_ = self.state.floating
+            else:
+                file_ = self.state.branch
+            return lambda: file_[index]
+
+        def unreadable():  # pragma: no cover - labels only on branches
+            raise TypeError("label operands cannot be evaluated")
+
+        return unreadable
+
+    def _compile_write(self, reg: Register) -> Callable[[object], None]:
+        """Compile a register destination into a value setter.
+
+        Mirrors :meth:`ArchState.write`: per-file value coercion, writes to
+        hard-wired registers silently discarded.
+        """
+        if reg.is_hardwired:
+            return lambda value: None
+        kind = reg.kind
+        index = reg.index
+        if kind is RegisterKind.GENERAL:
+            general = self.state.general
+
+            def write_general(value) -> None:
+                general[index] = to_signed64(int(value))
+
+            return write_general
+        if kind is RegisterKind.PREDICATE:
+            predicate = self.state.predicate
+
+            def write_predicate(value) -> None:
+                predicate[index] = bool(value)
+
+            return write_predicate
+        if kind is RegisterKind.FLOAT:
+            floating = self.state.floating
+
+            def write_float(value) -> None:
+                floating[index] = float(value)
+
+            return write_float
+        branch = self.state.branch
+
+        def write_branch(value) -> None:
+            branch[index] = int(value)
+
+        return write_branch
+
+    def _compile_straightline(self, inst: Instruction) -> Callable[[DynInst], None]:
+        """Compile one static non-branch instruction into a handler.
+
+        Each handler reproduces :meth:`_execute_straightline` for exactly
+        this instruction, with operand dispatch, opcode dispatch and
+        register-file selection resolved at compile time.
+        """
+        if isinstance(inst, CompareInstruction):
+            evaluate = inst.relation.evaluate
+            compute_targets = inst.compute_targets
+            lhs = self._compile_read(inst.srcs[0])
+            rhs = self._compile_read(inst.srcs[1])
+            predicate = self.state.predicate
+            pred_writer = self._pred_writer
+            pt_index, pf_index = inst.pt.index, inst.pf.index
+            pt_writable = not inst.pt.is_hardwired
+            pf_writable = not inst.pf.is_hardwired
+
+            def compare_handler(dyn: DynInst) -> None:
+                result = evaluate(int(lhs()), int(rhs()))
+                old_pt = bool(predicate[pt_index])
+                old_pf = bool(predicate[pf_index])
+                new_pt, new_pf = compute_targets(dyn.qp_value, result, old_pt, old_pf)
+                writes = ()
+                if new_pt is not None and pt_writable:
+                    value = bool(new_pt)
+                    predicate[pt_index] = value
+                    pred_writer[pt_index] = dyn.seq
+                    writes = ((pt_index, value),)
+                if new_pf is not None and pf_writable:
+                    value = bool(new_pf)
+                    predicate[pf_index] = value
+                    pred_writer[pf_index] = dyn.seq
+                    writes = writes + ((pf_index, value),)
+                dyn.pred_writes = writes
+
+            return compare_handler
+
+        opcode = inst.opcode
+        if isinstance(inst, LoadInstruction):
+            base = self._compile_read(inst.base)
+            offset = inst.offset
+            read_word = self.state.memory.read_word
+            write_dest = self._compile_write(inst.dests[0])
+            is_float_load = opcode is Opcode.LDF
+
+            def load_handler(dyn: DynInst) -> None:
+                if not dyn.qp_value:
+                    return
+                address = to_signed64(base() + offset)
+                dyn.mem_address = address
+                value = read_word(address)
+                write_dest(float(value) if is_float_load else value)
+
+            return load_handler
+        if isinstance(inst, StoreInstruction):
+            base = self._compile_read(inst.base)
+            value_read = self._compile_read(inst.value)
+            offset = inst.offset
+            write_word = self.state.memory.write_word
+
+            def store_handler(dyn: DynInst) -> None:
+                if not dyn.qp_value:
+                    return
+                address = to_signed64(base() + offset)
+                dyn.mem_address = address
+                write_word(address, int(value_read()))
+
+            return store_handler
+        if opcode in (Opcode.MOV, Opcode.MOVI, Opcode.MOV_TO_BR):
+            src = self._compile_read(inst.srcs[0])
+            write_dest = self._compile_write(inst.dests[0])
+
+            def move_handler(dyn: DynInst) -> None:
+                if dyn.qp_value:
+                    write_dest(src())
+
+            return move_handler
+        if opcode is Opcode.NOP:
+            return lambda dyn: None
+        if opcode in _INT_ALU_OPS:
+            operation = _INT_ALU_OPS[opcode]
+            lhs = self._compile_read(inst.srcs[0])
+            rhs = self._compile_read(inst.srcs[1])
+            write_dest = self._compile_write(inst.dests[0])
+
+            def alu_handler(dyn: DynInst) -> None:
+                if dyn.qp_value:
+                    write_dest(operation(int(lhs()), int(rhs())))
+
+            return alu_handler
+        if opcode in _FP_OPS:
+            operation = _FP_OPS[opcode]
+            readers = tuple(self._compile_read(s) for s in inst.srcs)
+            write_dest = self._compile_write(inst.dests[0])
+
+            def fp_handler(dyn: DynInst) -> None:
+                if dyn.qp_value:
+                    write_dest(operation([float(read()) for read in readers]))
+
+            return fp_handler
+        raise NotImplementedError(f"no semantics for opcode {opcode}")
 
     # ------------------------------------------------------------------
     # Control flow

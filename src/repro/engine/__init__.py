@@ -22,6 +22,7 @@ from repro.engine.executor import (
     EngineStats,
     ExecutionEngine,
     ExperimentOutputs,
+    JobTiming,
     resolve_engine,
 )
 from repro.engine.hashing import canonicalize, stable_hash
@@ -72,6 +73,7 @@ __all__ = [
     "ExecutionEngine",
     "EngineStats",
     "ExperimentOutputs",
+    "JobTiming",
     "resolve_engine",
     "stable_hash",
     "canonicalize",

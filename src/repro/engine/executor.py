@@ -24,6 +24,7 @@ from __future__ import annotations
 import multiprocessing
 from collections import OrderedDict
 from dataclasses import dataclass, fields
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.binaries import BinaryFactory
@@ -59,24 +60,52 @@ class EngineStats:
     traces_loaded: int = 0
     simulations_run: int = 0
     results_loaded: int = 0
+    #: Wall-clock seconds spent collecting traces / running simulations
+    #: (work actually performed, cache hits excluded).
+    trace_seconds: float = 0.0
+    simulate_seconds: float = 0.0
 
-    def merge(self, other: Dict[str, int]) -> None:
+    def merge(self, other: Dict[str, Any]) -> None:
         for field_ in fields(self):
             setattr(
                 self,
                 field_.name,
-                getattr(self, field_.name) + int(other.get(field_.name, 0)),
+                getattr(self, field_.name) + other.get(field_.name, 0),
             )
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Any]:
         return {field_.name: getattr(self, field_.name) for field_ in fields(self)}
 
     def render(self) -> str:
         return (
             f"built {self.binaries_built} binaries ({self.binaries_loaded} cached), "
-            f"collected {self.traces_collected} traces ({self.traces_loaded} cached), "
-            f"ran {self.simulations_run} simulations ({self.results_loaded} cached)"
+            f"collected {self.traces_collected} traces ({self.traces_loaded} cached) "
+            f"in {self.trace_seconds:.2f}s, "
+            f"ran {self.simulations_run} simulations ({self.results_loaded} cached) "
+            f"in {self.simulate_seconds:.2f}s"
         )
+
+
+@dataclass
+class JobTiming:
+    """Wall-clock timing of one simulate job (the engine's result records).
+
+    ``cached`` jobs were served from the artifact store; their ``seconds``
+    measure the load, not a simulation, and are excluded from throughput
+    aggregation by the bench harness.
+    """
+
+    key: str
+    benchmark: str
+    flavour: str
+    scheme: str
+    seconds: float
+    instructions: int
+    cycles: int
+    cached: bool
+
+    def instructions_per_second(self) -> float:
+        return self.instructions / self.seconds if self.seconds > 0 else 0.0
 
 
 class ExecutionEngine:
@@ -98,6 +127,8 @@ class ExecutionEngine:
         self.max_cached_traces = max(1, int(max_cached_traces))
         self.factory = BinaryFactory(profile_budget=self.profile.profile_budget)
         self.stats = EngineStats()
+        #: Per-simulate-job wall-clock records, in execution order.
+        self.job_timings: List[JobTiming] = []
         self._binaries: Dict[Cell, Program] = {}
         self._traces: "OrderedDict[Cell, List[DynInst]]" = OrderedDict()
 
@@ -161,7 +192,9 @@ class ExecutionEngine:
         else:
             program = self.build_binary(benchmark, flavour)
             emulator = Emulator(program)
+            started = perf_counter()
             trace = list(emulator.run(job.instructions))
+            self.stats.trace_seconds += perf_counter() - started
             self.stats.traces_collected += 1
             if self.store is not None:
                 self.store.put(
@@ -195,14 +228,21 @@ class ExecutionEngine:
 
     def _run_simulation(self, job: SimulateJob) -> SimulationResult:
         if self.store is not None:
+            started = perf_counter()
             result = self.store.get(RESULTS, job.key)
             if result is not None:
                 self.stats.results_loaded += 1
+                self._record_timing(job, result, perf_counter() - started, cached=True)
                 return result
         trace = self.collect_trace(job.benchmark, job.flavour)
         core = OutOfOrderCore()
-        result = core.run(iter(trace), job.scheme.build(), program_name=job.benchmark)
+        scheme = job.scheme.build()
+        started = perf_counter()
+        result = core.run(iter(trace), scheme, program_name=job.benchmark)
+        elapsed = perf_counter() - started
         self.stats.simulations_run += 1
+        self.stats.simulate_seconds += elapsed
+        self._record_timing(job, result, elapsed, cached=False)
         if self.store is not None:
             self.store.put(
                 RESULTS,
@@ -215,6 +255,22 @@ class ExecutionEngine:
                 },
             )
         return result
+
+    def _record_timing(
+        self, job: SimulateJob, result: SimulationResult, seconds: float, cached: bool
+    ) -> None:
+        self.job_timings.append(
+            JobTiming(
+                key=job.key,
+                benchmark=job.benchmark,
+                flavour=job.flavour,
+                scheme=job.scheme.describe(),
+                seconds=seconds,
+                instructions=result.metrics.committed_instructions,
+                cycles=result.metrics.cycles,
+                cached=cached,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Graph execution
@@ -266,9 +322,10 @@ class ExecutionEngine:
         context = _mp_context()
         processes = min(jobs, len(payloads))
         with context.Pool(processes=processes) as pool:
-            for cell_results, stats in pool.imap_unordered(_execute_cell, payloads):
+            for cell_results, stats, timings in pool.imap_unordered(_execute_cell, payloads):
                 results.update(cell_results)
                 self.stats.merge(stats)
+                self.job_timings.extend(timings)
         return results
 
 
@@ -282,7 +339,7 @@ def _mp_context():
 
 def _execute_cell(
     payload: Tuple[Any, Optional[str], List[SimulateJob]],
-) -> Tuple[Dict[str, SimulationResult], Dict[str, int]]:
+) -> Tuple[Dict[str, SimulationResult], Dict[str, Any], List[JobTiming]]:
     """Worker entry point: run one cell's simulations in a fresh engine."""
     profile, store_root, cell_jobs = payload
     engine = ExecutionEngine(
@@ -291,7 +348,7 @@ def _execute_cell(
         max_cached_traces=1,
     )
     results = {job.key: engine._run_simulation(job) for job in cell_jobs}
-    return results, engine.stats.as_dict()
+    return results, engine.stats.as_dict(), engine.job_timings
 
 
 def resolve_engine(engine=None, runner=None, profile=None) -> ExecutionEngine:

@@ -69,6 +69,23 @@ class ArtifactStore:
         self.root = default_cache_dir(root)
 
     # ------------------------------------------------------------------
+    def ensure_root(self) -> Optional[str]:
+        """Create the store's format-version directory if it is missing.
+
+        Inspection commands (``repro cache stats``/``path``) call this so a
+        store pointed at a directory that does not exist yet is lazily
+        created and reported as empty instead of erroring.  Returns the
+        created directory, or ``None`` when creation failed (e.g. the
+        configured root is not a writable directory) — in that case the
+        store still behaves as empty.
+        """
+        base = os.path.join(self.root, f"v{STORE_FORMAT_VERSION}")
+        try:
+            os.makedirs(base, exist_ok=True)
+        except OSError:
+            return None
+        return base
+
     def _kind_dir(self, kind: str) -> str:
         if kind not in KINDS:
             raise ValueError(f"unknown artifact kind {kind!r}; expected {KINDS}")
@@ -157,7 +174,12 @@ class ArtifactStore:
         return found
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-kind artifact counts and payload sizes."""
+        """Per-kind artifact counts and payload sizes.
+
+        A store root that does not exist yet is created lazily and reported
+        as zero entries of every kind.
+        """
+        self.ensure_root()
         report: Dict[str, Dict[str, int]] = {}
         for kind in KINDS:
             directory = self._kind_dir(kind)

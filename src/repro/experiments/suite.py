@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.engine import BASELINE, IF_CONVERTED, resolve_engine
 from repro.experiments.ablations import (

@@ -1,0 +1,218 @@
+"""The ``repro bench`` harness: standardized simulator-throughput cells.
+
+A bench *cell* is one (benchmark, binary flavour, scheme) simulation at a
+fixed fetched-instruction budget.  For every cell the harness measures the
+wall-clock cost of trace collection and of the timing simulation itself and
+reports **simulated instructions per second** and **simulated cycles per
+second** — the two throughput numbers the CI gate tracks.
+
+Cross-machine comparability: raw wall-clock throughput depends on the host,
+so every report embeds a *calibration* measurement — the throughput of a
+fixed pure-Python integer loop on the same machine, in million operations
+per second.  The regression gate compares ``instructions_per_second /
+calibration_ops_per_second`` (a dimensionless, machine-normalized score)
+whenever both reports carry a calibration, falling back to raw throughput
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine import BASELINE, IF_CONVERTED, ExecutionEngine, SchemeSpec
+from repro.experiments.setup import ExperimentProfile
+from repro.perf import flags
+
+#: Schema identifier embedded in every report.
+SCHEMA = "repro-bench/v1"
+
+#: Fetched-instruction budget per cell.
+QUICK_INSTRUCTIONS = 12_000
+FULL_INSTRUCTIONS = 40_000
+
+#: Iterations of the calibration loop (one measurement).
+_CALIBRATION_OPS = 200_000
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One standardized throughput measurement."""
+
+    benchmark: str
+    flavour: str
+    scheme: str
+
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.flavour}/{self.scheme}"
+
+
+#: The quick suite: one cell per scheme plus flavour coverage, on the
+#: benchmarks the test-suite profile also uses (they compile fastest).
+QUICK_CELLS: Sequence[BenchCell] = (
+    BenchCell("gzip", IF_CONVERTED, "conventional"),
+    BenchCell("gzip", IF_CONVERTED, "predicate"),
+    BenchCell("twolf", IF_CONVERTED, "pep-pa"),
+    BenchCell("twolf", BASELINE, "conventional"),
+    BenchCell("swim", IF_CONVERTED, "predicate"),
+)
+
+#: The full suite: broader benchmark coverage for every scheme.
+FULL_CELLS: Sequence[BenchCell] = QUICK_CELLS + (
+    BenchCell("mcf", IF_CONVERTED, "predicate"),
+    BenchCell("crafty", IF_CONVERTED, "conventional"),
+    BenchCell("vpr", IF_CONVERTED, "pep-pa"),
+    BenchCell("swim", BASELINE, "predicate"),
+    BenchCell("art", IF_CONVERTED, "conventional"),
+)
+
+
+def calibration_mops(rounds: int = 5) -> float:
+    """Throughput of a fixed pure-Python integer loop, in Mops/s.
+
+    Best-of-``rounds`` to shrug off scheduler noise.  The loop shape is part
+    of the bench schema: changing it invalidates normalized comparisons
+    against older reports.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        accumulator = 0
+        started = perf_counter()
+        for i in range(_CALIBRATION_OPS):
+            accumulator = (accumulator + i) ^ (accumulator >> 3)
+        elapsed = perf_counter() - started
+        if elapsed > 0:
+            best = max(best, _CALIBRATION_OPS / elapsed / 1e6)
+    return best
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else "unknown"
+
+
+def _machine_metadata() -> Dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _measure_cell(cell: BenchCell, instructions: int, repeats: int) -> Dict[str, Any]:
+    """Measure one cell with a fresh, cache-less engine; best-of-``repeats``."""
+    profile = ExperimentProfile(
+        name="bench",
+        instructions_per_benchmark=instructions,
+        benchmarks=[cell.benchmark],
+        profile_budget=min(instructions, 20_000),
+    )
+    engine = ExecutionEngine(profile, store=None)
+    engine.collect_trace(cell.benchmark, cell.flavour)  # timed via stats
+    spec = SchemeSpec.make(cell.scheme)
+    result = None
+    for _ in range(max(1, repeats)):
+        result = engine.simulate(cell.benchmark, cell.flavour, spec)
+    sim_seconds = min(t.seconds for t in engine.job_timings if not t.cached)
+    committed = result.metrics.committed_instructions
+    cycles = result.metrics.cycles
+    return {
+        "benchmark": cell.benchmark,
+        "flavour": cell.flavour,
+        "scheme": cell.scheme,
+        "instructions": committed,
+        "cycles": cycles,
+        "ipc": result.metrics.ipc,
+        "misprediction_rate": result.accuracy.misprediction_rate,
+        "trace_seconds": engine.stats.trace_seconds,
+        "sim_seconds": sim_seconds,
+        "sim_instructions_per_second": committed / sim_seconds if sim_seconds else 0.0,
+        "sim_cycles_per_second": cycles / sim_seconds if sim_seconds else 0.0,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    instructions: Optional[int] = None,
+    repeats: int = 1,
+    optimized: Optional[bool] = None,
+    cells: Optional[Sequence[BenchCell]] = None,
+) -> Dict[str, Any]:
+    """Run the bench suite and return the machine-readable report."""
+    if cells is None:
+        cells = QUICK_CELLS if quick else FULL_CELLS
+    if instructions is None:
+        instructions = QUICK_INSTRUCTIONS if quick else FULL_INSTRUCTIONS
+    resolved = flags.resolve_optimized(optimized)
+    measured: List[Dict[str, Any]] = []
+    with flags.forced(resolved):
+        for cell in cells:
+            measured.append(_measure_cell(cell, instructions, repeats))
+    total_instructions = sum(c["instructions"] for c in measured)
+    total_cycles = sum(c["cycles"] for c in measured)
+    total_sim_seconds = sum(c["sim_seconds"] for c in measured)
+    total_trace_seconds = sum(c["trace_seconds"] for c in measured)
+    mops = calibration_mops()
+    instructions_per_second = total_instructions / total_sim_seconds if total_sim_seconds else 0.0
+    return {
+        "schema": SCHEMA,
+        "revision": git_revision(),
+        "created_unix": time.time(),
+        "suite": "quick" if quick else "full",
+        "optimized": resolved,
+        "instructions_per_cell": instructions,
+        "repeats": max(1, repeats),
+        "machine": _machine_metadata(),
+        "calibration_mops": mops,
+        "cells": measured,
+        "aggregate": {
+            "total_instructions": total_instructions,
+            "total_cycles": total_cycles,
+            "total_sim_seconds": total_sim_seconds,
+            "total_trace_seconds": total_trace_seconds,
+            "instructions_per_second": instructions_per_second,
+            "cycles_per_second": total_cycles / total_sim_seconds if total_sim_seconds else 0.0,
+            "normalized_score": instructions_per_second / (mops * 1e6) if mops else 0.0,
+        },
+    }
+
+
+def default_output_path(report: Dict[str, Any], directory: str = ".") -> str:
+    """The canonical ``BENCH_<rev>.json`` path for a report."""
+    return os.path.join(directory, f"BENCH_{report.get('revision', 'unknown')}.json")
+
+
+def write_report(report: Dict[str, Any], path: str) -> str:
+    """Write a report as JSON and return the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a report written by :func:`write_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

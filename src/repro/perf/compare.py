@@ -1,0 +1,68 @@
+"""The throughput regression gate: compare a bench report to a baseline.
+
+Used by CI (``repro bench --quick --check benchmarks/baseline_bench.json``)
+to fail a pull request whose simulator throughput regressed by more than
+the configured fraction.  Comparison prefers the machine-normalized score
+(instructions/second divided by the host's calibration throughput) so a
+slower CI runner does not read as a regression; raw throughput is the
+fallback when either report lacks a calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+#: Default maximum tolerated regression (fraction of the baseline score).
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def throughput_score(report: Dict[str, Any]) -> Tuple[float, str]:
+    """The comparable score of a report: ``(value, kind)``.
+
+    ``kind`` is ``"normalized"`` (instructions per calibration-op) when the
+    report carries a calibration measurement, else ``"raw"`` (instructions
+    per second).
+    """
+    aggregate = report.get("aggregate", {})
+    instructions_per_second = float(aggregate.get("instructions_per_second", 0.0))
+    calibration = float(report.get("calibration_mops") or 0.0)
+    if calibration > 0.0:
+        return instructions_per_second / (calibration * 1e6), "normalized"
+    return instructions_per_second, "raw"
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> Tuple[bool, List[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(ok, lines)`` where ``lines`` is the human-readable verdict.
+    The gate fails when the current score falls more than ``max_regression``
+    below the baseline score.  Improvements always pass.
+    """
+    current_score, current_kind = throughput_score(current)
+    baseline_score, baseline_kind = throughput_score(baseline)
+    if current_kind != baseline_kind:
+        # One side lacks calibration: compare raw throughput on both.
+        current_score = float(current.get("aggregate", {}).get("instructions_per_second", 0.0))
+        baseline_score = float(baseline.get("aggregate", {}).get("instructions_per_second", 0.0))
+        kind = "raw"
+    else:
+        kind = current_kind
+
+    lines = [
+        f"baseline: {baseline_score:.4g} ({kind}, rev {baseline.get('revision', '?')})",
+        f"current:  {current_score:.4g} ({kind}, rev {current.get('revision', '?')})",
+    ]
+    if baseline_score <= 0.0:
+        lines.append("baseline score is zero or missing — gate skipped")
+        return True, lines
+
+    ratio = current_score / baseline_score
+    change = ratio - 1.0
+    lines.append(f"change:   {change:+.1%} (gate: fail below -{max_regression:.0%})")
+    ok = ratio >= 1.0 - max_regression
+    lines.append("throughput gate PASSED" if ok else "throughput gate FAILED")
+    return ok, lines

@@ -1,0 +1,61 @@
+"""The optimization kill-switch.
+
+Every profile-guided optimization of the simulator keeps its original
+implementation reachable: the out-of-order core's hot loop, the emulator's
+decode/dispatch cache and the array-backed predictor tables all consult
+:func:`optimizations_enabled` (or take an explicit ``optimized=`` override)
+and fall back to the reference code path when it returns ``False``.
+
+The parity tests run every tier-1 workload through both paths and assert
+bit-identical IPC and misprediction counters, so the flag doubles as the
+measurement baseline for ``repro bench --compare-opt``.
+
+Set ``REPRO_OPT=0`` (or ``false``/``off``/``no``/``legacy``) to run the
+reference implementations.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment variable controlling the optimized code paths.
+OPT_ENV_VAR = "REPRO_OPT"
+
+_FALSE_VALUES = frozenset({"0", "false", "off", "no", "legacy"})
+
+
+def optimizations_enabled() -> bool:
+    """True unless ``REPRO_OPT`` disables the optimized code paths."""
+    return os.environ.get(OPT_ENV_VAR, "1").strip().lower() not in _FALSE_VALUES
+
+
+def resolve_optimized(override: Optional[bool]) -> bool:
+    """Resolve an explicit ``optimized=`` argument against the environment.
+
+    Components take ``optimized=None`` by default so tests can force either
+    implementation without touching the process environment.
+    """
+    if override is None:
+        return optimizations_enabled()
+    return bool(override)
+
+
+@contextmanager
+def forced(enabled: bool) -> Iterator[None]:
+    """Force the flag for a scope (the bench harness's A/B measurements).
+
+    Sets ``REPRO_OPT`` for the duration of the ``with`` block and restores
+    the previous value afterwards.  Process-global — only meant for
+    single-threaded measurement and test code.
+    """
+    previous = os.environ.get(OPT_ENV_VAR)
+    os.environ[OPT_ENV_VAR] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[OPT_ENV_VAR]
+        else:
+            os.environ[OPT_ENV_VAR] = previous

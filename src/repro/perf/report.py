@@ -1,0 +1,80 @@
+"""Human-readable rendering of bench reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.0f}"
+
+
+def render_table(report: Dict[str, Any]) -> str:
+    """Render one bench report as an aligned text table."""
+    header = (
+        f"{'benchmark':10s} {'flavour':12s} {'scheme':12s} "
+        f"{'insts':>8s} {'cycles':>8s} {'sim s':>8s} {'inst/s':>9s} {'cyc/s':>9s}"
+    )
+    lines = [
+        f"repro bench — suite={report.get('suite', '?')} "
+        f"rev={report.get('revision', '?')} "
+        f"optimized={report.get('optimized', '?')}",
+        header,
+        "-" * len(header),
+    ]
+    for cell in report.get("cells", []):
+        lines.append(
+            f"{cell['benchmark']:10s} {cell['flavour']:12s} {cell['scheme']:12s} "
+            f"{cell['instructions']:8d} {cell['cycles']:8d} "
+            f"{cell['sim_seconds']:8.3f} "
+            f"{_fmt_rate(cell['sim_instructions_per_second']):>9s} "
+            f"{_fmt_rate(cell['sim_cycles_per_second']):>9s}"
+        )
+    aggregate = report.get("aggregate", {})
+    lines.append("-" * len(header))
+    lines.append(
+        f"aggregate: {aggregate.get('total_instructions', 0)} instructions in "
+        f"{aggregate.get('total_sim_seconds', 0.0):.3f}s simulate "
+        f"(+{aggregate.get('total_trace_seconds', 0.0):.3f}s trace) -> "
+        f"{_fmt_rate(aggregate.get('instructions_per_second', 0.0))} inst/s, "
+        f"{_fmt_rate(aggregate.get('cycles_per_second', 0.0))} cyc/s"
+    )
+    calibration = report.get("calibration_mops")
+    if calibration:
+        lines.append(
+            f"calibration: {calibration:.2f} Mops/s, "
+            f"normalized score {aggregate.get('normalized_score', 0.0):.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_speedup(legacy: Dict[str, Any], optimized: Dict[str, Any]) -> str:
+    """Render a legacy-vs-optimized comparison of two reports."""
+    lines: List[str] = [f"{'cell':40s} {'legacy inst/s':>13s} {'optimized':>10s} {'speedup':>8s}"]
+    legacy_cells = {
+        (c["benchmark"], c["flavour"], c["scheme"]): c for c in legacy.get("cells", [])
+    }
+    for cell in optimized.get("cells", []):
+        key = (cell["benchmark"], cell["flavour"], cell["scheme"])
+        before = legacy_cells.get(key)
+        if before is None:
+            continue
+        slow = before["sim_instructions_per_second"]
+        fast = cell["sim_instructions_per_second"]
+        speedup = fast / slow if slow else float("inf")
+        lines.append(
+            f"{'/'.join(key):40s} {_fmt_rate(slow):>13s} {_fmt_rate(fast):>10s} "
+            f"{speedup:7.2f}x"
+        )
+    slow = legacy.get("aggregate", {}).get("instructions_per_second", 0.0)
+    fast = optimized.get("aggregate", {}).get("instructions_per_second", 0.0)
+    if slow:
+        lines.append(
+            f"{'aggregate':40s} {_fmt_rate(slow):>13s} {_fmt_rate(fast):>10s} "
+            f"{fast / slow:7.2f}x"
+        )
+    return "\n".join(lines)

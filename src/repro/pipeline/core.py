@@ -20,14 +20,17 @@ scheme's hooks at the pipeline positions the paper's mechanisms care about:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.emulator.executor import DynInst
+from repro.isa.branches import BranchInstruction
 from repro.isa.compare import CompareInstruction
 from repro.isa.opcodes import FunctionalUnitClass, OpClass
-from repro.isa.registers import Register
+from repro.isa.registers import Register, RegisterKind
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.perf.flags import resolve_optimized
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.fetch import FetchEngine
 from repro.pipeline.lsq import LoadStoreUnit
@@ -82,16 +85,74 @@ class _InOrderSlotter:
         return cycle
 
 
+#: Compact integer keys for architectural registers, used by the fast
+#: path's register-timing dict (hashing a small int is much cheaper than
+#: hashing a frozen ``Register`` dataclass).
+_KIND_CODE = {
+    RegisterKind.GENERAL: 0,
+    RegisterKind.PREDICATE: 1,
+    RegisterKind.BRANCH: 2,
+    RegisterKind.FLOAT: 3,
+}
+
+
+def _reg_key(reg: Register) -> int:
+    return (_KIND_CODE[reg.kind] << 8) | reg.index
+
+
+class _Decode:
+    """Per-static-instruction decode/dispatch record of the fast path.
+
+    Everything the timing loop derives from an :class:`Instruction` through
+    property chains (``info`` -> ``opclass`` -> ``is_*``, issue queue
+    selection, source/destination register sets) is computed once per
+    static instruction and reused for every dynamic instance.  Built per
+    run because it captures run-local resource objects (functional-unit
+    slot lists, issue-queue deques).
+    """
+
+    __slots__ = (
+        "kind",  # 0 = simple, 1 = branch, 2 = compare
+        "latency",
+        "unit",
+        "slots",  # functional-unit next-free list (fast acquire)
+        "count_cell",  # shared per-unit issue counter cell
+        "queue",  # issue-queue deque (None for memory operations)
+        "queue_cap",
+        "is_memory",
+        "is_load",
+        "is_store",
+        "is_predicated",
+        "qp_key",
+        "is_cond_branch",
+        "src_keys",  # non-hardwired source register keys
+        "cons_keys",  # conservative sources (srcs + qp + old dests)
+        "cmp_src_keys",  # compare-path sources
+        "dest_keys",  # non-hardwired destination register keys
+    )
+
+
 class OutOfOrderCore:
-    """Trace-driven out-of-order timing model."""
+    """Trace-driven out-of-order timing model.
+
+    The model has two implementations of the same semantics: the reference
+    one-pass loop (:meth:`_run_reference`) and a profile-guided fast loop
+    (:meth:`_run_fast`) that caches per-static-instruction decode records,
+    inlines the resource models and keeps stage timestamps in locals
+    instead of allocating a :class:`Uop` per dynamic instruction.  The
+    parity tests assert bit-identical results on every tier-1 workload;
+    ``optimized=None`` defers to the ``REPRO_OPT`` environment flag.
+    """
 
     def __init__(
         self,
         config: Optional[PipelineConfig] = None,
         memory: Optional[MemoryHierarchy] = None,
+        optimized: Optional[bool] = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.memory = memory if memory is not None else MemoryHierarchy()
+        self.optimized = resolve_optimized(optimized)
 
     # ------------------------------------------------------------------
     def run(
@@ -102,6 +163,19 @@ class OutOfOrderCore:
         keep_uops: bool = False,
     ) -> SimulationResult:
         """Simulate ``trace`` under ``scheme`` and return the results."""
+        if self.optimized and not keep_uops:
+            return self._run_fast(trace, scheme, program_name)
+        return self._run_reference(trace, scheme, program_name, keep_uops)
+
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        trace: Iterable[DynInst],
+        scheme: BranchHandlingScheme,
+        program_name: str = "program",
+        keep_uops: bool = False,
+    ) -> SimulationResult:
+        """The reference implementation of the timing loop."""
         cfg = self.config
         fetch = FetchEngine(cfg, self.memory)
         regs = RegisterTimingTable()
@@ -191,6 +265,381 @@ class OutOfOrderCore:
             metrics=metrics,
             accuracy=scheme.accuracy,
             uops=kept,
+        )
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def _build_decode(
+        self,
+        inst,
+        fus: FunctionalUnitPool,
+        unit_cells: Dict[FunctionalUnitClass, List[int]],
+        int_q: deque,
+        int_cap: int,
+        fp_q: deque,
+        fp_cap: int,
+        br_q: deque,
+        br_cap: int,
+    ) -> _Decode:
+        """Build the decode/dispatch record of one static instruction."""
+        info = inst.info
+        opclass = info.opclass
+        de = _Decode()
+        de.latency = info.latency
+        de.is_load = opclass is OpClass.LOAD
+        de.is_store = opclass is OpClass.STORE
+        de.is_memory = de.is_load or de.is_store
+        de.is_predicated = inst.is_predicated
+        de.qp_key = _reg_key(inst.qp) if de.is_predicated else -1
+
+        if opclass is OpClass.BRANCH:
+            de.kind = 1
+            unit = FunctionalUnitClass.BRANCH_UNIT
+            de.is_cond_branch = isinstance(inst, BranchInstruction) and inst.is_conditional
+        elif opclass is OpClass.COMPARE:
+            de.kind = 2
+            unit = info.unit
+            de.is_cond_branch = False
+        else:
+            de.kind = 0
+            unit = info.unit
+            de.is_cond_branch = False
+        de.unit = unit
+        de.slots = fus._next_free[unit]
+        cell = unit_cells.get(unit)
+        if cell is None:
+            cell = [0]
+            unit_cells[unit] = cell
+        de.count_cell = cell
+
+        # Issue-queue selection (reference: _queue_resource).
+        if de.is_memory:
+            de.queue, de.queue_cap = None, 0
+        elif opclass is OpClass.BRANCH:
+            de.queue, de.queue_cap = br_q, br_cap
+        elif info.unit is FunctionalUnitClass.FP_UNIT:
+            de.queue, de.queue_cap = fp_q, fp_cap
+        else:
+            de.queue, de.queue_cap = int_q, int_cap
+
+        # Register sets.  Hardwired registers always read as ready at cycle
+        # 0 and readiness is lower-bounded by dispatch + 1 > 0, so they are
+        # dropped from the source sets; destination_registers() and
+        # predicate_destinations() already exclude hardwired targets.
+        src_regs = [s for s in inst.srcs if isinstance(s, Register)]
+        de.src_keys = [_reg_key(r) for r in src_regs if not r.is_hardwired]
+        dest_regs = inst.destination_registers()
+        de.dest_keys = [_reg_key(r) for r in dest_regs]
+        cons = list(de.src_keys)
+        if de.is_predicated:
+            cons.append(de.qp_key)
+        cons.extend(de.dest_keys)
+        de.cons_keys = cons
+        cmp_keys = list(de.src_keys)
+        if de.is_predicated:
+            cmp_keys.append(de.qp_key)
+        if isinstance(inst, CompareInstruction) and inst.ctype.depends_on_previous_values:
+            cmp_keys.extend(_reg_key(r) for r in inst.predicate_destinations())
+        de.cmp_src_keys = cmp_keys
+        return de
+
+    def _run_fast(
+        self,
+        trace: Iterable[DynInst],
+        scheme: BranchHandlingScheme,
+        program_name: str = "program",
+    ) -> SimulationResult:
+        """Optimized timing loop: same semantics as :meth:`_run_reference`.
+
+        The loop keeps every per-instruction timestamp in locals, consults a
+        per-static-instruction :class:`_Decode` record instead of walking
+        instruction property chains, and inlines the sliding-window, slotter
+        and functional-unit resource models.  Any behavioural change here
+        must keep the parity tests green (bit-identical IPC and
+        misprediction counters against the reference loop).
+        """
+        cfg = self.config
+        fetch = FetchEngine(cfg, self.memory)
+        fus = FunctionalUnitPool(cfg.fu_counts)
+        lsu = LoadStoreUnit(cfg, self.memory)
+        metrics = PipelineMetrics()
+
+        # Inline resource state (parity with SlidingWindowResource /
+        # _InOrderSlotter, held as locals).
+        rob_q: deque = deque()
+        rob_cap = cfg.rob_entries
+        int_q: deque = deque()
+        fp_q: deque = deque()
+        br_q: deque = deque()
+        int_cap = cfg.int_queue_entries
+        fp_cap = cfg.fp_queue_entries
+        br_cap = cfg.branch_queue_entries
+        rn_width = cfg.rename_width
+        rn_state = [-1, 0]  # rename slotter: (cycle, slots used)
+        cm_width = cfg.commit_width
+        cm_cycle, cm_used = -1, 0
+
+        # Register readiness: int register key -> value-ready cycle.
+        regs: Dict[int, int] = {}
+        regs_get = regs.get
+
+        # Per-static-instruction decode records, keyed by instruction uid.
+        unit_cells: Dict[FunctionalUnitClass, List[int]] = {}
+        dcache: Dict[int, _Decode] = {}
+        dcache_get = dcache.get
+        build_decode = self._build_decode
+
+        # Bound hot callables.
+        fetch_one = fetch.fetch
+        on_fetch = scheme.on_fetch
+        on_branch_rename = scheme.on_branch_rename
+        on_branch_resolved = scheme.on_branch_resolved
+        on_compare_rename = scheme.on_compare_rename
+        on_compare_complete = scheme.on_compare_complete
+        on_predicated_rename = scheme.on_predicated_rename
+        fetch_to_rename = cfg.fetch_to_rename
+        override_flush_penalty = cfg.override_flush_penalty
+        branch_mispredict_penalty = cfg.branch_mispredict_penalty
+        predicate_mispredict_penalty = cfg.predicate_mispredict_penalty
+        CONSERVATIVE = RenameDecision.CONSERVATIVE
+        ASSUME_TRUE = RenameDecision.ASSUME_TRUE
+        CANCEL = RenameDecision.CANCEL
+
+        def place_rename(fetch_cycle: int, de: _Decode) -> int:
+            """Rename-stage placement (reference: _rename_cycle + slotter).
+
+            Shared by the main loop and the predicate-flush re-rename path
+            so the rename constraints cannot drift apart.
+            """
+            cycle = fetch_cycle + fetch_to_rename
+            if len(rob_q) >= rob_cap and rob_q[0] > cycle:
+                cycle = rob_q[0]
+            if de.is_memory:
+                cycle = lsu.queue_constraint(de.is_store, cycle)
+            else:
+                queue = de.queue
+                if queue is not None and len(queue) >= de.queue_cap and queue[0] > cycle:
+                    cycle = queue[0]
+            slot_cycle, slot_used = rn_state
+            if cycle < slot_cycle:
+                cycle = slot_cycle
+            if cycle == slot_cycle and slot_used >= rn_width:
+                cycle += 1
+            if cycle > slot_cycle:
+                rn_state[0] = cycle
+                rn_state[1] = 1
+            else:
+                rn_state[1] = slot_used + 1
+            return cycle
+
+        # Metric accumulators.
+        n_insts = 0
+        n_executed = 0
+        n_cond_branches = 0
+        n_mispredictions = 0
+        n_override_flushes = 0
+        n_predicate_flushes = 0
+        n_cancelled = 0
+        n_conservative = 0
+        n_assume_true = 0
+        last_commit = 0
+
+        for dyn in trace:
+            inst = dyn.inst
+            de = dcache_get(inst.uid)
+            if de is None:
+                de = build_decode(
+                    inst, fus, unit_cells, int_q, int_cap, fp_q, fp_cap, br_q, br_cap
+                )
+                dcache[inst.uid] = de
+
+            # ----------------------------------------------------- fetch
+            fetch_cycle = fetch_one(dyn)
+            on_fetch(dyn, fetch_cycle)
+
+            # ---------------------------------------------------- rename
+            rename_cycle = place_rename(fetch_cycle, de)
+
+            is_predicated = de.is_predicated
+            guard_ready = regs_get(de.qp_key, 0) if is_predicated else 0
+
+            cancelled = False
+            kind = de.kind
+            # ------------------------------------------- per-class handling
+            if kind == 1:  # branch
+                ready = rename_cycle + 2
+                if guard_ready > ready:
+                    ready = guard_ready
+                slots = de.slots
+                best_i = 0
+                best = slots[0]
+                for i in range(1, len(slots)):
+                    if slots[i] < best:
+                        best = slots[i]
+                        best_i = i
+                issue = ready if ready > best else best
+                slots[best_i] = issue + 1
+                de.count_cell[0] += 1
+                if len(br_q) >= br_cap:
+                    br_q.popleft()
+                br_q.append(issue)
+                complete = issue + de.latency
+
+                if de.is_cond_branch:
+                    n_cond_branches += 1
+                    handling = on_branch_rename(dyn, fetch_cycle, rename_cycle, guard_ready)
+                    mispredicted = handling.final_prediction != bool(dyn.taken)
+                    redirect = None
+                    if handling.override_flush:
+                        n_override_flushes += 1
+                        redirect = rename_cycle + override_flush_penalty
+                    if mispredicted:
+                        n_mispredictions += 1
+                        redirect = complete + branch_mispredict_penalty
+                    if redirect is not None:
+                        fetch.redirect(redirect)
+                    on_branch_resolved(dyn, complete, mispredicted)
+
+            elif kind == 2:  # compare
+                on_compare_rename(dyn, fetch_cycle, rename_cycle)
+                ready = rename_cycle + 2
+                for key in de.cmp_src_keys:
+                    t = regs_get(key, 0)
+                    if t > ready:
+                        ready = t
+                slots = de.slots
+                best_i = 0
+                best = slots[0]
+                for i in range(1, len(slots)):
+                    if slots[i] < best:
+                        best = slots[i]
+                        best_i = i
+                issue = ready if ready > best else best
+                slots[best_i] = issue + 1
+                de.count_cell[0] += 1
+                queue = de.queue
+                if len(queue) >= de.queue_cap:
+                    queue.popleft()
+                queue.append(issue)
+                complete = issue + de.latency
+                for key in de.dest_keys:
+                    regs[key] = complete
+                on_compare_complete(dyn, complete)
+
+            else:  # simple (ALU / FP / move / memory / nop)
+                decision = CONSERVATIVE
+                if is_predicated:
+                    handling = on_predicated_rename(
+                        dyn, fetch_cycle, rename_cycle, guard_ready
+                    )
+                    decision = handling.decision
+                    if handling.flush_discovery_cycle is not None:
+                        # Wrong speculation: flush, re-fetch, handle
+                        # conservatively (reference: _handle_simple).
+                        n_predicate_flushes += 1
+                        resume = (
+                            handling.flush_discovery_cycle + predicate_mispredict_penalty
+                        )
+                        fetch_cycle = fetch.refetch_current(dyn, resume)
+                        rename_cycle = place_rename(fetch_cycle, de)
+                        decision = CONSERVATIVE
+
+                if decision is CANCEL:
+                    cancelled = True
+                    n_cancelled += 1
+                    complete = rename_cycle
+                else:
+                    if is_predicated:
+                        if decision is ASSUME_TRUE:
+                            n_assume_true += 1
+                        else:
+                            n_conservative += 1
+                    ready = rename_cycle + 2
+                    keys = de.src_keys if decision is ASSUME_TRUE else de.cons_keys
+                    if not is_predicated:
+                        keys = de.src_keys
+                    for key in keys:
+                        t = regs_get(key, 0)
+                        if t > ready:
+                            ready = t
+                    slots = de.slots
+                    best_i = 0
+                    best = slots[0]
+                    for i in range(1, len(slots)):
+                        if slots[i] < best:
+                            best = slots[i]
+                            best_i = i
+                    issue = ready if ready > best else best
+                    slots[best_i] = issue + 1
+                    de.count_cell[0] += 1
+                    if de.is_memory:
+                        address = dyn.mem_address if dyn.executed else None
+                        if de.is_load:
+                            complete = lsu.load_complete_cycle(address, issue)
+                        else:
+                            complete = issue + de.latency
+                            lsu.store_execute(address, complete)
+                    else:
+                        queue = de.queue
+                        if len(queue) >= de.queue_cap:
+                            queue.popleft()
+                        queue.append(issue)
+                        complete = issue + de.latency
+                    for key in de.dest_keys:
+                        regs[key] = complete
+
+            # ---------------------------------------------------- commit
+            commit = complete + 1
+            if de.is_store and dyn.executed:
+                commit += lsu.store_commit_penalty(dyn.mem_address, complete)
+            if commit < cm_cycle:
+                commit = cm_cycle
+            if commit == cm_cycle and cm_used >= cm_width:
+                commit += 1
+            if commit > cm_cycle:
+                cm_cycle, cm_used = commit, 0
+            cm_used += 1
+            if commit > last_commit:
+                last_commit = commit
+
+            if len(rob_q) >= rob_cap:
+                rob_q.popleft()
+            rob_q.append(commit)
+            if de.is_memory and not cancelled:
+                lsu.record_allocation(de.is_store, commit)
+
+            # -------------------------------------------------- accounting
+            n_insts += 1
+            if dyn.executed:
+                n_executed += 1
+
+        metrics.fetched_instructions = n_insts
+        metrics.committed_instructions = n_insts
+        metrics.executed_instructions = n_executed
+        metrics.nullified_instructions = n_insts - n_executed
+        metrics.conditional_branches = n_cond_branches
+        metrics.branch_mispredictions = n_mispredictions
+        metrics.override_flushes = n_override_flushes
+        metrics.predicate_flushes = n_predicate_flushes
+        metrics.cancelled_at_rename = n_cancelled
+        metrics.conservative_predicated = n_conservative
+        metrics.assume_true_predicated = n_assume_true
+        metrics.cycles = last_commit
+        metrics.memory_stats = self.memory.statistics() if self.memory else {}
+        for unit, cell in unit_cells.items():
+            fus.issue_counts[unit] = fus.issue_counts.get(unit, 0) + cell[0]
+        metrics.fu_utilisation = fus.utilisation()
+        metrics.counters.set("lsq_forwarded_loads", lsu.forwarded_loads)
+        metrics.counters.set("fetch_redirects", fetch.redirects)
+        metrics.counters.set("icache_stall_cycles", fetch.icache_stall_cycles)
+
+        return SimulationResult(
+            program_name=program_name,
+            scheme_name=scheme.name,
+            metrics=metrics,
+            accuracy=scheme.accuracy,
+            uops=None,
         )
 
     # ------------------------------------------------------------------

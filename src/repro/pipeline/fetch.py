@@ -20,9 +20,27 @@ from repro.pipeline.config import PipelineConfig
 class FetchEngine:
     """Assigns a fetch cycle to every dynamic instruction, in order."""
 
+    __slots__ = (
+        "config",
+        "memory",
+        "_fetch_width",
+        "_fetch_latency",
+        "_group_cycle",
+        "_group_slots",
+        "_last_block",
+        "_pending_redirect",
+        "icache_stall_cycles",
+        "redirects",
+    )
+
     def __init__(self, config: PipelineConfig, memory: Optional[MemoryHierarchy]) -> None:
         self.config = config
         self.memory = memory
+        # Bound copies of the per-fetch constants: ``_fetch_at`` runs once
+        # per dynamic instruction and attribute chains through ``config``
+        # and ``memory`` are measurable there.
+        self._fetch_width = config.fetch_width
+        self._fetch_latency = memory.fetch_latency if memory is not None else None
         self._group_cycle = 0
         self._group_slots = 0
         self._last_block: Optional[int] = None
@@ -64,16 +82,15 @@ class FetchEngine:
         return self._fetch_at(dyn, cycle)
 
     def _fetch_at(self, dyn: DynInst, cycle: int) -> int:
-        config = self.config
-        if self._group_slots >= config.fetch_width:
+        if self._group_slots >= self._fetch_width:
             cycle += 1
             self._group_slots = 0
 
-        block = dyn.pc // 64
+        block = dyn.pc >> 6
         if block != self._last_block:
             self._last_block = block
-            if self.memory is not None:
-                latency = self.memory.fetch_latency(dyn.pc, cycle)
+            if self._fetch_latency is not None:
+                latency = self._fetch_latency(dyn.pc, cycle)
                 if latency > 1:
                     stall = latency - 1
                     cycle += stall

@@ -79,6 +79,16 @@ class CounterTable:
     def _index(self, index: int) -> int:
         return index % self.entries
 
+    @property
+    def values(self) -> List[int]:
+        """The backing counter list.
+
+        Shared with array-backed fast paths (see
+        :class:`repro.predictors.gshare.GsharePredictor`) so both access
+        paths observe one table state; also used by the parity tests.
+        """
+        return self._values
+
     def value(self, index: int) -> int:
         return self._values[self._index(index)]
 

@@ -19,7 +19,8 @@ register) when the computed value disagrees with the prediction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Tuple
 
 from repro.predictors.base import fold_pc
 
@@ -35,8 +36,10 @@ class GlobalHistoryRegister:
         self.bits = bits
         self._value = 0
         self._next_token = 0
-        #: tokens of the bits currently in the register, oldest first.
-        self._tokens: List[int] = []
+        #: tokens of the bits currently in the register, oldest first.  A
+        #: bounded deque makes every push O(1) (a plain list pays an O(bits)
+        #: ``pop(0)`` once the register is full).
+        self._tokens: Deque[int] = deque(maxlen=bits)
 
     # ------------------------------------------------------------------
     @property
@@ -51,7 +54,7 @@ class GlobalHistoryRegister:
     def restore(self, snapshot: Tuple[int, Tuple[int, ...]]) -> None:
         """Restore a previously captured checkpoint."""
         self._value, tokens = snapshot
-        self._tokens = list(tokens)
+        self._tokens = deque(tokens, maxlen=self.bits)
 
     # ------------------------------------------------------------------
     def push(self, outcome: bool) -> int:
@@ -59,9 +62,7 @@ class GlobalHistoryRegister:
         token = self._next_token
         self._next_token += 1
         self._value = ((self._value << 1) | (1 if outcome else 0)) & ((1 << self.bits) - 1)
-        self._tokens.append(token)
-        if len(self._tokens) > self.bits:
-            self._tokens.pop(0)
+        self._tokens.append(token)  # maxlen evicts the oldest token
         return token
 
     def repair(self, token: int, correct_outcome: bool) -> bool:
@@ -99,23 +100,31 @@ class LocalHistoryTable:
     the actual outcome at prediction time.
     """
 
-    __slots__ = ("entries", "bits", "_histories")
+    __slots__ = ("entries", "bits", "_histories", "_mask", "_pc_index")
 
     def __init__(self, entries: int, bits: int) -> None:
         self.entries = entries
         self.bits = bits
         self._histories: List[int] = [0] * entries
+        self._mask = (1 << bits) - 1
+        # Pure memo of the pc -> index hash: the set of keys is bounded by
+        # the static instructions of a program, and the hash is hot (every
+        # perceptron access folds a PC through here).
+        self._pc_index: Dict[int, int] = {}
 
     def _index(self, pc: int) -> int:
-        return fold_pc(pc, 16) % self.entries
+        index = self._pc_index.get(pc)
+        if index is None:
+            index = fold_pc(pc, 16) % self.entries
+            self._pc_index[pc] = index
+        return index
 
     def read(self, pc: int) -> int:
         return self._histories[self._index(pc)]
 
     def update(self, pc: int, outcome: bool) -> None:
         i = self._index(pc)
-        mask = (1 << self.bits) - 1
-        self._histories[i] = ((self._histories[i] << 1) | (1 if outcome else 0)) & mask
+        self._histories[i] = ((self._histories[i] << 1) | (1 if outcome else 0)) & self._mask
 
     def storage_bits(self) -> int:
         return self.entries * self.bits

@@ -60,14 +60,24 @@ class PEPPAPredictor:
             [0, 0] for _ in range(config.branch_entries)
         ]
         self.pht = CounterTable(config.pht_entries, bits=config.pht_counter_bits, initial=1)
+        # Pure memos of the per-PC hashes (bounded by static branch count).
+        self._entry_cache: dict = {}
+        self._fold_cache: dict = {}
 
     # ------------------------------------------------------------------
     def _entry_index(self, pc: int) -> int:
-        return fold_pc(pc, 24) % self.config.branch_entries
+        index = self._entry_cache.get(pc)
+        if index is None:
+            index = fold_pc(pc, 24) % self.config.branch_entries
+            self._entry_cache[pc] = index
+        return index
 
     def _pht_index(self, pc: int, history: int) -> int:
-        mask = self.config.pht_entries - 1
-        return (history ^ fold_pc(pc, self.config.local_bits)) & mask
+        fold = self._fold_cache.get(pc)
+        if fold is None:
+            fold = fold_pc(pc, self.config.local_bits)
+            self._fold_cache[pc] = fold
+        return (history ^ fold) & (self.config.pht_entries - 1)
 
     # ------------------------------------------------------------------
     def predict(self, pc: int, predicate_value: bool) -> bool:

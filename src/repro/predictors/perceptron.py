@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.perf.flags import resolve_optimized
 from repro.predictors.base import DirectionPredictor, PredictorSizeReport, fold_pc
 from repro.predictors.history import LocalHistoryTable
 
@@ -106,35 +107,120 @@ def perceptron_train(
         history >>= 1
 
 
-class PerceptronPredictor(DirectionPredictor):
-    """A global+local perceptron predictor."""
+def flat_perceptron_output(
+    weights: List[int], base: int, num_weights: int, combined_history: int
+) -> int:
+    """:func:`perceptron_output` over one row of a flat weight table.
 
-    def __init__(self, config: Optional[PerceptronConfig] = None) -> None:
+    ``weights[base]`` is the bias weight of the row; history bit ``i`` maps
+    to ``weights[base + 1 + i]``.  Identical arithmetic to the row-based
+    reference, without the per-row list indirection.
+    """
+    total = weights[base]
+    history = combined_history
+    for i in range(base + 1, base + num_weights):
+        if history & 1:
+            total += weights[i]
+        else:
+            total -= weights[i]
+        history >>= 1
+    return total
+
+
+def flat_perceptron_train(
+    weights: List[int],
+    base: int,
+    num_weights: int,
+    combined_history: int,
+    outcome: bool,
+    weight_min: int,
+    weight_max: int,
+) -> None:
+    """:func:`perceptron_train` over one row of a flat weight table."""
+    delta = 1 if outcome else -1
+    weights[base] = min(weight_max, max(weight_min, weights[base] + delta))
+    history = combined_history
+    for i in range(base + 1, base + num_weights):
+        bit_agrees = bool(history & 1) == outcome
+        step = 1 if bit_agrees else -1
+        weights[i] = min(weight_max, max(weight_min, weights[i] + step))
+        history >>= 1
+
+
+class PerceptronPredictor(DirectionPredictor):
+    """A global+local perceptron predictor.
+
+    Weight storage has two backends sharing identical arithmetic: the
+    reference list-of-rows layout, and (by default — see
+    :mod:`repro.perf.flags`) one flat list indexed by
+    ``entry * num_weights``, which removes a list indirection and a function
+    call from every prediction.  The hypothesis parity tests drive both
+    backends with common random streams and assert identical predictions
+    and weight state.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PerceptronConfig] = None,
+        optimized: Optional[bool] = None,
+    ) -> None:
         self.config = config or PerceptronConfig()
         cfg = self.config
-        self._weights: List[List[int]] = [
-            [0] * cfg.num_weights for _ in range(cfg.entries)
-        ]
+        self.optimized = resolve_optimized(optimized)
+        self._num_weights = cfg.num_weights
+        self._global_mask = (1 << cfg.global_bits) - 1
+        self._local_mask = (1 << cfg.local_bits) - 1
+        if self.optimized:
+            self._flat: Optional[List[int]] = [0] * (cfg.entries * cfg.num_weights)
+            self._rows: Optional[List[List[int]]] = None
+        else:
+            self._flat = None
+            self._rows = [[0] * cfg.num_weights for _ in range(cfg.entries)]
         self.local_histories = LocalHistoryTable(cfg.local_history_entries, cfg.local_bits)
+        self._pc_index: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def _weights(self) -> List[List[int]]:
+        """Row view of the weight table (both backends), for introspection."""
+        if self._rows is not None:
+            return self._rows
+        nw = self._num_weights
+        flat = self._flat
+        return [flat[base : base + nw] for base in range(0, len(flat), nw)]
+
+    def weight_row(self, index: int) -> List[int]:
+        """A copy of the weights of entry ``index`` (parity tests)."""
+        if self._rows is not None:
+            return list(self._rows[index])
+        base = index * self._num_weights
+        return self._flat[base : base + self._num_weights]
 
     # ------------------------------------------------------------------
     def _index(self, pc: int) -> int:
-        return fold_pc(pc, 24) % self.config.entries
+        index = self._pc_index.get(pc)
+        if index is None:
+            index = fold_pc(pc, 24) % self.config.entries
+            self._pc_index[pc] = index
+        return index
 
     def _output(self, row: List[int], combined_history: int) -> int:
         return perceptron_output(row, combined_history)
 
     def _combined_history(self, pc: int, global_history: int) -> int:
-        cfg = self.config
-        global_part = global_history & ((1 << cfg.global_bits) - 1)
-        local_part = self.local_histories.read(pc) & ((1 << cfg.local_bits) - 1)
-        return (local_part << cfg.global_bits) | global_part
+        global_part = global_history & self._global_mask
+        local_part = self.local_histories.read(pc) & self._local_mask
+        return (local_part << self.config.global_bits) | global_part
 
     # ------------------------------------------------------------------
     def predict_with_output(self, pc: int, global_history: int) -> Tuple[bool, int]:
         """Return (direction, raw perceptron output)."""
-        row = self._weights[self._index(pc)]
-        output = self._output(row, self._combined_history(pc, global_history))
+        combined = self._combined_history(pc, global_history)
+        if self._flat is not None:
+            base = self._index(pc) * self._num_weights
+            output = flat_perceptron_output(self._flat, base, self._num_weights, combined)
+        else:
+            output = self._output(self._rows[self._index(pc)], combined)
         return output >= 0, output
 
     def predict(self, pc: int, global_history: int) -> bool:
@@ -144,12 +230,21 @@ class PerceptronPredictor(DirectionPredictor):
     def update(self, pc: int, global_history: int, outcome: bool) -> None:
         """Train the entry for ``pc`` and update its local history."""
         cfg = self.config
-        row = self._weights[self._index(pc)]
         combined = self._combined_history(pc, global_history)
-        output = self._output(row, combined)
-        prediction = output >= 0
-        if prediction != outcome or abs(output) <= cfg.theta:
-            self._train_row(row, combined, outcome)
+        if self._flat is not None:
+            nw = self._num_weights
+            base = self._index(pc) * nw
+            output = flat_perceptron_output(self._flat, base, nw, combined)
+            if (output >= 0) != outcome or abs(output) <= cfg.theta:
+                flat_perceptron_train(
+                    self._flat, base, nw, combined, outcome, cfg.weight_min, cfg.weight_max
+                )
+        else:
+            row = self._rows[self._index(pc)]
+            output = self._output(row, combined)
+            prediction = output >= 0
+            if prediction != outcome or abs(output) <= cfg.theta:
+                self._train_row(row, combined, outcome)
         self.local_histories.update(pc, outcome)
 
     def _train_row(self, row: List[int], combined_history: int, outcome: bool) -> None:

@@ -22,10 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.perf.flags import resolve_optimized
 from repro.predictors.base import PredictorSizeReport, fold_pc
 from repro.predictors.history import LocalHistoryTable
 from repro.predictors.perceptron import (
     PerceptronConfig,
+    flat_perceptron_output,
+    flat_perceptron_train,
     perceptron_output,
     perceptron_train,
 )
@@ -83,11 +86,28 @@ class PredicatePerceptronPredictor:
     #: Index of the second (false-sense) predicate target of a compare.
     SLOT_SECOND = 1
 
-    def __init__(self, config: Optional[PredicatePredictorConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PredicatePredictorConfig] = None,
+        optimized: Optional[bool] = None,
+    ) -> None:
         self.config = config or PredicatePredictorConfig()
         cfg = self.config
-        self._pvt: List[List[int]] = [[0] * cfg.num_weights for _ in range(cfg.entries)]
+        self.optimized = resolve_optimized(optimized)
+        self._num_weights = cfg.num_weights
+        self._global_mask = (1 << cfg.global_bits) - 1
+        self._local_mask = (1 << cfg.local_bits) - 1
+        if self.optimized:
+            # Flat PVT: one list indexed by ``entry * num_weights`` (see
+            # PerceptronPredictor — identical arithmetic, parity-tested).
+            self._flat: Optional[List[int]] = [0] * (cfg.entries * cfg.num_weights)
+            self._pvt: Optional[List[List[int]]] = None
+        else:
+            self._flat = None
+            self._pvt = [[0] * cfg.num_weights for _ in range(cfg.entries)]
         self.local_histories = LocalHistoryTable(cfg.local_history_entries, cfg.local_bits)
+        # Pure memo of the two per-slot PVT indices of each compare PC.
+        self._slot_index: dict = {}
 
     # ------------------------------------------------------------------
     # Hashing: f1 folds the PC; f2 inverts the MSB of f1's index.
@@ -109,24 +129,34 @@ class PredicatePerceptronPredictor:
         """PVT index used for a compare's predicate target ``slot`` (0 or 1)."""
         if slot not in (self.SLOT_FIRST, self.SLOT_SECOND):
             raise ValueError(f"invalid predicate slot {slot}")
-        if self.config.split_pvt:
-            half = max(1, self.config.entries // 2)
-            base = fold_pc(pc, 24) % half
-            return base + (half if slot == self.SLOT_SECOND else 0)
-        if slot == self.SLOT_FIRST:
-            return self._f1(pc)
-        return self._f2(pc)
+        cached = self._slot_index.get(pc)
+        if cached is None:
+            if self.config.split_pvt:
+                half = max(1, self.config.entries // 2)
+                base = fold_pc(pc, 24) % half
+                cached = (base, base + half)
+            else:
+                cached = (self._f1(pc), self._f2(pc))
+            self._slot_index[pc] = cached
+        return cached[slot]
 
     def _local_key(self, pc: int, slot: int) -> int:
         # Distinguish the two targets' local histories without a second table.
         return pc + (slot << 1)
 
     def _combined_history(self, pc: int, slot: int, global_history: int) -> int:
-        cfg = self.config
-        global_part = global_history & ((1 << cfg.global_bits) - 1)
+        global_part = global_history & self._global_mask
         local_part = self.local_histories.read(self._local_key(pc, slot))
-        local_part &= (1 << cfg.local_bits) - 1
-        return (local_part << cfg.global_bits) | global_part
+        local_part &= self._local_mask
+        return (local_part << self.config.global_bits) | global_part
+
+    # ------------------------------------------------------------------
+    def weight_row(self, index: int) -> List[int]:
+        """A copy of the weights of PVT entry ``index`` (parity tests)."""
+        if self._pvt is not None:
+            return list(self._pvt[index])
+        base = index * self._num_weights
+        return self._flat[base : base + self._num_weights]
 
     # ------------------------------------------------------------------
     def predict_slot(self, pc: int, slot: int, global_history: int) -> Tuple[bool, int]:
@@ -134,8 +164,12 @@ class PredicatePerceptronPredictor:
 
         Returns ``(predicted_value, raw_output)``.
         """
-        row = self._pvt[self.index_for_slot(pc, slot)]
-        output = perceptron_output(row, self._combined_history(pc, slot, global_history))
+        combined = self._combined_history(pc, slot, global_history)
+        if self._flat is not None:
+            base = self.index_for_slot(pc, slot) * self._num_weights
+            output = flat_perceptron_output(self._flat, base, self._num_weights, combined)
+        else:
+            output = perceptron_output(self._pvt[self.index_for_slot(pc, slot)], combined)
         return output >= 0, output
 
     def predict_compare(self, pc: int, global_history: int) -> Tuple[bool, bool]:
@@ -147,12 +181,21 @@ class PredicatePerceptronPredictor:
     def update_slot(self, pc: int, slot: int, global_history: int, outcome: bool) -> None:
         """Train the entry used for (``pc``, ``slot``) with the computed value."""
         cfg = self.config
-        row = self._pvt[self.index_for_slot(pc, slot)]
         combined = self._combined_history(pc, slot, global_history)
-        output = perceptron_output(row, combined)
-        prediction = output >= 0
-        if prediction != outcome or abs(output) <= cfg.theta:
-            perceptron_train(row, combined, outcome, cfg.weight_min, cfg.weight_max)
+        if self._flat is not None:
+            nw = self._num_weights
+            base = self.index_for_slot(pc, slot) * nw
+            output = flat_perceptron_output(self._flat, base, nw, combined)
+            if (output >= 0) != outcome or abs(output) <= cfg.theta:
+                flat_perceptron_train(
+                    self._flat, base, nw, combined, outcome, cfg.weight_min, cfg.weight_max
+                )
+        else:
+            row = self._pvt[self.index_for_slot(pc, slot)]
+            output = perceptron_output(row, combined)
+            prediction = output >= 0
+            if prediction != outcome or abs(output) <= cfg.theta:
+                perceptron_train(row, combined, outcome, cfg.weight_min, cfg.weight_max)
         self.local_histories.update(self._local_key(pc, slot), outcome)
 
     # ------------------------------------------------------------------

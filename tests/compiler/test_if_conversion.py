@@ -130,7 +130,6 @@ class TestHammockConversion:
         assert _run_registers(program, [20]) == [expected]
 
         program2 = program  # rebuild identical program for conversion
-        pb2 = ProgramBuilder("p0-compl-2")
         # Re-running the same construction is tedious; instead convert the
         # original and re-check semantics on a fresh emulator run.
         report = _convert(program2)

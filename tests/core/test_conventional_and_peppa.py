@@ -5,7 +5,7 @@ from repro.core.peppa_scheme import _LogicalPredicateFile
 from repro.emulator import Emulator
 from repro.pipeline import OutOfOrderCore
 
-from tests.conftest import build_counting_loop, build_diamond_program
+from tests.conftest import build_counting_loop
 
 
 def _run(program, scheme, budget=4_000):

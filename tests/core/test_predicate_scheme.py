@@ -8,7 +8,7 @@ from repro.isa import GR, PR, CompareRelation
 from repro.pipeline import OutOfOrderCore
 from repro.program import ProgramBuilder, validate_program
 
-from tests.conftest import build_counting_loop, build_diamond_program
+from tests.conftest import build_diamond_program
 
 
 def _run(program, scheme, budget=4_000):

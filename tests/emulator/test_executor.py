@@ -1,12 +1,8 @@
 """Tests for the functional executor."""
 
-import pytest
-
 from repro.emulator import Emulator
 from repro.isa import GR, PR, CompareRelation, CompareType
 from repro.program import ProgramBuilder, validate_program
-
-from tests.conftest import build_counting_loop, build_diamond_program
 
 
 class TestStraightLineExecution:

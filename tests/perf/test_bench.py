@@ -1,0 +1,243 @@
+"""The bench harness, the regression gate and the CLI entry points."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine import IF_CONVERTED, ArtifactStore, ExecutionEngine, SchemeSpec
+from repro.experiments.setup import ExperimentProfile
+from repro.perf import bench, flags
+from repro.perf.compare import compare_reports, throughput_score
+from repro.perf.report import render_speedup, render_table
+
+TINY_CELLS = (bench.BenchCell("gzip", IF_CONVERTED, "conventional"),)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return bench.run_bench(
+        quick=True, instructions=3_000, cells=TINY_CELLS, optimized=True
+    )
+
+
+class TestFlags:
+    def test_default_is_optimized(self, monkeypatch):
+        monkeypatch.delenv(flags.OPT_ENV_VAR, raising=False)
+        assert flags.optimizations_enabled()
+        assert flags.resolve_optimized(None) is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "OFF", "legacy", " no "])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(flags.OPT_ENV_VAR, value)
+        assert not flags.optimizations_enabled()
+
+    def test_explicit_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(flags.OPT_ENV_VAR, "0")
+        assert flags.resolve_optimized(True) is True
+
+    def test_forced_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv(flags.OPT_ENV_VAR, "0")
+        with flags.forced(True):
+            assert flags.optimizations_enabled()
+        assert not flags.optimizations_enabled()
+
+
+class TestRunBench:
+    def test_report_shape(self, tiny_report):
+        report = tiny_report
+        assert report["schema"] == bench.SCHEMA
+        assert report["optimized"] is True
+        assert report["calibration_mops"] > 0
+        assert len(report["cells"]) == 1
+        cell = report["cells"][0]
+        assert cell["benchmark"] == "gzip"
+        assert cell["instructions"] == 3_000
+        assert cell["cycles"] > 0
+        assert cell["sim_seconds"] > 0
+        assert cell["sim_instructions_per_second"] > 0
+        aggregate = report["aggregate"]
+        assert aggregate["total_instructions"] == 3_000
+        assert aggregate["instructions_per_second"] > 0
+        assert aggregate["normalized_score"] > 0
+
+    def test_write_and_load_roundtrip(self, tiny_report, tmp_path):
+        path = bench.write_report(tiny_report, str(tmp_path / "sub" / "bench.json"))
+        assert bench.load_report(path)["schema"] == bench.SCHEMA
+
+    def test_default_output_path_uses_revision(self, tiny_report):
+        path = bench.default_output_path(tiny_report, directory="/tmp")
+        assert path == f"/tmp/BENCH_{tiny_report['revision']}.json"
+
+    def test_render_table_mentions_every_cell(self, tiny_report):
+        table = render_table(tiny_report)
+        assert "gzip" in table
+        assert "aggregate:" in table
+        assert "calibration" in table
+
+    def test_render_speedup_reports_ratio(self, tiny_report):
+        slower = json.loads(json.dumps(tiny_report))
+        for cell in slower["cells"]:
+            cell["sim_instructions_per_second"] /= 2
+        slower["aggregate"]["instructions_per_second"] /= 2
+        text = render_speedup(slower, tiny_report)
+        assert "2.00x" in text
+
+
+class TestRegressionGate:
+    def _report(self, ips, calibration=20.0):
+        return {
+            "revision": "test",
+            "calibration_mops": calibration,
+            "aggregate": {"instructions_per_second": ips},
+        }
+
+    def test_equal_reports_pass(self):
+        ok, _ = compare_reports(self._report(100e3), self._report(100e3))
+        assert ok
+
+    def test_injected_30_percent_slowdown_fails(self):
+        ok, lines = compare_reports(
+            self._report(70e3), self._report(100e3), max_regression=0.25
+        )
+        assert not ok
+        assert any("FAILED" in line for line in lines)
+
+    def test_20_percent_slowdown_passes_at_default_threshold(self):
+        ok, _ = compare_reports(self._report(80e3), self._report(100e3))
+        assert ok
+
+    def test_normalization_forgives_a_uniformly_slower_machine(self):
+        # Same work on a machine half as fast: raw inst/s halves, but so
+        # does the calibration -> normalized score is unchanged.
+        fast_machine = self._report(100e3, calibration=20.0)
+        slow_machine = self._report(50e3, calibration=10.0)
+        score_fast, kind = throughput_score(fast_machine)
+        score_slow, _ = throughput_score(slow_machine)
+        assert kind == "normalized"
+        assert score_fast == pytest.approx(score_slow)
+        ok, _ = compare_reports(slow_machine, fast_machine)
+        assert ok
+
+    def test_falls_back_to_raw_when_calibration_missing(self):
+        without = self._report(70e3, calibration=0.0)
+        ok, _ = compare_reports(without, self._report(100e3))
+        assert not ok
+
+    def test_zero_baseline_skips_gate(self):
+        ok, lines = compare_reports(self._report(100e3), self._report(0.0))
+        assert ok
+        assert any("skipped" in line for line in lines)
+
+
+class TestBenchCli:
+    @pytest.fixture(autouse=True)
+    def _tiny_suite(self, monkeypatch):
+        monkeypatch.setattr(bench, "QUICK_CELLS", TINY_CELLS)
+        monkeypatch.setattr(bench, "QUICK_INSTRUCTIONS", 2_000)
+
+    def test_bench_quick_writes_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate:" in out
+        written = [name for name in os.listdir(tmp_path) if name.startswith("BENCH_")]
+        assert len(written) == 1
+        report = bench.load_report(str(tmp_path / written[0]))
+        assert report["suite"] == "quick"
+
+    def test_bench_check_passes_against_its_own_output(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench", "--quick", "--output", baseline]) == 0
+        capsys.readouterr()
+        # Tiny budgets make wall-clock noisy; the gate plumbing is what is
+        # under test here, so tolerate a large regression.
+        assert (
+            main(
+                ["bench", "--quick", "--no-write", "--check", baseline,
+                 "--max-regression", "0.9"]
+            )
+            == 0
+        )
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_bench_check_refuses_legacy(self, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench", "--quick", "--output", baseline]) == 0
+        with pytest.raises(SystemExit, match="--legacy"):
+            main(["bench", "--quick", "--no-write", "--legacy", "--check", baseline])
+
+    def test_bench_check_fails_on_inflated_baseline(self, tmp_path, capsys):
+        path = str(tmp_path / "inflated.json")
+        report = bench.run_bench(quick=True)
+        # Pretend the baseline machine-normalized score was 10x better.
+        report["aggregate"]["instructions_per_second"] *= 10
+        bench.write_report(report, path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--quick", "--no-write", "--check", path])
+        assert "FAILED" in str(excinfo.value)
+
+    def test_bench_legacy_flag_records_reference_mode(self, tmp_path, capsys):
+        path = str(tmp_path / "legacy.json")
+        assert main(["bench", "--quick", "--legacy", "--output", path]) == 0
+        assert bench.load_report(path)["optimized"] is False
+
+
+class TestEngineTimings:
+    def test_simulate_records_job_timing(self):
+        profile = ExperimentProfile(
+            name="t", instructions_per_benchmark=2_000,
+            benchmarks=["gzip"], profile_budget=2_000,
+        )
+        engine = ExecutionEngine(profile, store=None)
+        result = engine.simulate("gzip", IF_CONVERTED, SchemeSpec.make("conventional"))
+        assert len(engine.job_timings) == 1
+        timing = engine.job_timings[0]
+        assert timing.benchmark == "gzip"
+        assert not timing.cached
+        assert timing.seconds > 0
+        assert timing.instructions == result.metrics.committed_instructions
+        assert timing.instructions_per_second() > 0
+        assert engine.stats.simulate_seconds >= timing.seconds
+        assert engine.stats.trace_seconds > 0
+
+    def test_cached_results_are_flagged(self, tmp_path):
+        profile = ExperimentProfile(
+            name="t", instructions_per_benchmark=2_000,
+            benchmarks=["gzip"], profile_budget=2_000,
+        )
+        store = ArtifactStore(str(tmp_path / "store"))
+        spec = SchemeSpec.make("conventional")
+        first = ExecutionEngine(profile, store=store)
+        first.simulate("gzip", IF_CONVERTED, spec)
+        second = ExecutionEngine(profile, store=store)
+        second.simulate("gzip", IF_CONVERTED, spec)
+        assert [t.cached for t in second.job_timings] == [True]
+
+
+class TestCacheStatsLazyRoot:
+    def test_stats_on_missing_root_reports_zero_and_creates_it(self, tmp_path):
+        root = tmp_path / "not-there-yet"
+        store = ArtifactStore(str(root))
+        assert not root.exists()
+        report = store.stats()
+        assert all(entry == {"count": 0, "bytes": 0} for entry in report.values())
+        assert root.exists()
+
+    def test_cli_cache_stats_on_missing_root(self, tmp_path, capsys, monkeypatch):
+        root = tmp_path / "fresh-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "0 artifacts" in out
+        assert root.exists()
+
+    def test_cli_cache_path_creates_root(self, tmp_path, capsys, monkeypatch):
+        root = tmp_path / "fresh-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        assert main(["cache", "path"]) == 0
+        assert str(root) in capsys.readouterr().out
+        assert root.exists()

@@ -1,0 +1,94 @@
+"""Equivalence guard: optimized vs reference implementations.
+
+Every optimized component (the core's fast loop, the emulator's dispatch
+cache, the array-backed predictor tables) keeps its original implementation
+reachable behind the ``REPRO_OPT`` flag / explicit ``optimized=`` argument.
+These tests run the tier-1 workloads through both and assert bit-identical
+traces, IPC and misprediction counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulator.executor import Emulator
+from repro.engine import BASELINE, IF_CONVERTED, ExecutionEngine, SchemeSpec
+from repro.experiments.setup import FAST_PROFILE
+from repro.pipeline.core import OutOfOrderCore
+
+BENCHMARKS = list(FAST_PROFILE.benchmarks)
+SCHEMES = ["conventional", "pep-pa", "predicate"]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ExecutionEngine(FAST_PROFILE, store=None)
+
+
+def _dyn_state(dyn):
+    """Comparable per-dynamic-instruction state (identity-free)."""
+    state = dyn.__getstate__()
+    return (state[0],) + state[2:] + (dyn.inst.uid,)
+
+
+class TestEmulatorParity:
+    @pytest.mark.parametrize("workload", BENCHMARKS)
+    @pytest.mark.parametrize("flavour", [BASELINE, IF_CONVERTED])
+    def test_dispatch_cache_traces_are_bit_identical(self, engine, workload, flavour):
+        program = engine.build_binary(workload, flavour)
+        budget = FAST_PROFILE.instructions_per_benchmark
+        reference = list(Emulator(program, optimized=False).run(budget))
+        optimized = list(Emulator(program, optimized=True).run(budget))
+        assert len(reference) == len(optimized)
+        for ref, opt in zip(reference, optimized):
+            assert _dyn_state(ref) == _dyn_state(opt)
+
+
+class TestCoreParity:
+    @pytest.mark.parametrize("workload", BENCHMARKS)
+    @pytest.mark.parametrize("scheme_kind", SCHEMES)
+    @pytest.mark.parametrize("flavour", [BASELINE, IF_CONVERTED])
+    def test_fast_loop_results_are_bit_identical(
+        self, engine, workload, scheme_kind, flavour
+    ):
+        trace = engine.collect_trace(workload, flavour)
+        spec = SchemeSpec.make(scheme_kind)
+        reference = OutOfOrderCore(optimized=False).run(
+            iter(trace), spec.build(), program_name=workload
+        )
+        optimized = OutOfOrderCore(optimized=True).run(
+            iter(trace), spec.build(), program_name=workload
+        )
+
+        ref_metrics, opt_metrics = reference.metrics, optimized.metrics
+        assert ref_metrics.cycles == opt_metrics.cycles
+        assert ref_metrics.ipc == opt_metrics.ipc
+        assert ref_metrics.summary() == opt_metrics.summary()
+        assert ref_metrics.fu_utilisation == opt_metrics.fu_utilisation
+        assert ref_metrics.counters.as_dict() == opt_metrics.counters.as_dict()
+        assert ref_metrics.memory_stats == opt_metrics.memory_stats
+
+        ref_acc, opt_acc = reference.accuracy, optimized.accuracy
+        assert ref_acc.branches == opt_acc.branches
+        assert ref_acc.mispredictions == opt_acc.mispredictions
+        assert ref_acc.records == opt_acc.records
+
+    def test_selective_predication_options_match(self, engine):
+        """The predicate scheme's rename speculation (cancel/assume-true and
+        the predicate-flush path) must behave identically in both loops."""
+        trace = engine.collect_trace("gzip", IF_CONVERTED)
+        spec = SchemeSpec.make("predicate", selective_predication=True)
+        reference = OutOfOrderCore(optimized=False).run(iter(trace), spec.build())
+        optimized = OutOfOrderCore(optimized=True).run(iter(trace), spec.build())
+        for field in ("cancelled_at_rename", "assume_true_predicated",
+                      "conservative_predicated", "predicate_flushes"):
+            assert getattr(reference.metrics, field) == getattr(optimized.metrics, field)
+        assert reference.metrics.summary() == optimized.metrics.summary()
+
+    def test_keep_uops_falls_back_to_reference(self, engine):
+        trace = engine.collect_trace("gzip", IF_CONVERTED)
+        result = OutOfOrderCore(optimized=True).run(
+            iter(trace), SchemeSpec.make("conventional").build(), keep_uops=True
+        )
+        assert result.uops is not None
+        assert len(result.uops) == result.metrics.committed_instructions

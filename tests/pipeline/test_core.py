@@ -1,14 +1,10 @@
 """Tests for the out-of-order core timing model."""
 
-import pytest
-
 from repro.core import ConventionalScheme, PredicatePredictionScheme
 from repro.core.predicate_scheme import PredicateSchemeOptions
 from repro.emulator import Emulator
 from repro.pipeline import OutOfOrderCore, PipelineConfig
 from repro.pipeline.uop import RenameDecision
-
-from tests.conftest import build_counting_loop, build_diamond_program
 
 
 def _run(program, scheme=None, budget=2_000, config=None, keep_uops=True):

@@ -1,0 +1,128 @@
+"""Property-based parity: array-backed predictor tables vs the references.
+
+Each test drives the optimized (array/flat) backend and the reference
+backend of one predictor with the same random branch stream and asserts
+they match *update for update*: identical predictions and identical table
+state after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.history import GlobalHistoryRegister, LocalHistoryTable
+from repro.predictors.perceptron import PerceptronConfig, PerceptronPredictor
+from repro.predictors.predicate_perceptron import (
+    PredicatePredictorConfig,
+    PredicatePerceptronPredictor,
+)
+
+#: One predictor access: (pc, global history, resolved outcome).
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20).map(lambda v: v * 4),
+        st.integers(min_value=0, max_value=(1 << 30) - 1),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestGshareParity:
+    @settings(max_examples=60, deadline=None)
+    @given(stream=steps, history_bits=st.integers(min_value=4, max_value=12))
+    def test_matches_reference_update_for_update(self, stream, history_bits):
+        reference = GsharePredictor(history_bits=history_bits, optimized=False)
+        optimized = GsharePredictor(history_bits=history_bits, optimized=True)
+        for pc, history, outcome in stream:
+            assert optimized.predict(pc, history) == reference.predict(pc, history)
+            reference.update(pc, history, outcome)
+            optimized.update(pc, history, outcome)
+            assert optimized.table.values == reference.table.values
+
+
+class TestPerceptronParity:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=steps)
+    def test_matches_reference_update_for_update(self, stream):
+        config = PerceptronConfig(
+            global_bits=12, local_bits=6, entries=64, local_history_entries=32
+        )
+        reference = PerceptronPredictor(config, optimized=False)
+        optimized = PerceptronPredictor(config, optimized=True)
+        touched = set()
+        for pc, history, outcome in stream:
+            ref_taken, ref_output = reference.predict_with_output(pc, history)
+            opt_taken, opt_output = optimized.predict_with_output(pc, history)
+            assert (opt_taken, opt_output) == (ref_taken, ref_output)
+            reference.update(pc, history, outcome)
+            optimized.update(pc, history, outcome)
+            touched.add(reference._index(pc))
+            for index in touched:
+                assert optimized.weight_row(index) == reference.weight_row(index)
+        assert optimized._weights == reference._weights
+
+
+class TestPredicatePerceptronParity:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=steps, split_pvt=st.booleans())
+    def test_matches_reference_update_for_update(self, stream, split_pvt):
+        config = PredicatePredictorConfig(
+            global_bits=12,
+            local_bits=6,
+            entries=64,
+            local_history_entries=32,
+            split_pvt=split_pvt,
+        )
+        reference = PredicatePerceptronPredictor(config, optimized=False)
+        optimized = PredicatePerceptronPredictor(config, optimized=True)
+        for step, (pc, history, outcome) in enumerate(stream):
+            slot = step % 2
+            assert optimized.index_for_slot(pc, slot) == reference.index_for_slot(pc, slot)
+            assert optimized.predict_slot(pc, slot, history) == reference.predict_slot(
+                pc, slot, history
+            )
+            assert optimized.predict_compare(pc, history) == reference.predict_compare(
+                pc, history
+            )
+            reference.update_slot(pc, slot, history, outcome)
+            optimized.update_slot(pc, slot, history, outcome)
+            index = reference.index_for_slot(pc, slot)
+            assert optimized.weight_row(index) == reference.weight_row(index)
+
+
+class TestHistoryStructures:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=80),
+        bits=st.integers(min_value=1, max_value=16),
+    )
+    def test_ghr_deque_tokens_behave_like_a_shift_register(self, outcomes, bits):
+        ghr = GlobalHistoryRegister(bits)
+        expected = 0
+        tokens = []
+        for outcome in outcomes:
+            tokens.append(ghr.push(outcome))
+            expected = ((expected << 1) | (1 if outcome else 0)) & ((1 << bits) - 1)
+        assert ghr.value == expected
+        # Repairing the newest bit flips bit zero; stale tokens are refused.
+        assert ghr.repair(tokens[-1], not outcomes[-1])
+        assert (ghr.value & 1) == (0 if outcomes[-1] else 1)
+        if len(tokens) > bits:
+            assert not ghr.repair(tokens[0], True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream=steps)
+    def test_local_history_memoized_index_is_stable(self, stream):
+        table = LocalHistoryTable(entries=32, bits=8)
+        shadow = {}
+        for pc, _, outcome in stream:
+            index = table._index(pc)
+            assert table._index(pc) == index  # memo returns the same index
+            expected = ((shadow.get(index, 0) << 1) | (1 if outcome else 0)) & 0xFF
+            table.update(pc, outcome)
+            shadow[index] = expected
+            assert table.read(pc) == expected

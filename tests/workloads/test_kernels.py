@@ -1,7 +1,5 @@
 """Tests for the workload kernel builder (generated-code structure)."""
 
-import pytest
-
 from repro.emulator import Emulator, trace_statistics
 from repro.isa.branches import BranchInstruction, BranchKind
 from repro.isa.compare import CompareInstruction
