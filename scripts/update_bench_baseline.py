@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Refresh the committed throughput baseline in one command.
 
-Re-runs the quick bench suite (the same cells CI measures) and rewrites
+Re-runs the quick bench suite (the same cells CI measures), rewrites
 ``benchmarks/baseline_bench.json`` with the new numbers and the machine
-metadata of the host that produced them.  Run it after a deliberate
-performance change, commit the result, and the CI gate compares future
-pull requests against it.
+metadata of the host that produced them, and appends the run to the
+performance trajectory under ``benchmarks/history/``.  Run it after a
+deliberate performance change, commit the result, and the CI gate compares
+future pull requests against it.
 
 Usage::
 
@@ -27,6 +28,7 @@ from repro.perf import bench  # noqa: E402
 from repro.perf.report import render_table  # noqa: E402
 
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline_bench.json")
+DEFAULT_HISTORY = os.path.join(REPO_ROOT, "benchmarks", "history")
 
 
 def main(argv=None) -> int:
@@ -43,6 +45,13 @@ def main(argv=None) -> int:
         default=DEFAULT_BASELINE,
         help=f"baseline path to rewrite (default: {DEFAULT_BASELINE})",
     )
+    parser.add_argument(
+        "--history",
+        type=str,
+        default=DEFAULT_HISTORY,
+        help=f"history directory to append to (default: {DEFAULT_HISTORY}; "
+        "empty string disables)",
+    )
     args = parser.parse_args(argv)
 
     report = bench.run_bench(quick=True, repeats=args.repeat)
@@ -52,6 +61,8 @@ def main(argv=None) -> int:
         f"\nrewrote {path} (rev {report['revision']}, "
         f"normalized score {report['aggregate']['normalized_score']:.4f})"
     )
+    if args.history:
+        print(f"appended history to {bench.append_history(report, args.history)}")
     return 0
 
 

@@ -12,9 +12,11 @@ Commands:
 ``simulate BENCHMARK``
     Run one benchmark under one scheme and print the headline metrics.
 ``bench``
-    Measure simulator throughput over the standardized cell suite, write a
-    machine-readable ``BENCH_<rev>.json`` and (with ``--check``) gate
-    against a committed baseline.
+    Measure simulator and trace-layer throughput over the standardized cell
+    suite, write a machine-readable ``BENCH_<rev>.json`` and (with
+    ``--check``) gate against a committed baseline.  ``--filter SUBSTRING``
+    runs a subset of cells; ``--history DIR`` appends the run to the
+    performance trajectory under ``benchmarks/history/``.
 ``cache stats`` / ``cache clear`` / ``cache path``
     Inspect or clear the persistent artifact cache.
 ``list``
@@ -134,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="simulate each cell N times and keep the fastest (default: 1)",
+    )
+    bench.add_argument(
+        "--filter",
+        type=str,
+        default=None,
+        metavar="SUBSTRING",
+        help="run only cells whose benchmark/flavour/scheme label contains "
+        "SUBSTRING (e.g. 'predicate' or 'gzip/if-converted')",
+    )
+    bench.add_argument(
+        "--history",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="append a one-line summary of this run to DIR/<suite>.jsonl "
+        "(the perf trajectory, e.g. benchmarks/history)",
     )
     bench.add_argument(
         "--output",
@@ -277,13 +295,32 @@ def _command_bench(args: argparse.Namespace) -> str:
         # The baseline is measured with the optimized implementations; gating
         # a deliberately slower legacy run against it would always fail.
         raise SystemExit("--check cannot be combined with --legacy")
+    if args.check and args.filter:
+        # The baseline aggregate covers the whole suite; comparing a cell
+        # subset against it would spuriously fail (slow cells) or mask real
+        # regressions (fast cells).
+        raise SystemExit("--check cannot be combined with --filter")
+    if args.filter:
+        # Validate eagerly so an unmatched filter exits cleanly; internal
+        # errors during measurement keep their tracebacks.
+        suite = bench_mod.QUICK_CELLS if args.quick else bench_mod.FULL_CELLS
+        try:
+            bench_mod.filter_cells(suite, args.filter)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
     lines = []
     if args.compare_opt:
         legacy = bench_mod.run_bench(
-            quick=args.quick, repeats=args.repeat, optimized=False
+            quick=args.quick,
+            repeats=args.repeat,
+            optimized=False,
+            cell_filter=args.filter,
         )
         report = bench_mod.run_bench(
-            quick=args.quick, repeats=args.repeat, optimized=True
+            quick=args.quick,
+            repeats=args.repeat,
+            optimized=True,
+            cell_filter=args.filter,
         )
         lines.extend([render_table(report), "", "legacy vs optimized:"])
         lines.append(render_speedup(legacy, report))
@@ -292,12 +329,15 @@ def _command_bench(args: argparse.Namespace) -> str:
             quick=args.quick,
             repeats=args.repeat,
             optimized=False if args.legacy else None,
+            cell_filter=args.filter,
         )
         lines.append(render_table(report))
     if not args.no_write:
         path = args.output or bench_mod.default_output_path(report)
         bench_mod.write_report(report, path)
         lines.append(f"wrote {path}")
+    if args.history:
+        lines.append(f"appended history to {bench_mod.append_history(report, args.history)}")
     if args.check:
         baseline = bench_mod.load_report(args.check)
         ok, verdict = compare_reports(

@@ -11,7 +11,14 @@ Simulation Environment in the original paper (section 4.1).
 from repro.emulator.state import ArchState
 from repro.emulator.memory_image import MemoryImage
 from repro.emulator.executor import Emulator, DynInst, EmulationLimit
-from repro.emulator.trace import TraceStatistics, collect_trace, trace_statistics
+from repro.emulator.tracepack import PackCursor, TracePack, TracePackBuilder, pack_supported
+from repro.emulator.trace import (
+    TRACE_FORMAT_VERSION,
+    TraceStatistics,
+    collect_trace,
+    collect_trace_pack,
+    trace_statistics,
+)
 
 __all__ = [
     "ArchState",
@@ -19,7 +26,13 @@ __all__ = [
     "Emulator",
     "DynInst",
     "EmulationLimit",
+    "PackCursor",
+    "TracePack",
+    "TracePackBuilder",
+    "TRACE_FORMAT_VERSION",
     "TraceStatistics",
     "collect_trace",
+    "collect_trace_pack",
+    "pack_supported",
     "trace_statistics",
 ]

@@ -230,6 +230,94 @@ class Emulator:
                 dyn.next_pc = self._pc_after(frame)
                 yield dyn
 
+    def run_pack(self, max_instructions: int):
+        """Run like :meth:`run` but collect directly into a columnar pack.
+
+        This is the optimized trace-build path: instead of allocating one
+        :class:`DynInst` per fetched instruction, the loop reuses a single
+        scratch record (the compiled handlers mutate it exactly as they
+        mutate a real ``DynInst``) and appends its fields as one row into a
+        :class:`~repro.emulator.tracepack.TracePackBuilder`.  The emulator
+        parity tests assert ``run_pack(n).to_dyninsts()`` is bit-identical
+        to ``list(run(n))``.
+
+        Returns a :class:`~repro.emulator.tracepack.TracePack`; requires
+        numpy (see :func:`~repro.emulator.tracepack.pack_supported`).
+        """
+        # Imported here: tracepack imports DynInst from this module.
+        from repro.emulator.tracepack import TracePackBuilder
+
+        builder = TracePackBuilder()
+        append = builder.append_row
+        scratch = DynInst(0, None, 0, False, -1)  # type: ignore[arg-type]
+        routine = self.program.entry_routine
+        frame = _Frame(routine, 0, 0)
+        call_stack: List[_Frame] = []
+        handlers = self._handlers if self.optimized else None
+        handlers_get = handlers.get if handlers is not None else None
+        predicate = self.state.predicate
+        pred_writer = self._pred_writer
+
+        while self.fetched_instructions < max_instructions:
+            if self._seq >= self.HARD_LIMIT:
+                raise EmulationLimit(
+                    f"exceeded hard emulation limit of {self.HARD_LIMIT} instructions"
+                )
+            blocks = frame.routine.blocks
+            if frame.block_index >= len(blocks):
+                if not call_stack:
+                    self.halted = True
+                    return builder.finalize()
+                frame = call_stack.pop()
+                continue
+            block = blocks[frame.block_index]
+            if frame.inst_index >= len(block.instructions):
+                frame.block_index += 1
+                frame.inst_index = 0
+                continue
+
+            inst = block.instructions[frame.inst_index]
+            # Inlined _make_dyn, written into the reused scratch record.
+            qp_index = inst.qp.index
+            qp_value = True if predicate[qp_index] else False
+            scratch.seq = self._seq
+            scratch.inst = inst
+            scratch.pc = inst.address
+            scratch.qp_value = qp_value
+            scratch.executed = qp_value
+            scratch.taken = None
+            scratch.target_pc = None
+            scratch.next_pc = None
+            scratch.mem_address = None
+            scratch.pred_writes = ()
+            scratch.guard_producer_seq = pred_writer[qp_index] if qp_index else -1
+            self._seq += 1
+            if qp_value:
+                self.executed_instructions += 1
+            self.fetched_instructions += 1
+
+            if isinstance(inst, BranchInstruction):
+                frame, call_stack, stop = self._execute_branch(
+                    scratch, inst, frame, call_stack
+                )
+                append(scratch)
+                if stop:
+                    self.halted = True
+                    return builder.finalize()
+            else:
+                if handlers_get is None:
+                    self._execute_straightline(scratch, inst)
+                else:
+                    handler = handlers_get(inst.uid)
+                    if handler is None:
+                        handler = self._compile_straightline(inst)
+                        handlers[inst.uid] = handler
+                    handler(scratch)
+                frame.inst_index += 1
+                scratch.next_pc = self._pc_after(frame)
+                append(scratch)
+        return builder.finalize()
+
     # ------------------------------------------------------------------
     def _make_dyn(self, inst: Instruction) -> DynInst:
         qp_value = bool(self.state.predicate[inst.qp.index])

@@ -4,6 +4,19 @@ These helpers are used by the tests, the examples and the experiment runner
 to characterise workloads: branch counts, per-branch-site bias, the dynamic
 distance between a compare and its consuming branch, and the fraction of
 fetched instructions that were nullified (false qualifying predicate).
+
+Traces have two interchangeable representations:
+
+* the reference object form — a ``List[DynInst]`` — which every analysis
+  here supports with plain Python loops; and
+* the columnar :class:`~repro.emulator.tracepack.TracePack`, for which the
+  statistics below run as vectorized numpy array passes over the pack's
+  columns (bit-identical results; the equality is under test).
+
+The on-disk encoding is versioned.  Format 2 (current) is the compressed
+columnar pack encoding; format 1 — a pickle of the ``DynInst`` list — is
+still read for backward compatibility and still written when a caller hands
+us an object trace (the ``REPRO_OPT=0`` reference path).
 """
 
 from __future__ import annotations
@@ -11,13 +24,23 @@ from __future__ import annotations
 import pickle
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.emulator.executor import DynInst, Emulator
+from repro.emulator.tracepack import OPCLASS_CODES, PACK_MAGIC, TracePack
+from repro.isa.opcodes import OpClass
 from repro.program.program import Program
 
-#: Bump when the on-disk trace encoding changes (invalidates stored traces).
-TRACE_FORMAT_VERSION = 1
+#: Bump when the on-disk trace encoding changes.  Folded into the artifact
+#: store's TRACES cache keys (see :mod:`repro.engine.planner`), so a format
+#: bump invalidates stale cached traces instead of failing at load time.
+TRACE_FORMAT_VERSION = 2
+
+#: Pickle-container versions :func:`deserialize_trace` still accepts.
+_READABLE_PICKLE_VERSIONS = (1, 2)
+
+#: Either trace representation.
+Trace = Union[List[DynInst], TracePack]
 
 
 @dataclass
@@ -81,6 +104,20 @@ class TraceStatistics:
         )
         return hard / self.conditional_branches if self.conditional_branches else 0.0
 
+    def static_oracle_accuracy(self) -> float:
+        """Accuracy of a per-site oracle static predictor.
+
+        Every site is predicted in its dominant direction — the alias-free,
+        perfect-history limit of any per-site static predictor, used by the
+        idealized-predictor study as a trace-level upper-bound reference.
+        """
+        if not self.conditional_branches:
+            return 1.0
+        correct = sum(
+            max(s.taken, s.executions - s.taken) for s in self.branch_sites.values()
+        )
+        return correct / self.conditional_branches
+
 
 def collect_trace(program: Program, max_instructions: int) -> List[DynInst]:
     """Run ``program`` and return the dynamic instruction list."""
@@ -88,50 +125,73 @@ def collect_trace(program: Program, max_instructions: int) -> List[DynInst]:
     return list(emulator.run(max_instructions))
 
 
+def collect_trace_pack(program: Program, max_instructions: int) -> TracePack:
+    """Run ``program`` and return its trace as a columnar pack."""
+    return Emulator(program).run_pack(max_instructions)
+
+
 # ----------------------------------------------------------------------
 # Trace serialization
 # ----------------------------------------------------------------------
-def serialize_trace(trace: List[DynInst]) -> bytes:
+def serialize_trace(trace: Trace) -> bytes:
     """Encode a dynamic trace for the on-disk artifact store.
 
-    The encoding carries a format version and is self-contained: the
-    ``Instruction`` objects referenced by the trace are serialized with it
-    (shared instances are preserved by pickle memoization), so a trace can be
+    A :class:`TracePack` is written in the columnar format-2 encoding (raw
+    compressed column buffers; only the deduplicated static instruction
+    table is pickled).  An object trace is written as the legacy versioned
+    pickle, keeping the ``REPRO_OPT=0`` reference path end-to-end
+    object-based.  Both encodings are self-contained: a trace can be
     re-simulated without re-materialising the program it came from.
     """
+    if isinstance(trace, TracePack):
+        return trace.to_bytes()
     return pickle.dumps(
-        (TRACE_FORMAT_VERSION, trace), protocol=pickle.HIGHEST_PROTOCOL
+        (TRACE_FORMAT_VERSION, list(trace)), protocol=pickle.HIGHEST_PROTOCOL
     )
 
 
-def deserialize_trace(data: bytes) -> List[DynInst]:
+def deserialize_trace(data: bytes) -> Trace:
     """Decode a trace produced by :func:`serialize_trace`.
 
-    Raises :class:`ValueError` on a format-version mismatch so callers (the
-    artifact store) treat stale encodings as cache misses.
+    Columnar payloads decode to a :class:`TracePack`; pickle payloads
+    (format 1 archives included) decode to the object list they carry.
+    Raises :class:`ValueError` on an unknown encoding so callers (the
+    artifact store) treat stale formats as cache misses.
     """
+    if data[:4] == PACK_MAGIC:
+        return TracePack.from_bytes(data)
     version, trace = pickle.loads(data)
-    if version != TRACE_FORMAT_VERSION:
+    if version not in _READABLE_PICKLE_VERSIONS:
         raise ValueError(
             f"trace format version {version} != expected {TRACE_FORMAT_VERSION}"
         )
     return trace
 
 
-def save_trace(path: str, trace: List[DynInst]) -> None:
+def save_trace(path: str, trace: Trace) -> None:
     """Write a trace to ``path`` (see :func:`serialize_trace`)."""
     with open(path, "wb") as handle:
         handle.write(serialize_trace(trace))
 
 
-def load_trace(path: str) -> List[DynInst]:
+def load_trace(path: str) -> Trace:
     """Read a trace written by :func:`save_trace`."""
     with open(path, "rb") as handle:
         return deserialize_trace(handle.read())
 
 
-def trace_statistics(trace: List[DynInst]) -> TraceStatistics:
-    """Compute :class:`TraceStatistics` over a dynamic trace."""
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+def trace_statistics(trace: Trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` over a dynamic trace.
+
+    Object traces take the reference per-instruction loop; packs take the
+    vectorized column pass.  Both produce equal statistics (under test in
+    ``tests/emulator/test_tracepack.py``).
+    """
+    if isinstance(trace, TracePack):
+        return _trace_statistics_pack(trace)
     stats = TraceStatistics()
     for dyn in trace:
         stats.fetched += 1
@@ -168,15 +228,111 @@ def trace_statistics(trace: List[DynInst]) -> TraceStatistics:
     return stats
 
 
-def branch_outcome_stream(trace: List[DynInst]) -> List[bool]:
+def _trace_statistics_pack(pack: TracePack) -> TraceStatistics:
+    """Vectorized :func:`trace_statistics` over a pack's columns."""
+    import numpy as np
+
+    stats = TraceStatistics()
+    n = len(pack)
+    stats.fetched = n
+    if n == 0:
+        return stats
+
+    flags = pack.static_flags()
+    idx = pack.inst_index
+    executed = pack.executed != 0
+    taken = pack.taken == 1
+    # Opcode classes come straight from the per-row ``opclass`` column;
+    # predication and branch conditionality need the static table.
+    opclass = pack.opclass
+    compare = opclass == OPCLASS_CODES[OpClass.COMPARE]
+    load = opclass == OPCLASS_CODES[OpClass.LOAD]
+    store = opclass == OPCLASS_CODES[OpClass.STORE]
+    branch = opclass == OPCLASS_CODES[OpClass.BRANCH]
+    predicated = flags["is_predicated"][idx]
+    cond = flags["is_conditional_branch"][idx]
+    uncond = branch & ~cond
+
+    stats.executed = int(executed.sum())
+    stats.nullified = n - stats.executed
+    stats.predicated_instructions = int(predicated.sum())
+    stats.compares = int(compare.sum())
+    stats.loads = int(load.sum())
+    stats.stores = int(store.sum())
+    stats.conditional_branches = int(cond.sum())
+    stats.unconditional_branches = int(uncond.sum())
+    stats.taken_branches = int((branch & taken).sum())
+
+    if stats.conditional_branches:
+        cond_pcs = pack.pc[cond]
+        cond_taken = taken[cond]
+        # First-occurrence site order matches the reference loop's insertion
+        # order (dict equality does not depend on it, but renderings do).
+        first = np.sort(np.unique(cond_pcs, return_index=True)[1])
+        ordered_pcs = cond_pcs[first]
+        executions = {
+            int(pc): int(count)
+            for pc, count in zip(*np.unique(cond_pcs, return_counts=True))
+        }
+        taken_counts = {
+            int(pc): int(count)
+            for pc, count in zip(*np.unique(cond_pcs[cond_taken], return_counts=True))
+        }
+        for pc in ordered_pcs.tolist():
+            stats.branch_sites[pc] = BranchSiteStats(
+                pc=pc, executions=executions[pc], taken=taken_counts.get(pc, 0)
+            )
+        producers = pack.guard_producer_seq
+        guarded = cond & (producers >= 0)
+        stats.guard_distances = (pack.seq[guarded] - producers[guarded]).tolist()
+    return stats
+
+
+def branch_outcome_stream(trace: Trace) -> List[bool]:
     """Return the sequence of conditional-branch outcomes in fetch order."""
+    if isinstance(trace, TracePack):
+        if len(trace) == 0:
+            return []
+        cond = trace.static_flags()["is_conditional_branch"][trace.inst_index]
+        return (trace.taken[cond] == 1).tolist()
     return [bool(d.taken) for d in trace if d.is_conditional_branch]
 
 
-def per_site_outcomes(trace: List[DynInst]) -> Dict[int, List[bool]]:
+def per_site_outcomes(trace: Trace) -> Dict[int, List[bool]]:
     """Return per-branch-site outcome sequences (keyed by branch PC)."""
+    if isinstance(trace, TracePack):
+        return _per_site_outcomes_pack(trace)
     outcomes: Dict[int, List[bool]] = defaultdict(list)
     for dyn in trace:
         if dyn.is_conditional_branch:
             outcomes[dyn.pc].append(bool(dyn.taken))
     return dict(outcomes)
+
+
+def _per_site_outcomes_pack(pack: TracePack) -> Dict[int, List[bool]]:
+    import numpy as np
+
+    if len(pack) == 0:
+        return {}
+    cond = pack.static_flags()["is_conditional_branch"][pack.inst_index]
+    pcs = pack.pc[cond]
+    taken = pack.taken[cond] == 1
+    if pcs.shape[0] == 0:
+        return {}
+    # Stable sort groups rows by site while preserving fetch order inside
+    # each group; np.unique on the sorted keys yields the split points.
+    order = np.argsort(pcs, kind="stable")
+    sorted_pcs = pcs[order]
+    sorted_taken = taken[order]
+    unique_pcs, starts = np.unique(sorted_pcs, return_index=True)
+    splits = np.split(sorted_taken, starts[1:])
+    return {
+        int(pc): outcomes.tolist() for pc, outcomes in zip(unique_pcs, splits)
+    }
+
+
+def as_trace_pack(trace: Trace) -> TracePack:
+    """Return ``trace`` as a columnar pack (columnarising object lists)."""
+    if isinstance(trace, TracePack):
+        return trace
+    return TracePack.from_dyninsts(trace)

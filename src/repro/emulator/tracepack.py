@@ -1,0 +1,533 @@
+"""Columnar (struct-of-arrays) dynamic traces: the ``TracePack``.
+
+A dynamic trace at paper budgets is tens of thousands of records, and the
+object representation (:class:`~repro.emulator.executor.DynInst` per fetched
+instruction) is expensive in exactly the three places large sweeps hurt:
+building it allocates one Python object per instruction, storing it pickles
+every object, and analysing it walks attribute chains per element.
+
+:class:`TracePack` keeps the same information as parallel typed arrays —
+one numpy column per ``DynInst`` field — plus a deduplicated table of the
+static :class:`~repro.isa.instructions.Instruction` objects the rows refer
+to.  The columns are:
+
+========================  =======  ==============================================
+column                    dtype    meaning
+========================  =======  ==============================================
+``seq``                   int64    dynamic sequence number
+``inst_index``            int32    row -> index into :attr:`insts`
+``pc``                    int64    instruction address
+``opclass``               uint8    opcode class code (see :data:`OPCLASS_CODES`)
+``qp_value``              uint8    qualifying-predicate value at execution
+``executed``              uint8    1 when the qualifying predicate was true
+``taken``                 int8     -1 = not a branch, else 0/1
+``target_pc``             int64    branch target (-1 = none)
+``next_pc``               int64    next correct-path pc (-1 = none)
+``mem_valid``             uint8    1 when ``mem_address`` carries a value
+``mem_address``           int64    effective address of memory operations
+``guard_producer_seq``    int64    seq of the guard's producer (-1 = pre-trace)
+``pred_offsets``          int64    ragged index (length ``n + 1``) into the
+``pred_index``            int16    flattened architectural predicate writes
+``pred_value``            uint8    (register index, written value) pairs
+========================  =======  ==============================================
+
+Everything round-trips: ``TracePack.from_dyninsts(trace).to_dyninsts()``
+reproduces bit-identical ``DynInst`` state, which is what the parity tests
+assert.  The on-disk form (:meth:`to_bytes` / :meth:`from_bytes`) is a small
+JSON header plus the zlib-compressed raw column buffers; only the static
+instruction table is pickled, never the per-instruction rows.
+
+numpy is the only dependency and is gated: when it is unavailable
+:func:`pack_supported` returns ``False`` and every caller (the engine, the
+emulator, the bench harness) falls back to the object-based reference
+representation.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every test
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    _np = None
+
+from repro.emulator.executor import DynInst
+from repro.isa.branches import BranchInstruction
+from repro.isa.opcodes import OpClass
+
+#: Magic prefix of the columnar on-disk encoding (trace format version 2).
+PACK_MAGIC = b"RTP2"
+
+#: Opcode-class codes used by the ``opclass`` column.  Pinned explicitly —
+#: the codes are part of the on-disk format-2 encoding, so they must not
+#: shift when ``OpClass`` gains or reorders members; a new member must be
+#: appended here with a fresh code (building a pack for an unpinned class
+#: raises ``KeyError`` loudly rather than encoding wrong codes).
+OPCLASS_CODES: Dict[OpClass, int] = {
+    OpClass.ALU: 0,
+    OpClass.MUL: 1,
+    OpClass.FP: 2,
+    OpClass.LOAD: 3,
+    OpClass.STORE: 4,
+    OpClass.COMPARE: 5,
+    OpClass.BRANCH: 6,
+    OpClass.MOVE: 7,
+    OpClass.NOP: 8,
+}
+
+#: The column layout: (name, dtype string).  ``pred_offsets`` has length
+#: ``n + 1`` and the two ``pred_*`` payload columns are ragged; everything
+#: else has one element per dynamic instruction.
+_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("seq", "<i8"),
+    ("inst_index", "<i4"),
+    ("pc", "<i8"),
+    ("opclass", "u1"),
+    ("qp_value", "u1"),
+    ("executed", "u1"),
+    ("taken", "i1"),
+    ("target_pc", "<i8"),
+    ("next_pc", "<i8"),
+    ("mem_valid", "u1"),
+    ("mem_address", "<i8"),
+    ("guard_producer_seq", "<i8"),
+    ("pred_offsets", "<i8"),
+    ("pred_index", "<i2"),
+    ("pred_value", "u1"),
+)
+
+
+def pack_supported() -> bool:
+    """True when the columnar backend can be used (numpy importable)."""
+    return _np is not None
+
+
+class PackBackendUnavailable(RuntimeError):
+    """Raised when a columnar operation needs numpy and it is missing.
+
+    Distinct from decode errors on purpose: the artifact store treats this
+    as a plain cache miss and leaves the (valid) stored artifact in place,
+    whereas a corrupt artifact is deleted.
+    """
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - numpy is part of the toolchain
+        raise PackBackendUnavailable(
+            "TracePack requires numpy; use the object trace representation "
+            "(REPRO_OPT=0) when numpy is unavailable"
+        )
+    return _np
+
+
+class PackCursor:
+    """A reusable flyweight with the ``DynInst`` attribute interface.
+
+    :meth:`TracePack.cursor` yields one instance of this class per pack
+    iteration, mutating it in place for every row — the pipeline's fast loop
+    and the scheme hooks read all fields synchronously and never retain the
+    object, so a single instance replaces one allocation per dynamic
+    instruction.  ``is_branch`` / ``is_compare`` / ``is_conditional_branch``
+    are plain attributes (precomputed per static instruction) instead of the
+    property chains of ``DynInst``.
+    """
+
+    __slots__ = (
+        "seq",
+        "inst",
+        "pc",
+        "qp_value",
+        "executed",
+        "taken",
+        "target_pc",
+        "next_pc",
+        "mem_address",
+        "pred_writes",
+        "guard_producer_seq",
+        "is_branch",
+        "is_compare",
+        "is_conditional_branch",
+    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PackCursor #{self.seq} pc={self.pc:#x} {self.inst!r}>"
+
+
+class TracePackBuilder:
+    """Accumulates dynamic-instruction rows and finalizes a :class:`TracePack`.
+
+    Rows are appended straight into compact typed columns
+    (:class:`array.array`), so building a pack never materialises
+    per-instruction objects *or* row tuples: the transient footprint equals
+    the final columnar footprint (~60 bytes per instruction), several times
+    below the object trace it replaces.  Static instructions are
+    deduplicated on the fly by ``uid``.
+    """
+
+    __slots__ = (
+        "_seq",
+        "_inst_index",
+        "_pc",
+        "_qp_value",
+        "_executed",
+        "_taken",
+        "_target_pc",
+        "_next_pc",
+        "_mem_valid",
+        "_mem_address",
+        "_producer",
+        "_pred_offsets",
+        "_pred_index",
+        "_pred_value",
+        "_insts",
+        "_uid_to_index",
+    )
+
+    def __init__(self) -> None:
+        from array import array
+
+        self._seq = array("q")
+        self._inst_index = array("i")
+        self._pc = array("q")
+        self._qp_value = array("B")
+        self._executed = array("B")
+        self._taken = array("b")
+        self._target_pc = array("q")
+        self._next_pc = array("q")
+        self._mem_valid = array("B")
+        self._mem_address = array("q")
+        self._producer = array("q")
+        self._pred_offsets = array("q", [0])
+        self._pred_index = array("h")
+        self._pred_value = array("B")
+        self._insts: List[Any] = []
+        self._uid_to_index: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def append_row(self, dyn) -> None:
+        """Append one row from any object with the ``DynInst`` fields."""
+        inst = dyn.inst
+        index = self._uid_to_index.get(inst.uid)
+        if index is None:
+            index = len(self._insts)
+            self._uid_to_index[inst.uid] = index
+            self._insts.append(inst)
+        self._seq.append(dyn.seq)
+        self._inst_index.append(index)
+        self._pc.append(dyn.pc)
+        self._qp_value.append(1 if dyn.qp_value else 0)
+        self._executed.append(1 if dyn.executed else 0)
+        value = dyn.taken
+        self._taken.append(-1 if value is None else (1 if value else 0))
+        value = dyn.target_pc
+        self._target_pc.append(-1 if value is None else value)
+        value = dyn.next_pc
+        self._next_pc.append(-1 if value is None else value)
+        value = dyn.mem_address
+        if value is None:
+            self._mem_valid.append(0)
+            self._mem_address.append(0)
+        else:
+            self._mem_valid.append(1)
+            self._mem_address.append(value)
+        self._producer.append(dyn.guard_producer_seq)
+        writes = dyn.pred_writes
+        if writes:
+            for reg_index, reg_value in writes:
+                self._pred_index.append(reg_index)
+                self._pred_value.append(1 if reg_value else 0)
+        self._pred_offsets.append(len(self._pred_index))
+
+    def finalize(self) -> "TracePack":
+        """Wrap the typed columns as a :class:`TracePack` (zero-copy).
+
+        The numpy columns view the builder's buffers directly; exporting
+        them freezes the builder (a later ``append_row`` raises
+        ``BufferError``), which is the intended single-use lifecycle.
+        """
+        np = _require_numpy()
+        if not self._seq:
+            return TracePack._empty()
+        inst_index = np.frombuffer(self._inst_index, dtype=np.int32)
+        static_opclass = np.array(
+            [OPCLASS_CODES[inst.opclass] for inst in self._insts], dtype=np.uint8
+        )
+        return TracePack(
+            insts=self._insts,
+            seq=np.frombuffer(self._seq, dtype=np.int64),
+            inst_index=inst_index,
+            pc=np.frombuffer(self._pc, dtype=np.int64),
+            opclass=static_opclass[inst_index],
+            qp_value=np.frombuffer(self._qp_value, dtype=np.uint8),
+            executed=np.frombuffer(self._executed, dtype=np.uint8),
+            taken=np.frombuffer(self._taken, dtype=np.int8),
+            target_pc=np.frombuffer(self._target_pc, dtype=np.int64),
+            next_pc=np.frombuffer(self._next_pc, dtype=np.int64),
+            mem_valid=np.frombuffer(self._mem_valid, dtype=np.uint8),
+            mem_address=np.frombuffer(self._mem_address, dtype=np.int64),
+            guard_producer_seq=np.frombuffer(self._producer, dtype=np.int64),
+            pred_offsets=np.frombuffer(self._pred_offsets, dtype=np.int64),
+            pred_index=np.frombuffer(self._pred_index, dtype=np.int16),
+            pred_value=np.frombuffer(self._pred_value, dtype=np.uint8),
+        )
+
+
+class TracePack:
+    """A struct-of-arrays dynamic trace (see the module docstring)."""
+
+    __slots__ = tuple(name for name, _ in _COLUMNS) + (
+        "insts",
+        "_static_flags",
+    )
+
+    def __init__(self, insts: Sequence[Any], **columns) -> None:
+        _require_numpy()
+        self.insts = list(insts)
+        for name, _dtype in _COLUMNS:
+            setattr(self, name, columns[name])
+        self._static_flags: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _empty(cls) -> "TracePack":
+        np = _require_numpy()
+        columns = {}
+        for name, dtype in _COLUMNS:
+            length = 1 if name == "pred_offsets" else 0
+            columns[name] = np.zeros(length, dtype=np.dtype(dtype))
+        return cls(insts=[], **columns)
+
+    @classmethod
+    def from_dyninsts(cls, trace: Sequence[DynInst]) -> "TracePack":
+        """Columnarise an object trace (shared identity preserved by uid)."""
+        builder = TracePackBuilder()
+        append = builder.append_row
+        for dyn in trace:
+            append(dyn)
+        return builder.finalize()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.seq.shape[0])
+
+    def __iter__(self) -> Iterator[DynInst]:
+        """Iterate as materialised ``DynInst`` objects (compatibility API).
+
+        Hot paths should use :meth:`cursor` instead; this exists so legacy
+        call sites (``iter(trace)``, list comprehensions over a trace) keep
+        working when the engine hands them a pack.
+        """
+        return iter(self.to_dyninsts())
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the columns (instruction table excluded)."""
+        return int(sum(getattr(self, name).nbytes for name, _ in _COLUMNS))
+
+    # ------------------------------------------------------------------
+    def pred_writes_at(self, row: int) -> Tuple[Tuple[int, bool], ...]:
+        """The architectural predicate writes of one row, as ``DynInst`` has
+        them."""
+        start = int(self.pred_offsets[row])
+        stop = int(self.pred_offsets[row + 1])
+        if start == stop:
+            return ()
+        return tuple(
+            (int(self.pred_index[i]), bool(self.pred_value[i]))
+            for i in range(start, stop)
+        )
+
+    def _materialise_pred_writes(self) -> List[Tuple[Tuple[int, bool], ...]]:
+        n = len(self)
+        writes: List[Tuple[Tuple[int, bool], ...]] = [()] * n
+        offsets = self.pred_offsets.tolist()
+        if offsets[-1]:
+            indices = self.pred_index.tolist()
+            values = self.pred_value.tolist()
+            for row in range(n):
+                start, stop = offsets[row], offsets[row + 1]
+                if start != stop:
+                    writes[row] = tuple(
+                        (indices[i], bool(values[i])) for i in range(start, stop)
+                    )
+        return writes
+
+    def to_dyninsts(self) -> List[DynInst]:
+        """Materialise the reference object representation (bit-identical)."""
+        insts = self.insts
+        seqs = self.seq.tolist()
+        inst_idx = self.inst_index.tolist()
+        pcs = self.pc.tolist()
+        qps = (self.qp_value != 0).tolist()
+        execs = (self.executed != 0).tolist()
+        takens = self.taken.tolist()
+        targets = self.target_pc.tolist()
+        nexts = self.next_pc.tolist()
+        mem_valid = self.mem_valid.tolist()
+        mems = self.mem_address.tolist()
+        producers = self.guard_producer_seq.tolist()
+        writes = self._materialise_pred_writes()
+
+        out: List[DynInst] = []
+        append = out.append
+        new = DynInst.__new__
+        for i in range(len(seqs)):
+            dyn = new(DynInst)
+            taken = takens[i]
+            dyn.__setstate__(
+                (
+                    seqs[i],
+                    insts[inst_idx[i]],
+                    pcs[i],
+                    qps[i],
+                    execs[i],
+                    None if taken < 0 else bool(taken),
+                    None if targets[i] < 0 else targets[i],
+                    None if nexts[i] < 0 else nexts[i],
+                    mems[i] if mem_valid[i] else None,
+                    writes[i],
+                    producers[i],
+                )
+            )
+            append(dyn)
+        return out
+
+    # ------------------------------------------------------------------
+    def cursor(self) -> Iterator[PackCursor]:
+        """Yield one reusable :class:`PackCursor` per row, in fetch order.
+
+        This is the pipeline fast loop's view of a pack: no per-row object
+        is allocated; the flyweight's fields are rewritten in place.  The
+        per-column Python lists below are working state of one iteration —
+        deliberately *not* cached on the pack, so a pack parked in the
+        engine's trace LRU keeps only its compact typed columns.
+        """
+        branch_f, compare_f, cond_f = self._cursor_static_flags()
+        seqs = self.seq.tolist()
+        inst_idx = self.inst_index.tolist()
+        pcs = self.pc.tolist()
+        qps = (self.qp_value != 0).tolist()
+        execs = (self.executed != 0).tolist()
+        takens = [None if t < 0 else bool(t) for t in self.taken.tolist()]
+        targets = [None if t < 0 else t for t in self.target_pc.tolist()]
+        nexts = [None if t < 0 else t for t in self.next_pc.tolist()]
+        mems = [
+            m if v else None
+            for m, v in zip(self.mem_address.tolist(), self.mem_valid.tolist())
+        ]
+        writes = self._materialise_pred_writes()
+        producers = self.guard_producer_seq.tolist()
+        insts = self.insts
+        cur = PackCursor()
+        for i in range(len(seqs)):
+            static = inst_idx[i]
+            cur.seq = seqs[i]
+            cur.inst = insts[static]
+            cur.pc = pcs[i]
+            cur.qp_value = qps[i]
+            cur.executed = execs[i]
+            cur.taken = takens[i]
+            cur.target_pc = targets[i]
+            cur.next_pc = nexts[i]
+            cur.mem_address = mems[i]
+            cur.pred_writes = writes[i]
+            cur.guard_producer_seq = producers[i]
+            cur.is_branch = branch_f[static]
+            cur.is_compare = compare_f[static]
+            cur.is_conditional_branch = cond_f[static]
+            yield cur
+
+    def _cursor_static_flags(self) -> Tuple[List[bool], List[bool], List[bool]]:
+        branch_f = [inst.is_branch for inst in self.insts]
+        compare_f = [inst.is_compare for inst in self.insts]
+        cond_f = [
+            isinstance(inst, BranchInstruction) and inst.is_conditional
+            for inst in self.insts
+        ]
+        return branch_f, compare_f, cond_f
+
+    # ------------------------------------------------------------------
+    def static_flags(self) -> Dict[str, Any]:
+        """Per-static-instruction flag arrays, indexed by ``inst_index``.
+
+        Cached; used by the vectorized statistics passes in
+        :mod:`repro.emulator.trace`.
+        """
+        flags = self._static_flags
+        if flags is None:
+            np = _require_numpy()
+            branch_f, compare_f, cond_f = self._cursor_static_flags()
+            flags = {
+                "is_predicated": np.array(
+                    [inst.is_predicated for inst in self.insts], dtype=bool
+                ),
+                "is_compare": np.array(compare_f, dtype=bool),
+                "is_load": np.array(
+                    [inst.is_load for inst in self.insts], dtype=bool
+                ),
+                "is_store": np.array(
+                    [inst.is_store for inst in self.insts], dtype=bool
+                ),
+                "is_branch": np.array(branch_f, dtype=bool),
+                "is_conditional_branch": np.array(cond_f, dtype=bool),
+            }
+            self._static_flags = flags
+        return flags
+
+    # ------------------------------------------------------------------
+    # On-disk encoding (trace format version 2)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Encode as ``PACK_MAGIC + header + zlib(column buffers + insts)``.
+
+        The dynamic rows are raw little-endian array buffers — no pickle is
+        involved for them; only the (small, deduplicated) static instruction
+        table is pickled.
+        """
+        np = _require_numpy()
+        header_columns = []
+        buffers = []
+        for name, dtype in _COLUMNS:
+            array = np.ascontiguousarray(getattr(self, name), dtype=np.dtype(dtype))
+            header_columns.append([name, dtype, int(array.shape[0])])
+            buffers.append(array.tobytes())
+        insts_blob = pickle.dumps(self.insts, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps(
+            {"n": len(self), "columns": header_columns, "insts_bytes": len(insts_blob)},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        body = zlib.compress(b"".join(buffers) + insts_blob, 6)
+        return PACK_MAGIC + struct.pack("<I", len(header)) + header + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TracePack":
+        """Decode a pack written by :meth:`to_bytes`."""
+        np = _require_numpy()
+        if data[:4] != PACK_MAGIC:
+            raise ValueError("not a columnar trace pack (bad magic)")
+        (header_len,) = struct.unpack_from("<I", data, 4)
+        header_end = 8 + header_len
+        header = json.loads(data[8:header_end].decode("utf-8"))
+        body = zlib.decompress(data[header_end:])
+        columns: Dict[str, Any] = {}
+        offset = 0
+        for name, dtype, length in header["columns"]:
+            dt = np.dtype(dtype)
+            size = dt.itemsize * length
+            columns[name] = np.frombuffer(body, dtype=dt, count=length, offset=offset)
+            offset += size
+        insts_blob = body[offset : offset + header["insts_bytes"]]
+        insts = pickle.loads(insts_blob)
+        expected = {name for name, _ in _COLUMNS}
+        missing = expected - set(columns)
+        if missing:
+            raise ValueError(f"trace pack is missing columns {sorted(missing)}")
+        return cls(insts=insts, **{name: columns[name] for name in expected})

@@ -14,7 +14,10 @@ order.  Experiments no longer manage trace memory by hand.
 
 With ``jobs > 1`` the engine executes independent (benchmark, flavour) cells
 in parallel worker processes via :mod:`multiprocessing`; workers share the
-on-disk store (writes are atomic) and return their results by pickle.
+on-disk store (writes are atomic) and return their (small) results by
+pickle.  Traces are never queue-pickled: with a store they travel as
+columnar artifact files, and without one the parent spills its in-memory
+traces into an ephemeral trace-only store the workers read back.
 Simulation is deterministic given a trace and a scheme spec, so parallel
 runs are bit-identical to serial ones.
 """
@@ -22,13 +25,16 @@ runs are bit-identical to serial ones.
 from __future__ import annotations
 
 import multiprocessing
+import shutil
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.binaries import BinaryFactory
-from repro.emulator.executor import DynInst, Emulator
+from repro.emulator.executor import Emulator
+from repro.emulator.tracepack import TracePack, pack_supported
 from repro.engine.jobs import BASELINE, IF_CONVERTED, SchemeSpec, SimulateJob
 from repro.engine.planner import (
     ExperimentDefinition,
@@ -39,6 +45,7 @@ from repro.engine.planner import (
     plan,
 )
 from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore
+from repro.perf.flags import optimizations_enabled
 from repro.pipeline.core import OutOfOrderCore, SimulationResult
 from repro.program.program import Program
 from repro.workloads.spec_suite import build_workload, workload_names
@@ -117,12 +124,23 @@ class ExecutionEngine:
         store: Optional[ArtifactStore] = None,
         jobs: int = 1,
         max_cached_traces: int = 2,
+        trace_spill: Optional[ArtifactStore] = None,
+        oracle_stats: bool = True,
     ) -> None:
         # Lazy import: repro.experiments imports repro.engine.
         from repro.experiments.setup import PAPER_PROFILE
 
         self.profile = profile or PAPER_PROFILE
         self.store = store
+        #: Ephemeral trace-only store used by parallel runs without a
+        #: persistent store: the parent spills its in-memory traces there as
+        #: columnar files and workers read them back, so traces cross the
+        #: process boundary by file instead of by queue pickle.
+        self.trace_spill = trace_spill
+        #: When False the engine skips the opportunistic oracle-accuracy
+        #: pass over collected traces (the bench harness's engines never
+        #: read it).
+        self.oracle_stats = bool(oracle_stats)
         self.jobs = max(1, int(jobs))
         self.max_cached_traces = max(1, int(max_cached_traces))
         self.factory = BinaryFactory(profile_budget=self.profile.profile_budget)
@@ -130,7 +148,15 @@ class ExecutionEngine:
         #: Per-simulate-job wall-clock records, in execution order.
         self.job_timings: List[JobTiming] = []
         self._binaries: Dict[Cell, Program] = {}
-        self._traces: "OrderedDict[Cell, List[DynInst]]" = OrderedDict()
+        #: In-memory trace cache: columnar packs on the optimized path,
+        #: ``List[DynInst]`` on the reference path (``REPRO_OPT=0``).
+        self._traces: "OrderedDict[Cell, Any]" = OrderedDict()
+        #: Per-cell static-oracle accuracy, filled opportunistically while a
+        #: columnar trace is in hand (one cheap vectorized pass), so the
+        #: idealized study never re-materialises an evicted trace just to
+        #: recompute one scalar.  Read by
+        #: :func:`repro.experiments.idealized.oracle_accuracies`.
+        self._oracle_accuracy_cache: Dict[Cell, float] = {}
 
     # ------------------------------------------------------------------
     def benchmarks(self) -> List[str]:
@@ -175,8 +201,16 @@ class ExecutionEngine:
             return self.factory.build_if_converted(benchmark, generator)
         raise ValueError(f"unknown binary flavour {flavour!r}")
 
-    def collect_trace(self, benchmark: str, flavour: str) -> List[DynInst]:
-        """Return the dynamic trace of one cell, collecting it if needed."""
+    def collect_trace(self, benchmark: str, flavour: str):
+        """Return the dynamic trace of one cell, collecting it if needed.
+
+        On the optimized path the trace is a columnar
+        :class:`~repro.emulator.tracepack.TracePack` (built directly by the
+        emulator's :meth:`~repro.emulator.executor.Emulator.run_pack` loop);
+        with ``REPRO_OPT=0`` — or without numpy — it is the reference
+        ``List[DynInst]``.  Traces loaded from a store are converted to the
+        active representation, so both paths stay end-to-end homogeneous.
+        """
         cell = (benchmark, flavour)
         cached = self._traces.get(cell)
         if cached is not None:
@@ -184,18 +218,33 @@ class ExecutionEngine:
             return cached
         build = make_build_job(benchmark, flavour, self.factory)
         job = make_trace_job(build, self.profile.instructions_per_benchmark)
-        trace: Optional[List[DynInst]] = None
-        if self.store is not None:
-            trace = self.store.get(TRACES, job.key)
+        optimized = optimizations_enabled() and pack_supported()
+        trace = None
+        trace_store = self.store if self.store is not None else self.trace_spill
+        if trace_store is not None:
+            trace = trace_store.get(TRACES, job.key)
         if trace is not None:
             self.stats.traces_loaded += 1
+            # Convert to the active representation in either direction, so
+            # both paths stay end-to-end homogeneous regardless of which
+            # mode populated the store.
+            if not optimized and isinstance(trace, TracePack):
+                trace = trace.to_dyninsts()
+            elif optimized and not isinstance(trace, TracePack):
+                trace = TracePack.from_dyninsts(trace)
         else:
             program = self.build_binary(benchmark, flavour)
             emulator = Emulator(program)
             started = perf_counter()
-            trace = list(emulator.run(job.instructions))
+            if optimized and emulator.optimized:
+                trace = emulator.run_pack(job.instructions)
+            else:
+                trace = list(emulator.run(job.instructions))
             self.stats.trace_seconds += perf_counter() - started
             self.stats.traces_collected += 1
+            # Write back to the persistent store only: the spill store is a
+            # parent-to-worker handoff, and each cell is assigned to exactly
+            # one worker, so a worker-side spill write would never be read.
             if self.store is not None:
                 self.store.put(
                     TRACES,
@@ -207,6 +256,19 @@ class ExecutionEngine:
                         "instructions": len(trace),
                     },
                 )
+        if (
+            self.oracle_stats
+            and cell not in self._oracle_accuracy_cache
+            and isinstance(trace, TracePack)
+        ):
+            # Vectorized pass, ~ms: record the scalar while the trace is in
+            # hand.  (The object path skips this — its reference loop is
+            # slow, and oracle_accuracies computes lazily on demand.)
+            from repro.emulator.trace import trace_statistics
+
+            self._oracle_accuracy_cache[cell] = trace_statistics(
+                trace
+            ).static_oracle_accuracy()
         self._traces[cell] = trace
         self._traces.move_to_end(cell)
         while len(self._traces) > self.max_cached_traces:
@@ -238,7 +300,7 @@ class ExecutionEngine:
         core = OutOfOrderCore()
         scheme = job.scheme.build()
         started = perf_counter()
-        result = core.run(iter(trace), scheme, program_name=job.benchmark)
+        result = core.run(trace, scheme, program_name=job.benchmark)
         elapsed = perf_counter() - started
         self.stats.simulations_run += 1
         self.stats.simulate_seconds += elapsed
@@ -310,23 +372,54 @@ class ExecutionEngine:
     def _execute_parallel(
         self, cells: "OrderedDict[Cell, List[SimulateJob]]", jobs: int
     ) -> Dict[str, SimulationResult]:
+        store_root = self.store.root if self.store is not None else None
+        spill_root: Optional[str] = None
+        if store_root is None:
+            # No persistent store: traces still cross the process boundary
+            # by file, never by queue pickle.  Any trace the parent already
+            # holds in memory is spilled as a columnar pack for the workers;
+            # the directory lives only for the duration of the pool.
+            spill_root = tempfile.mkdtemp(prefix="repro-trace-spill-")
+            self._spill_traces(ArtifactStore(spill_root))
         payloads = [
-            (
-                self.profile,
-                self.store.root if self.store is not None else None,
-                list(cell_jobs),
-            )
+            (self.profile, store_root, spill_root, list(cell_jobs))
             for cell_jobs in cells.values()
         ]
         results: Dict[str, SimulationResult] = {}
         context = _mp_context()
         processes = min(jobs, len(payloads))
-        with context.Pool(processes=processes) as pool:
-            for cell_results, stats, timings in pool.imap_unordered(_execute_cell, payloads):
-                results.update(cell_results)
-                self.stats.merge(stats)
-                self.job_timings.extend(timings)
+        try:
+            with context.Pool(processes=processes) as pool:
+                for cell_results, stats, timings, oracle in pool.imap_unordered(
+                    _execute_cell, payloads
+                ):
+                    results.update(cell_results)
+                    self.stats.merge(stats)
+                    self.job_timings.extend(timings)
+                    # Worker-side derived trace scalars come home with the
+                    # results, so the parent never re-materialises a trace
+                    # just to recompute them.
+                    self._oracle_accuracy_cache.update(oracle)
+        finally:
+            if spill_root is not None:
+                shutil.rmtree(spill_root, ignore_errors=True)
         return results
+
+    def _spill_traces(self, spill: ArtifactStore) -> None:
+        """Write the in-memory trace cache into ``spill`` (columnar files)."""
+        for (benchmark, flavour), trace in self._traces.items():
+            build = make_build_job(benchmark, flavour, self.factory)
+            job = make_trace_job(build, self.profile.instructions_per_benchmark)
+            spill.put(
+                TRACES,
+                job.key,
+                trace,
+                metadata={
+                    "benchmark": benchmark,
+                    "flavour": flavour,
+                    "instructions": len(trace),
+                },
+            )
 
 
 def _mp_context():
@@ -338,17 +431,25 @@ def _mp_context():
 
 
 def _execute_cell(
-    payload: Tuple[Any, Optional[str], List[SimulateJob]],
-) -> Tuple[Dict[str, SimulationResult], Dict[str, Any], List[JobTiming]]:
+    payload: Tuple[Any, Optional[str], Optional[str], List[SimulateJob]],
+) -> Tuple[
+    Dict[str, SimulationResult], Dict[str, Any], List[JobTiming], Dict[Cell, float]
+]:
     """Worker entry point: run one cell's simulations in a fresh engine."""
-    profile, store_root, cell_jobs = payload
+    profile, store_root, spill_root, cell_jobs = payload
     engine = ExecutionEngine(
         profile=profile,
         store=ArtifactStore(store_root) if store_root is not None else None,
         max_cached_traces=1,
+        trace_spill=ArtifactStore(spill_root) if spill_root is not None else None,
     )
     results = {job.key: engine._run_simulation(job) for job in cell_jobs}
-    return results, engine.stats.as_dict(), engine.job_timings
+    return (
+        results,
+        engine.stats.as_dict(),
+        engine.job_timings,
+        engine._oracle_accuracy_cache,
+    )
 
 
 def resolve_engine(engine=None, runner=None, profile=None) -> ExecutionEngine:

@@ -18,6 +18,7 @@ from functools import lru_cache
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.compiler.binaries import BinaryFactory
+from repro.emulator.trace import TRACE_FORMAT_VERSION
 from repro.engine.hashing import code_fingerprint, stable_hash
 from repro.engine.jobs import (
     FLAVOURS,
@@ -145,7 +146,11 @@ def make_build_job(benchmark: str, flavour: str, factory: BinaryFactory) -> Buil
 
 
 def make_trace_job(build: BuildJob, instructions: int) -> TraceJob:
-    key = _artifact_key("trace", build.key, instructions)
+    # The trace encoding version is part of the key: bumping the format
+    # invalidates stale cached traces at planning time instead of failing
+    # (or silently re-decoding) at load time.  Simulate keys inherit it
+    # through ``trace.key``.
+    key = _artifact_key("trace", build.key, instructions, TRACE_FORMAT_VERSION)
     return TraceJob(
         key=key,
         benchmark=build.benchmark,

@@ -29,6 +29,7 @@ import uuid
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.emulator.trace import deserialize_trace, serialize_trace
+from repro.emulator.tracepack import PackBackendUnavailable
 
 #: Bump to invalidate every previously stored artifact.
 STORE_FORMAT_VERSION = 1
@@ -54,7 +55,9 @@ def _pickle_dumps(obj: Any) -> bytes:
 
 
 #: Per-kind (encode, decode) codecs.  Traces use the versioned encoding from
-#: the emulator layer; binaries and results are plain pickles.
+#: the emulator layer — compressed columnar packs in format 2, with format-1
+#: object pickles still readable and still written by the ``REPRO_OPT=0``
+#: reference path; binaries and results are plain pickles.
 _CODECS: Dict[str, Tuple[Callable[[Any], bytes], Callable[[bytes], Any]]] = {
     BINARIES: (_pickle_dumps, pickle.loads),
     TRACES: (serialize_trace, deserialize_trace),
@@ -116,6 +119,11 @@ class ArtifactStore:
             return None
         try:
             return _CODECS[kind][1](data)
+        except PackBackendUnavailable:
+            # A columnar trace read in an environment without numpy: the
+            # artifact is valid, this process just cannot decode it.  Report
+            # a miss but leave it for numpy-enabled processes.
+            return None
         except Exception:
             self._remove(kind, key)
             return None

@@ -58,6 +58,9 @@ class ExperimentRunner:
         self.engine = ExecutionEngine(profile=profile, store=store, jobs=jobs)
         self.profile = self.engine.profile
         self.factory = self.engine.factory
+        #: Materialised object views of columnar traces, keyed by cell and
+        #: tied to the underlying pack's identity (see :meth:`trace`).
+        self._materialised: Dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -80,8 +83,23 @@ class ExperimentRunner:
         return self.engine.build_binary(benchmark, flavour)
 
     def trace(self, benchmark: str, flavour: str) -> List[DynInst]:
-        """Return (collecting and caching) the dynamic trace of one binary."""
-        return self.engine.collect_trace(benchmark, flavour)
+        """Return (collecting and caching) the dynamic trace of one binary.
+
+        The engine may hold the trace as a columnar pack; this shim keeps
+        its historical ``List[DynInst]`` contract (slicing, indexing, and
+        identity across repeated calls) by materialising the object form
+        once per underlying pack for legacy callers.
+        """
+        trace = self.engine.collect_trace(benchmark, flavour)
+        if isinstance(trace, list):
+            return trace
+        cell = (benchmark, flavour)
+        cached = self._materialised.get(cell)
+        if cached is not None and cached[0] is trace:
+            return cached[1]
+        objects = trace.to_dyninsts()
+        self._materialised[cell] = (trace, objects)
+        return objects
 
     def drop_trace(self, benchmark: str, flavour: str) -> None:
         """Free a cached trace (the engine also evicts automatically)."""

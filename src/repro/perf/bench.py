@@ -4,7 +4,12 @@ A bench *cell* is one (benchmark, binary flavour, scheme) simulation at a
 fixed fetched-instruction budget.  For every cell the harness measures the
 wall-clock cost of trace collection and of the timing simulation itself and
 reports **simulated instructions per second** and **simulated cycles per
-second** — the two throughput numbers the CI gate tracks.
+second** — the two throughput numbers the CI gate tracks — plus the trace
+layer's costs: trace-build throughput (instructions emulated per second
+into the trace representation), the peak memory allocated while building
+the trace (measured with :mod:`tracemalloc` in a dedicated pass), and the
+trace's serialized on-disk size (which the gate also tracks, see
+:mod:`repro.perf.compare`).
 
 Cross-machine comparability: raw wall-clock throughput depends on the host,
 so every report embeds a *calibration* measurement — the throughput of a
@@ -22,16 +27,22 @@ import os
 import platform
 import subprocess
 import time
+import tracemalloc
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.emulator.executor import Emulator
+from repro.emulator.trace import serialize_trace
+from repro.emulator.tracepack import pack_supported
 from repro.engine import BASELINE, IF_CONVERTED, ExecutionEngine, SchemeSpec
 from repro.experiments.setup import ExperimentProfile
 from repro.perf import flags
 
-#: Schema identifier embedded in every report.
-SCHEMA = "repro-bench/v1"
+#: Schema identifier embedded in every report.  v2 added the per-cell trace
+#: metrics (build throughput, peak allocation, serialized size); v1 reports
+#: remain comparable through the throughput gate.
+SCHEMA = "repro-bench/v2"
 
 #: Fetched-instruction budget per cell.
 QUICK_INSTRUCTIONS = 12_000
@@ -118,6 +129,30 @@ def _machine_metadata() -> Dict[str, Any]:
     }
 
 
+def _trace_peak_alloc_bytes(engine: ExecutionEngine, cell: BenchCell, instructions: int) -> int:
+    """Peak bytes allocated while collecting one cell's trace.
+
+    Measured in a dedicated :mod:`tracemalloc` pass over a fresh emulator
+    (tracing slows collection, so the timed measurement never runs under
+    it).  Uses whatever trace representation the active ``REPRO_OPT`` mode
+    would use, so ``--compare-opt`` shows the object-vs-columnar footprint.
+    """
+    if tracemalloc.is_tracing():  # pragma: no cover - foreign tracing active
+        return 0
+    program = engine.build_binary(cell.benchmark, cell.flavour)
+    emulator = Emulator(program)
+    tracemalloc.start()
+    try:
+        if emulator.optimized and pack_supported():
+            emulator.run_pack(instructions)
+        else:
+            list(emulator.run(instructions))
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
 def _measure_cell(cell: BenchCell, instructions: int, repeats: int) -> Dict[str, Any]:
     """Measure one cell with a fresh, cache-less engine; best-of-``repeats``."""
     profile = ExperimentProfile(
@@ -126,8 +161,12 @@ def _measure_cell(cell: BenchCell, instructions: int, repeats: int) -> Dict[str,
         benchmarks=[cell.benchmark],
         profile_budget=min(instructions, 20_000),
     )
-    engine = ExecutionEngine(profile, store=None)
-    engine.collect_trace(cell.benchmark, cell.flavour)  # timed via stats
+    engine = ExecutionEngine(profile, store=None, oracle_stats=False)
+    trace = engine.collect_trace(cell.benchmark, cell.flavour)  # timed via stats
+    trace_seconds = engine.stats.trace_seconds
+    trace_instructions = len(trace)
+    trace_disk_bytes = len(serialize_trace(trace))
+    trace_peak_alloc = _trace_peak_alloc_bytes(engine, cell, instructions)
     spec = SchemeSpec.make(cell.scheme)
     result = None
     for _ in range(max(1, repeats)):
@@ -143,11 +182,28 @@ def _measure_cell(cell: BenchCell, instructions: int, repeats: int) -> Dict[str,
         "cycles": cycles,
         "ipc": result.metrics.ipc,
         "misprediction_rate": result.accuracy.misprediction_rate,
-        "trace_seconds": engine.stats.trace_seconds,
+        "trace_seconds": trace_seconds,
+        "trace_instructions": trace_instructions,
+        "trace_instructions_per_second": (
+            trace_instructions / trace_seconds if trace_seconds else 0.0
+        ),
+        "trace_disk_bytes": trace_disk_bytes,
+        "trace_peak_alloc_bytes": trace_peak_alloc,
         "sim_seconds": sim_seconds,
         "sim_instructions_per_second": committed / sim_seconds if sim_seconds else 0.0,
         "sim_cycles_per_second": cycles / sim_seconds if sim_seconds else 0.0,
     }
+
+
+def filter_cells(cells: Sequence[BenchCell], cell_filter: Optional[str]) -> Sequence[BenchCell]:
+    """Cells whose ``benchmark/flavour/scheme`` label contains the filter."""
+    if not cell_filter:
+        return cells
+    selected = tuple(cell for cell in cells if cell_filter in cell.label())
+    if not selected:
+        labels = ", ".join(cell.label() for cell in cells)
+        raise ValueError(f"no bench cells match filter {cell_filter!r} (suite: {labels})")
+    return selected
 
 
 def run_bench(
@@ -156,10 +212,17 @@ def run_bench(
     repeats: int = 1,
     optimized: Optional[bool] = None,
     cells: Optional[Sequence[BenchCell]] = None,
+    cell_filter: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run the bench suite and return the machine-readable report."""
+    """Run the bench suite and return the machine-readable report.
+
+    ``cell_filter`` restricts the suite to cells whose
+    ``benchmark/flavour/scheme`` label contains the given substring
+    (:class:`ValueError` when nothing matches).
+    """
     if cells is None:
         cells = QUICK_CELLS if quick else FULL_CELLS
+    cells = filter_cells(cells, cell_filter)
     if instructions is None:
         instructions = QUICK_INSTRUCTIONS if quick else FULL_INSTRUCTIONS
     resolved = flags.resolve_optimized(optimized)
@@ -171,6 +234,9 @@ def run_bench(
     total_cycles = sum(c["cycles"] for c in measured)
     total_sim_seconds = sum(c["sim_seconds"] for c in measured)
     total_trace_seconds = sum(c["trace_seconds"] for c in measured)
+    total_trace_instructions = sum(c["trace_instructions"] for c in measured)
+    total_trace_disk_bytes = sum(c["trace_disk_bytes"] for c in measured)
+    peak_trace_alloc = max((c["trace_peak_alloc_bytes"] for c in measured), default=0)
     mops = calibration_mops()
     instructions_per_second = total_instructions / total_sim_seconds if total_sim_seconds else 0.0
     return {
@@ -181,6 +247,7 @@ def run_bench(
         "optimized": resolved,
         "instructions_per_cell": instructions,
         "repeats": max(1, repeats),
+        "filter": cell_filter,
         "machine": _machine_metadata(),
         "calibration_mops": mops,
         "cells": measured,
@@ -189,8 +256,13 @@ def run_bench(
             "total_cycles": total_cycles,
             "total_sim_seconds": total_sim_seconds,
             "total_trace_seconds": total_trace_seconds,
+            "total_trace_disk_bytes": total_trace_disk_bytes,
+            "peak_trace_alloc_bytes": peak_trace_alloc,
             "instructions_per_second": instructions_per_second,
             "cycles_per_second": total_cycles / total_sim_seconds if total_sim_seconds else 0.0,
+            "trace_instructions_per_second": (
+                total_trace_instructions / total_trace_seconds if total_trace_seconds else 0.0
+            ),
             "normalized_score": instructions_per_second / (mops * 1e6) if mops else 0.0,
         },
     }
@@ -216,3 +288,41 @@ def load_report(path: str) -> Dict[str, Any]:
     """Load a report written by :func:`write_report`."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# The performance trajectory (``benchmarks/history/``)
+# ----------------------------------------------------------------------
+def history_row(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact one-line summary of a report kept in the history log."""
+    aggregate = report.get("aggregate", {})
+    return {
+        "revision": report.get("revision", "unknown"),
+        "created_unix": report.get("created_unix", 0.0),
+        "suite": report.get("suite", "?"),
+        "optimized": report.get("optimized"),
+        # Filtered runs measure a cell subset; the filter and cell count keep
+        # their rows distinguishable from full-suite rows in the trajectory.
+        "filter": report.get("filter"),
+        "cell_count": len(report.get("cells", [])),
+        "calibration_mops": report.get("calibration_mops", 0.0),
+        "normalized_score": aggregate.get("normalized_score", 0.0),
+        "instructions_per_second": aggregate.get("instructions_per_second", 0.0),
+        "trace_instructions_per_second": aggregate.get("trace_instructions_per_second", 0.0),
+        "total_trace_disk_bytes": aggregate.get("total_trace_disk_bytes", 0),
+        "peak_trace_alloc_bytes": aggregate.get("peak_trace_alloc_bytes", 0),
+    }
+
+
+def append_history(report: Dict[str, Any], directory: str) -> str:
+    """Append one :func:`history_row` to ``<directory>/<suite>.jsonl``.
+
+    The history directory is the repository's performance trajectory: one
+    JSON line per measured revision, appended by CI and by
+    ``scripts/update_bench_baseline.py``.  Returns the file appended to.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{report.get('suite', 'unknown')}.jsonl")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(history_row(report), sort_keys=True) + "\n")
+    return path

@@ -6,6 +6,12 @@ the configured fraction.  Comparison prefers the machine-normalized score
 (instructions/second divided by the host's calibration throughput) so a
 slower CI runner does not read as a regression; raw throughput is the
 fallback when either report lacks a calibration.
+
+The gate additionally tracks the serialized on-disk size of the suite's
+traces (``aggregate.total_trace_disk_bytes``, a machine-independent
+quantity): when both reports carry it, growth beyond the same tolerated
+fraction fails the gate, so a trace-encoding regression cannot land
+silently.
 """
 
 from __future__ import annotations
@@ -65,4 +71,28 @@ def compare_reports(
     lines.append(f"change:   {change:+.1%} (gate: fail below -{max_regression:.0%})")
     ok = ratio >= 1.0 - max_regression
     lines.append("throughput gate PASSED" if ok else "throughput gate FAILED")
+
+    size_ok, size_lines = _compare_trace_sizes(current, baseline, max_regression)
+    lines.extend(size_lines)
+    return ok and size_ok, lines
+
+
+def _compare_trace_sizes(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> Tuple[bool, List[str]]:
+    """The on-disk trace-size leg of the gate (skipped for v1 reports)."""
+    current_bytes = float(current.get("aggregate", {}).get("total_trace_disk_bytes", 0) or 0)
+    baseline_bytes = float(baseline.get("aggregate", {}).get("total_trace_disk_bytes", 0) or 0)
+    if current_bytes <= 0.0 or baseline_bytes <= 0.0:
+        return True, []
+    growth = current_bytes / baseline_bytes - 1.0
+    lines = [
+        f"trace size: {current_bytes / 1024:.1f} KiB vs baseline "
+        f"{baseline_bytes / 1024:.1f} KiB ({growth:+.1%}, "
+        f"gate: fail above +{max_regression:.0%})"
+    ]
+    ok = growth <= max_regression
+    lines.append("trace-size gate PASSED" if ok else "trace-size gate FAILED")
     return ok, lines

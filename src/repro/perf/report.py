@@ -13,26 +13,39 @@ def _fmt_rate(value: float) -> str:
     return f"{value:.0f}"
 
 
+def _fmt_bytes(value: float) -> str:
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f}M"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.0f}K"
+    return f"{value:.0f}"
+
+
 def render_table(report: Dict[str, Any]) -> str:
     """Render one bench report as an aligned text table."""
     header = (
         f"{'benchmark':10s} {'flavour':12s} {'scheme':12s} "
-        f"{'insts':>8s} {'cycles':>8s} {'sim s':>8s} {'inst/s':>9s} {'cyc/s':>9s}"
+        f"{'insts':>7s} {'cycles':>7s} {'sim s':>7s} {'inst/s':>8s} {'cyc/s':>8s} "
+        f"{'trc/s':>8s} {'trc B':>7s} {'trc mem':>8s}"
     )
     lines = [
         f"repro bench — suite={report.get('suite', '?')} "
         f"rev={report.get('revision', '?')} "
-        f"optimized={report.get('optimized', '?')}",
+        f"optimized={report.get('optimized', '?')}"
+        + (f" filter={report['filter']}" if report.get("filter") else ""),
         header,
         "-" * len(header),
     ]
     for cell in report.get("cells", []):
         lines.append(
             f"{cell['benchmark']:10s} {cell['flavour']:12s} {cell['scheme']:12s} "
-            f"{cell['instructions']:8d} {cell['cycles']:8d} "
-            f"{cell['sim_seconds']:8.3f} "
-            f"{_fmt_rate(cell['sim_instructions_per_second']):>9s} "
-            f"{_fmt_rate(cell['sim_cycles_per_second']):>9s}"
+            f"{cell['instructions']:7d} {cell['cycles']:7d} "
+            f"{cell['sim_seconds']:7.3f} "
+            f"{_fmt_rate(cell['sim_instructions_per_second']):>8s} "
+            f"{_fmt_rate(cell['sim_cycles_per_second']):>8s} "
+            f"{_fmt_rate(cell.get('trace_instructions_per_second', 0.0)):>8s} "
+            f"{_fmt_bytes(cell.get('trace_disk_bytes', 0)):>7s} "
+            f"{_fmt_bytes(cell.get('trace_peak_alloc_bytes', 0)):>8s}"
         )
     aggregate = report.get("aggregate", {})
     lines.append("-" * len(header))
@@ -43,6 +56,13 @@ def render_table(report: Dict[str, Any]) -> str:
         f"{_fmt_rate(aggregate.get('instructions_per_second', 0.0))} inst/s, "
         f"{_fmt_rate(aggregate.get('cycles_per_second', 0.0))} cyc/s"
     )
+    if aggregate.get("total_trace_disk_bytes"):
+        lines.append(
+            f"traces: built at "
+            f"{_fmt_rate(aggregate.get('trace_instructions_per_second', 0.0))} inst/s, "
+            f"{_fmt_bytes(aggregate['total_trace_disk_bytes'])}B serialized, "
+            f"peak build alloc {_fmt_bytes(aggregate.get('peak_trace_alloc_bytes', 0))}B"
+        )
     calibration = report.get("calibration_mops")
     if calibration:
         lines.append(
@@ -76,5 +96,20 @@ def render_speedup(legacy: Dict[str, Any], optimized: Dict[str, Any]) -> str:
         lines.append(
             f"{'aggregate':40s} {_fmt_rate(slow):>13s} {_fmt_rate(fast):>10s} "
             f"{fast / slow:7.2f}x"
+        )
+    slow_trace = legacy.get("aggregate", {}).get("trace_instructions_per_second", 0.0)
+    fast_trace = optimized.get("aggregate", {}).get("trace_instructions_per_second", 0.0)
+    if slow_trace and fast_trace:
+        lines.append(
+            f"{'trace build':40s} {_fmt_rate(slow_trace):>13s} "
+            f"{_fmt_rate(fast_trace):>10s} {fast_trace / slow_trace:7.2f}x"
+        )
+    slow_bytes = legacy.get("aggregate", {}).get("total_trace_disk_bytes", 0)
+    fast_bytes = optimized.get("aggregate", {}).get("total_trace_disk_bytes", 0)
+    if slow_bytes and fast_bytes:
+        lines.append(
+            f"{'trace size (smaller is better)':40s} "
+            f"{_fmt_bytes(slow_bytes) + 'B':>13s} {_fmt_bytes(fast_bytes) + 'B':>10s} "
+            f"{slow_bytes / fast_bytes:7.2f}x"
         )
     return "\n".join(lines)

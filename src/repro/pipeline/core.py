@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.emulator.executor import DynInst
+from repro.emulator.tracepack import TracePack
 from repro.isa.branches import BranchInstruction
 from repro.isa.compare import CompareInstruction
 from repro.isa.opcodes import FunctionalUnitClass, OpClass
@@ -162,9 +163,20 @@ class OutOfOrderCore:
         program_name: str = "program",
         keep_uops: bool = False,
     ) -> SimulationResult:
-        """Simulate ``trace`` under ``scheme`` and return the results."""
+        """Simulate ``trace`` under ``scheme`` and return the results.
+
+        ``trace`` is either an iterable of :class:`DynInst` or a columnar
+        :class:`~repro.emulator.tracepack.TracePack`.  The fast loop consumes
+        a pack through its reusable cursor (no per-instruction object is
+        materialised); the reference loop — and ``keep_uops``, which must
+        retain per-instruction records — materialises the object trace.
+        """
         if self.optimized and not keep_uops:
+            if isinstance(trace, TracePack):
+                trace = trace.cursor()
             return self._run_fast(trace, scheme, program_name)
+        if isinstance(trace, TracePack):
+            trace = trace.to_dyninsts()
         return self._run_reference(trace, scheme, program_name, keep_uops)
 
     # ------------------------------------------------------------------
@@ -390,9 +402,13 @@ class OutOfOrderCore:
         dcache_get = dcache.get
         build_decode = self._build_decode
 
-        # Bound hot callables.
+        # Bound hot callables.  ``on_fetch`` runs once per dynamic
+        # instruction; when the scheme never overrode the base no-op hook
+        # (none of the paper's schemes do) the call is skipped entirely.
         fetch_one = fetch.fetch
         on_fetch = scheme.on_fetch
+        if type(scheme).on_fetch is BranchHandlingScheme.on_fetch:
+            on_fetch = None
         on_branch_rename = scheme.on_branch_rename
         on_branch_resolved = scheme.on_branch_resolved
         on_compare_rename = scheme.on_compare_rename
@@ -456,7 +472,8 @@ class OutOfOrderCore:
 
             # ----------------------------------------------------- fetch
             fetch_cycle = fetch_one(dyn)
-            on_fetch(dyn, fetch_cycle)
+            if on_fetch is not None:
+                on_fetch(dyn, fetch_cycle)
 
             # ---------------------------------------------------- rename
             rename_cycle = place_rename(fetch_cycle, de)

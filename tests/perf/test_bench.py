@@ -64,6 +64,18 @@ class TestRunBench:
         assert aggregate["instructions_per_second"] > 0
         assert aggregate["normalized_score"] > 0
 
+    def test_trace_metrics_present(self, tiny_report):
+        cell = tiny_report["cells"][0]
+        assert cell["trace_instructions"] == 3_000
+        assert cell["trace_seconds"] > 0
+        assert cell["trace_instructions_per_second"] > 0
+        assert cell["trace_disk_bytes"] > 0
+        assert cell["trace_peak_alloc_bytes"] > 0
+        aggregate = tiny_report["aggregate"]
+        assert aggregate["total_trace_disk_bytes"] == cell["trace_disk_bytes"]
+        assert aggregate["trace_instructions_per_second"] > 0
+        assert aggregate["peak_trace_alloc_bytes"] == cell["trace_peak_alloc_bytes"]
+
     def test_write_and_load_roundtrip(self, tiny_report, tmp_path):
         path = bench.write_report(tiny_report, str(tmp_path / "sub" / "bench.json"))
         assert bench.load_report(path)["schema"] == bench.SCHEMA
@@ -85,6 +97,52 @@ class TestRunBench:
         slower["aggregate"]["instructions_per_second"] /= 2
         text = render_speedup(slower, tiny_report)
         assert "2.00x" in text
+
+
+class TestCellFilter:
+    def test_filter_selects_matching_cells(self):
+        selected = bench.filter_cells(bench.QUICK_CELLS, "predicate")
+        assert selected
+        assert all("predicate" in cell.label() for cell in selected)
+
+    def test_filter_matches_full_label_components(self):
+        selected = bench.filter_cells(bench.QUICK_CELLS, "twolf/baseline")
+        assert [cell.label() for cell in selected] == ["twolf/baseline/conventional"]
+
+    def test_empty_filter_keeps_everything(self):
+        assert bench.filter_cells(bench.QUICK_CELLS, None) == bench.QUICK_CELLS
+        assert bench.filter_cells(bench.QUICK_CELLS, "") == bench.QUICK_CELLS
+
+    def test_unmatched_filter_raises(self):
+        with pytest.raises(ValueError, match="no bench cells match"):
+            bench.filter_cells(bench.QUICK_CELLS, "no-such-cell")
+
+    def test_run_bench_records_filter(self):
+        report = bench.run_bench(
+            quick=True, instructions=2_000, cell_filter="twolf/baseline"
+        )
+        assert report["filter"] == "twolf/baseline"
+        assert len(report["cells"]) == 1
+        assert report["cells"][0]["benchmark"] == "twolf"
+
+
+class TestHistory:
+    def test_append_history_writes_jsonl_rows(self, tiny_report, tmp_path):
+        directory = str(tmp_path / "history")
+        path = bench.append_history(tiny_report, directory)
+        bench.append_history(tiny_report, directory)
+        with open(path, "r", encoding="utf-8") as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len(rows) == 2
+        assert rows[0]["revision"] == tiny_report["revision"]
+        assert rows[0]["normalized_score"] == pytest.approx(
+            tiny_report["aggregate"]["normalized_score"]
+        )
+        assert rows[0]["total_trace_disk_bytes"] > 0
+        # Filtered runs must be distinguishable in the trajectory.
+        assert rows[0]["filter"] is None
+        assert rows[0]["cell_count"] == len(tiny_report["cells"])
+        assert path.endswith("quick.jsonl")
 
 
 class TestRegressionGate:
@@ -131,6 +189,44 @@ class TestRegressionGate:
         ok, lines = compare_reports(self._report(100e3), self._report(0.0))
         assert ok
         assert any("skipped" in line for line in lines)
+
+    def _report_with_traces(self, ips, trace_bytes):
+        report = self._report(ips)
+        report["aggregate"]["total_trace_disk_bytes"] = trace_bytes
+        return report
+
+    def test_trace_size_growth_fails(self):
+        ok, lines = compare_reports(
+            self._report_with_traces(100e3, 200_000),
+            self._report_with_traces(100e3, 100_000),
+            max_regression=0.25,
+        )
+        assert not ok
+        assert any("trace-size gate FAILED" in line for line in lines)
+
+    def test_trace_size_within_tolerance_passes(self):
+        ok, lines = compare_reports(
+            self._report_with_traces(100e3, 110_000),
+            self._report_with_traces(100e3, 100_000),
+            max_regression=0.25,
+        )
+        assert ok
+        assert any("trace-size gate PASSED" in line for line in lines)
+
+    def test_trace_size_shrink_passes(self):
+        ok, _ = compare_reports(
+            self._report_with_traces(100e3, 40_000),
+            self._report_with_traces(100e3, 480_000),
+        )
+        assert ok
+
+    def test_missing_trace_bytes_skips_size_gate(self):
+        # v1 baseline reports carry no trace-size aggregate.
+        ok, lines = compare_reports(
+            self._report_with_traces(100e3, 40_000), self._report(100e3)
+        )
+        assert ok
+        assert not any("trace-size" in line for line in lines)
 
 
 class TestBenchCli:
@@ -184,6 +280,36 @@ class TestBenchCli:
         path = str(tmp_path / "legacy.json")
         assert main(["bench", "--quick", "--legacy", "--output", path]) == 0
         assert bench.load_report(path)["optimized"] is False
+
+    def test_bench_filter_unmatched_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no bench cells match"):
+            main(["bench", "--quick", "--no-write", "--filter", "no-such-cell"])
+
+    def test_bench_check_refuses_filter(self, tmp_path):
+        # A cell subset must not be gated against the full-suite baseline.
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench", "--quick", "--output", baseline]) == 0
+        with pytest.raises(SystemExit, match="--filter"):
+            main(["bench", "--quick", "--no-write", "--filter", "gzip", "--check", baseline])
+
+    def test_bench_filter_and_history(self, tmp_path, capsys):
+        history = str(tmp_path / "history")
+        path = str(tmp_path / "filtered.json")
+        assert (
+            main(
+                ["bench", "--quick", "--output", path,
+                 "--filter", "gzip", "--history", history]
+            )
+            == 0
+        )
+        report = bench.load_report(path)
+        assert report["filter"] == "gzip"
+        assert all(cell["benchmark"] == "gzip" for cell in report["cells"])
+        history_file = os.path.join(history, "quick.jsonl")
+        assert os.path.exists(history_file)
+        with open(history_file, "r", encoding="utf-8") as handle:
+            row = json.loads(handle.readline())
+        assert row["revision"] == report["revision"]
 
 
 class TestEngineTimings:

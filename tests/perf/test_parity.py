@@ -12,12 +12,18 @@ from __future__ import annotations
 import pytest
 
 from repro.emulator.executor import Emulator
+from repro.emulator.trace import as_trace_pack, deserialize_trace, serialize_trace
+from repro.emulator.tracepack import pack_supported
 from repro.engine import BASELINE, IF_CONVERTED, ExecutionEngine, SchemeSpec
 from repro.experiments.setup import FAST_PROFILE
 from repro.pipeline.core import OutOfOrderCore
 
 BENCHMARKS = list(FAST_PROFILE.benchmarks)
 SCHEMES = ["conventional", "pep-pa", "predicate"]
+
+requires_numpy = pytest.mark.skipif(
+    not pack_supported(), reason="columnar packs require numpy"
+)
 
 
 @pytest.fixture(scope="module")
@@ -92,3 +98,66 @@ class TestCoreParity:
         )
         assert result.uops is not None
         assert len(result.uops) == result.metrics.committed_instructions
+
+
+@requires_numpy
+class TestTracePackParity:
+    """The columnar trace path is bit-identical to the object path."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return ExecutionEngine(FAST_PROFILE, store=None)
+
+    @pytest.mark.parametrize("workload", BENCHMARKS)
+    @pytest.mark.parametrize("flavour", [BASELINE, IF_CONVERTED])
+    def test_run_pack_traces_are_bit_identical(self, engine, workload, flavour):
+        program = engine.build_binary(workload, flavour)
+        budget = FAST_PROFILE.instructions_per_benchmark
+        reference = list(Emulator(program, optimized=False).run(budget))
+        pack = Emulator(program, optimized=True).run_pack(budget)
+        assert len(pack) == len(reference)
+        for ref, got in zip(reference, pack.to_dyninsts()):
+            assert _dyn_state(ref) == _dyn_state(got)
+
+    @pytest.mark.parametrize("workload", BENCHMARKS)
+    @pytest.mark.parametrize("scheme_kind", SCHEMES)
+    def test_cursor_driven_fast_loop_is_bit_identical(
+        self, engine, workload, scheme_kind
+    ):
+        trace = engine.collect_trace(workload, IF_CONVERTED)
+        pack = as_trace_pack(trace)
+        objects = pack.to_dyninsts()
+        spec = SchemeSpec.make(scheme_kind)
+
+        from_pack = OutOfOrderCore(optimized=True).run(
+            pack, spec.build(), program_name=workload
+        )
+        from_objects = OutOfOrderCore(optimized=True).run(
+            iter(objects), spec.build(), program_name=workload
+        )
+        reference = OutOfOrderCore(optimized=False).run(
+            pack, spec.build(), program_name=workload
+        )
+        for result in (from_objects, reference):
+            assert from_pack.metrics.summary() == result.metrics.summary()
+            assert from_pack.metrics.counters.as_dict() == result.metrics.counters.as_dict()
+            assert from_pack.accuracy.mispredictions == result.accuracy.mispredictions
+            assert from_pack.accuracy.records == result.accuracy.records
+
+    def test_selective_predication_over_pack(self, engine):
+        trace = engine.collect_trace("gzip", IF_CONVERTED)
+        pack = as_trace_pack(trace)
+        spec = SchemeSpec.make("predicate", selective_predication=True)
+        from_pack = OutOfOrderCore(optimized=True).run(pack, spec.build())
+        reference = OutOfOrderCore(optimized=False).run(pack, spec.build())
+        assert from_pack.metrics.summary() == reference.metrics.summary()
+
+    def test_store_codec_round_trip_preserves_results(self, engine):
+        trace = engine.collect_trace("twolf", IF_CONVERTED)
+        pack = as_trace_pack(trace)
+        reloaded = deserialize_trace(serialize_trace(pack))
+        spec = SchemeSpec.make("predicate")
+        direct = OutOfOrderCore(optimized=True).run(pack, spec.build())
+        from_disk = OutOfOrderCore(optimized=True).run(reloaded, spec.build())
+        assert direct.metrics.summary() == from_disk.metrics.summary()
+        assert direct.accuracy.mispredictions == from_disk.accuracy.mispredictions
