@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Check that intra-repository markdown links resolve.
+
+Walks every ``*.md`` file of the repository (skipping VCS/cache
+directories), extracts inline markdown links, and verifies that every
+relative link points at an existing file or directory.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are not
+checked.
+
+Used by the CI ``docs`` job and by ``tests/docs/test_docs_consistency.py``;
+run manually with::
+
+    python scripts/check_docs.py [root]
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Optional, Tuple
+
+#: Inline markdown links: [text](target).  Reference-style links are not
+#: used in this repository.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".repro-cache",
+    ".ruff_cache",
+    ".pytest_cache",
+    "node_modules",
+}
+
+
+def markdown_files(root: str) -> Iterator[str]:
+    """Yield every ``*.md`` path under ``root`` (skipping tool caches)."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def broken_links(
+    root: str, files: Optional[List[str]] = None
+) -> List[Tuple[str, str]]:
+    """Return ``(markdown file, unresolved target)`` pairs under ``root``.
+
+    ``files`` lets a caller that already walked the tree reuse its listing.
+    """
+    failures: List[Tuple[str, str]] = []
+    for path in files if files is not None else markdown_files(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]  # strip in-page anchors
+            if not target:
+                continue  # pure anchor into the same document
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                failures.append((os.path.relpath(path, root), match.group(1)))
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
+    files = list(markdown_files(root))
+    failures = broken_links(root, files)
+    checked = len(files)
+    if failures:
+        for path, target in failures:
+            print(f"BROKEN {path}: ({target})")
+        print(f"{len(failures)} broken link(s) across {checked} markdown file(s)")
+        return 1
+    print(f"ok: all intra-repo links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,6 +17,12 @@ Commands:
     ``--check``) gate against a committed baseline.  ``--filter SUBSTRING``
     runs a subset of cells; ``--history DIR`` appends the run to the
     performance trajectory under ``benchmarks/history/``.
+``sweep SCENARIO``
+    Design-space exploration: run a scenario file's machine-configuration
+    grid (built-in: ``rob-scaling``, ``fetch-width``, ``mispredict-penalty``,
+    ``predictor-budget``; or a ``.toml``/``.json`` path) and render
+    sensitivity tables and ASCII plots; ``sweep --list`` shows the built-in
+    scenarios and the sweepable machine parameters.
 ``cache stats`` / ``cache clear`` / ``cache path``
     Inspect or clear the persistent artifact cache.
 ``list``
@@ -27,11 +33,15 @@ Common options: ``--instructions N`` (per-benchmark budget),
 processes), ``--cache-dir PATH`` / ``--no-cache`` (persistent artifact
 store; defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache``), and for
 ``simulate``: ``--scheme``, ``--flavour``.
+
+The full command reference, with expected outputs, lives in
+``docs/experiments.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -70,8 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--instructions",
         type=int,
-        default=20_000,
-        help="fetched-instruction budget per benchmark per scheme (default: 20000)",
+        default=None,
+        help="fetched-instruction budget per benchmark per scheme "
+        "(default: 20000; sweep scenarios default to their declared budget)",
     )
     parser.add_argument(
         "--benchmarks",
@@ -203,6 +214,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict 'clear' to one artifact kind",
     )
 
+    sweep = subparsers.add_parser(
+        "sweep", help="design-space exploration over machine configurations"
+    )
+    sweep.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="built-in scenario name or a .toml/.json scenario file path",
+    )
+    sweep.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list built-in scenarios and sweepable machine parameters",
+    )
+    # Also accepted *after* the subcommand (the natural place to type it).
+    # SUPPRESS keeps an absent post-command flag from clobbering the global
+    # --jobs value argparse already parsed into the namespace.
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    sweep.add_argument(
+        "--output-dir",
+        type=str,
+        default="results",
+        help="directory the rendered report is written to (default: results)",
+    )
+    sweep.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without writing results/sweep_<name>.txt",
+    )
+
     simulate = subparsers.add_parser("simulate", help="simulate one benchmark")
     simulate.add_argument("benchmark", help="benchmark name (see 'list')")
     simulate.add_argument(
@@ -226,22 +273,27 @@ def _store(args: argparse.Namespace) -> Optional[ArtifactStore]:
     return ArtifactStore(default_cache_dir(args.cache_dir))
 
 
+def _parse_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
+    """The validated ``--benchmarks`` subset, or ``None`` when not given."""
+    if not args.benchmarks:
+        return None
+    benchmarks = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    if not benchmarks:
+        return None
+    unknown = sorted(set(benchmarks) - set(workload_names()))
+    if unknown:
+        raise SystemExit(f"unknown benchmark(s) {', '.join(unknown)}; see 'repro list'")
+    return benchmarks
+
+
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
-    benchmarks: Optional[List[str]] = None
-    if args.benchmarks:
-        benchmarks = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
-        benchmarks = benchmarks or None
-    if benchmarks:
-        unknown = sorted(set(benchmarks) - set(workload_names()))
-        if unknown:
-            raise SystemExit(
-                f"unknown benchmark(s) {', '.join(unknown)}; see 'repro list'"
-            )
+    benchmarks = _parse_benchmarks(args)
+    instructions = args.instructions if args.instructions is not None else 20_000
     profile = ExperimentProfile(
         name="cli",
-        instructions_per_benchmark=args.instructions,
+        instructions_per_benchmark=instructions,
         benchmarks=benchmarks,
-        profile_budget=min(args.instructions, 20_000),
+        profile_budget=min(instructions, 20_000),
     )
     return ExecutionEngine(profile, store=_store(args), jobs=args.jobs)
 
@@ -350,6 +402,64 @@ def _command_bench(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _command_sweep(args: argparse.Namespace) -> str:
+    import dataclasses
+
+    from repro.sweep import (
+        ScenarioError,
+        builtin_scenario_names,
+        load_scenario,
+        render_sweep,
+        run_sweep,
+    )
+    from repro.sweep.scenario import overridable_parameters
+
+    if args.list_scenarios or args.scenario is None:
+        lines = ["built-in scenarios:"]
+        lines.extend(f"  {name}" for name in builtin_scenario_names())
+        lines.append("")
+        lines.append("sweepable machine parameters (Table 1 defaults):")
+        lines.extend(
+            f"  {name:32s} {default}"
+            for name, default in sorted(overridable_parameters().items())
+        )
+        lines.append("")
+        lines.append("run one with: repro sweep <scenario> [--jobs N] [--output-dir DIR]")
+        return "\n".join(lines)
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as error:
+        raise SystemExit(str(error)) from None
+
+    # Global --benchmarks / --instructions override the scenario's choices.
+    requested = _parse_benchmarks(args)
+    if requested:
+        scenario = dataclasses.replace(scenario, benchmarks=tuple(requested))
+    if args.instructions is not None:
+        # Mirror the scenario parser's own budget validation: a zero or
+        # negative override would "succeed" with an all-zero report.
+        if args.instructions < 1:
+            raise SystemExit(
+                f"--instructions must be a positive integer, got {args.instructions}"
+            )
+        scenario = dataclasses.replace(scenario, instructions=args.instructions)
+
+    from repro.sweep.runner import sweep_profile
+
+    engine = ExecutionEngine(sweep_profile(scenario), store=_store(args), jobs=args.jobs)
+    run = run_sweep(scenario, engine=engine)
+    report = render_sweep(run)
+    if args.no_write:
+        return report
+    os.makedirs(args.output_dir, exist_ok=True)
+    filename = f"sweep_{scenario.name.replace('-', '_')}.txt"
+    path = os.path.join(args.output_dir, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+    return f"{report}\n\nwrote {path}"
+
+
 def _command_cache(args: argparse.Namespace) -> str:
     store = ArtifactStore(default_cache_dir(args.cache_dir))
     if args.action == "path":
@@ -408,6 +518,7 @@ _COMMANDS = {
     "ipc": _command_ipc,
     "all": _command_all,
     "bench": _command_bench,
+    "sweep": _command_sweep,
     "cache": _command_cache,
     "simulate": _command_simulate,
 }

@@ -40,9 +40,11 @@ from repro.engine.planner import (
     CellRequest,
     ExperimentDefinition,
     JobGraph,
+    machine_fingerprint,
     plan,
     sweep,
 )
+from repro.pipeline.machine import MachineSpec
 from repro.engine.store import (
     ArtifactStore,
     CACHE_DIR_ENV,
@@ -63,6 +65,8 @@ __all__ = [
     "CellRequest",
     "ExperimentDefinition",
     "JobGraph",
+    "MachineSpec",
+    "machine_fingerprint",
     "plan",
     "sweep",
     "ArtifactStore",

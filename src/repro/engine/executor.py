@@ -47,6 +47,7 @@ from repro.engine.planner import (
 from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore
 from repro.perf.flags import optimizations_enabled
 from repro.pipeline.core import OutOfOrderCore, SimulationResult
+from repro.pipeline.machine import MachineSpec
 from repro.program.program import Program
 from repro.workloads.spec_suite import build_workload, workload_names
 
@@ -73,6 +74,7 @@ class EngineStats:
     simulate_seconds: float = 0.0
 
     def merge(self, other: Dict[str, Any]) -> None:
+        """Accumulate a worker's stats dict into this record (field-wise add)."""
         for field_ in fields(self):
             setattr(
                 self,
@@ -81,9 +83,11 @@ class EngineStats:
             )
 
     def as_dict(self) -> Dict[str, Any]:
+        """The stats as a plain dict (the cross-process wire form)."""
         return {field_.name: getattr(self, field_.name) for field_ in fields(self)}
 
     def render(self) -> str:
+        """One human-readable summary line of what the engine did."""
         return (
             f"built {self.binaries_built} binaries ({self.binaries_loaded} cached), "
             f"collected {self.traces_collected} traces ({self.traces_loaded} cached) "
@@ -112,6 +116,7 @@ class JobTiming:
     cached: bool
 
     def instructions_per_second(self) -> float:
+        """Simulated-instruction throughput of this job (0 when untimed)."""
         return self.instructions / self.seconds if self.seconds > 0 else 0.0
 
 
@@ -280,12 +285,20 @@ class ExecutionEngine:
         self._traces.pop((benchmark, flavour), None)
 
     def simulate(
-        self, benchmark: str, flavour: str, scheme: SchemeSpec
+        self,
+        benchmark: str,
+        flavour: str,
+        scheme: SchemeSpec,
+        machine: Optional[MachineSpec] = None,
     ) -> SimulationResult:
-        """Return the simulation result of one cell under one scheme."""
+        """Return the simulation result of one cell under one scheme.
+
+        ``machine`` selects the simulated machine configuration (default:
+        the Table 1 machine).
+        """
         build = make_build_job(benchmark, flavour, self.factory)
         trace_job = make_trace_job(build, self.profile.instructions_per_benchmark)
-        job = make_simulate_job(trace_job, scheme)
+        job = make_simulate_job(trace_job, scheme, machine)
         return self._run_simulation(job)
 
     def _run_simulation(self, job: SimulateJob) -> SimulationResult:
@@ -297,7 +310,7 @@ class ExecutionEngine:
                 self._record_timing(job, result, perf_counter() - started, cached=True)
                 return result
         trace = self.collect_trace(job.benchmark, job.flavour)
-        core = OutOfOrderCore()
+        core = OutOfOrderCore(config=job.machine.build_config())
         scheme = job.scheme.build()
         started = perf_counter()
         result = core.run(trace, scheme, program_name=job.benchmark)
@@ -338,6 +351,8 @@ class ExecutionEngine:
     # Graph execution
     # ------------------------------------------------------------------
     def plan(self, definitions: Sequence[ExperimentDefinition]) -> JobGraph:
+        """Expand ``definitions`` into one deduplicated job graph under this
+        engine's profile and binary factory."""
         return plan(
             definitions, self.profile.instructions_per_benchmark, self.factory
         )

@@ -21,8 +21,10 @@ store work across processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
+
+from repro.pipeline.machine import MachineSpec
 
 #: Binary flavours used by the evaluation (re-exported by the runner shim).
 BASELINE = "baseline"
@@ -50,6 +52,8 @@ class SchemeSpec:
 
     @classmethod
     def make(cls, kind: str, **options: Any) -> "SchemeSpec":
+        """Build a spec from a factory kind plus keyword options (sorted
+        into the canonical tuple form)."""
         return cls(kind=kind, options=tuple(sorted(options.items())))
 
     # ------------------------------------------------------------------
@@ -82,6 +86,7 @@ class SchemeSpec:
         return {"kind": self.kind, "options": dict(self.options)}
 
     def describe(self) -> str:
+        """Human-readable form, e.g. ``predicate(split_pvt=True)``."""
         if not self.options:
             return self.kind
         opts = ",".join(f"{k}={v}" for k, v in self.options)
@@ -122,7 +127,17 @@ class TraceJob(JobSpec):
 
 @dataclass(frozen=True)
 class SimulateJob(JobSpec):
-    """Replay one trace through the timing pipeline under one scheme."""
+    """Replay one trace through the timing pipeline under one scheme.
+
+    ``machine`` declares the simulated machine: the default
+    :class:`~repro.pipeline.machine.MachineSpec` is the Table 1 configuration,
+    a non-default spec carries validated overrides that the executor folds
+    into the :class:`~repro.pipeline.config.PipelineConfig` it simulates
+    with.  The spec contributes to ``key`` (see
+    :func:`repro.engine.planner.machine_fingerprint`), so results of
+    different machines can never collide in the artifact store.
+    """
 
     scheme: SchemeSpec = SchemeSpec(kind="conventional")
     trace_key: str = ""
+    machine: MachineSpec = field(default_factory=MachineSpec)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.compiler.binaries import BinaryFactory
 from repro.emulator.trace import TRACE_FORMAT_VERSION
@@ -28,6 +28,7 @@ from repro.engine.jobs import (
     TraceJob,
 )
 from repro.engine.store import STORE_FORMAT_VERSION
+from repro.pipeline.machine import MachineSpec
 
 
 # ----------------------------------------------------------------------
@@ -35,12 +36,18 @@ from repro.engine.store import STORE_FORMAT_VERSION
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CellRequest:
-    """One requested simulation: a cell plus the experiment-local label."""
+    """One requested simulation: a cell plus the experiment-local label.
+
+    ``machine`` selects the simulated machine configuration; the default is
+    the paper's Table 1 machine, which is what every figure/table experiment
+    uses.  Sweep scenarios (:mod:`repro.sweep`) request non-default specs.
+    """
 
     benchmark: str
     flavour: str
     label: str
     scheme: SchemeSpec
+    machine: MachineSpec = field(default_factory=MachineSpec)
 
 
 @dataclass
@@ -51,12 +58,14 @@ class ExperimentDefinition:
     requests: List[CellRequest] = field(default_factory=list)
 
     def benchmarks(self) -> List[str]:
+        """Distinct benchmarks in request order."""
         seen: "OrderedDict[str, None]" = OrderedDict()
         for request in self.requests:
             seen.setdefault(request.benchmark, None)
         return list(seen)
 
     def labels(self) -> List[str]:
+        """Distinct experiment-local column labels in request order."""
         seen: "OrderedDict[str, None]" = OrderedDict()
         for request in self.requests:
             seen.setdefault(request.label, None)
@@ -110,6 +119,7 @@ class JobGraph:
         return grouped
 
     def job_counts(self) -> Dict[str, int]:
+        """Deduplicated job totals per stage (builds/traces/simulations)."""
         return {
             "builds": len(self.builds),
             "traces": len(self.traces),
@@ -136,6 +146,8 @@ def _artifact_key(*parts) -> str:
 
 
 def make_build_job(benchmark: str, flavour: str, factory: BinaryFactory) -> BuildJob:
+    """The compile job of one (benchmark, flavour) cell, content-keyed by
+    the factory's fingerprint (generator source, budgets, options)."""
     key = _artifact_key("binary", factory.fingerprint(benchmark, flavour))
     return BuildJob(
         key=key,
@@ -146,6 +158,10 @@ def make_build_job(benchmark: str, flavour: str, factory: BinaryFactory) -> Buil
 
 
 def make_trace_job(build: BuildJob, instructions: int) -> TraceJob:
+    """The trace-collection job downstream of ``build`` at one instruction
+    budget.  Machine configuration deliberately does **not** contribute to
+    the key: the functional emulation is timing-independent, so every
+    machine of a sweep shares one cached trace per cell."""
     # The trace encoding version is part of the key: bumping the format
     # invalidates stale cached traces at planning time instead of failing
     # (or silently re-decoding) at load time.  Simulate keys inherit it
@@ -160,12 +176,18 @@ def make_trace_job(build: BuildJob, instructions: int) -> TraceJob:
     )
 
 
-def make_simulate_job(trace: TraceJob, scheme: SchemeSpec) -> SimulateJob:
+def make_simulate_job(
+    trace: TraceJob, scheme: SchemeSpec, machine: Optional[MachineSpec] = None
+) -> SimulateJob:
+    """The timing-simulation job replaying ``trace`` under ``scheme`` on
+    ``machine`` (default: the Table 1 machine).  The key folds in the trace
+    key, the scheme token and the machine's config token."""
+    machine = machine if machine is not None else MachineSpec()
     key = _artifact_key(
         "result",
         trace.key,
         scheme.token(),
-        _machine_fingerprint(),
+        machine_fingerprint(machine),
     )
     return SimulateJob(
         key=key,
@@ -173,24 +195,29 @@ def make_simulate_job(trace: TraceJob, scheme: SchemeSpec) -> SimulateJob:
         flavour=trace.flavour,
         scheme=scheme,
         trace_key=trace.key,
+        machine=machine,
     )
 
 
-@lru_cache(maxsize=1)
-def _machine_fingerprint() -> str:
-    """The simulated machine configuration a result depends on.
+@lru_cache(maxsize=None)
+def machine_fingerprint(machine: MachineSpec = MachineSpec()) -> str:
+    """The config token: a hash of the *effective* simulated machine.
 
-    Simulations are run with the default :class:`PipelineConfig` and
-    :class:`MemoryHierarchyConfig`, so those defaults are folded into every
-    result key (in addition to the package-wide code fingerprint).  Constant
-    within a process, hence memoised.
+    The spec's overrides are materialised into a full
+    :class:`~repro.pipeline.config.PipelineConfig` and hashed together with
+    the (currently fixed) :class:`~repro.memory.hierarchy.MemoryHierarchyConfig`,
+    so the token changes iff an effective machine parameter changes:
+    a :class:`MachineSpec` overriding a field to its Table 1 default hashes
+    identically to the default spec (specs normalise such overrides away,
+    and the materialised configs compare field-by-field anyway), which is
+    what lets a Table 1 sweep cell reuse artifacts cached by the figure
+    experiments.  Memoised per spec; specs are small frozen dataclasses.
     """
     from repro.memory.hierarchy import MemoryHierarchyConfig
-    from repro.pipeline.config import PipelineConfig
 
     return stable_hash(
         {
-            "pipeline": PipelineConfig(),
+            "pipeline": machine.build_config(),
             "memory": MemoryHierarchyConfig(),
         }
     )
@@ -212,7 +239,7 @@ def plan(
             graph.builds.setdefault(build.key, build)
             trace = make_trace_job(build, instructions)
             graph.traces.setdefault(trace.key, trace)
-            simulate = make_simulate_job(trace, request.scheme)
+            simulate = make_simulate_job(trace, request.scheme, request.machine)
             graph.simulations.setdefault(simulate.key, simulate)
             table[(request.benchmark, request.label)] = simulate.key
     return graph

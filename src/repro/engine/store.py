@@ -103,6 +103,7 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------
     def contains(self, kind: str, key: str) -> bool:
+        """True when an artifact of ``kind`` is stored under ``key``."""
         return os.path.exists(self.path(kind, key))
 
     def get(self, kind: str, key: str) -> Optional[Any]:

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import inspect
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional
 
 from repro.core.conventional import ConventionalScheme
 from repro.core.peppa_scheme import PEPPAScheme
@@ -141,12 +142,76 @@ def profile_from_environment(default: ExperimentProfile = PAPER_PROFILE) -> Expe
 # ----------------------------------------------------------------------
 # Scheme factories (one place controls the sizes used everywhere)
 # ----------------------------------------------------------------------
+def _geometry_overrides(
+    entries: Optional[int], global_bits: Optional[int], local_bits: Optional[int]
+) -> Dict[str, int]:
+    """Non-``None`` perceptron-geometry overrides as replace() kwargs.
+
+    Shared by the conventional and predicate factories so the sweep
+    subsystem's predictor-budget axis (:mod:`repro.sweep`) can scale either
+    predictor's table below the paper's 148 KB budget.
+    """
+    requested = {
+        "entries": entries,
+        "global_bits": global_bits,
+        "local_bits": local_bits,
+    }
+    return {name: value for name, value in requested.items() if value is not None}
+
+
+def scheme_option_defaults(kind: str) -> Dict[str, Any]:
+    """The *effective* default of every option a scheme factory accepts.
+
+    Boolean flags carry their default right in the factory signature;
+    geometry options take ``None`` as "keep the Table 1 value", so the
+    value a ``None`` resolves to is read from the predictor configs.
+    Callers that need option values to be canonical — the sweep subsystem
+    normalizes away options equal to these before building a
+    :class:`~repro.engine.jobs.SchemeSpec`, so a Table 1 point contributes
+    the same cache token as the plain scheme — read them from here.
+    """
+    factories = {
+        "conventional": make_conventional_scheme,
+        "pep-pa": make_peppa_scheme,
+        "predicate": make_predicate_scheme,
+    }
+    defaults: Dict[str, Any] = {
+        name: parameter.default
+        for name, parameter in inspect.signature(factories[kind]).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+        and parameter.default is not None
+    }
+    if kind == "conventional":
+        config: Any = PerceptronConfig()
+    elif kind == "predicate":
+        config = PredicatePredictorConfig()
+    else:
+        return defaults
+    defaults.update(
+        entries=config.entries,
+        global_bits=config.global_bits,
+        local_bits=config.local_bits,
+    )
+    return defaults
+
+
 def make_conventional_scheme(
-    ideal_no_alias: bool = False, perfect_history: bool = False
+    ideal_no_alias: bool = False,
+    perfect_history: bool = False,
+    entries: Optional[int] = None,
+    global_bits: Optional[int] = None,
+    local_bits: Optional[int] = None,
 ) -> ConventionalScheme:
-    """The 148 KB (+4 KB gshare) conventional two-level override predictor."""
+    """The 148 KB (+4 KB gshare) conventional two-level override predictor.
+
+    ``entries`` / ``global_bits`` / ``local_bits`` override the second-level
+    perceptron geometry (``None`` keeps the Table 1 value).
+    """
+    config = replace(
+        PerceptronConfig(), **_geometry_overrides(entries, global_bits, local_bits)
+    )
     return ConventionalScheme(
-        perceptron_config=PerceptronConfig(),
+        perceptron_config=config,
         ideal_no_alias=ideal_no_alias,
         perfect_history=perfect_history,
     )
@@ -162,10 +227,21 @@ def make_predicate_scheme(
     ideal_no_alias: bool = False,
     perfect_history: bool = False,
     split_pvt: bool = False,
+    entries: Optional[int] = None,
+    global_bits: Optional[int] = None,
+    local_bits: Optional[int] = None,
 ) -> PredicatePredictionScheme:
-    """The 148 KB predicate perceptron scheme (the paper's proposal)."""
+    """The 148 KB predicate perceptron scheme (the paper's proposal).
+
+    ``entries`` / ``global_bits`` / ``local_bits`` override the predicate
+    perceptron geometry (``None`` keeps the Table 1 value).
+    """
+    config = replace(
+        PredicatePredictorConfig(split_pvt=split_pvt),
+        **_geometry_overrides(entries, global_bits, local_bits),
+    )
     options = PredicateSchemeOptions(
-        predictor_config=PredicatePredictorConfig(split_pvt=split_pvt),
+        predictor_config=config,
         selective_predication=selective_predication,
         ideal_no_alias=ideal_no_alias,
         perfect_history=perfect_history,

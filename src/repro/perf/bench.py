@@ -38,6 +38,7 @@ from repro.emulator.tracepack import pack_supported
 from repro.engine import BASELINE, IF_CONVERTED, ExecutionEngine, SchemeSpec
 from repro.experiments.setup import ExperimentProfile
 from repro.perf import flags
+from repro.pipeline.machine import MachineSpec
 
 #: Schema identifier embedded in every report.  v2 added the per-cell trace
 #: metrics (build throughput, peak allocation, serialized size); v1 reports
@@ -54,24 +55,40 @@ _CALIBRATION_OPS = 200_000
 
 @dataclass(frozen=True)
 class BenchCell:
-    """One standardized throughput measurement."""
+    """One standardized throughput measurement.
+
+    ``machine`` selects the simulated machine configuration (default: the
+    Table 1 machine).  A non-default machine marks a *sweep cell*: it keeps
+    the throughput of non-default configurations — the job mix
+    ``repro sweep`` runs — measured and gated alongside the Table 1 cells.
+    """
 
     benchmark: str
     flavour: str
     scheme: str
+    machine: MachineSpec = MachineSpec()
+
+    def scheme_label(self) -> str:
+        """Scheme plus machine overrides, e.g. ``predicate@rob_entries=64``."""
+        if self.machine.is_default():
+            return self.scheme
+        return f"{self.scheme}@{self.machine.describe()}"
 
     def label(self) -> str:
-        return f"{self.benchmark}/{self.flavour}/{self.scheme}"
+        """The cell's full ``benchmark/flavour/scheme`` label (filter target)."""
+        return f"{self.benchmark}/{self.flavour}/{self.scheme_label()}"
 
 
 #: The quick suite: one cell per scheme plus flavour coverage, on the
-#: benchmarks the test-suite profile also uses (they compile fastest).
+#: benchmarks the test-suite profile also uses (they compile fastest), plus
+#: one sweep cell on a non-default machine.
 QUICK_CELLS: Sequence[BenchCell] = (
     BenchCell("gzip", IF_CONVERTED, "conventional"),
     BenchCell("gzip", IF_CONVERTED, "predicate"),
     BenchCell("twolf", IF_CONVERTED, "pep-pa"),
     BenchCell("twolf", BASELINE, "conventional"),
     BenchCell("swim", IF_CONVERTED, "predicate"),
+    BenchCell("gzip", IF_CONVERTED, "predicate", MachineSpec.make(rob_entries=64)),
 )
 
 #: The full suite: broader benchmark coverage for every scheme.
@@ -170,14 +187,15 @@ def _measure_cell(cell: BenchCell, instructions: int, repeats: int) -> Dict[str,
     spec = SchemeSpec.make(cell.scheme)
     result = None
     for _ in range(max(1, repeats)):
-        result = engine.simulate(cell.benchmark, cell.flavour, spec)
+        result = engine.simulate(cell.benchmark, cell.flavour, spec, machine=cell.machine)
     sim_seconds = min(t.seconds for t in engine.job_timings if not t.cached)
     committed = result.metrics.committed_instructions
     cycles = result.metrics.cycles
     return {
         "benchmark": cell.benchmark,
         "flavour": cell.flavour,
-        "scheme": cell.scheme,
+        "scheme": cell.scheme_label(),
+        "machine": cell.machine.describe(),
         "instructions": committed,
         "cycles": cycles,
         "ipc": result.metrics.ipc,

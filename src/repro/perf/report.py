@@ -24,7 +24,7 @@ def _fmt_bytes(value: float) -> str:
 def render_table(report: Dict[str, Any]) -> str:
     """Render one bench report as an aligned text table."""
     header = (
-        f"{'benchmark':10s} {'flavour':12s} {'scheme':12s} "
+        f"{'benchmark':10s} {'flavour':12s} {'scheme':26s} "
         f"{'insts':>7s} {'cycles':>7s} {'sim s':>7s} {'inst/s':>8s} {'cyc/s':>8s} "
         f"{'trc/s':>8s} {'trc B':>7s} {'trc mem':>8s}"
     )
@@ -38,7 +38,7 @@ def render_table(report: Dict[str, Any]) -> str:
     ]
     for cell in report.get("cells", []):
         lines.append(
-            f"{cell['benchmark']:10s} {cell['flavour']:12s} {cell['scheme']:12s} "
+            f"{cell['benchmark']:10s} {cell['flavour']:12s} {cell['scheme']:26s} "
             f"{cell['instructions']:7d} {cell['cycles']:7d} "
             f"{cell['sim_seconds']:7.3f} "
             f"{_fmt_rate(cell['sim_instructions_per_second']):>8s} "

@@ -1,0 +1,114 @@
+"""Declarable machine configurations: overrides on the Table 1 machine.
+
+The paper evaluates exactly one machine (Table 1), and for the first three
+PRs of this code base that machine flowed implicitly — every simulation
+constructed a default :class:`~repro.pipeline.config.PipelineConfig`.  The
+design-space exploration subsystem (:mod:`repro.sweep`) opens that axis: a
+:class:`MachineSpec` is an explicit, validated, *hashable* set of overrides
+on the Table 1 defaults that can be declared in a scenario file, carried
+inside an engine :class:`~repro.engine.jobs.SimulateJob` across process
+boundaries, and folded into artifact cache keys.
+
+Two properties matter for caching and are enforced here:
+
+* **Normalization** — overrides equal to the default value are dropped at
+  construction, so ``MachineSpec.make(rob_entries=256)`` *is* the default
+  spec: a machine's identity (and therefore its cache-key contribution)
+  changes iff an *effective* parameter changes.
+* **Validation** — unknown field names and non-scalar fields raise
+  :class:`ValueError` at construction, long before a worker process would
+  try to simulate with them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple
+
+from repro.pipeline.config import PipelineConfig
+
+#: Fields that exist only to *describe* the Table 1 machine — nothing in
+#: the timing model reads them (`fetch_width` is the effective per-cycle
+#: cap; the second-level access latency is modelled through
+#: ``override_flush_penalty`` at rename).  Excluded from the overridable
+#: set so a scenario cannot declare a sweep axis that would silently be a
+#: no-op.
+_DESCRIPTIVE_ONLY = {"bundles_per_fetch", "bundle_slots", "second_level_latency"}
+
+#: Fields of :class:`PipelineConfig` that a spec may override: every scalar
+#: (int) field the timing model consumes.  Structured fields (the
+#: functional-unit count map) are not declarable through scenario files;
+#: they would need per-unit-class keys and no planned sweep axis requires
+#: them.
+_OVERRIDABLE: Dict[str, Any] = {
+    field.name: field.default
+    for field in dataclasses.fields(PipelineConfig)
+    if isinstance(field.default, int)
+    and not isinstance(field.default, bool)
+    and field.name not in _DESCRIPTIVE_ONLY
+}
+
+
+def overridable_fields() -> Dict[str, int]:
+    """Name → Table 1 default of every field a :class:`MachineSpec` may set."""
+    return dict(_OVERRIDABLE)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """A validated, normalized set of overrides on the Table 1 machine.
+
+    ``pipeline`` is a sorted tuple of ``(field, value)`` pairs — the frozen,
+    picklable form a job can carry.  Use :meth:`make` (which validates and
+    normalizes) rather than the raw constructor.
+    """
+
+    pipeline: Tuple[Tuple[str, int], ...] = ()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def make(cls, **overrides: int) -> "MachineSpec":
+        """Build a spec from keyword overrides on :class:`PipelineConfig`.
+
+        Raises :class:`ValueError` for unknown field names, non-integer
+        values, and values the config itself rejects; silently drops
+        overrides equal to the Table 1 default so that the spec's identity
+        tracks *effective* parameters only.
+        """
+        effective: Dict[str, int] = {}
+        for name, value in overrides.items():
+            if name not in _OVERRIDABLE:
+                raise ValueError(
+                    f"unknown machine parameter {name!r}; configurable "
+                    f"parameters: {', '.join(sorted(_OVERRIDABLE))}"
+                )
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"machine parameter {name!r} must be an integer, "
+                    f"got {value!r}"
+                )
+            if value != _OVERRIDABLE[name]:
+                effective[name] = value
+        spec = cls(pipeline=tuple(sorted(effective.items())))
+        spec.build_config()  # surface PipelineConfig.__post_init__ rejections now
+        return spec
+
+    # ------------------------------------------------------------------
+    def build_config(self) -> PipelineConfig:
+        """Materialise the (validated) :class:`PipelineConfig` of this spec."""
+        return PipelineConfig(**dict(self.pipeline))
+
+    def is_default(self) -> bool:
+        """True when this spec is exactly the Table 1 machine."""
+        return not self.pipeline
+
+    def overrides(self) -> Dict[str, int]:
+        """The effective overrides as a plain dict (empty for the default)."""
+        return dict(self.pipeline)
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``rob_entries=64`` (``table1``
+        for the default machine)."""
+        if not self.pipeline:
+            return "table1"
+        return ",".join(f"{name}={value}" for name, value in self.pipeline)

@@ -1,0 +1,50 @@
+"""Design-space exploration: declarative machine-configuration sweeps.
+
+The paper evaluates one machine (Table 1).  This package turns the
+reproduction into a sensitivity-analysis tool: a *scenario* file (TOML or
+JSON) declares named machine configurations as overrides on the Table 1
+:class:`~repro.pipeline.config.PipelineConfig` plus parameter axes to sweep
+(ROB size, fetch width, misprediction penalty, predictor geometry …), a
+:class:`~repro.sweep.spec.SweepSpec` expands the declared grid into engine
+cell requests, and the existing job-graph engine runs them — deduplicated,
+parallel (``--jobs N``) and artifact-cached, with every non-default machine
+keyed by its own config token so sweep results can never collide with the
+cached Table 1 artifacts.
+
+Modules:
+
+* :mod:`repro.sweep.scenario` — the scenario model, TOML/JSON parsing and
+  validation, and the built-in scenario library (``rob-scaling``,
+  ``fetch-width``, ``mispredict-penalty``, ``predictor-budget``);
+* :mod:`repro.sweep.spec` — grid expansion: scenario → sweep points →
+  one engine :class:`~repro.engine.planner.ExperimentDefinition`;
+* :mod:`repro.sweep.runner` — runs a sweep through an
+  :class:`~repro.engine.ExecutionEngine` and collects per-point results;
+* :mod:`repro.sweep.report` — sensitivity tables and ASCII plots (IPC and
+  branch accuracy vs. each swept axis, per scheme).
+
+Entry point: ``repro sweep <scenario>`` (see :mod:`repro.cli`), which
+renders the report and writes it under ``results/sweep_<name>.txt``.
+"""
+
+from repro.sweep.runner import SweepRun, run_sweep
+from repro.sweep.scenario import (
+    Scenario,
+    ScenarioError,
+    builtin_scenario_names,
+    load_scenario,
+)
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.report import render_sweep
+
+__all__ = [
+    "Scenario",
+    "ScenarioError",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepRun",
+    "builtin_scenario_names",
+    "load_scenario",
+    "render_sweep",
+    "run_sweep",
+]

@@ -1,0 +1,98 @@
+"""Run a sweep through the job-graph engine and collect per-point results.
+
+The runner is deliberately thin: :func:`run_sweep` expands the scenario
+(:class:`~repro.sweep.spec.SweepSpec`), hands the single resulting
+:class:`~repro.engine.planner.ExperimentDefinition` to an
+:class:`~repro.engine.ExecutionEngine` — which deduplicates builds and
+traces across points (all points of one benchmark/flavour share one trace:
+the functional emulation does not depend on the timing machine), runs cells
+in parallel under ``--jobs N`` and serves every previously-computed result
+from the artifact store — and reassembles the engine's output table into
+the per-(scheme, point, benchmark) mapping the report layer renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.engine import EngineStats, ExecutionEngine
+from repro.experiments.setup import ExperimentProfile
+from repro.pipeline.core import SimulationResult
+from repro.sweep.scenario import Scenario, load_scenario
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+
+@dataclass
+class SweepRun:
+    """Everything one sweep produced."""
+
+    scenario: Scenario
+    spec: SweepSpec
+    #: (scheme kind, point, benchmark) → simulation result.
+    results: Dict[Tuple[str, SweepPoint, str], SimulationResult] = field(
+        default_factory=dict
+    )
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def schemes(self) -> Tuple[str, ...]:
+        return self.spec.scenario.schemes
+
+
+def sweep_profile(scenario: Scenario) -> ExperimentProfile:
+    """The engine profile a scenario implies (budget + benchmark subset)."""
+    spec = SweepSpec(scenario)
+    return ExperimentProfile(
+        name=f"sweep:{scenario.name}",
+        instructions_per_benchmark=scenario.instructions,
+        benchmarks=spec.benchmarks(),
+        profile_budget=min(scenario.instructions, 20_000),
+    )
+
+
+def run_sweep(
+    scenario,
+    engine: Optional[ExecutionEngine] = None,
+    jobs: Optional[int] = None,
+) -> SweepRun:
+    """Run ``scenario`` (a :class:`Scenario`, builtin name, or file path).
+
+    ``engine`` may be supplied to share caches with other work, but must be
+    built for the scenario's instruction budget (use :func:`sweep_profile`):
+    trace jobs are planned at the *engine profile's* budget, so a mismatch
+    would silently simulate a different budget than the report claims.
+    ``jobs`` overrides the engine's worker-process count.
+    """
+    if not isinstance(scenario, Scenario):
+        scenario = load_scenario(scenario)
+    spec = SweepSpec(scenario)
+    expected = sweep_profile(scenario)
+    if engine is None:
+        engine = ExecutionEngine(profile=expected)
+    else:
+        # Both budgets matter: the instruction budget keys the traces, and
+        # the profiling budget feeds the if-conversion decisions (and the
+        # binary fingerprint) — a mismatch on either would silently
+        # simulate something other than what the report claims.
+        actual = (
+            engine.profile.instructions_per_benchmark,
+            engine.profile.profile_budget,
+        )
+        if actual != (expected.instructions_per_benchmark, expected.profile_budget):
+            raise ValueError(
+                f"engine profile (instructions={actual[0]}, profile_budget={actual[1]}) "
+                f"does not match scenario {scenario.name!r} "
+                f"(instructions={expected.instructions_per_benchmark}, "
+                f"profile_budget={expected.profile_budget}); build the engine "
+                "with sweep_profile(scenario)"
+            )
+    definition = spec.definition()
+    outputs = engine.run([definition], jobs=jobs)[definition.name]
+    run = SweepRun(scenario=scenario, spec=spec, stats=engine.stats)
+    by_label = {
+        label: (scheme, point) for (scheme, label), point in spec.labels().items()
+    }
+    for (benchmark, label), result in outputs.items():
+        scheme, point = by_label[label]
+        run.results[(scheme, point, benchmark)] = result
+    return run

@@ -1,0 +1,89 @@
+"""The documentation layer is under test: commands documented, links live.
+
+``docs/experiments.md`` claims to document *every* CLI command; this test
+derives the ground truth from the argument parser itself, so adding a
+subcommand without documenting it fails the suite.  The link check reuses
+``scripts/check_docs.py`` (the same code the CI docs job runs).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DOCS = os.path.join(REPO_ROOT, "docs")
+
+
+def _load_check_docs():
+    path = os.path.join(REPO_ROOT, "scripts", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def cli_subcommands():
+    """Every subcommand name registered on the ``repro`` parser."""
+    parser = build_parser()
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public API for this
+        if hasattr(action, "choices") and action.choices:
+            return sorted(action.choices)
+    raise AssertionError("CLI parser has no subparsers")
+
+
+class TestExperimentsDoc:
+    def test_docs_exist(self):
+        for relative in (
+            "architecture.md",
+            "experiments.md",
+            os.path.join("internals", "caching.md"),
+        ):
+            assert os.path.exists(os.path.join(DOCS, relative)), relative
+
+    def test_every_cli_subcommand_is_documented(self):
+        with open(os.path.join(DOCS, "experiments.md"), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        missing = [
+            command for command in cli_subcommands() if f"`{command}" not in text
+        ]
+        assert not missing, (
+            f"CLI subcommand(s) {missing} are not documented in docs/experiments.md"
+        )
+
+    def test_sweep_scenarios_documented(self):
+        from repro.sweep.scenario import builtin_scenario_names
+
+        with open(os.path.join(DOCS, "experiments.md"), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for name in builtin_scenario_names():
+            assert f"`{name}`" in text, f"built-in scenario {name} undocumented"
+
+
+class TestMarkdownLinks:
+    def test_intra_repo_links_resolve(self):
+        check_docs = _load_check_docs()
+        failures = check_docs.broken_links(REPO_ROOT)
+        assert not failures, f"broken markdown link(s): {failures}"
+
+    def test_checker_sees_the_docs_tree(self):
+        check_docs = _load_check_docs()
+        files = list(check_docs.markdown_files(REPO_ROOT))
+        assert any(path.endswith("architecture.md") for path in files)
+        assert any(path.endswith("README.md") for path in files)
+
+
+@pytest.mark.parametrize("module_name", ["repro.engine", "repro.perf", "repro.sweep"])
+def test_public_packages_have_module_docstrings(module_name):
+    import importlib
+    import pkgutil
+
+    package = importlib.import_module(module_name)
+    assert package.__doc__, f"{module_name} lacks a module docstring"
+    for info in pkgutil.iter_modules(package.__path__):
+        module = importlib.import_module(f"{module_name}.{info.name}")
+        assert module.__doc__, f"{module_name}.{info.name} lacks a module docstring"
