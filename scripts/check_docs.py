@@ -1,18 +1,22 @@
 #!/usr/bin/env python
-"""Check that intra-repository markdown links resolve.
+"""Check that intra-repository markdown links resolve and docs are reachable.
 
-Walks every ``*.md`` file of the repository (skipping VCS/cache
-directories), extracts inline markdown links, and verifies that every
-relative link points at an existing file or directory.  External links
-(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are not
-checked.
+Two checks over every ``*.md`` file of the repository (skipping VCS/cache
+directories):
+
+* **links** — every inline relative link points at an existing file or
+  directory.  External links (``http(s)://``, ``mailto:``) and pure
+  in-page anchors (``#...``) are not checked.
+* **orphans** — every page under ``docs/`` is the target of at least one
+  link from some *other* markdown file, so a new page cannot silently
+  fall out of the README/architecture navigation.
 
 Used by the CI ``docs`` job and by ``tests/docs/test_docs_consistency.py``;
 run manually with::
 
     python scripts/check_docs.py [root]
 
-Exits non-zero listing every broken link.
+Exits non-zero listing every broken link and orphaned page.
 """
 
 from __future__ import annotations
@@ -45,6 +49,25 @@ def markdown_files(root: str) -> Iterator[str]:
                 yield os.path.join(dirpath, name)
 
 
+def _iter_links(files: List[str]) -> Iterator[Tuple[str, str, str]]:
+    """Yield ``(source file, raw target, resolved path)`` for every
+    checkable intra-repo link — the single place the skip rules (external
+    schemes, pure anchors) and path resolution live, so the broken-link and
+    orphan checks can never disagree about what a link is."""
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for match in _LINK.finditer(text):
+            raw = match.group(1)
+            if raw.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = raw.split("#", 1)[0]  # strip in-page anchors
+            if not target:
+                continue  # pure anchor into the same document
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            yield path, raw, resolved
+
+
 def broken_links(
     root: str, files: Optional[List[str]] = None
 ) -> List[Tuple[str, str]]:
@@ -52,34 +75,55 @@ def broken_links(
 
     ``files`` lets a caller that already walked the tree reuse its listing.
     """
-    failures: List[Tuple[str, str]] = []
-    for path in files if files is not None else markdown_files(root):
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-        for match in _LINK.finditer(text):
-            target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
-            target = target.split("#", 1)[0]  # strip in-page anchors
-            if not target:
-                continue  # pure anchor into the same document
-            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
-            if not os.path.exists(resolved):
-                failures.append((os.path.relpath(path, root), match.group(1)))
-    return failures
+    if files is None:
+        files = list(markdown_files(root))
+    return [
+        (os.path.relpath(path, root), raw)
+        for path, raw, resolved in _iter_links(files)
+        if not os.path.exists(resolved)
+    ]
+
+
+def orphan_docs(root: str, files: Optional[List[str]] = None) -> List[str]:
+    """Pages under ``docs/`` that no *other* markdown file links to."""
+    if files is None:
+        files = list(markdown_files(root))
+    docs_root = os.path.abspath(os.path.join(root, "docs"))
+    targets = {
+        (os.path.abspath(path), os.path.abspath(resolved))
+        for path, _, resolved in _iter_links(files)
+        if os.path.exists(resolved)
+    }
+    orphans = []
+    for path in files:
+        page = os.path.abspath(path)
+        if os.path.commonpath([docs_root, page]) != docs_root:
+            continue
+        if not any(resolved == page and source != page for source, resolved in targets):
+            orphans.append(os.path.relpath(path, root))
+    return orphans
 
 
 def main(argv: List[str]) -> int:
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
     files = list(markdown_files(root))
     failures = broken_links(root, files)
+    orphans = orphan_docs(root, files)
     checked = len(files)
-    if failures:
+    if failures or orphans:
         for path, target in failures:
             print(f"BROKEN {path}: ({target})")
-        print(f"{len(failures)} broken link(s) across {checked} markdown file(s)")
+        for path in orphans:
+            print(f"ORPHAN {path}: no other markdown file links to it")
+        print(
+            f"{len(failures)} broken link(s), {len(orphans)} orphaned doc page(s) "
+            f"across {checked} markdown file(s)"
+        )
         return 1
-    print(f"ok: all intra-repo links resolve across {checked} markdown file(s)")
+    print(
+        f"ok: all intra-repo links resolve and all docs pages are reachable "
+        f"across {checked} markdown file(s)"
+    )
     return 0
 
 

@@ -23,16 +23,22 @@ Commands:
     ``predictor-budget``; or a ``.toml``/``.json`` path) and render
     sensitivity tables and ASCII plots; ``sweep --list`` shows the built-in
     scenarios and the sweepable machine parameters.
+``workloads list`` / ``workloads describe`` / ``workloads validate``
+    Inspect the workload registry: the 22 built-in synthetic programs, the
+    shipped library of trait-spec benchmarks, and user workloads declared
+    as ``.toml``/``.json`` spec files or ``.trace`` branch-outcome streams
+    (see ``docs/workloads.md``).
 ``cache stats`` / ``cache clear`` / ``cache path``
     Inspect or clear the persistent artifact cache.
 ``list``
-    List the available benchmarks.
+    List the available benchmarks (registry names, one per line).
 
 Common options: ``--instructions N`` (per-benchmark budget),
-``--benchmarks a,b,c`` (subset of the suite), ``--jobs N`` (parallel worker
-processes), ``--cache-dir PATH`` / ``--no-cache`` (persistent artifact
-store; defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache``), and for
-``simulate``: ``--scheme``, ``--flavour``.
+``--benchmarks a,b,c`` (registry names and/or workload file paths),
+``--jobs N`` (parallel worker processes), ``--cache-dir PATH`` /
+``--no-cache`` (persistent artifact store; defaults to
+``$REPRO_CACHE_DIR`` or ``.repro-cache``), and for ``simulate``:
+``--scheme``, ``--flavour``.
 
 The full command reference, with expected outputs, lives in
 ``docs/experiments.md``.
@@ -61,7 +67,13 @@ from repro.experiments.idealized import run_idealized_study
 from repro.experiments.selective_ipc import run_selective_ipc
 from repro.experiments.setup import ExperimentProfile, paper_table1
 from repro.experiments.suite import run_all, write_reports
-from repro.workloads.spec_suite import workload_names
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    registry_names,
+    resolve_workload,
+)
+from repro.workloads.trace_ingest import TraceIngestError
+from repro.workloads.workload_spec import WorkloadSpecError
 
 _SCHEME_SPECS = {
     "conventional": SchemeSpec.make("conventional"),
@@ -88,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks",
         type=str,
         default="",
-        help="comma-separated benchmark subset (default: the full 22-program suite)",
+        help="comma-separated benchmarks: registry names and/or workload "
+        "spec/trace file paths (default: the full 22-program suite)",
     )
     parser.add_argument(
         "--jobs",
@@ -250,8 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the report without writing results/sweep_<name>.txt",
     )
 
+    workloads = subparsers.add_parser(
+        "workloads", help="inspect the workload registry and validate spec files"
+    )
+    workloads.add_argument(
+        "action",
+        choices=["list", "describe", "validate"],
+        help="list: every registry workload with provenance and traits; "
+        "describe: one workload in full; validate: parse spec/trace files "
+        "and report the first problem",
+    )
+    workloads.add_argument(
+        "targets",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="registry names or spec/trace file paths ('describe' takes "
+        "exactly one; 'validate' takes one or more)",
+    )
+
     simulate = subparsers.add_parser("simulate", help="simulate one benchmark")
-    simulate.add_argument("benchmark", help="benchmark name (see 'list')")
+    simulate.add_argument(
+        "benchmark", help="registry name or workload file path (see 'workloads list')"
+    )
     simulate.add_argument(
         "--scheme",
         choices=sorted(_SCHEME_SPECS),
@@ -273,16 +306,32 @@ def _store(args: argparse.Namespace) -> Optional[ArtifactStore]:
     return ArtifactStore(default_cache_dir(args.cache_dir))
 
 
+def _resolve_benchmark(name: str) -> None:
+    """Validate one benchmark string against the workload registry.
+
+    Exits with the registry's message — which lists the available names and
+    suggests close matches for near-misses — instead of an argparse-less
+    traceback from deep inside a worker's compile step.
+    """
+    try:
+        resolve_workload(name)
+    except (UnknownWorkloadError, WorkloadSpecError, TraceIngestError) as error:
+        raise SystemExit(str(error)) from None
+
+
 def _parse_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
-    """The validated ``--benchmarks`` subset, or ``None`` when not given."""
+    """The validated ``--benchmarks`` selection, or ``None`` when not given.
+
+    Entries may be registry names (built-in or library) or workload
+    spec/trace file paths.
+    """
     if not args.benchmarks:
         return None
     benchmarks = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
     if not benchmarks:
         return None
-    unknown = sorted(set(benchmarks) - set(workload_names()))
-    if unknown:
-        raise SystemExit(f"unknown benchmark(s) {', '.join(unknown)}; see 'repro list'")
+    for name in benchmarks:
+        _resolve_benchmark(name)
     return benchmarks
 
 
@@ -303,7 +352,7 @@ def _command_table1(_args: argparse.Namespace) -> str:
 
 
 def _command_list(_args: argparse.Namespace) -> str:
-    return "\n".join(workload_names())
+    return "\n".join(registry_names())
 
 
 def _command_figure5(args: argparse.Namespace) -> str:
@@ -460,6 +509,94 @@ def _command_sweep(args: argparse.Namespace) -> str:
     return f"{report}\n\nwrote {path}"
 
 
+def _describe_workload(definition) -> str:
+    """The full ``workloads describe`` rendering of one definition."""
+    traits = definition.traits
+    lines = [
+        f"workload             {definition.display_name}",
+        f"origin               {definition.origin} ({definition.source})",
+        f"fingerprint          {definition.fingerprint}",
+        f"category             {traits.category}",
+        f"seed                 {traits.seed}",
+        f"array length         {traits.array_length}",
+        f"outer iterations     {traits.outer_iterations}",
+        f"filler (alu/fp)      {traits.filler_alu}/{traits.filler_fp}",
+        f"inner-loop trips     {traits.inner_loop_trips}",
+        f"pointer chase        {traits.pointer_chase}",
+    ]
+    for index, region in enumerate(traits.hard_regions):
+        nested = ", nested" if region.nested else ""
+        lines.append(
+            f"hard region {index}        bias={region.bias:.2f} "
+            f"body={region.body_size} kind={region.kind.value}{nested}"
+        )
+    for index, branch in enumerate(traits.correlated_branches):
+        early = "early" if branch.early_compare else "adjacent"
+        lines.append(
+            f"correlated branch {index}  {branch.op}{list(branch.sources)} "
+            f"lag={branch.lag} noise={branch.noise:.2f} compare={early}"
+        )
+    for index, branch in enumerate(traits.easy_branches):
+        early = "early" if branch.early_compare else "adjacent"
+        lines.append(
+            f"easy branch {index}        bias={branch.bias:.2f} "
+            f"body={branch.body_size} compare={early}"
+        )
+    return "\n".join(lines)
+
+
+def _command_workloads(args: argparse.Namespace) -> str:
+    if args.action == "list":
+        if args.targets:
+            raise SystemExit("'workloads list' takes no arguments")
+        lines = [
+            f"{'name':16s} {'origin':9s} {'cat':4s} {'hard':>4s} {'corr':>4s} "
+            f"{'easy':>4s} fingerprint"
+        ]
+        for name in registry_names():
+            definition = resolve_workload(name)
+            traits = definition.traits
+            lines.append(
+                f"{name:16s} {definition.origin:9s} {traits.category:4s} "
+                f"{len(traits.hard_regions):4d} {len(traits.correlated_branches):4d} "
+                f"{len(traits.easy_branches):4d} {definition.fingerprint[:12]}"
+            )
+        lines.append("")
+        lines.append(
+            "user workloads: pass a .toml/.json trait-spec or .trace "
+            "outcome-stream path anywhere a benchmark name is accepted "
+            "(docs/workloads.md documents both formats)"
+        )
+        return "\n".join(lines)
+    if args.action == "describe":
+        if len(args.targets) != 1:
+            raise SystemExit("'workloads describe' takes exactly one workload")
+        try:
+            definition = resolve_workload(args.targets[0])
+        except (UnknownWorkloadError, WorkloadSpecError, TraceIngestError) as error:
+            raise SystemExit(str(error)) from None
+        return _describe_workload(definition)
+    # validate: report every file's verdict, exit non-zero on the first bad one.
+    if not args.targets:
+        raise SystemExit("'workloads validate' needs at least one spec/trace path")
+    lines = []
+    failures = 0
+    for target in args.targets:
+        try:
+            definition = resolve_workload(target)
+        except (UnknownWorkloadError, WorkloadSpecError, TraceIngestError) as error:
+            failures += 1
+            lines.append(f"FAIL {target}: {error}")
+        else:
+            lines.append(
+                f"ok   {target}: {definition.traits.describe()} "
+                f"(fingerprint {definition.fingerprint[:12]})"
+            )
+    if failures:
+        raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
 def _command_cache(args: argparse.Namespace) -> str:
     store = ArtifactStore(default_cache_dir(args.cache_dir))
     if args.action == "path":
@@ -488,8 +625,7 @@ def _command_cache(args: argparse.Namespace) -> str:
 
 def _command_simulate(args: argparse.Namespace) -> str:
     engine = _engine(args)
-    if args.benchmark not in workload_names():
-        raise SystemExit(f"unknown benchmark {args.benchmark!r}; see 'repro list'")
+    _resolve_benchmark(args.benchmark)
     result = engine.simulate(args.benchmark, args.flavour, _SCHEME_SPECS[args.scheme])
     metrics = result.metrics
     accuracy = result.accuracy
@@ -519,6 +655,7 @@ _COMMANDS = {
     "all": _command_all,
     "bench": _command_bench,
     "sweep": _command_sweep,
+    "workloads": _command_workloads,
     "cache": _command_cache,
     "simulate": _command_simulate,
 }

@@ -53,10 +53,22 @@ class BinaryFactory:
         experiment engine to derive content-addressed cache keys: two factory
         configurations produce the same fingerprint exactly when they would
         compile bit-identical binaries from the same deterministic generator.
+
+        The workload registry's *content* fingerprint is part of it: for a
+        file-backed workload (a ``.toml``/``.json`` trait spec or a
+        ``.trace`` outcome stream) the name alone does not determine the
+        program, so editing the file changes this fingerprint — and with it
+        every downstream cache key — while all other workloads' artifacts
+        stay valid.
         """
+        # Imported lazily so the compiler package stays importable on its
+        # own (the registry pulls in the whole workloads layer).
+        from repro.workloads.registry import workload_fingerprint
+
         return {
             "benchmark": name,
             "flavour": flavour,
+            "workload": workload_fingerprint(name),
             "profile_budget": self.profile_budget,
             "if_conversion": asdict(self.if_conversion_options),
         }

@@ -49,7 +49,8 @@ from repro.perf.flags import optimizations_enabled
 from repro.pipeline.core import OutOfOrderCore, SimulationResult
 from repro.pipeline.machine import MachineSpec
 from repro.program.program import Program
-from repro.workloads.spec_suite import build_workload, workload_names
+from repro.workloads.registry import build_workload
+from repro.workloads.spec_suite import workload_names
 
 #: (benchmark, flavour)
 Cell = Tuple[str, str]
@@ -197,6 +198,9 @@ class ExecutionEngine:
         return program
 
     def _compile(self, benchmark: str, flavour: str) -> Program:
+        # ``benchmark`` resolves through the workload registry, so it may be
+        # a built-in name, a library name, or a spec/trace file path — the
+        # resolution re-runs identically in worker processes.
         def generator() -> Program:
             return build_workload(benchmark)
 

@@ -81,7 +81,10 @@ class BenchCell:
 
 #: The quick suite: one cell per scheme plus flavour coverage, on the
 #: benchmarks the test-suite profile also uses (they compile fastest), plus
-#: one sweep cell on a non-default machine.
+#: one sweep cell on a non-default machine and one custom-workload cell —
+#: ``branchy`` is a *library spec file* (``workloads/library/branchy.json``),
+#: so the throughput of the registry's spec-defined path is measured and
+#: gated alongside the built-in programs.
 QUICK_CELLS: Sequence[BenchCell] = (
     BenchCell("gzip", IF_CONVERTED, "conventional"),
     BenchCell("gzip", IF_CONVERTED, "predicate"),
@@ -89,6 +92,7 @@ QUICK_CELLS: Sequence[BenchCell] = (
     BenchCell("twolf", BASELINE, "conventional"),
     BenchCell("swim", IF_CONVERTED, "predicate"),
     BenchCell("gzip", IF_CONVERTED, "predicate", MachineSpec.make(rob_entries=64)),
+    BenchCell("branchy", IF_CONVERTED, "predicate"),
 )
 
 #: The full suite: broader benchmark coverage for every scheme.

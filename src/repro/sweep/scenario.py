@@ -5,7 +5,8 @@ A scenario file (TOML or JSON) has three sections::
     [scenario]                      # what to run
     name = "rob-scaling"
     description = "..."
-    benchmarks = ["gzip", "twolf", "swim"]
+    benchmarks = ["gzip", "twolf", "swim"]  # registry names or workload
+    #   spec/trace file paths (see repro.workloads.registry)
     flavour = "if-converted"        # optional, default "if-converted"
     instructions = 12000            # optional fetched-instruction budget
     schemes = ["conventional", "predicate"]   # optional, default all three
@@ -281,16 +282,29 @@ def parse_scenario(data: Mapping[str, Any], source: str = "<scenario>") -> Scena
         raise ScenarioError(f"{source}: duplicate scheme(s) in {list(schemes)}")
 
     benchmarks = tuple(header.get("benchmarks", ()))
+    # Type-check before the duplicate set(): an unhashable entry (a nested
+    # list/table) would otherwise escape as a raw TypeError.
+    for benchmark in benchmarks:
+        if not isinstance(benchmark, str):
+            raise ScenarioError(
+                f"{source}: benchmark entries must be strings, got {benchmark!r}"
+            )
     if len(set(benchmarks)) != len(benchmarks):
         raise ScenarioError(f"{source}: duplicate benchmark(s) in {list(benchmarks)}")
     if benchmarks:
-        from repro.workloads.spec_suite import workload_names
+        # Benchmarks resolve through the workload registry: built-in names,
+        # shipped library names, and user spec/trace file paths are all
+        # valid; validation is eager so a bad reference fails at load time,
+        # not deep inside a worker's compile step.
+        from repro.workloads.registry import UnknownWorkloadError, resolve_workload
+        from repro.workloads.trace_ingest import TraceIngestError
+        from repro.workloads.workload_spec import WorkloadSpecError
 
-        unknown_benchmarks = sorted(set(benchmarks) - set(workload_names()))
-        if unknown_benchmarks:
-            raise ScenarioError(
-                f"{source}: unknown benchmark(s) {', '.join(unknown_benchmarks)}"
-            )
+        for benchmark in benchmarks:
+            try:
+                resolve_workload(benchmark)
+            except (UnknownWorkloadError, WorkloadSpecError, TraceIngestError) as error:
+                raise ScenarioError(f"{source}: {error}") from None
 
     instructions = header.get("instructions", DEFAULT_INSTRUCTIONS)
     if not isinstance(instructions, int) or isinstance(instructions, bool) or instructions < 1:

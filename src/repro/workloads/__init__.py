@@ -23,6 +23,13 @@ engineered to reproduce the properties the paper's mechanisms interact with:
 Every program is a deterministic function of its name (fixed seed), so the
 non-if-converted and if-converted binaries of a benchmark are guaranteed to
 come from identical sources.
+
+Beyond the built-in suite, the package hosts the **custom-workload
+subsystem** (``docs/workloads.md``): declarative trait-spec files
+(:mod:`repro.workloads.workload_spec`), CBP-style branch-trace ingestion
+(:mod:`repro.workloads.trace_ingest`), and the registry that unifies all
+of them behind one lookup with content fingerprints folded into engine
+cache keys (:mod:`repro.workloads.registry`).
 """
 
 from repro.workloads.traits import (
@@ -42,6 +49,25 @@ from repro.workloads.spec_suite import (
     workload_names,
     workload_traits,
 )
+from repro.workloads.workload_spec import (
+    WorkloadSpecError,
+    load_workload_file,
+    parse_workload,
+    spec_document,
+)
+from repro.workloads.trace_ingest import (
+    IngestedWorkload,
+    TraceIngestError,
+    ingest_trace_file,
+    ingest_trace_text,
+)
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    WorkloadDefinition,
+    registry_names,
+    resolve_workload,
+    workload_fingerprint,
+)
 
 __all__ = [
     "CorrelatedBranchSpec",
@@ -58,4 +84,17 @@ __all__ = [
     "integer_workload_names",
     "fp_workload_names",
     "workload_traits",
+    "WorkloadSpecError",
+    "load_workload_file",
+    "parse_workload",
+    "spec_document",
+    "IngestedWorkload",
+    "TraceIngestError",
+    "ingest_trace_file",
+    "ingest_trace_text",
+    "UnknownWorkloadError",
+    "WorkloadDefinition",
+    "registry_names",
+    "resolve_workload",
+    "workload_fingerprint",
 ]

@@ -1,0 +1,228 @@
+"""External branch-trace ingestion: outcome streams → replayable programs.
+
+The synthetic suite *generates* branch behaviour from trait descriptions;
+this adapter goes the other way, in the spirit of championship-branch-
+prediction (CBP) trace suites: a recorded **conditional-branch outcome
+stream** becomes a benchmark whose branches replay the recorded outcomes,
+so the paper's predictors can be probed on behaviour captured from a real
+program.
+
+The ``.trace`` format is deliberately minimal — one conditional branch per
+line, in dynamic execution order::
+
+    # comment (blank lines are ignored)
+    0x4000 T        # <branch pc> <outcome>
+    0x4008 N
+    16384 1         # pcs may be decimal; outcomes may be T/N or 1/0
+
+Ingestion groups outcomes per static branch (by pc, in order of first
+appearance) and builds a loop program via the condition-stream machinery
+(:func:`~repro.workloads.kernels.build_program_from_traits` with explicit
+:class:`~repro.workloads.generators.ConditionStreams`):
+
+* a site whose empirical taken-rate is *hard* (between
+  ``HARD_RATE_LOW`` and ``HARD_RATE_HIGH``) becomes a
+  :class:`~repro.workloads.traits.HardRegionSpec` — a branch guarding a
+  small, if-convertible hammock, so the profile-guided if-converter treats
+  it the way it treats the synthetic suite's hard branches;
+* every other site becomes an :class:`~repro.workloads.traits.EasyBranchSpec`
+  (a well-biased branch that survives if-conversion);
+* each site's recorded outcome sequence is tiled cyclically onto the
+  workload's data arrays, so the emulated program's branch at that site
+  reproduces the recorded stream exactly (per iteration of the sweep).
+
+Everything is a deterministic function of the trace file's bytes: two
+ingestions of the same file build bit-identical programs, which is what
+lets the engine cache their artifacts under a content fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.program.program import Program
+from repro.workloads.generators import ConditionStreams, _encode_values
+from repro.workloads.kernels import build_program_from_traits
+from repro.workloads.traits import EasyBranchSpec, HardRegionSpec, WorkloadTraits
+
+
+class TraceIngestError(ValueError):
+    """A branch-trace file is malformed or unusable."""
+
+
+#: Empirical taken-rate band that classifies a site as *hard* (guarding an
+#: if-convertible region); everything outside is an easy (well-biased)
+#: branch.  The band mirrors the bias range the synthetic suite uses for
+#: its hard regions.
+HARD_RATE_LOW = 0.20
+HARD_RATE_HIGH = 0.90
+
+#: Outcome tokens accepted by the parser.
+_TAKEN_TOKENS = {"t", "1"}
+_NOT_TAKEN_TOKENS = {"n", "0"}
+
+#: Minimum data-array length of an ingested workload
+#: (:class:`WorkloadTraits` rejects anything smaller than 16).
+_MIN_LENGTH = 64
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """One static branch of an ingested trace."""
+
+    pc: int
+    outcomes: Tuple[bool, ...]
+
+    @property
+    def taken_rate(self) -> float:
+        return sum(self.outcomes) / len(self.outcomes)
+
+    @property
+    def is_hard(self) -> bool:
+        return HARD_RATE_LOW <= self.taken_rate <= HARD_RATE_HIGH
+
+
+@dataclass(frozen=True)
+class IngestedWorkload:
+    """A parsed branch trace, ready to build as a benchmark."""
+
+    name: str
+    sites: Tuple[BranchSite, ...]
+    traits: WorkloadTraits
+
+    def build(self) -> Program:
+        """Build the replayable program (deterministic per trace content)."""
+        return build_program_from_traits(self.traits, self._streams())
+
+    # ------------------------------------------------------------------
+    def _streams(self) -> ConditionStreams:
+        """Condition streams that tile each site's recorded outcomes."""
+        length = self.traits.array_length
+        streams = ConditionStreams(length=length)
+        # Value encoding only needs *some* deterministic values on either
+        # side of the threshold; the workload's seed (itself content-derived)
+        # keeps it reproducible.
+        rng = np.random.default_rng(self.traits.seed)
+        hard_index = 0
+        easy_index = 0
+        for site in self.sites:
+            tiled = np.resize(np.array(site.outcomes, dtype=bool), length)
+            if site.is_hard:
+                streams.hard.append(tiled)
+                streams.value_arrays[f"hard{hard_index}"] = _encode_values(tiled, rng)
+                hard_index += 1
+            else:
+                streams.easy.append(tiled)
+                streams.value_arrays[f"easy{easy_index}"] = _encode_values(tiled, rng)
+                easy_index += 1
+        return streams
+
+
+def _parse_outcome(token: str, where: str) -> bool:
+    lowered = token.lower()
+    if lowered in _TAKEN_TOKENS:
+        return True
+    if lowered in _NOT_TAKEN_TOKENS:
+        return False
+    raise TraceIngestError(
+        f"{where}: unknown outcome {token!r}; expected T/N or 1/0"
+    )
+
+
+def _parse_pc(token: str, where: str) -> int:
+    try:
+        return int(token, 0)  # accepts decimal and 0x-prefixed hex
+    except ValueError:
+        raise TraceIngestError(
+            f"{where}: branch pc {token!r} is not a decimal or 0x-hex integer"
+        ) from None
+
+
+def parse_outcome_lines(
+    lines: Iterable[str], source: str = "<trace>"
+) -> Tuple[BranchSite, ...]:
+    """Parse ``<pc> <outcome>`` lines into per-site outcome sequences.
+
+    Sites are returned in order of first appearance, which fixes their
+    mapping onto the generated program's branches.
+    """
+    per_site: Dict[int, List[bool]] = {}
+    order: List[int] = []
+    count = 0
+    for number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        where = f"{source}:{number}"
+        fields = line.split()
+        if len(fields) != 2:
+            raise TraceIngestError(
+                f"{where}: expected '<pc> <outcome>', got {raw.strip()!r}"
+            )
+        pc = _parse_pc(fields[0], where)
+        outcome = _parse_outcome(fields[1], where)
+        if pc not in per_site:
+            per_site[pc] = []
+            order.append(pc)
+        per_site[pc].append(outcome)
+        count += 1
+    if not count:
+        raise TraceIngestError(f"{source}: trace contains no branch outcomes")
+    return tuple(BranchSite(pc=pc, outcomes=tuple(per_site[pc])) for pc in order)
+
+
+def _content_seed(text: str) -> int:
+    """A deterministic 31-bit seed derived from the trace content."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return min(max(value, low), high)
+
+
+def ingest_trace_text(text: str, name: str, source: str = "<trace>") -> IngestedWorkload:
+    """Build an :class:`IngestedWorkload` from trace text.
+
+    The traits' ``bias`` fields describe the *recorded* rates (clamped into
+    the ranges :class:`WorkloadTraits` validation accepts); the actual branch
+    outcomes come from the recorded streams, not from those biases.
+    """
+    sites = parse_outcome_lines(text.splitlines(), source=source)
+    length = max(_MIN_LENGTH, max(len(site.outcomes) for site in sites))
+    hard_regions = tuple(
+        HardRegionSpec(bias=_clamp(site.taken_rate, 0.01, 0.99))
+        for site in sites
+        if site.is_hard
+    )
+    easy_branches = tuple(
+        # An easy branch's *predictable* direction may be not-taken; the
+        # traits field records the dominant-direction rate.
+        EasyBranchSpec(bias=_clamp(max(site.taken_rate, 1 - site.taken_rate), 0.5, 0.99))
+        for site in sites
+        if not site.is_hard
+    )
+    traits = WorkloadTraits(
+        name=name,
+        category="int",
+        seed=_content_seed(text),
+        array_length=length,
+        hard_regions=hard_regions,
+        easy_branches=easy_branches,
+    )
+    return IngestedWorkload(name=name, sites=sites, traits=traits)
+
+
+def ingest_trace_file(path: str, name: str) -> IngestedWorkload:
+    """Ingest one ``.trace`` outcome-stream file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise TraceIngestError(f"cannot read branch trace {path}: {error}") from None
+    return ingest_trace_text(text, name=name, source=os.path.basename(path))

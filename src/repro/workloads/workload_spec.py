@@ -1,0 +1,403 @@
+"""Declarative workload specifications: trait-spec files → benchmarks.
+
+The 22 built-in benchmarks are :class:`~repro.workloads.traits.WorkloadTraits`
+literals in :mod:`repro.workloads.spec_suite`; a *workload spec file* declares
+the same traits as data, so a TOML or JSON file defines a new benchmark
+without touching the package.  The format mirrors the sweep scenario
+conventions (:mod:`repro.sweep.scenario`): TOML needs :mod:`tomllib`
+(Python ≥ 3.11), JSON works everywhere, and validation is eager and total —
+unknown sections, unknown fields, wrong types and out-of-range values all
+raise :class:`WorkloadSpecError` at load time, before anything compiles.
+
+A spec file has one ``[workload]`` header table plus three optional branch
+population lists::
+
+    [workload]                 # header — name/category/seed are required
+    name = "branchy"
+    category = "int"           # "int" | "fp"
+    seed = 7
+    array_length = 1024        # optional scalars, defaults = WorkloadTraits
+    # outer_iterations, filler_alu, filler_fp, inner_loop_trips, pointer_chase
+
+    [[hard_regions]]           # hard branches guarding if-convertible regions
+    bias = 0.62
+    body_size = 4
+    kind = "hammock"           # "hammock" | "diamond" | "escape"
+    nested = false
+
+    [[correlated_branches]]    # branches correlated with hard conditions
+    sources = [0]              # indices into hard_regions
+    op = "copy"                # and|or|copy|not|majority|xor
+    lag = 1
+    noise = 0.08
+    early_compare = true
+    body_size = 20
+
+    [[easy_branches]]          # well-biased branches
+    bias = 0.95
+    body_size = 3
+    early_compare = false
+
+The field-by-field reference, with the paper mechanism each knob probes,
+lives in ``docs/workloads.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+from repro.workloads.traits import (
+    CorrelatedBranchSpec,
+    EasyBranchSpec,
+    HardRegionSpec,
+    RegionKind,
+    WorkloadTraits,
+)
+
+
+class WorkloadSpecError(ValueError):
+    """A workload spec file is malformed, unknown, or semantically invalid."""
+
+
+#: Workload names share the scenario-name restrictions: they key registry
+#: lookups, cache metadata and report rows, and built-in library specs are
+#: resolved by file stem.
+_NAME_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*")
+
+_HEADER_KEYS = {
+    "name",
+    "category",
+    "seed",
+    "array_length",
+    "outer_iterations",
+    "filler_alu",
+    "filler_fp",
+    "inner_loop_trips",
+    "pointer_chase",
+}
+
+_HARD_REGION_KEYS = {"bias", "body_size", "kind", "nested"}
+_CORRELATED_KEYS = {"sources", "op", "lag", "noise", "early_compare", "body_size"}
+_EASY_KEYS = {"bias", "body_size", "early_compare"}
+
+_REGION_KINDS = {kind.value: kind for kind in RegionKind}
+
+
+# ----------------------------------------------------------------------
+# Field-level validation helpers
+# ----------------------------------------------------------------------
+def _require_mapping(value: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise WorkloadSpecError(
+            f"{what} must be a table/object, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_int(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WorkloadSpecError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def _require_number(value: Any, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WorkloadSpecError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+def _require_bool(value: Any, what: str) -> bool:
+    if not isinstance(value, bool):
+        raise WorkloadSpecError(f"{what} must be a boolean, got {value!r}")
+    return value
+
+
+def _reject_unknown(table: Mapping[str, Any], allowed: set, what: str) -> None:
+    unknown = set(table) - allowed
+    if unknown:
+        raise WorkloadSpecError(
+            f"{what}: unknown field(s) {sorted(unknown)}; expected among "
+            f"{sorted(allowed)}"
+        )
+
+
+def _entries(raw: Any, what: str) -> List[Mapping[str, Any]]:
+    """The list form of one branch-population section."""
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise WorkloadSpecError(f"{what} must be a list of tables, got {raw!r}")
+    return [_require_mapping(entry, f"{what}[{i}]") for i, entry in enumerate(raw)]
+
+
+def _parse_hard_region(entry: Mapping[str, Any], what: str) -> HardRegionSpec:
+    _reject_unknown(entry, _HARD_REGION_KEYS, what)
+    kind_name = entry.get("kind", RegionKind.HAMMOCK.value)
+    if kind_name not in _REGION_KINDS:
+        raise WorkloadSpecError(
+            f"{what}: unknown region kind {kind_name!r}; expected one of "
+            f"{sorted(_REGION_KINDS)}"
+        )
+    try:
+        return HardRegionSpec(
+            bias=_require_number(entry.get("bias", 0.55), f"{what}.bias"),
+            body_size=_require_int(entry.get("body_size", 4), f"{what}.body_size"),
+            kind=_REGION_KINDS[kind_name],
+            nested=_require_bool(entry.get("nested", False), f"{what}.nested"),
+        )
+    except WorkloadSpecError:
+        raise
+    except ValueError as error:
+        raise WorkloadSpecError(f"{what}: {error}") from None
+
+
+def _parse_correlated(entry: Mapping[str, Any], what: str) -> CorrelatedBranchSpec:
+    _reject_unknown(entry, _CORRELATED_KEYS, what)
+    sources = entry.get("sources", [0])
+    if not isinstance(sources, Sequence) or isinstance(sources, (str, bytes)):
+        raise WorkloadSpecError(
+            f"{what}.sources must be a list of hard-region indices, got {sources!r}"
+        )
+    indices = tuple(
+        _require_int(source, f"{what}.sources[{i}]") for i, source in enumerate(sources)
+    )
+    try:
+        return CorrelatedBranchSpec(
+            sources=indices,
+            op=entry.get("op", "and"),
+            lag=_require_int(entry.get("lag", 1), f"{what}.lag"),
+            noise=_require_number(entry.get("noise", 0.05), f"{what}.noise"),
+            early_compare=_require_bool(
+                entry.get("early_compare", True), f"{what}.early_compare"
+            ),
+            body_size=_require_int(entry.get("body_size", 20), f"{what}.body_size"),
+        )
+    except WorkloadSpecError:
+        raise
+    except ValueError as error:
+        raise WorkloadSpecError(f"{what}: {error}") from None
+
+
+def _parse_easy(entry: Mapping[str, Any], what: str) -> EasyBranchSpec:
+    _reject_unknown(entry, _EASY_KEYS, what)
+    try:
+        return EasyBranchSpec(
+            bias=_require_number(entry.get("bias", 0.95), f"{what}.bias"),
+            body_size=_require_int(entry.get("body_size", 3), f"{what}.body_size"),
+            early_compare=_require_bool(
+                entry.get("early_compare", False), f"{what}.early_compare"
+            ),
+        )
+    except WorkloadSpecError:
+        raise
+    except ValueError as error:
+        raise WorkloadSpecError(f"{what}: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# Document parsing
+# ----------------------------------------------------------------------
+def parse_workload(data: Mapping[str, Any], source: str = "<workload>") -> WorkloadTraits:
+    """Validate a decoded workload document and return its traits.
+
+    Total and eager: every structural problem raises
+    :class:`WorkloadSpecError` naming ``source`` and the offending field.
+    """
+    data = _require_mapping(data, f"{source}: workload document")
+    unknown = set(data) - {
+        "workload",
+        "hard_regions",
+        "correlated_branches",
+        "easy_branches",
+    }
+    if unknown:
+        raise WorkloadSpecError(
+            f"{source}: unknown top-level section(s) {sorted(unknown)}; expected "
+            "[workload], [[hard_regions]], [[correlated_branches]], [[easy_branches]]"
+        )
+    if "workload" not in data:
+        raise WorkloadSpecError(f"{source}: missing the required [workload] table")
+    header = _require_mapping(data["workload"], f"{source}: [workload]")
+    _reject_unknown(header, _HEADER_KEYS, f"{source}: [workload]")
+    for required in ("name", "category", "seed"):
+        if required not in header:
+            raise WorkloadSpecError(
+                f"{source}: [workload] needs a {required!r} field"
+            )
+    name = header["name"]
+    if not isinstance(name, str) or not _NAME_PATTERN.fullmatch(name):
+        raise WorkloadSpecError(
+            f"{source}: workload name {name!r} must be a string of letters, "
+            "digits, '.', '_' and '-' starting with a letter or digit"
+        )
+    category = header["category"]
+    if category not in ("int", "fp"):
+        raise WorkloadSpecError(
+            f"{source}: category must be 'int' or 'fp', got {category!r}"
+        )
+
+    hard_regions = tuple(
+        _parse_hard_region(entry, f"{source}: hard_regions[{i}]")
+        for i, entry in enumerate(_entries(data.get("hard_regions", ()), f"{source}: hard_regions"))
+    )
+    correlated = tuple(
+        _parse_correlated(entry, f"{source}: correlated_branches[{i}]")
+        for i, entry in enumerate(
+            _entries(data.get("correlated_branches", ()), f"{source}: correlated_branches")
+        )
+    )
+    easy = tuple(
+        _parse_easy(entry, f"{source}: easy_branches[{i}]")
+        for i, entry in enumerate(
+            _entries(data.get("easy_branches", ()), f"{source}: easy_branches")
+        )
+    )
+
+    scalar_keys = (
+        "array_length",
+        "outer_iterations",
+        "filler_alu",
+        "filler_fp",
+        "inner_loop_trips",
+    )
+    scalars = {
+        key: _require_int(header[key], f"{source}: [workload].{key}")
+        for key in scalar_keys
+        if key in header
+    }
+    if "pointer_chase" in header:
+        scalars["pointer_chase"] = _require_bool(
+            header["pointer_chase"], f"{source}: [workload].pointer_chase"
+        )
+    try:
+        return WorkloadTraits(
+            name=name,
+            category=category,
+            seed=_require_int(header["seed"], f"{source}: [workload].seed"),
+            hard_regions=hard_regions,
+            correlated_branches=correlated,
+            easy_branches=easy,
+            **scalars,
+        )
+    except WorkloadSpecError:
+        raise
+    except ValueError as error:
+        # WorkloadTraits cross-validates (e.g. correlated sources must index
+        # an existing hard region); surface those with the file context too.
+        raise WorkloadSpecError(f"{source}: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# File loading
+# ----------------------------------------------------------------------
+def decode_workload_text(text: str, path: str) -> Mapping[str, Any]:
+    """Decode spec-file text by extension (``.toml`` or ``.json``)."""
+    if path.endswith(".json"):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as error:
+            raise WorkloadSpecError(f"{path}: invalid JSON: {error}") from None
+    if path.endswith(".toml"):
+        if tomllib is None:
+            raise WorkloadSpecError(
+                f"{path}: TOML workload specs need Python >= 3.11 (tomllib); "
+                "use a .json spec on this interpreter"
+            )
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise WorkloadSpecError(f"{path}: invalid TOML: {error}") from None
+    raise WorkloadSpecError(
+        f"{path}: unsupported workload-spec extension (expected .toml or .json)"
+    )
+
+
+def read_workload_text(path: str) -> str:
+    """Read a spec file's text (:class:`WorkloadSpecError` on I/O failure)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        raise WorkloadSpecError(f"cannot read workload spec {path}: {error}") from None
+
+
+def load_workload_text(path: str, name: Optional[str] = None) -> Tuple[WorkloadTraits, str]:
+    """Parse one workload spec file; return ``(traits, raw text)``.
+
+    The text comes back alongside the traits so callers that fingerprint
+    file content (the workload registry) read the file exactly once.
+    ``name`` (e.g. a library file's stem) must match the declared
+    ``[workload].name`` when given — a library spec whose filename disagrees
+    with its declared name would register under one name and report under
+    another.
+    """
+    text = read_workload_text(path)
+    traits = parse_workload(
+        decode_workload_text(text, path), source=os.path.basename(path)
+    )
+    if name is not None and traits.name != name:
+        raise WorkloadSpecError(
+            f"{os.path.basename(path)}: declared workload name {traits.name!r} "
+            f"does not match the file stem {name!r}"
+        )
+    return traits, text
+
+
+def load_workload_file(path: str, name: Optional[str] = None) -> WorkloadTraits:
+    """Parse one workload spec file into validated traits."""
+    return load_workload_text(path, name=name)[0]
+
+
+def spec_document(traits: WorkloadTraits) -> Mapping[str, Any]:
+    """Render traits back into the (JSON-serialisable) spec document form.
+
+    Round-trip helper used by ``repro workloads describe`` and the example
+    script: ``parse_workload(spec_document(t))`` reproduces ``t``.
+    """
+    return {
+        "workload": {
+            "name": traits.name,
+            "category": traits.category,
+            "seed": traits.seed,
+            "array_length": traits.array_length,
+            "outer_iterations": traits.outer_iterations,
+            "filler_alu": traits.filler_alu,
+            "filler_fp": traits.filler_fp,
+            "inner_loop_trips": traits.inner_loop_trips,
+            "pointer_chase": traits.pointer_chase,
+        },
+        "hard_regions": [
+            {
+                "bias": spec.bias,
+                "body_size": spec.body_size,
+                "kind": spec.kind.value,
+                "nested": spec.nested,
+            }
+            for spec in traits.hard_regions
+        ],
+        "correlated_branches": [
+            {
+                "sources": list(spec.sources),
+                "op": spec.op,
+                "lag": spec.lag,
+                "noise": spec.noise,
+                "early_compare": spec.early_compare,
+                "body_size": spec.body_size,
+            }
+            for spec in traits.correlated_branches
+        ],
+        "easy_branches": [
+            {
+                "bias": spec.bias,
+                "body_size": spec.body_size,
+                "early_compare": spec.early_compare,
+            }
+            for spec in traits.easy_branches
+        ],
+    }

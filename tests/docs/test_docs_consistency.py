@@ -41,6 +41,8 @@ class TestExperimentsDoc:
         for relative in (
             "architecture.md",
             "experiments.md",
+            "workloads.md",
+            "schemes.md",
             os.path.join("internals", "caching.md"),
         ):
             assert os.path.exists(os.path.join(DOCS, relative)), relative
@@ -64,11 +66,92 @@ class TestExperimentsDoc:
             assert f"`{name}`" in text, f"built-in scenario {name} undocumented"
 
 
+class TestWorkloadsDoc:
+    """docs/workloads.md documents the whole registry, not a snapshot."""
+
+    def test_every_builtin_workload_documented(self):
+        from repro.workloads.spec_suite import workload_names
+
+        with open(os.path.join(DOCS, "workloads.md"), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        missing = [name for name in workload_names() if f"`{name}`" not in text]
+        assert not missing, (
+            f"built-in workload(s) {missing} undocumented in docs/workloads.md"
+        )
+
+    def test_every_library_workload_documented(self):
+        from repro.workloads.registry import library_paths
+
+        with open(os.path.join(DOCS, "workloads.md"), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for path in library_paths():
+            assert os.path.basename(path) in text, (
+                f"library spec {os.path.basename(path)} undocumented in docs/workloads.md"
+            )
+
+    def test_every_spec_field_documented(self):
+        # The field-by-field reference must cover every key the parser
+        # accepts, so adding a spec field without documenting it fails here.
+        from repro.workloads import workload_spec
+
+        with open(os.path.join(DOCS, "workloads.md"), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        all_fields = (
+            workload_spec._HEADER_KEYS
+            | workload_spec._HARD_REGION_KEYS
+            | workload_spec._CORRELATED_KEYS
+            | workload_spec._EASY_KEYS
+        )
+        missing = sorted(field for field in all_fields if field not in text)
+        assert not missing, (
+            f"spec field(s) {missing} undocumented in docs/workloads.md"
+        )
+
+
+class TestSchemesDoc:
+    """docs/schemes.md maps every scheme and predictor module to the paper."""
+
+    @staticmethod
+    def _module_stems(package_dir):
+        return sorted(
+            name[:-3]
+            for name in os.listdir(os.path.join(REPO_ROOT, "src", "repro", package_dir))
+            if name.endswith(".py") and name != "__init__.py"
+        )
+
+    def test_every_core_scheme_module_documented(self):
+        with open(os.path.join(DOCS, "schemes.md"), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        missing = [
+            stem for stem in self._module_stems("core") if f"`{stem}.py`" not in text
+        ]
+        assert not missing, f"core module(s) {missing} undocumented in docs/schemes.md"
+
+    def test_every_predictor_module_documented(self):
+        with open(os.path.join(DOCS, "schemes.md"), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        missing = [
+            stem
+            for stem in self._module_stems("predictors")
+            if f"`{stem}.py`" not in text
+        ]
+        assert not missing, (
+            f"predictor module(s) {missing} undocumented in docs/schemes.md"
+        )
+
+
 class TestMarkdownLinks:
     def test_intra_repo_links_resolve(self):
         check_docs = _load_check_docs()
         failures = check_docs.broken_links(REPO_ROOT)
         assert not failures, f"broken markdown link(s): {failures}"
+
+    def test_no_orphaned_docs_pages(self):
+        # Every page under docs/ must be linked from some other markdown
+        # file, so new documentation cannot fall out of the navigation.
+        check_docs = _load_check_docs()
+        orphans = check_docs.orphan_docs(REPO_ROOT)
+        assert not orphans, f"orphaned docs page(s): {orphans}"
 
     def test_checker_sees_the_docs_tree(self):
         check_docs = _load_check_docs()
@@ -77,7 +160,24 @@ class TestMarkdownLinks:
         assert any(path.endswith("README.md") for path in files)
 
 
-@pytest.mark.parametrize("module_name", ["repro.engine", "repro.perf", "repro.sweep"])
+class TestExamplesInCI:
+    def test_every_example_script_runs_in_the_docs_job(self):
+        # The examples are living documentation: each one must appear in the
+        # CI docs job (with a small budget) so it cannot rot silently.
+        workflow = os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")
+        with open(workflow, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        examples_dir = os.path.join(REPO_ROOT, "examples")
+        for name in sorted(os.listdir(examples_dir)):
+            if name.endswith(".py"):
+                assert f"examples/{name}" in text, (
+                    f"examples/{name} is not exercised by the CI docs job"
+                )
+
+
+@pytest.mark.parametrize(
+    "module_name", ["repro.engine", "repro.perf", "repro.sweep", "repro.workloads"]
+)
 def test_public_packages_have_module_docstrings(module_name):
     import importlib
     import pkgutil

@@ -156,8 +156,43 @@ class TestValidation:
             parse_scenario(minimal_document(flavour="optimized"))
 
     def test_unknown_benchmark(self):
-        with pytest.raises(ScenarioError, match="unknown benchmark"):
+        # The registry's message lists the available workloads and (for
+        # near-misses) suggests close matches.
+        with pytest.raises(ScenarioError, match="unknown workload"):
             parse_scenario(minimal_document(benchmarks=["spec2017"]))
+
+    def test_misspelled_benchmark_gets_a_suggestion(self):
+        with pytest.raises(ScenarioError, match="did you mean: gzip"):
+            parse_scenario(minimal_document(benchmarks=["gzpi"]))
+
+    def test_non_string_benchmark_entry_rejected(self):
+        # Including unhashable entries, which would otherwise slip past as a
+        # raw TypeError from the duplicate set() check.
+        with pytest.raises(ScenarioError, match="must be strings"):
+            parse_scenario(minimal_document(benchmarks=[["gzip"]]))
+        with pytest.raises(ScenarioError, match="must be strings"):
+            parse_scenario(minimal_document(benchmarks=[7]))
+
+    def test_spec_file_benchmark_accepted(self, tmp_path):
+        import json
+
+        spec = tmp_path / "mini.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "workload": {"name": "mini", "category": "int", "seed": 1},
+                    "easy_branches": [{"bias": 0.9}],
+                }
+            )
+        )
+        scenario = parse_scenario(minimal_document(benchmarks=[str(spec)]))
+        assert scenario.benchmarks == (str(spec),)
+
+    def test_invalid_spec_file_benchmark_rejected(self, tmp_path):
+        spec = tmp_path / "broken.json"
+        spec.write_text('{"workload": {"name": "broken"}}')
+        with pytest.raises(ScenarioError, match="category"):
+            parse_scenario(minimal_document(benchmarks=[str(spec)]))
 
     def test_bad_instruction_budget(self):
         with pytest.raises(ScenarioError, match="positive integer"):
@@ -267,6 +302,7 @@ class TestValidation:
 class TestBuiltins:
     def test_builtin_names(self):
         assert builtin_scenario_names() == [
+            "custom-workload",
             "fetch-width",
             "mispredict-penalty",
             "predictor-budget",
@@ -274,7 +310,16 @@ class TestBuiltins:
         ]
 
     @pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
-    @pytest.mark.parametrize("name", ["fetch-width", "mispredict-penalty", "predictor-budget", "rob-scaling"])
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "custom-workload",
+            "fetch-width",
+            "mispredict-penalty",
+            "predictor-budget",
+            "rob-scaling",
+        ],
+    )
     def test_builtins_parse_and_expand(self, name):
         scenario = load_scenario(name)
         assert scenario.name == name

@@ -1,0 +1,173 @@
+"""Custom workloads through the engine: caching, invalidation, sweeps.
+
+The acceptance criteria of the custom-workload subsystem live here:
+
+* a rerun of a custom-workload experiment rebuilds **zero** jobs;
+* editing a spec file changes its cache token, so only that workload's
+  artifacts rebuild while built-in workloads' artifacts stay cached;
+* a sweep scenario referencing a spec-file workload runs end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ExecutionEngine, SchemeSpec, sweep
+from repro.engine.jobs import IF_CONVERTED
+from repro.engine.store import ArtifactStore
+from repro.experiments.setup import ExperimentProfile
+
+
+def write_spec(path, seed=5, bias=0.93):
+    path.write_text(
+        json.dumps(
+            {
+                "workload": {"name": "custom", "category": "int", "seed": seed},
+                "hard_regions": [{"bias": 0.62, "body_size": 4}],
+                "easy_branches": [{"bias": bias}],
+            }
+        )
+    )
+    return str(path)
+
+
+def profile_for(benchmarks):
+    return ExperimentProfile(
+        name="custom-test",
+        instructions_per_benchmark=2_000,
+        benchmarks=list(benchmarks),
+        profile_budget=2_000,
+    )
+
+
+def definition_for(benchmarks):
+    return sweep(
+        "custom-test", benchmarks, IF_CONVERTED, {"pred": SchemeSpec.make("predicate")}
+    )
+
+
+class TestCustomWorkloadCaching:
+    def test_rerun_rebuilds_zero_jobs(self, tmp_path):
+        spec = write_spec(tmp_path / "custom.json")
+        store = ArtifactStore(str(tmp_path / "cache"))
+        benchmarks = ["gzip", spec]
+
+        first = ExecutionEngine(profile_for(benchmarks), store=store)
+        first.run([definition_for(benchmarks)])
+        assert first.stats.binaries_built == 2
+        assert first.stats.traces_collected == 2
+        assert first.stats.simulations_run == 2
+
+        again = ExecutionEngine(profile_for(benchmarks), store=store)
+        outputs = again.run([definition_for(benchmarks)])["custom-test"]
+        assert again.stats.binaries_built == 0
+        assert again.stats.traces_collected == 0
+        assert again.stats.simulations_run == 0
+        assert again.stats.results_loaded == 2
+        assert set(outputs) == {("gzip", "pred"), (spec, "pred")}
+
+    def test_spec_edit_invalidates_only_that_workload(self, tmp_path):
+        spec = write_spec(tmp_path / "custom.json", seed=5)
+        store = ArtifactStore(str(tmp_path / "cache"))
+        benchmarks = ["gzip", spec]
+
+        warm = ExecutionEngine(profile_for(benchmarks), store=store)
+        warm.run([definition_for(benchmarks)])
+        assert warm.stats.simulations_run == 2
+
+        # Edit the spec: its content fingerprint — and therefore its build,
+        # trace and result keys — must change, while gzip stays cached.
+        write_spec(tmp_path / "custom.json", seed=6)
+        edited = ExecutionEngine(profile_for(benchmarks), store=store)
+        edited.run([definition_for(benchmarks)])
+        assert edited.stats.binaries_built == 1  # the custom workload only
+        assert edited.stats.traces_collected == 1
+        assert edited.stats.simulations_run == 1
+        assert edited.stats.results_loaded == 1  # gzip, served from the store
+
+    def test_edit_changes_results_not_just_keys(self, tmp_path):
+        # A different easy-branch bias must produce a different accuracy:
+        # the invalidation is not just key churn.
+        spec = write_spec(tmp_path / "custom.json", bias=0.93)
+        engine = ExecutionEngine(profile_for([spec]))
+        before = engine.simulate(spec, IF_CONVERTED, SchemeSpec.make("conventional"))
+        write_spec(tmp_path / "custom.json", bias=0.51)
+        after = ExecutionEngine(profile_for([spec])).simulate(
+            spec, IF_CONVERTED, SchemeSpec.make("conventional")
+        )
+        assert (
+            before.accuracy.misprediction_rate != after.accuracy.misprediction_rate
+        )
+
+    def test_parallel_run_resolves_custom_workloads_in_workers(self, tmp_path):
+        spec = write_spec(tmp_path / "custom.json")
+        benchmarks = ["gzip", spec]
+        serial = ExecutionEngine(profile_for(benchmarks))
+        parallel = ExecutionEngine(profile_for(benchmarks), jobs=2)
+        a = serial.run([definition_for(benchmarks)])["custom-test"]
+        b = parallel.run([definition_for(benchmarks)])["custom-test"]
+        assert {
+            slot: result.metrics.ipc for slot, result in a.items()
+        } == {slot: result.metrics.ipc for slot, result in b.items()}
+
+
+class TestCustomWorkloadSweep:
+    def scenario_for(self, spec_path):
+        from repro.sweep.scenario import parse_scenario
+
+        return parse_scenario(
+            {
+                "scenario": {
+                    "name": "custom-sweep",
+                    "benchmarks": ["gzip", spec_path],
+                    "schemes": ["predicate"],
+                    "instructions": 2_000,
+                },
+                "axes": {"pipeline": {"rob_entries": [64, 256]}},
+            }
+        )
+
+    def test_sweep_with_spec_file_workload_end_to_end(self, tmp_path):
+        from repro.sweep.runner import run_sweep, sweep_profile
+        from repro.sweep.report import render_sweep
+
+        spec = write_spec(tmp_path / "custom.json")
+        scenario = self.scenario_for(spec)
+        store = ArtifactStore(str(tmp_path / "cache"))
+        engine = ExecutionEngine(sweep_profile(scenario), store=store)
+        run = run_sweep(scenario, engine=engine)
+        # 2 points x 1 scheme x 2 benchmarks.
+        assert len(run.results) == 4
+        assert engine.stats.simulations_run == 4
+        report = render_sweep(run)
+        assert "custom-sweep" in report
+
+        # The engine-stats cache proof: a rerun rebuilds zero jobs.
+        again = ExecutionEngine(sweep_profile(scenario), store=store)
+        rerun = run_sweep(scenario, engine=again)
+        assert again.stats.simulations_run == 0
+        assert again.stats.results_loaded == 4
+        assert len(rerun.results) == 4
+
+        # Editing the spec invalidates the custom workload's cells only:
+        # gzip's artifacts (2 machines x 1 scheme) are served from the store.
+        write_spec(tmp_path / "custom.json", seed=11)
+        edited = ExecutionEngine(sweep_profile(scenario), store=store)
+        run_sweep(self.scenario_for(spec), engine=edited)
+        assert edited.stats.binaries_built == 1
+        assert edited.stats.simulations_run == 2  # the spec workload's 2 points
+        assert edited.stats.results_loaded == 2  # gzip's 2 points
+
+    def test_builtin_custom_workload_scenario_loads(self):
+        pytest.importorskip("tomllib")
+        from repro.sweep.scenario import load_scenario
+        from repro.sweep.spec import SweepSpec
+
+        scenario = load_scenario("custom-workload")
+        assert "branchy" in scenario.benchmarks
+        spec = SweepSpec(scenario)
+        assert spec.cell_count() == len(scenario.benchmarks) * len(
+            spec.points()
+        ) * len(scenario.schemes)

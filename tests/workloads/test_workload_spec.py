@@ -1,0 +1,238 @@
+"""Workload spec files: parsing, eager total validation, round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workloads.spec_suite import SPEC_SUITE
+from repro.workloads.traits import RegionKind
+from repro.workloads.workload_spec import (
+    WorkloadSpecError,
+    load_workload_file,
+    parse_workload,
+    spec_document,
+    tomllib,
+)
+
+HAVE_TOMLLIB = tomllib is not None
+
+
+def minimal_document(**header):
+    base = {"name": "mini", "category": "int", "seed": 3}
+    base.update(header)
+    return {"workload": base, "easy_branches": [{"bias": 0.9}]}
+
+
+FULL_DOCUMENT = {
+    "workload": {
+        "name": "full",
+        "category": "fp",
+        "seed": 11,
+        "array_length": 512,
+        "outer_iterations": 5_000,
+        "filler_alu": 4,
+        "filler_fp": 6,
+        "inner_loop_trips": 2,
+        "pointer_chase": True,
+    },
+    "hard_regions": [
+        {"bias": 0.6, "body_size": 4, "kind": "hammock"},
+        {"bias": 0.7, "body_size": 5, "kind": "diamond", "nested": True},
+    ],
+    "correlated_branches": [
+        {"sources": [0, 1], "op": "or", "lag": 2, "noise": 0.1, "early_compare": True}
+    ],
+    "easy_branches": [{"bias": 0.95, "body_size": 2, "early_compare": True}],
+}
+
+FULL_TOML = """
+[workload]
+name = "full"
+category = "fp"
+seed = 11
+array_length = 512
+outer_iterations = 5000
+filler_alu = 4
+filler_fp = 6
+inner_loop_trips = 2
+pointer_chase = true
+
+[[hard_regions]]
+bias = 0.6
+body_size = 4
+kind = "hammock"
+
+[[hard_regions]]
+bias = 0.7
+body_size = 5
+kind = "diamond"
+nested = true
+
+[[correlated_branches]]
+sources = [0, 1]
+op = "or"
+lag = 2
+noise = 0.1
+early_compare = true
+
+[[easy_branches]]
+bias = 0.95
+body_size = 2
+early_compare = true
+"""
+
+
+class TestParsing:
+    def test_full_document(self):
+        traits = parse_workload(FULL_DOCUMENT)
+        assert traits.name == "full"
+        assert traits.category == "fp"
+        assert traits.array_length == 512
+        assert traits.pointer_chase is True
+        assert len(traits.hard_regions) == 2
+        assert traits.hard_regions[1].kind is RegionKind.DIAMOND
+        assert traits.hard_regions[1].nested is True
+        assert traits.correlated_branches[0].sources == (0, 1)
+        assert traits.easy_branches[0].early_compare is True
+
+    def test_defaults_fill_in(self):
+        traits = parse_workload(minimal_document())
+        assert traits.array_length == 1024  # WorkloadTraits default
+        assert traits.hard_regions == ()
+        assert len(traits.easy_branches) == 1
+
+    @pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
+    def test_toml_and_json_parse_identically(self, tmp_path):
+        toml_path = tmp_path / "full.toml"
+        toml_path.write_text(FULL_TOML)
+        json_path = tmp_path / "full.json"
+        json_path.write_text(json.dumps(FULL_DOCUMENT))
+        assert load_workload_file(str(toml_path)) == load_workload_file(str(json_path))
+
+    def test_spec_document_round_trip(self):
+        traits = parse_workload(FULL_DOCUMENT)
+        assert parse_workload(spec_document(traits)) == traits
+
+    def test_builtin_traits_survive_the_document_round_trip(self):
+        # Any built-in can be exported as a spec file and re-imported.
+        for traits in list(SPEC_SUITE.values())[:3]:
+            assert parse_workload(spec_document(traits)) == traits
+
+
+class TestValidation:
+    def test_unknown_top_level_section(self):
+        with pytest.raises(WorkloadSpecError, match="unknown top-level"):
+            parse_workload({**minimal_document(), "branches": []})
+
+    def test_missing_workload_table(self):
+        with pytest.raises(WorkloadSpecError, match=r"missing the required \[workload\]"):
+            parse_workload({"easy_branches": []})
+
+    @pytest.mark.parametrize("required", ["name", "category", "seed"])
+    def test_missing_required_header_field(self, required):
+        document = minimal_document()
+        del document["workload"][required]
+        with pytest.raises(WorkloadSpecError, match=required):
+            parse_workload(document)
+
+    def test_unknown_header_field(self):
+        with pytest.raises(WorkloadSpecError, match="unknown field"):
+            parse_workload(minimal_document(sed=3))
+
+    def test_bad_name(self):
+        with pytest.raises(WorkloadSpecError, match="name"):
+            parse_workload(minimal_document(name="../escape"))
+
+    def test_bad_category(self):
+        with pytest.raises(WorkloadSpecError, match="category"):
+            parse_workload(minimal_document(category="vector"))
+
+    def test_non_integer_seed(self):
+        with pytest.raises(WorkloadSpecError, match="seed"):
+            parse_workload(minimal_document(seed="7"))
+
+    def test_boolean_is_not_an_integer(self):
+        with pytest.raises(WorkloadSpecError, match="array_length"):
+            parse_workload(minimal_document(array_length=True))
+
+    def test_unknown_hard_region_field(self):
+        document = minimal_document()
+        document["hard_regions"] = [{"bias": 0.6, "shape": "hammock"}]
+        with pytest.raises(WorkloadSpecError, match=r"hard_regions\[0\]"):
+            parse_workload(document)
+
+    def test_unknown_region_kind(self):
+        document = minimal_document()
+        document["hard_regions"] = [{"kind": "triangle"}]
+        with pytest.raises(WorkloadSpecError, match="unknown region kind"):
+            parse_workload(document)
+
+    def test_out_of_range_bias_carries_file_context(self):
+        document = minimal_document()
+        document["hard_regions"] = [{"bias": 1.5}]
+        with pytest.raises(WorkloadSpecError, match=r"hard_regions\[0\].*bias"):
+            parse_workload(document, source="my.toml")
+
+    def test_unknown_correlation_op(self):
+        document = minimal_document()
+        document["hard_regions"] = [{"bias": 0.6}]
+        document["correlated_branches"] = [{"sources": [0], "op": "nand"}]
+        with pytest.raises(WorkloadSpecError, match="unknown correlation op"):
+            parse_workload(document)
+
+    def test_correlated_source_out_of_range(self):
+        document = minimal_document()
+        document["correlated_branches"] = [{"sources": [2], "op": "copy"}]
+        with pytest.raises(WorkloadSpecError, match="hard region"):
+            parse_workload(document)
+
+    def test_section_must_be_a_list(self):
+        document = minimal_document()
+        document["easy_branches"] = {"bias": 0.9}
+        with pytest.raises(WorkloadSpecError, match="list of tables"):
+            parse_workload(document)
+
+    def test_unknown_easy_field(self):
+        document = minimal_document()
+        document["easy_branches"] = [{"bias": 0.9, "weight": 2}]
+        with pytest.raises(WorkloadSpecError, match=r"easy_branches\[0\]"):
+            parse_workload(document)
+
+
+class TestFiles:
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"workload": ')
+        with pytest.raises(WorkloadSpecError, match="invalid JSON"):
+            load_workload_file(str(path))
+
+    @pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
+    def test_malformed_toml(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[workload\nname=")
+        with pytest.raises(WorkloadSpecError, match="invalid TOML"):
+            load_workload_file(str(path))
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("workload:\n  name: x\n")
+        with pytest.raises(WorkloadSpecError, match="unsupported"):
+            load_workload_file(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadSpecError, match="cannot read"):
+            load_workload_file(str(tmp_path / "absent.json"))
+
+    def test_stem_mismatch_rejected_when_name_given(self, tmp_path):
+        path = tmp_path / "alpha.json"
+        path.write_text(json.dumps(minimal_document(name="beta")))
+        with pytest.raises(WorkloadSpecError, match="does not match"):
+            load_workload_file(str(path), name="alpha")
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "oops.json"
+        path.write_text(json.dumps(minimal_document(category="simd")))
+        with pytest.raises(WorkloadSpecError, match="oops.json"):
+            load_workload_file(str(path))
