@@ -30,6 +30,15 @@ class ConventionalScheme(BranchHandlingScheme):
 
     name = "conventional"
 
+    #: Every hook ignores its cycle arguments: the prediction stream is a
+    #: pure function of the branch rows of the trace.  The lane-batched
+    #: kernel exploits this by replaying the scheme once per spec and
+    #: sharing the stream across all machine lanes of a batch.  (The
+    #: speculative GHR push + same-branch repair in ``on_branch_rename`` is
+    #: net-equivalent to pushing the architectural outcome, so even the
+    #: history evolution is trace-determined.)
+    timing_independent = True
+
     def __init__(
         self,
         perceptron_config: Optional[PerceptronConfig] = None,
@@ -104,6 +113,19 @@ class ConventionalScheme(BranchHandlingScheme):
             return
         pc, history, actual = pending
         self.predictor.update(pc, history, actual)
+
+    # ------------------------------------------------------------------
+    def lane_bank_profile(self):
+        """Geometry token for :class:`repro.predictors.batched.ConventionalLaneBank`.
+
+        Only the plain scheme (table-indexed perceptron + gshare) can be
+        stepped as lane-axis arrays; the idealized no-alias variant indexes
+        differently and subclasses may override hooks, so both opt out.
+        """
+        if type(self) is not ConventionalScheme or self.ideal_no_alias:
+            return None
+        fast = self.predictor.fast
+        return (self.perceptron_config, fast.history_bits, fast.counter_bits)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -35,10 +35,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.compiler.binaries import BinaryFactory
 from repro.emulator.executor import Emulator
 from repro.emulator.tracepack import TracePack, pack_supported
-from repro.engine.jobs import BASELINE, IF_CONVERTED, SchemeSpec, SimulateJob
+from repro.engine.jobs import (
+    BASELINE,
+    IF_CONVERTED,
+    BatchedSimulateJob,
+    SchemeSpec,
+    SimulateJob,
+)
 from repro.engine.planner import (
     ExperimentDefinition,
     JobGraph,
+    make_batched_simulate_job,
     make_build_job,
     make_simulate_job,
     make_trace_job,
@@ -46,6 +53,7 @@ from repro.engine.planner import (
 )
 from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore
 from repro.perf.flags import optimizations_enabled
+from repro.pipeline.batched import LaneSpec, simulate_lanes
 from repro.pipeline.core import OutOfOrderCore, SimulationResult
 from repro.pipeline.machine import MachineSpec
 from repro.program.program import Program
@@ -69,6 +77,12 @@ class EngineStats:
     traces_loaded: int = 0
     simulations_run: int = 0
     results_loaded: int = 0
+    #: Lane-batched execution accounting: how many batched kernel launches
+    #: happened and how many simulate jobs rode in them.  ``simulations_run``
+    #: still counts every *job* (lanes included), so the cache-proof
+    #: invariant "second run simulates nothing" is batch-transparent.
+    batches_run: int = 0
+    batched_lanes: int = 0
     #: Wall-clock seconds spent collecting traces / running simulations
     #: (work actually performed, cache hits excluded).
     trace_seconds: float = 0.0
@@ -89,12 +103,15 @@ class EngineStats:
 
     def render(self) -> str:
         """One human-readable summary line of what the engine did."""
+        batched = ""
+        if self.batches_run:
+            batched = f", {self.batched_lanes} lanes in {self.batches_run} batches"
         return (
             f"built {self.binaries_built} binaries ({self.binaries_loaded} cached), "
             f"collected {self.traces_collected} traces ({self.traces_loaded} cached) "
             f"in {self.trace_seconds:.2f}s, "
             f"ran {self.simulations_run} simulations ({self.results_loaded} cached) "
-            f"in {self.simulate_seconds:.2f}s"
+            f"in {self.simulate_seconds:.2f}s{batched}"
         )
 
 
@@ -105,6 +122,12 @@ class JobTiming:
     ``cached`` jobs were served from the artifact store; their ``seconds``
     measure the load, not a simulation, and are excluded from throughput
     aggregation by the bench harness.
+
+    ``lanes`` is the size of the batched kernel launch the job rode in
+    (1 for a per-cell run).  Batched jobs are attributed an equal share of
+    the batch's wall clock — the lanes replay the same trace, so the
+    per-instruction split is exactly proportional — keeping per-cell
+    simulate seconds meaningful for throughput and regression accounting.
     """
 
     key: str
@@ -115,6 +138,7 @@ class JobTiming:
     instructions: int
     cycles: int
     cached: bool
+    lanes: int = 1
 
     def instructions_per_second(self) -> float:
         """Simulated-instruction throughput of this job (0 when untimed)."""
@@ -306,13 +330,25 @@ class ExecutionEngine:
         return self._run_simulation(job)
 
     def _run_simulation(self, job: SimulateJob) -> SimulationResult:
-        if self.store is not None:
-            started = perf_counter()
-            result = self.store.get(RESULTS, job.key)
-            if result is not None:
-                self.stats.results_loaded += 1
-                self._record_timing(job, result, perf_counter() - started, cached=True)
-                return result
+        cached = self._load_cached_result(job)
+        if cached is not None:
+            return cached
+        return self._simulate_uncached(job)
+
+    def _load_cached_result(self, job: SimulateJob) -> Optional[SimulationResult]:
+        """Serve one simulate job from the artifact store, if present."""
+        if self.store is None:
+            return None
+        started = perf_counter()
+        result = self.store.get(RESULTS, job.key)
+        if result is None:
+            return None
+        self.stats.results_loaded += 1
+        self._record_timing(job, result, perf_counter() - started, cached=True)
+        return result
+
+    def _simulate_uncached(self, job: SimulateJob) -> SimulationResult:
+        """Run one simulate job through the scalar core (store miss path)."""
         trace = self.collect_trace(job.benchmark, job.flavour)
         core = OutOfOrderCore(config=job.machine.build_config())
         scheme = job.scheme.build()
@@ -322,6 +358,10 @@ class ExecutionEngine:
         self.stats.simulations_run += 1
         self.stats.simulate_seconds += elapsed
         self._record_timing(job, result, elapsed, cached=False)
+        self._store_result(job, result)
+        return result
+
+    def _store_result(self, job: SimulateJob, result: SimulationResult) -> None:
         if self.store is not None:
             self.store.put(
                 RESULTS,
@@ -333,10 +373,82 @@ class ExecutionEngine:
                     "scheme": job.scheme.describe(),
                 },
             )
-        return result
+
+    # ------------------------------------------------------------------
+    # Lane-batched execution
+    # ------------------------------------------------------------------
+    def run_cell_jobs(
+        self, cell_jobs: Sequence[SimulateJob]
+    ) -> Dict[str, SimulationResult]:
+        """Run one cell's simulate jobs, lane-batching where profitable.
+
+        Cached jobs are served from the store first and never enter a
+        batch.  When at least two uncached jobs remain and the optimized
+        columnar path is active, they run as lanes of one batched kernel
+        launch (:func:`repro.pipeline.batched.simulate_lanes`); results
+        are stored under each lane's own key, so later runs — batched or
+        not — hit the identical artifacts.
+        """
+        results: Dict[str, SimulationResult] = {}
+        pending: List[SimulateJob] = []
+        for job in cell_jobs:
+            cached = self._load_cached_result(job)
+            if cached is not None:
+                results[job.key] = cached
+            else:
+                pending.append(job)
+        if not pending:
+            return results
+        if (
+            len(pending) >= 2
+            and optimizations_enabled()
+            and pack_supported()
+        ):
+            trace = self.collect_trace(pending[0].benchmark, pending[0].flavour)
+            if isinstance(trace, TracePack):
+                batch = make_batched_simulate_job(pending)
+                results.update(self._run_batch(batch, trace))
+                return results
+        for job in pending:
+            results[job.key] = self._simulate_uncached(job)
+        return results
+
+    def _run_batch(
+        self, batch: BatchedSimulateJob, trace: TracePack
+    ) -> Dict[str, SimulationResult]:
+        """Execute a batched simulate job; fan results out to lane keys."""
+        jobs = batch.lanes
+        lanes = [
+            LaneSpec(
+                scheme_factory=job.scheme.build,
+                config=job.machine.build_config(),
+                group_key=job.scheme,
+            )
+            for job in jobs
+        ]
+        started = perf_counter()
+        lane_results = simulate_lanes(trace, lanes, program_name=batch.benchmark)
+        elapsed = perf_counter() - started
+        n = len(jobs)
+        self.stats.simulations_run += n
+        self.stats.simulate_seconds += elapsed
+        self.stats.batches_run += 1
+        self.stats.batched_lanes += n
+        share = elapsed / n
+        results: Dict[str, SimulationResult] = {}
+        for job, result in zip(jobs, lane_results):
+            self._record_timing(job, result, share, cached=False, lanes=n)
+            self._store_result(job, result)
+            results[job.key] = result
+        return results
 
     def _record_timing(
-        self, job: SimulateJob, result: SimulationResult, seconds: float, cached: bool
+        self,
+        job: SimulateJob,
+        result: SimulationResult,
+        seconds: float,
+        cached: bool,
+        lanes: int = 1,
     ) -> None:
         self.job_timings.append(
             JobTiming(
@@ -348,6 +460,7 @@ class ExecutionEngine:
                 instructions=result.metrics.committed_instructions,
                 cycles=result.metrics.cycles,
                 cached=cached,
+                lanes=lanes,
             )
         )
 
@@ -384,8 +497,7 @@ class ExecutionEngine:
     ) -> Dict[str, SimulationResult]:
         results: Dict[str, SimulationResult] = {}
         for cell_jobs in cells.values():
-            for job in cell_jobs:
-                results[job.key] = self._run_simulation(job)
+            results.update(self.run_cell_jobs(cell_jobs))
         return results
 
     def _execute_parallel(
@@ -462,7 +574,7 @@ def _execute_cell(
         max_cached_traces=1,
         trace_spill=ArtifactStore(spill_root) if spill_root is not None else None,
     )
-    results = {job.key: engine._run_simulation(job) for job in cell_jobs}
+    results = engine.run_cell_jobs(cell_jobs)
     return (
         results,
         engine.stats.as_dict(),

@@ -141,3 +141,18 @@ class SimulateJob(JobSpec):
     scheme: SchemeSpec = SchemeSpec(kind="conventional")
     trace_key: str = ""
     machine: MachineSpec = field(default_factory=MachineSpec)
+
+
+@dataclass(frozen=True)
+class BatchedSimulateJob(JobSpec):
+    """N same-cell simulate jobs stepped in lockstep over one trace.
+
+    A batch is an *execution* grouping, not a cache identity: each lane
+    keeps its own content-addressed :class:`SimulateJob` key, the executor
+    stores one result per lane under that key, and a lane served from the
+    store never enters a batch at all.  Cached artifacts are therefore
+    bit-for-bit interchangeable between batched and per-cell runs.
+    """
+
+    lanes: Tuple[SimulateJob, ...] = ()
+    trace_key: str = ""

@@ -22,6 +22,7 @@ from repro.emulator.trace import TRACE_FORMAT_VERSION
 from repro.engine.hashing import code_fingerprint, stable_hash
 from repro.engine.jobs import (
     FLAVOURS,
+    BatchedSimulateJob,
     BuildJob,
     SchemeSpec,
     SimulateJob,
@@ -196,6 +197,35 @@ def make_simulate_job(
         scheme=scheme,
         trace_key=trace.key,
         machine=machine,
+    )
+
+
+def make_batched_simulate_job(lanes: Sequence[SimulateJob]) -> BatchedSimulateJob:
+    """Group same-cell simulate jobs into one lane-batched execution job.
+
+    Every lane must replay the same trace (same benchmark, flavour and
+    trace key); lanes differ in scheme and/or machine.  The batch key is
+    derived from the lane keys purely for bookkeeping — it is **not** an
+    artifact key: results are stored under each lane's own
+    :class:`SimulateJob` key, so the store cannot tell a batched run from a
+    per-cell one (and cached lanes are dropped from batches before launch).
+    """
+    if not lanes:
+        raise ValueError("a batched simulate job needs at least one lane")
+    first = lanes[0]
+    for job in lanes[1:]:
+        if job.cell != first.cell or job.trace_key != first.trace_key:
+            raise ValueError(
+                "batched lanes must share one (benchmark, flavour) trace; "
+                f"got {first.cell} and {job.cell}"
+            )
+    key = stable_hash("batch", [job.key for job in lanes])
+    return BatchedSimulateJob(
+        key=key,
+        benchmark=first.benchmark,
+        flavour=first.flavour,
+        lanes=tuple(lanes),
+        trace_key=first.trace_key,
     )
 
 

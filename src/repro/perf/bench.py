@@ -30,7 +30,7 @@ import time
 import tracemalloc
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.emulator.executor import Emulator
 from repro.emulator.trace import serialize_trace
@@ -41,9 +41,12 @@ from repro.perf import flags
 from repro.pipeline.machine import MachineSpec
 
 #: Schema identifier embedded in every report.  v2 added the per-cell trace
-#: metrics (build throughput, peak allocation, serialized size); v1 reports
-#: remain comparable through the throughput gate.
-SCHEMA = "repro-bench/v2"
+#: metrics (build throughput, peak allocation, serialized size); v3 added
+#: lane-batched sweep cells (``lanes``/``scalar_seconds``/``batch_speedup``
+#: per batch cell, ``lane_batching`` under ``machine``, batch keys in
+#: history rows).  v1/v2 reports remain comparable through the throughput
+#: gate, which reads only aggregate fields present in every version.
+SCHEMA = "repro-bench/v3"
 
 #: Fetched-instruction budget per cell.
 QUICK_INSTRUCTIONS = 12_000
@@ -79,13 +82,69 @@ class BenchCell:
         return f"{self.benchmark}/{self.flavour}/{self.scheme_label()}"
 
 
+@dataclass(frozen=True)
+class BatchBenchCell:
+    """One lane-batched throughput measurement: N (scheme, machine) lanes
+    stepped in lockstep over one shared trace.
+
+    Batch cells measure the sweep-shaped workload ``repro sweep`` actually
+    runs — many same-cell simulations over one trace — through the engine's
+    lane-batching path (:meth:`~repro.engine.executor.ExecutionEngine.run_cell_jobs`).
+    Each cell also times the per-lane scalar reference, so its report row
+    carries the batch speedup alongside the gated throughput numbers.
+    """
+
+    benchmark: str
+    flavour: str
+    name: str
+    lanes: Tuple[Tuple[str, MachineSpec], ...]
+
+    def scheme_label(self) -> str:
+        """The batch shape, e.g. ``batch:rob-sweep-x8``."""
+        return f"batch:{self.name}-x{len(self.lanes)}"
+
+    def label(self) -> str:
+        """The cell's full ``benchmark/flavour/scheme`` label (filter target)."""
+        return f"{self.benchmark}/{self.flavour}/{self.scheme_label()}"
+
+
+#: The sweep-shaped batch cells of the quick suite: a pure-conventional ROB
+#: sweep (the lane-bank fast path — one shared decision stream drives all
+#: lanes) and a mixed-scheme cell mirroring the ``rob-scaling`` sweep
+#: scenario's shape (conventional + predicate × ROB sizes), which exercises
+#: stream lanes and hook lanes in one batch.
+_ROB_SWEEP_POINTS = (32, 48, 64, 96, 128, 160, 192, 256)
+QUICK_BATCH_CELLS: Sequence[BatchBenchCell] = (
+    BatchBenchCell(
+        "gzip",
+        IF_CONVERTED,
+        "rob-sweep",
+        tuple(
+            ("conventional", MachineSpec.make(rob_entries=size))
+            for size in _ROB_SWEEP_POINTS
+        ),
+    ),
+    BatchBenchCell(
+        "gzip",
+        IF_CONVERTED,
+        "rob-scaling-mixed",
+        tuple(
+            (scheme, MachineSpec.make(rob_entries=size))
+            for scheme in ("conventional", "predicate")
+            for size in (32, 64, 128, 256)
+        ),
+    ),
+)
+
 #: The quick suite: one cell per scheme plus flavour coverage, on the
 #: benchmarks the test-suite profile also uses (they compile fastest), plus
 #: one sweep cell on a non-default machine and one custom-workload cell —
 #: ``branchy`` is a *library spec file* (``workloads/library/branchy.json``),
 #: so the throughput of the registry's spec-defined path is measured and
-#: gated alongside the built-in programs.
-QUICK_CELLS: Sequence[BenchCell] = (
+#: gated alongside the built-in programs.  The batch cells put the
+#: lane-batched kernel under the same regression gate (their lanes count
+#: into the aggregate the gate scores).
+QUICK_CELLS: Sequence[Any] = (
     BenchCell("gzip", IF_CONVERTED, "conventional"),
     BenchCell("gzip", IF_CONVERTED, "predicate"),
     BenchCell("twolf", IF_CONVERTED, "pep-pa"),
@@ -93,10 +152,10 @@ QUICK_CELLS: Sequence[BenchCell] = (
     BenchCell("swim", IF_CONVERTED, "predicate"),
     BenchCell("gzip", IF_CONVERTED, "predicate", MachineSpec.make(rob_entries=64)),
     BenchCell("branchy", IF_CONVERTED, "predicate"),
-)
+) + tuple(QUICK_BATCH_CELLS)
 
 #: The full suite: broader benchmark coverage for every scheme.
-FULL_CELLS: Sequence[BenchCell] = QUICK_CELLS + (
+FULL_CELLS: Sequence[Any] = QUICK_CELLS + (
     BenchCell("mcf", IF_CONVERTED, "predicate"),
     BenchCell("crafty", IF_CONVERTED, "conventional"),
     BenchCell("vpr", IF_CONVERTED, "pep-pa"),
@@ -141,12 +200,26 @@ def git_revision() -> str:
 
 
 def _machine_metadata() -> Dict[str, Any]:
+    from repro.predictors.batched import lane_bank_supported
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "processor": platform.processor(),
         "cpu_count": os.cpu_count(),
+        # The lane-batching configuration in effect: whether the columnar
+        # trace path and the numpy lane bank are available on this host,
+        # and the shape of the suite's batch cells.  Reports from hosts
+        # where batching degraded to the scalar path stay diagnosable.
+        "lane_batching": {
+            "pack_supported": pack_supported(),
+            "lane_bank_supported": lane_bank_supported(),
+            "quick_batch_cells": [
+                {"label": cell.label(), "lanes": len(cell.lanes)}
+                for cell in QUICK_BATCH_CELLS
+            ],
+        },
     }
 
 
@@ -217,7 +290,75 @@ def _measure_cell(cell: BenchCell, instructions: int, repeats: int) -> Dict[str,
     }
 
 
-def filter_cells(cells: Sequence[BenchCell], cell_filter: Optional[str]) -> Sequence[BenchCell]:
+def _measure_batch_cell(cell: BatchBenchCell, instructions: int, repeats: int) -> Dict[str, Any]:
+    """Measure one lane-batched cell: batched wall clock vs. the per-lane
+    scalar reference, both best-of-``repeats`` over one shared trace."""
+    from repro.engine.planner import make_build_job, make_simulate_job, make_trace_job
+    from repro.pipeline.core import OutOfOrderCore
+
+    profile = ExperimentProfile(
+        name="bench",
+        instructions_per_benchmark=instructions,
+        benchmarks=[cell.benchmark],
+        profile_budget=min(instructions, 20_000),
+    )
+    engine = ExecutionEngine(profile, store=None, oracle_stats=False)
+    trace = engine.collect_trace(cell.benchmark, cell.flavour)
+    trace_seconds = engine.stats.trace_seconds
+    trace_instructions = len(trace)
+    trace_disk_bytes = len(serialize_trace(trace))
+    trace_peak_alloc = _trace_peak_alloc_bytes(engine, cell, instructions)
+    build = make_build_job(cell.benchmark, cell.flavour, engine.factory)
+    trace_job = make_trace_job(build, instructions)
+    jobs = [
+        make_simulate_job(trace_job, SchemeSpec.make(kind), machine)
+        for kind, machine in cell.lanes
+    ]
+    # Scalar reference first (it also warms every shared code path), then
+    # the batched launch through the engine's cell-execution entry point.
+    scalar_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        started = perf_counter()
+        for job in jobs:
+            core = OutOfOrderCore(config=job.machine.build_config())
+            core.run(trace, job.scheme.build(), program_name=cell.benchmark)
+        scalar_seconds = min(scalar_seconds, perf_counter() - started)
+    batched_seconds = float("inf")
+    results = {}
+    for _ in range(max(1, repeats)):
+        started = perf_counter()
+        results = engine.run_cell_jobs(jobs)
+        batched_seconds = min(batched_seconds, perf_counter() - started)
+    lane_results = [results[job.key] for job in jobs]
+    committed = sum(r.metrics.committed_instructions for r in lane_results)
+    cycles = sum(r.metrics.cycles for r in lane_results)
+    mispredictions = [r.accuracy.misprediction_rate for r in lane_results]
+    return {
+        "benchmark": cell.benchmark,
+        "flavour": cell.flavour,
+        "scheme": cell.scheme_label(),
+        "machine": f"lanes={len(cell.lanes)}",
+        "lanes": len(cell.lanes),
+        "instructions": committed,
+        "cycles": cycles,
+        "ipc": committed / cycles if cycles else 0.0,
+        "misprediction_rate": sum(mispredictions) / len(mispredictions),
+        "trace_seconds": trace_seconds,
+        "trace_instructions": trace_instructions,
+        "trace_instructions_per_second": (
+            trace_instructions / trace_seconds if trace_seconds else 0.0
+        ),
+        "trace_disk_bytes": trace_disk_bytes,
+        "trace_peak_alloc_bytes": trace_peak_alloc,
+        "sim_seconds": batched_seconds,
+        "scalar_seconds": scalar_seconds,
+        "batch_speedup": scalar_seconds / batched_seconds if batched_seconds else 0.0,
+        "sim_instructions_per_second": committed / batched_seconds if batched_seconds else 0.0,
+        "sim_cycles_per_second": cycles / batched_seconds if batched_seconds else 0.0,
+    }
+
+
+def filter_cells(cells: Sequence[Any], cell_filter: Optional[str]) -> Sequence[Any]:
     """Cells whose ``benchmark/flavour/scheme`` label contains the filter."""
     if not cell_filter:
         return cells
@@ -251,7 +392,10 @@ def run_bench(
     measured: List[Dict[str, Any]] = []
     with flags.forced(resolved):
         for cell in cells:
-            measured.append(_measure_cell(cell, instructions, repeats))
+            if isinstance(cell, BatchBenchCell):
+                measured.append(_measure_batch_cell(cell, instructions, repeats))
+            else:
+                measured.append(_measure_cell(cell, instructions, repeats))
     total_instructions = sum(c["instructions"] for c in measured)
     total_cycles = sum(c["cycles"] for c in measured)
     total_sim_seconds = sum(c["sim_seconds"] for c in measured)
@@ -318,6 +462,9 @@ def load_report(path: str) -> Dict[str, Any]:
 def history_row(report: Dict[str, Any]) -> Dict[str, Any]:
     """The compact one-line summary of a report kept in the history log."""
     aggregate = report.get("aggregate", {})
+    batch_cells = [c for c in report.get("cells", []) if c.get("lanes", 1) > 1]
+    batch_scalar = sum(c.get("scalar_seconds", 0.0) for c in batch_cells)
+    batch_batched = sum(c.get("sim_seconds", 0.0) for c in batch_cells)
     return {
         "revision": report.get("revision", "unknown"),
         "created_unix": report.get("created_unix", 0.0),
@@ -333,6 +480,15 @@ def history_row(report: Dict[str, Any]) -> Dict[str, Any]:
         "trace_instructions_per_second": aggregate.get("trace_instructions_per_second", 0.0),
         "total_trace_disk_bytes": aggregate.get("total_trace_disk_bytes", 0),
         "peak_trace_alloc_bytes": aggregate.get("peak_trace_alloc_bytes", 0),
+        # Lane-batching trajectory: how many cells ran batched, how many
+        # lanes they carried, and their aggregate batched-vs-scalar speedup
+        # (0.0 in pre-v3 rows and in runs without batch cells).
+        "batch_cell_count": len(batch_cells),
+        "batch_lanes": sum(c.get("lanes", 0) for c in batch_cells),
+        "batch_speedup": batch_scalar / batch_batched if batch_batched else 0.0,
+        "batch_best_speedup": max(
+            (c.get("batch_speedup", 0.0) for c in batch_cells), default=0.0
+        ),
     }
 
 

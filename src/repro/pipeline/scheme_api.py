@@ -79,6 +79,15 @@ class BranchHandlingScheme(abc.ABC):
     #: Short machine-readable name used in result tables.
     name: str = "abstract"
 
+    #: True when the scheme's hook results depend only on the dynamic
+    #: instruction stream, never on the pipeline timestamps passed to the
+    #: hooks.  The lane-batched kernel (:mod:`repro.pipeline.batched`) may
+    #: then replay such a scheme once per spec and share the resulting
+    #: prediction stream across every lane (machine configuration) of a
+    #: batch.  Schemes that read cycle arguments (predicate prediction,
+    #: PEP-PA) must leave this ``False``.
+    timing_independent: bool = False
+
     def __init__(self) -> None:
         self.accuracy = BranchAccuracy()
         self.counters = CounterSet()
@@ -117,6 +126,18 @@ class BranchHandlingScheme(abc.ABC):
     ) -> PredicatedHandling:
         """Called when a predicated non-branch instruction renames."""
         return PredicatedHandling(RenameDecision.CONSERVATIVE)
+
+    # ------------------------------------------------------------------
+    def lane_bank_profile(self):
+        """Hashable predictor-geometry token for lane-axis batching, or
+        ``None``.
+
+        Timing-independent schemes whose predictor state can be stepped as
+        lane-axis arrays (see :mod:`repro.predictors.batched`) return a
+        token; two schemes returning equal tokens can share one bank, each
+        occupying one lane.  The base implementation opts out.
+        """
+        return None
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -65,6 +65,22 @@ class GlobalHistoryRegister:
         self._tokens.append(token)  # maxlen evicts the oldest token
         return token
 
+    def push_resolved(self, outcome: bool) -> None:
+        """Shift in an already-resolved outcome (no token bookkeeping).
+
+        A conventional predictor's speculative push of its prediction,
+        repaired by the *same branch* before any younger instruction reads
+        the register, is net-equivalent to pushing the architectural
+        outcome.  The lane-batched prediction prepass replays branches in
+        program order with resolved outcomes in hand, so it uses this
+        collapsed form instead of push-then-repair.
+        """
+        self._value = (
+            (self._value << 1) | (1 if outcome else 0)
+        ) & ((1 << self.bits) - 1)
+        self._tokens.append(self._next_token)  # keep repair() positions valid
+        self._next_token += 1
+
     def repair(self, token: int, correct_outcome: bool) -> bool:
         """Correct the bit identified by ``token`` if it is still present.
 
@@ -125,6 +141,19 @@ class LocalHistoryTable:
     def update(self, pc: int, outcome: bool) -> None:
         i = self._index(pc)
         self._histories[i] = ((self._histories[i] << 1) | (1 if outcome else 0)) & self._mask
+
+    def read_then_update(self, pc: int, outcome: bool) -> int:
+        """Return the current history of ``pc``, then shift ``outcome`` in.
+
+        One index lookup instead of two for the predict-train-adjacent
+        access pattern of the lane-batched prediction prepass (the
+        perceptron reads the local history to form its input, trains, and
+        immediately records the resolved outcome).
+        """
+        i = self._index(pc)
+        history = self._histories[i]
+        self._histories[i] = ((history << 1) | (1 if outcome else 0)) & self._mask
+        return history
 
     def storage_bits(self) -> int:
         return self.entries * self.bits

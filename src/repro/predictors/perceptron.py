@@ -72,6 +72,23 @@ class PerceptronConfig:
         return table + local + self.global_bits
 
 
+#: Pure memo of the pc -> table-entry hash, shared by every predictor
+#: instance and every lane of a batched run: the fold is a pure function of
+#: ``(pc, entries)`` and the key set is bounded by the static branch PCs of
+#: the simulated programs.
+_ENTRY_INDEX_MEMO: dict = {}
+
+
+def entry_index(pc: int, entries: int) -> int:
+    """The perceptron table entry of ``pc`` (memoised fold-and-mod hash)."""
+    key = (pc, entries)
+    index = _ENTRY_INDEX_MEMO.get(key)
+    if index is None:
+        index = fold_pc(pc, 24) % entries
+        _ENTRY_INDEX_MEMO[key] = index
+    return index
+
+
 def perceptron_output(row: List[int], combined_history: int) -> int:
     """Dot product of a weight row with bipolar history bits (+ bias).
 
@@ -200,7 +217,7 @@ class PerceptronPredictor(DirectionPredictor):
     def _index(self, pc: int) -> int:
         index = self._pc_index.get(pc)
         if index is None:
-            index = fold_pc(pc, 24) % self.config.entries
+            index = entry_index(pc, self.config.entries)
             self._pc_index[pc] = index
         return index
 

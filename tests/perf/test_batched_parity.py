@@ -1,0 +1,300 @@
+"""The lane-batched kernel: bit-exact parity, engine transparency, timing.
+
+The batched path's contract is *bit-identical results*: a lane of a batched
+launch must reproduce the scalar engine's IPC, misprediction counters,
+functional-unit utilisation and per-branch records exactly, for any mix of
+schemes, machine overrides and lane counts.  The hypothesis suite below
+drives that over random lane sets; the engine tests pin the caching
+contract (batches are an execution grouping, not a cache identity) and the
+equal-share wall-clock attribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.emulator.tracepack import TracePack, pack_supported
+from repro.engine import ArtifactStore, ExecutionEngine, IF_CONVERTED, SchemeSpec
+from repro.engine.planner import (
+    CellRequest,
+    ExperimentDefinition,
+    make_batched_simulate_job,
+    make_build_job,
+    make_simulate_job,
+    make_trace_job,
+)
+from repro.experiments.setup import ExperimentProfile
+from repro.perf import bench
+from repro.pipeline.batched import (
+    LaneSpec,
+    _drive_bank,
+    _drive_scheme_stream,
+    _SharedTrace,
+    simulate_lanes,
+    stream_eligible,
+)
+from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.machine import MachineSpec
+from repro.predictors.batched import lane_bank_supported
+
+pytestmark = pytest.mark.skipif(
+    not pack_supported(), reason="columnar trace path requires numpy"
+)
+
+INSTRUCTIONS = 2_000
+
+#: The lane alphabet the random batches draw from: every scheme kind
+#: (stream-eligible and hook-driven) crossed with machine overrides.
+SCHEME_SPECS = (
+    SchemeSpec.make("conventional"),
+    SchemeSpec.make("predicate"),
+    SchemeSpec.make("pep-pa"),
+    SchemeSpec.make("conventional", perfect_history=True),
+)
+MACHINES = (
+    MachineSpec.make(),
+    MachineSpec.make(rob_entries=32),
+    MachineSpec.make(rob_entries=64),
+    MachineSpec.make(rob_entries=128),
+)
+
+
+def _profile() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="batch-parity",
+        instructions_per_benchmark=INSTRUCTIONS,
+        benchmarks=["gzip"],
+        profile_budget=INSTRUCTIONS,
+    )
+
+
+@pytest.fixture(scope="module")
+def pack() -> TracePack:
+    engine = ExecutionEngine(_profile(), store=None, oracle_stats=False)
+    trace = engine.collect_trace("gzip", IF_CONVERTED)
+    assert isinstance(trace, TracePack)
+    return trace
+
+
+@pytest.fixture(scope="module")
+def scalar_reference(pack):
+    """Memoised scalar results per (scheme, machine) lane combination."""
+    memo = {}
+
+    def reference(scheme_idx: int, machine_idx: int):
+        key = (scheme_idx, machine_idx)
+        if key not in memo:
+            core = OutOfOrderCore(config=MACHINES[machine_idx].build_config())
+            scheme = SCHEME_SPECS[scheme_idx].build()
+            memo[key] = core.run(pack, scheme, program_name="gzip")
+        return memo[key]
+
+    return reference
+
+
+def _assert_result_parity(expected, actual, context):
+    assert actual.metrics.summary() == expected.metrics.summary(), context
+    assert (
+        actual.metrics.counters.as_dict() == expected.metrics.counters.as_dict()
+    ), context
+    assert actual.metrics.fu_utilisation == expected.metrics.fu_utilisation, context
+    assert actual.metrics.memory_stats == expected.metrics.memory_stats, context
+    assert actual.metrics.cycles == expected.metrics.cycles, context
+    assert actual.accuracy.records == expected.accuracy.records, context
+
+
+class TestBatchedScalarParity:
+    @given(
+        lane_picks=st.lists(
+            st.tuples(
+                st.integers(0, len(SCHEME_SPECS) - 1),
+                st.integers(0, len(MACHINES) - 1),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_lane_sets_are_bit_identical(
+        self, pack, scalar_reference, lane_picks
+    ):
+        lanes = [
+            LaneSpec(
+                scheme_factory=SCHEME_SPECS[s].build,
+                config=MACHINES[m].build_config(),
+                group_key=SCHEME_SPECS[s],
+            )
+            for s, m in lane_picks
+        ]
+        results = simulate_lanes(pack, lanes, program_name="gzip")
+        assert len(results) == len(lane_picks)
+        for (s, m), result in zip(lane_picks, results):
+            _assert_result_parity(
+                scalar_reference(s, m),
+                result,
+                (SCHEME_SPECS[s].describe(), MACHINES[m].describe()),
+            )
+
+    def test_stream_eligibility_split(self):
+        assert stream_eligible(SCHEME_SPECS[0].build())
+        assert not stream_eligible(SCHEME_SPECS[1].build())  # predicate hooks
+        assert not stream_eligible(SCHEME_SPECS[2].build())  # pep-pa hooks
+
+
+class TestLaneBank:
+    def test_bank_streams_match_scalar_stream_drive(self, pack):
+        if not lane_bank_supported():
+            pytest.skip("lane bank requires numpy")
+        shared = _SharedTrace(pack)
+        spec = SchemeSpec.make("conventional")
+        profile = spec.build().lane_bank_profile()
+        assert profile is not None
+        reference = _drive_scheme_stream(spec.build(), shared)
+        bank_schemes = [spec.build() for _ in range(4)]
+        streams = _drive_bank(profile, bank_schemes, shared)
+        assert len(streams) == 4
+        for stream in streams:
+            # Same spec in every bank lane -> every lane must evolve exactly
+            # as the scalar scheme's own hooks did.
+            assert stream.overrides == reference.overrides
+            assert stream.mispreds == reference.mispreds
+            assert stream.records == reference.records
+
+
+def _rob_sweep_definition(points=(32, 64, 128, 256)):
+    spec = SchemeSpec.make("conventional")
+    requests = [
+        CellRequest(
+            "gzip",
+            IF_CONVERTED,
+            f"rob{size}",
+            spec,
+            MachineSpec.make(rob_entries=size),
+        )
+        for size in points
+    ]
+    return ExperimentDefinition(name="rob-sweep", requests=requests)
+
+
+class TestEngineBatching:
+    def test_sweep_rerun_batches_zero_cached_cells(self, tmp_path):
+        store_root = str(tmp_path / "store")
+        definition = _rob_sweep_definition()
+        first = ExecutionEngine(_profile(), store=ArtifactStore(store_root))
+        outputs = first.run([definition])
+        assert first.stats.batches_run == 1
+        assert first.stats.batched_lanes == 4
+        assert first.stats.simulations_run == 4
+
+        second = ExecutionEngine(_profile(), store=ArtifactStore(store_root))
+        rerun = second.run([definition])
+        # The cache proof, batch-transparent: nothing re-simulated, nothing
+        # batched, every result served under its per-cell key.
+        assert second.stats.simulations_run == 0
+        assert second.stats.batches_run == 0
+        assert second.stats.batched_lanes == 0
+        assert second.stats.results_loaded == 4
+        for slot, result in outputs[definition.name].items():
+            assert (
+                rerun[definition.name][slot].metrics.summary()
+                == result.metrics.summary()
+            )
+
+    def test_partially_cached_sweep_batches_only_the_misses(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        definition = _rob_sweep_definition()
+        warm = ExecutionEngine(_profile(), store=store)
+        first_request = definition.requests[0]
+        warm.simulate(
+            first_request.benchmark,
+            first_request.flavour,
+            first_request.scheme,
+            first_request.machine,
+        )
+        engine = ExecutionEngine(_profile(), store=store)
+        engine.run([definition])
+        # The cached lane dropped out before launch; the other three batched.
+        assert engine.stats.results_loaded == 1
+        assert engine.stats.batched_lanes == 3
+        assert engine.stats.simulations_run == 3
+
+    def test_batch_results_identical_to_unbatched_engine_run(self, tmp_path):
+        definition = _rob_sweep_definition()
+        batched = ExecutionEngine(_profile(), store=None)
+        batched_out = batched.run([definition])
+        assert batched.stats.batches_run == 1
+        scalar = ExecutionEngine(_profile(), store=None)
+        for request in definition.requests:
+            expected = scalar.simulate(
+                request.benchmark, request.flavour, request.scheme, request.machine
+            )
+            actual = batched_out[definition.name][(request.benchmark, request.label)]
+            _assert_result_parity(expected, actual, request.label)
+
+    def test_per_cell_keys_do_not_depend_on_batching(self):
+        # The batch job derives its own bookkeeping key from the lane keys,
+        # but each lane's artifact key is exactly the per-cell simulate key.
+        profile = _profile()
+        engine = ExecutionEngine(profile, store=None)
+        build = make_build_job("gzip", IF_CONVERTED, engine.factory)
+        trace = make_trace_job(build, profile.instructions_per_benchmark)
+        jobs = [
+            make_simulate_job(trace, SchemeSpec.make("conventional"), machine)
+            for machine in MACHINES[:3]
+        ]
+        batch = make_batched_simulate_job(jobs)
+        assert [lane.key for lane in batch.lanes] == [job.key for job in jobs]
+        assert batch.key not in {job.key for job in jobs}
+
+    def test_mixed_cell_batches_refused(self):
+        profile = _profile()
+        engine = ExecutionEngine(profile, store=None)
+        spec = SchemeSpec.make("conventional")
+        gzip_build = make_build_job("gzip", IF_CONVERTED, engine.factory)
+        twolf_build = make_build_job("twolf", IF_CONVERTED, engine.factory)
+        jobs = [
+            make_simulate_job(make_trace_job(gzip_build, INSTRUCTIONS), spec),
+            make_simulate_job(make_trace_job(twolf_build, INSTRUCTIONS), spec),
+        ]
+        with pytest.raises(ValueError, match="share one"):
+            make_batched_simulate_job(jobs)
+
+
+class TestTimingAttribution:
+    def test_batched_jobs_get_equal_share_of_the_batch_wall_clock(self):
+        engine = ExecutionEngine(_profile(), store=None)
+        engine.run([_rob_sweep_definition()])
+        timings = [t for t in engine.job_timings if not t.cached]
+        assert len(timings) == 4
+        assert all(timing.lanes == 4 for timing in timings)
+        shares = {timing.seconds for timing in timings}
+        assert len(shares) == 1  # an equal split, by construction
+        total = sum(timing.seconds for timing in timings)
+        assert total == pytest.approx(engine.stats.simulate_seconds)
+        assert all(timing.instructions_per_second() > 0 for timing in timings)
+
+    def test_unbatched_jobs_report_one_lane(self):
+        engine = ExecutionEngine(_profile(), store=None)
+        engine.simulate("gzip", IF_CONVERTED, SchemeSpec.make("conventional"))
+        assert [timing.lanes for timing in engine.job_timings] == [1]
+
+
+class TestBenchFilterListsBatchCells:
+    def test_zero_match_filter_exits_nonzero_listing_cells(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--quick", "--no-write", "--filter", "no-such-cell"])
+        message = str(excinfo.value)
+        assert excinfo.value.code != 0
+        assert "no bench cells match" in message
+        # The listing names every quick cell, batch cells included.
+        for cell in bench.QUICK_BATCH_CELLS:
+            assert cell.label() in message
+
+    def test_filter_selects_batch_cells(self):
+        selected = bench.filter_cells(bench.QUICK_CELLS, "batch:")
+        assert [cell.label() for cell in selected] == [
+            cell.label() for cell in bench.QUICK_BATCH_CELLS
+        ]
