@@ -26,8 +26,8 @@ from repro.compiler import BinaryFactory
 from repro.core import ConventionalScheme, PredicatePredictionScheme
 from repro.emulator import Emulator
 from repro.pipeline import OutOfOrderCore
+from repro.api import build_workload
 from repro.stats.reporting import format_table
-from repro.workloads import build_workload
 
 
 def per_site_stats(records):

@@ -24,11 +24,10 @@ import os
 import sys
 import tempfile
 
-from repro.engine import ExecutionEngine, SchemeSpec
-from repro.engine.jobs import IF_CONVERTED
+from repro.api import ExecutionEngine, IF_CONVERTED, SchemeSpec, resolve_workload
 from repro.experiments.setup import ExperimentProfile
 from repro.stats.reporting import format_table
-from repro.workloads import parse_workload, resolve_workload
+from repro.workloads import parse_workload
 
 #: The spec document: a moderately hard integer benchmark with one
 #: correlated branch — the mechanism Figure 6 measures.

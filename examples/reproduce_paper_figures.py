@@ -17,14 +17,13 @@ benchmark subset to iterate faster::
 import sys
 import time
 
+from repro.api import BASELINE, ExecutionEngine, IF_CONVERTED
 from repro.experiments import (
-    ExperimentRunner,
     run_figure5,
     run_figure6,
     run_idealized_study,
     run_selective_ipc,
 )
-from repro.experiments.runner import BASELINE, IF_CONVERTED
 from repro.experiments.setup import ExperimentProfile, paper_table1
 
 
@@ -37,7 +36,7 @@ def main() -> None:
         benchmarks=benchmarks,
         profile_budget=min(budget, 20_000),
     )
-    runner = ExperimentRunner(profile)
+    engine = ExecutionEngine(profile)
     started = time.time()
 
     print("Table 1 - main architectural parameters")
@@ -46,23 +45,23 @@ def main() -> None:
         print(f"{key:28s} {value}")
 
     print()
-    figure5 = run_figure5(runner=runner)
+    figure5 = run_figure5(engine=engine)
     print(figure5.render())
 
     print()
-    figure6 = run_figure6(runner=runner)
+    figure6 = run_figure6(engine=engine)
     print(figure6.render())
 
     print()
-    idealized = run_idealized_study(BASELINE, runner=runner)
+    idealized = run_idealized_study(BASELINE, engine=engine)
     print(idealized.render())
 
     print()
-    idealized_converted = run_idealized_study(IF_CONVERTED, runner=runner)
+    idealized_converted = run_idealized_study(IF_CONVERTED, engine=engine)
     print(idealized_converted.render())
 
     print()
-    ipc = run_selective_ipc(runner=runner)
+    ipc = run_selective_ipc(engine=engine)
     print(ipc.render())
 
     print()

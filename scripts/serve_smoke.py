@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI smoke test of the ``repro serve`` daemon, over real processes.
+
+Starts the daemon as a subprocess on an ephemeral port, submits a
+rob-scaling sweep at a small instruction budget through the ``repro
+submit`` CLI, polls it to completion, then sends SIGTERM and asserts the
+daemon exits cleanly (status 0).  Exercises exactly what a deployment
+would: process startup, the HTTP API, the client CLI, and signal-driven
+shutdown.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [instruction-budget]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main() -> int:
+    budget = sys.argv[1] if len(sys.argv) > 1 else "3000"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.setdefault("REPRO_CACHE_DIR", os.path.join(REPO_ROOT, ".serve-smoke-cache"))
+
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--max-store-bytes", "64M"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        banner = daemon.stdout.readline()
+        print(banner.strip())
+        match = re.search(r"http://[\d.]+:\d+", banner)
+        if not match:
+            print("FAIL: daemon did not print its bound address", file=sys.stderr)
+            return 1
+        url = match.group(0)
+
+        submit = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "--instructions",
+                budget,
+                "submit",
+                "rob-scaling",
+                "--url",
+                url,
+                "--timeout",
+                "300",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=420,
+        )
+        if submit.returncode != 0:
+            print(f"FAIL: repro submit exited {submit.returncode}", file=sys.stderr)
+            return 1
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            code = daemon.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            print("FAIL: daemon did not exit within 30s of SIGTERM", file=sys.stderr)
+            return 1
+        print(daemon.stdout.read(), end="")
+        if code != 0:
+            print(f"FAIL: daemon exited {code} on SIGTERM", file=sys.stderr)
+            return 1
+        print("serve smoke: OK (submit completed, daemon shut down cleanly)")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,16 @@ Commands:
     as ``.toml``/``.json`` spec files or ``.trace`` branch-outcome streams
     (see ``docs/workloads.md``).
 ``cache stats`` / ``cache clear`` / ``cache path``
-    Inspect or clear the persistent artifact cache.
+    Inspect or clear the persistent artifact cache (``stats`` reports
+    per-kind entry counts, bytes and last-hit ages).
+``serve``
+    Run the experiment service: an HTTP+JSON job daemon over the engine
+    (``--host``/``--port``, ``--workers`` concurrent jobs,
+    ``--max-store-bytes`` size-gated LRU eviction); see ``docs/serve.md``.
+``submit SCENARIO``
+    Submit a job to a running daemon (``--url``), wait for it and print
+    the rendered result; accepts built-in scenario names, scenario files,
+    or ``.json`` job documents with ``cells``.
 ``list``
     List the available benchmarks (registry names, one per line).
 
@@ -51,7 +60,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.engine import (
+from repro.api import (
     ArtifactStore,
     BASELINE,
     ExecutionEngine,
@@ -261,6 +270,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-write",
         action="store_true",
         help="print the report without writing results/sweep_<name>.txt",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the experiment service (HTTP+JSON job daemon)"
+    )
+    serve.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="port to bind; 0 picks a free port (default: 8321)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent jobs the scheduler runs (default: 2)",
+    )
+    serve.add_argument(
+        "--max-store-bytes",
+        type=str,
+        default=None,
+        metavar="SIZE",
+        help="evict least-recently-hit artifacts to keep the store under "
+        "SIZE (bytes, or with a K/M/G suffix); default: unbounded",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a job to a running 'repro serve' daemon"
+    )
+    submit.add_argument(
+        "target",
+        help="built-in scenario name, a .toml/.json scenario file, or a "
+        ".json job document with 'cells'",
+    )
+    submit.add_argument(
+        "--url",
+        type=str,
+        default="http://127.0.0.1:8321",
+        help="base URL of the daemon (default: http://127.0.0.1:8321)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting for the result",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait for completion (default: 600)",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="print raw per-cell counters as JSON instead of the table",
     )
 
     workloads = subparsers.add_parser(
@@ -606,21 +677,125 @@ def _command_cache(args: argparse.Namespace) -> str:
         removed = store.clear(args.kind)
         scope = args.kind or "all kinds"
         return f"removed {removed} artifacts ({scope}) from {store.root}"
-    report = store.stats()
-    lines = [f"artifact cache at {store.root}"]
-    total_count = 0
-    total_bytes = 0
+    import time as time_mod
+
+    report = store.usage()
+    now = time_mod.time()
+
+    def _age(timestamp) -> str:
+        if timestamp is None:
+            return "-"
+        seconds = max(0.0, now - timestamp)
+        if seconds < 120:
+            return f"{seconds:.0f}s ago"
+        if seconds < 7200:
+            return f"{seconds / 60:.0f}m ago"
+        return f"{seconds / 3600:.1f}h ago"
+
+    lines = [
+        f"artifact cache at {store.root}",
+        f"  {'kind':10s} {'entries':>7s} {'size':>12s}  last hit (oldest / newest)",
+    ]
     for kind in KINDS:
         entry = report[kind]
-        total_count += entry["count"]
-        total_bytes += entry["bytes"]
         lines.append(
-            f"  {kind:10s} {entry['count']:6d} artifacts  {entry['bytes'] / 1024:10.1f} KiB"
+            f"  {kind:10s} {entry['count']:5d} artifacts  {entry['bytes'] / 1024:8.1f} KiB"
+            f"  {_age(entry['oldest_hit'])} / {_age(entry['newest_hit'])}"
         )
+    total = report["total"]
     lines.append(
-        f"  {'total':10s} {total_count:6d} artifacts  {total_bytes / 1024:10.1f} KiB"
+        f"  {'total':10s} {total['count']:5d} artifacts  {total['bytes'] / 1024:8.1f} KiB"
     )
     return "\n".join(lines)
+
+
+def _parse_size(raw: Optional[str]) -> Optional[int]:
+    """Parse a ``--max-store-bytes`` value: plain bytes or K/M/G suffixed."""
+    if raw is None:
+        return None
+    text = raw.strip().upper()
+    multiplier = 1
+    for suffix, scale in (("K", 1024), ("M", 1024**2), ("G", 1024**3)):
+        if text.endswith(suffix):
+            text, multiplier = text[: -len(suffix)], scale
+            break
+    try:
+        value = int(text) * multiplier
+    except ValueError:
+        raise SystemExit(
+            f"--max-store-bytes must be an integer with optional K/M/G suffix, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise SystemExit(f"--max-store-bytes must be positive, got {raw!r}")
+    return value
+
+
+def _command_serve(args: argparse.Namespace) -> str:
+    from repro.serve import ExperimentService, make_server, serve_until_shutdown
+
+    if args.no_cache:
+        raise SystemExit(
+            "'serve' needs the artifact store (coalescing and cross-job "
+            "deduplication live there); drop --no-cache"
+        )
+    service = ExperimentService(
+        ArtifactStore(default_cache_dir(args.cache_dir)),
+        jobs=args.jobs,
+        workers=args.workers,
+        max_store_bytes=_parse_size(args.max_store_bytes),
+        default_instructions=args.instructions,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # One parseable line before blocking: smoke scripts read the bound port.
+    print(f"repro serve listening on http://{host}:{port} (v1)", flush=True)
+    serve_until_shutdown(server)
+    return "repro serve: shut down cleanly"
+
+
+def _command_submit(args: argparse.Namespace) -> str:
+    import json as json_mod
+
+    from repro.client import ServeClient, ServeError
+
+    document = None
+    if args.target.endswith(".json") and os.path.exists(args.target):
+        with open(args.target, "r", encoding="utf-8") as handle:
+            try:
+                loaded = json_mod.load(handle)
+            except ValueError as error:
+                raise SystemExit(f"{args.target}: invalid JSON: {error}") from None
+        if isinstance(loaded, dict) and ("cells" in loaded or "scenario" in loaded):
+            document = loaded
+    if document is None:
+        # Scenario by name or file path (resolved by the daemon).
+        document = {"scenario": args.target}
+    if args.instructions is not None:
+        document["instructions"] = args.instructions
+
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(document)
+        if args.no_wait:
+            return f"submitted job {job['id']} ({job['title']}) to {args.url}"
+        snapshot = client.wait(job["id"], timeout=args.timeout)
+        if snapshot["state"] != "done":
+            raise SystemExit(
+                f"job {job['id']} {snapshot['state']}: {snapshot.get('error')}"
+            )
+        result = client.result(job["id"], format="json" if args.json_output else "table")
+    except ServeError as error:
+        raise SystemExit(str(error)) from None
+    stats = snapshot["stats"] or {}
+    footer = (
+        f"job {job['id']}: {snapshot['state']} — "
+        f"{stats.get('simulations_run', 0)} simulated, "
+        f"{stats.get('results_loaded', 0)} from cache, "
+        f"{snapshot['coalesced_keys']} coalesced"
+    )
+    if args.json_output:
+        return json_mod.dumps(result, indent=2, sort_keys=True) + "\n" + footer
+    return f"{result}\n\n{footer}"
 
 
 def _command_simulate(args: argparse.Namespace) -> str:
@@ -657,6 +832,8 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "workloads": _command_workloads,
     "cache": _command_cache,
+    "serve": _command_serve,
+    "submit": _command_submit,
     "simulate": _command_simulate,
 }
 

@@ -1,0 +1,127 @@
+"""A thin HTTP client for the ``repro serve`` experiment daemon.
+
+:class:`ServeClient` wraps the versioned JSON API in plain method calls —
+:meth:`~ServeClient.submit` a scenario/cells document, poll
+:meth:`~ServeClient.job`, block with :meth:`~ServeClient.wait`, fetch the
+rendered :meth:`~ServeClient.result` — using only :mod:`urllib.request`,
+so a client needs nothing beyond the standard library::
+
+    from repro.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8321")
+    job = client.submit({"scenario": "rob-scaling", "instructions": 5000})
+    done = client.wait(job["id"])
+    print(client.result(job["id"]))          # rendered table
+    print(client.result(job["id"], format="json"))  # raw counters
+
+API errors surface as :class:`ServeError` carrying the HTTP status and the
+daemon's ``error`` message (e.g. a 400 for an invalid submission, a 409
+for a result requested before the job finished).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.serve.service import DONE, FAILED
+
+#: Terminal job states — :meth:`ServeClient.wait` returns on either.
+_TERMINAL_STATES = (DONE, FAILED)
+
+
+class ServeError(RuntimeError):
+    """An error response from a ``repro serve`` daemon.
+
+    Carries the HTTP ``status`` and the daemon's ``message`` so callers can
+    branch on conflict-vs-bad-request without parsing strings.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"serve API error {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talk to a running ``repro serve`` daemon over HTTP+JSON."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        """``base_url`` like ``http://127.0.0.1:8321``; ``timeout`` per request."""
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
+            except ValueError:
+                message = raw.decode("utf-8", "replace")
+            raise ServeError(error.code, message) from None
+        except urllib.error.URLError as error:
+            raise ServeError(0, f"cannot reach {url}: {error.reason}") from None
+        if content_type.startswith("application/json"):
+            return json.loads(body)
+        return body.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health`` — liveness probe."""
+        return self._request("/v1/health")
+
+    def submit(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/jobs`` — submit a scenario/cells document, return the job snapshot."""
+        return self._request("/v1/jobs", payload=document)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs`` — every job's status snapshot."""
+        return self._request("/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>`` — one job's status, stats and timings."""
+        return self._request(f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str, format: str = "table") -> Any:
+        """``GET /v1/jobs/<id>/result`` — rendered table (str) or raw counters (dict)."""
+        return self._request(f"/v1/jobs/{job_id}/result?format={format}")
+
+    def store_stats(self) -> Dict[str, Any]:
+        """``GET /v1/store/stats`` — per-kind artifact counts/bytes and eviction info."""
+        return self._request("/v1/store/stats")
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None, poll_interval: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its snapshot.
+
+        Raises :class:`ServeError` (status 0) if ``timeout`` seconds elapse
+        first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in _TERMINAL_STATES:
+                return snapshot
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    0, f"timed out waiting for job {job_id} (state: {snapshot['state']})"
+                )
+            time.sleep(poll_interval)

@@ -15,6 +15,9 @@ efficiently:
 * :mod:`repro.engine.executor` — the :class:`ExecutionEngine`, which runs a
   graph serially or over ``--jobs N`` worker processes and owns trace
   lifetime (bounded in-memory LRU);
+* :mod:`repro.engine.run` — :func:`run_cells`, the unified entrypoint every
+  consumer (experiments, sweeps, the serve daemon, :mod:`repro.api`) runs
+  cell requests through;
 * :mod:`repro.engine.hashing` — stable content hashing for cache keys.
 """
 
@@ -44,6 +47,7 @@ from repro.engine.planner import (
     plan,
     sweep,
 )
+from repro.engine.run import CellRunOutcome, run_cells
 from repro.pipeline.machine import MachineSpec
 from repro.engine.store import (
     ArtifactStore,
@@ -78,6 +82,8 @@ __all__ = [
     "EngineStats",
     "ExperimentOutputs",
     "JobTiming",
+    "CellRunOutcome",
+    "run_cells",
     "resolve_engine",
     "stable_hash",
     "canonicalize",

@@ -590,9 +590,22 @@ def resolve_engine(engine=None, runner=None, profile=None) -> ExecutionEngine:
     functions: an explicit engine wins, then a legacy
     :class:`~repro.experiments.runner.ExperimentRunner` (whose engine is
     reused, preserving its caches), then a fresh engine for ``profile``.
+
+    The ``runner=`` convention is deprecated (one release): pass the
+    runner's ``.engine`` — or go through :func:`repro.engine.run.run_cells`,
+    the unified entrypoint every new caller should use.
     """
     if engine is not None:
         return engine
     if runner is not None:
+        import warnings
+
+        warnings.warn(
+            "resolve_engine(runner=...) is deprecated and will be removed "
+            "in the next release; pass engine=runner.engine, or use "
+            "repro.engine.run.run_cells",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         return runner.engine
     return ExecutionEngine(profile=profile)

@@ -1,0 +1,126 @@
+"""The unified run entrypoint: cell requests in, simulation results out.
+
+Historically each consumer of the engine constructed its jobs slightly
+differently — the figure experiments built :class:`ExperimentDefinition`
+objects by hand, the sweep runner derived one from a scenario grid, and the
+lane-batched path grouped simulate jobs itself.  :func:`run_cells` collapses
+those call sites behind one signature: a sequence of
+:class:`~repro.engine.planner.CellRequest` objects plus engine knobs
+(store, worker processes, instruction budget), returning a
+:class:`CellRunOutcome` with the per-label results and the engine's
+accounting.  The sweep runner, the ``repro serve`` scheduler and the public
+:mod:`repro.api` facade all run through it; lane-batching, deduplication,
+multiprocessing and the artifact store keep working unchanged because the
+engine underneath is the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.executor import EngineStats, ExecutionEngine, JobTiming
+from repro.engine.planner import CellRequest, ExperimentDefinition
+from repro.engine.store import ArtifactStore
+from repro.pipeline.core import SimulationResult
+
+#: Default fetched-instruction budget when neither ``engine``, ``profile``
+#: nor ``instructions`` is given (matches the CLI default).
+DEFAULT_INSTRUCTIONS = 20_000
+
+
+@dataclass
+class CellRunOutcome:
+    """Everything one :func:`run_cells` call produced.
+
+    ``results`` is keyed by ``(benchmark, label)`` exactly as requested —
+    deduplicated cells fan back out, so every request has its entry.
+    ``stats``/``timings`` are the engine's accounting for the whole call
+    (cache hits included), and ``engine`` is the engine that ran it, so a
+    follow-up call can share its in-memory caches.
+    """
+
+    results: Dict[Tuple[str, str], SimulationResult] = field(default_factory=dict)
+    stats: EngineStats = field(default_factory=EngineStats)
+    timings: List[JobTiming] = field(default_factory=list)
+    engine: Optional[ExecutionEngine] = None
+
+
+def run_cells(
+    requests: Sequence[CellRequest],
+    *,
+    name: str = "cells",
+    engine: Optional[ExecutionEngine] = None,
+    store: Optional[ArtifactStore] = None,
+    jobs: Optional[int] = None,
+    instructions: Optional[int] = None,
+    profile_budget: Optional[int] = None,
+) -> CellRunOutcome:
+    """Run cell requests through the job-graph engine; return the outcome.
+
+    Either pass ``engine`` (an :class:`ExecutionEngine` whose profile
+    carries the instruction budget — ``store``/``instructions``/
+    ``profile_budget`` must then be omitted), or let this function build
+    one: ``store`` (optional persistent artifact cache), ``jobs`` (worker
+    processes), ``instructions`` (fetched-instruction budget per benchmark,
+    default 20 000) and ``profile_budget`` (compiler profiling budget,
+    default ``min(instructions, 20_000)``).
+
+    The requests become one :class:`ExperimentDefinition` named ``name``;
+    planning deduplicates shared builds/traces/simulations, the store
+    serves anything already computed, and same-cell uncached jobs ride one
+    lane-batched kernel launch where profitable.
+    """
+    requests = list(requests)
+    if not requests:
+        raise ValueError("run_cells needs at least one CellRequest")
+    labels = [(request.benchmark, request.label) for request in requests]
+    if len(set(labels)) != len(labels):
+        duplicated = sorted({slot for slot in labels if labels.count(slot) > 1})
+        raise ValueError(
+            f"duplicate (benchmark, label) request(s) {duplicated}; labels "
+            "key the result table, so every request needs a distinct one"
+        )
+    if engine is None:
+        engine = _build_engine(requests, store, jobs, instructions, profile_budget)
+    elif store is not None or instructions is not None or profile_budget is not None:
+        raise ValueError(
+            "pass either engine= or the engine-construction options "
+            "(store/instructions/profile_budget), not both"
+        )
+    definition = ExperimentDefinition(name=name, requests=requests)
+    results = engine.run([definition], jobs=jobs)[definition.name]
+    return CellRunOutcome(
+        results=results,
+        stats=engine.stats,
+        timings=list(engine.job_timings),
+        engine=engine,
+    )
+
+
+def _build_engine(
+    requests: Sequence[CellRequest],
+    store: Optional[ArtifactStore],
+    jobs: Optional[int],
+    instructions: Optional[int],
+    profile_budget: Optional[int],
+) -> ExecutionEngine:
+    """An engine scoped to exactly the requested benchmarks and budget."""
+    from repro.experiments.setup import ExperimentProfile
+
+    instructions = DEFAULT_INSTRUCTIONS if instructions is None else int(instructions)
+    if instructions < 1:
+        raise ValueError(f"instructions must be a positive integer, got {instructions}")
+    benchmarks: List[str] = []
+    for request in requests:
+        if request.benchmark not in benchmarks:
+            benchmarks.append(request.benchmark)
+    profile = ExperimentProfile(
+        name="run-cells",
+        instructions_per_benchmark=instructions,
+        benchmarks=benchmarks,
+        profile_budget=(
+            min(instructions, 20_000) if profile_budget is None else int(profile_budget)
+        ),
+    )
+    return ExecutionEngine(profile=profile, store=store, jobs=jobs or 1)

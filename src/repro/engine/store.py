@@ -17,6 +17,12 @@ invalidate everything at once)::
 Writes are atomic (unique temp file + ``os.replace``) so concurrent worker
 processes can share one store; unreadable or stale artifacts are treated as
 cache misses and deleted.
+
+For long-running multi-tenant use (the ``repro serve`` daemon) the store
+also supports **size-gated LRU eviction**: every cache hit touches the
+payload's mtime (the artifact's *last hit*), and :meth:`ArtifactStore.evict`
+removes least-recently-hit artifacts — oldest hit first, protected keys
+skipped — until total payload bytes fit under a byte budget.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import os
 import pickle
 import time
 import uuid
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Collection, Dict, List, Optional, Tuple
 
 from repro.emulator.trace import deserialize_trace, serialize_trace
 from repro.emulator.tracepack import PackBackendUnavailable
@@ -119,7 +125,7 @@ class ArtifactStore:
         except OSError:
             return None
         try:
-            return _CODECS[kind][1](data)
+            obj = _CODECS[kind][1](data)
         except PackBackendUnavailable:
             # A columnar trace read in an environment without numpy: the
             # artifact is valid, this process just cannot decode it.  Report
@@ -128,6 +134,13 @@ class ArtifactStore:
         except Exception:
             self._remove(kind, key)
             return None
+        # Record the hit: payload mtime is the artifact's last-hit time,
+        # which is what size-gated eviction orders by (LRU).
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        return obj
 
     def put(
         self, kind: str, key: str, obj: Any, metadata: Optional[Dict[str, Any]] = None
@@ -207,6 +220,95 @@ class ArtifactStore:
                         pass
             report[kind] = {"count": count, "bytes": size}
         return report
+
+    def usage(self) -> Dict[str, Dict[str, Any]]:
+        """Per-kind entry counts, payload bytes and last-hit timestamps.
+
+        A superset of :meth:`stats` for operational callers (the ``repro
+        cache stats`` CLI and the serve daemon's ``GET /v1/store/stats``):
+        each kind additionally reports ``oldest_hit``/``newest_hit`` (epoch
+        seconds of the least/most recently hit payload, ``None`` when the
+        kind is empty), and a ``total`` pseudo-kind aggregates counts and
+        bytes across kinds — the number eviction gates on.
+        """
+        self.ensure_root()
+        report: Dict[str, Dict[str, Any]] = {}
+        total_count = 0
+        total_bytes = 0
+        for kind in KINDS:
+            count = 0
+            size = 0
+            oldest: Optional[float] = None
+            newest: Optional[float] = None
+            for _, st in self._payloads(kind):
+                count += 1
+                size += st.st_size
+                oldest = st.st_mtime if oldest is None else min(oldest, st.st_mtime)
+                newest = st.st_mtime if newest is None else max(newest, st.st_mtime)
+            total_count += count
+            total_bytes += size
+            report[kind] = {
+                "count": count,
+                "bytes": size,
+                "oldest_hit": oldest,
+                "newest_hit": newest,
+            }
+        report["total"] = {"count": total_count, "bytes": total_bytes}
+        return report
+
+    def _payloads(self, kind: str):
+        """Yield ``(key, os.stat result)`` of every payload of one kind."""
+        directory = self._kind_dir(kind)
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            try:
+                st = os.stat(os.path.join(directory, name))
+            except OSError:
+                continue
+            yield name[: -len(".pkl")], st
+
+    def evict(
+        self, max_bytes: int, protect: Collection[str] = ()
+    ) -> Dict[str, int]:
+        """Remove least-recently-hit artifacts until payloads fit ``max_bytes``.
+
+        Artifacts are ranked by last hit (payload mtime — refreshed by every
+        :meth:`get` hit and by :meth:`put`) across *all* kinds, oldest first,
+        and removed until total payload bytes drop to ``max_bytes`` or below.
+        Keys in ``protect`` (e.g. artifacts of in-flight jobs) are never
+        evicted.  Returns ``{"count": removed entries, "bytes": removed
+        payload bytes}``.  Metadata sidecars go with their payloads; the
+        scan is stat-based, so concurrent writers are safe (a racing
+        re-``put`` simply re-creates the entry).
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries: List[Tuple[float, int, str, str]] = []
+        total = 0
+        for kind in KINDS:
+            for key, st in self._payloads(kind):
+                entries.append((st.st_mtime, st.st_size, kind, key))
+                total += st.st_size
+        removed = {"count": 0, "bytes": 0}
+        if total <= max_bytes:
+            return removed
+        protected = set(protect)
+        entries.sort()
+        for _, size, kind, key in entries:
+            if total <= max_bytes:
+                break
+            if key in protected:
+                continue
+            self._remove(kind, key)
+            total -= size
+            removed["count"] += 1
+            removed["bytes"] += size
+        return removed
 
     def clear(self, kind: Optional[str] = None) -> int:
         """Delete stored artifacts (one kind, or everything); return count."""

@@ -1,0 +1,580 @@
+"""The experiment service: a job scheduler over one shared artifact store.
+
+:class:`ExperimentService` is the in-process heart of the ``repro serve``
+daemon (the HTTP layer in :mod:`repro.serve.http` is a thin skin over it).
+Clients submit *job documents* — the same scenario/cell descriptions the
+sweep and engine layers already validate — and a pool of worker threads
+runs them through the unified :func:`repro.engine.run.run_cells` entrypoint
+onto one shared :class:`~repro.engine.store.ArtifactStore`.
+
+Two multi-tenant properties live here:
+
+* **Request coalescing** — before executing, a job plans its deduplicated
+  graph and checks every simulate key against the service-wide in-flight
+  registry.  Keys another job is currently computing are *waited on*, not
+  recomputed; once the owning job finishes, the waiter's engine run serves
+  them straight from the store.  Two clients submitting the same sweep
+  therefore cost one set of simulations: the second job's
+  :class:`~repro.engine.EngineStats` shows ``simulations_run == 0``.
+  The claim step is all-or-nothing under one lock and a job never *holds*
+  claims while waiting on foreign keys, so overlapping jobs cannot
+  deadlock.
+* **Size-gated eviction** — with ``max_store_bytes`` set, every job
+  completion triggers :meth:`~repro.engine.store.ArtifactStore.evict`:
+  least-recently-hit artifacts are dropped (hot keys survive, because every
+  cache hit refreshes an artifact's last-hit time) until the store fits the
+  budget.  Artifacts of still-running jobs are protected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.engine.executor import ExecutionEngine
+from repro.engine.jobs import FLAVOURS, IF_CONVERTED, SchemeSpec
+from repro.engine.planner import CellRequest, ExperimentDefinition
+from repro.engine.run import run_cells
+from repro.engine.store import ArtifactStore
+from repro.pipeline.machine import MachineSpec
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Scheme kinds a cell document may request (mirrors SchemeSpec.build()).
+_SCHEME_KINDS = ("conventional", "pep-pa", "predicate")
+
+
+class SubmitError(ValueError):
+    """A submitted job document is malformed or semantically invalid."""
+
+
+# ----------------------------------------------------------------------
+# Job records
+# ----------------------------------------------------------------------
+@dataclass
+class JobRecord:
+    """One submitted job: lifecycle state plus the engine's accounting."""
+
+    id: str
+    kind: str  # "scenario" | "cells"
+    title: str
+    state: str = QUEUED
+    error: Optional[str] = None
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    #: Planned deduplicated job counts (builds/traces/simulations).
+    planned: Dict[str, int] = field(default_factory=dict)
+    #: Simulate keys served by waiting on another job's in-flight work.
+    coalesced_keys: int = 0
+    #: The engine's EngineStats.as_dict() after the run.
+    stats: Optional[Dict[str, Any]] = None
+    #: Per-simulate-job JobTiming records as dicts.
+    timings: List[Dict[str, Any]] = field(default_factory=list)
+    #: Rendered report text and raw per-cell counters, set on completion.
+    result_text: Optional[str] = None
+    result_json: Optional[Any] = None
+    #: Signalled when the job reaches a terminal state.
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The job's wire form for ``GET /v1/jobs/<id>`` (no result payload)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "title": self.title,
+            "state": self.state,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "planned": dict(self.planned),
+            "coalesced_keys": self.coalesced_keys,
+            "stats": dict(self.stats) if self.stats is not None else None,
+            "timings": list(self.timings),
+        }
+
+
+@dataclass
+class _ParsedJob:
+    """A validated submission, ready to execute."""
+
+    kind: str
+    title: str
+    requests: List[CellRequest]
+    instructions: int
+    scenario: Any = None  # sweep Scenario for scenario jobs
+
+
+# ----------------------------------------------------------------------
+# Submission parsing (eager validation, like the scenario loader)
+# ----------------------------------------------------------------------
+def parse_submission(
+    document: Mapping[str, Any], default_instructions: Optional[int] = None
+) -> _ParsedJob:
+    """Validate one job document; raise :class:`SubmitError` on any problem.
+
+    Two document shapes are accepted (exactly one of ``scenario``/``cells``):
+
+    * ``{"scenario": <name or inline scenario document>, "instructions": N?}``
+      — the same TOML/JSON scenario documents ``repro sweep`` runs, by
+      built-in name or inline; ``instructions`` overrides the scenario's
+      budget (mirroring the CLI's ``--instructions``).
+    * ``{"cells": [{"benchmark": ..., "flavour"?, "scheme"?, "machine"?,
+      "label"?}, ...], "instructions": N?}`` — explicit cell requests;
+      ``scheme`` is a kind name or ``{"kind": ..., "options": {...}}`` and
+      ``machine`` a mapping of Table 1 overrides.
+    """
+    if not isinstance(document, Mapping):
+        raise SubmitError(
+            f"job document must be a JSON object, got {type(document).__name__}"
+        )
+    unknown = set(document) - {"scenario", "cells", "instructions"}
+    if unknown:
+        raise SubmitError(
+            f"unknown job document key(s) {sorted(unknown)}; "
+            "expected 'scenario' or 'cells' plus optional 'instructions'"
+        )
+    has_scenario = "scenario" in document
+    has_cells = "cells" in document
+    if has_scenario == has_cells:
+        raise SubmitError("a job document needs exactly one of 'scenario' or 'cells'")
+    instructions = document.get("instructions", None)
+    if instructions is not None and (
+        isinstance(instructions, bool)
+        or not isinstance(instructions, int)
+        or instructions < 1
+    ):
+        raise SubmitError(
+            f"'instructions' must be a positive integer, got {instructions!r}"
+        )
+    if has_scenario:
+        return _parse_scenario_job(document["scenario"], instructions)
+    return _parse_cells_job(document["cells"], instructions, default_instructions)
+
+
+def _parse_scenario_job(raw: Any, instructions: Optional[int]) -> _ParsedJob:
+    from repro.sweep.scenario import ScenarioError, load_scenario, parse_scenario
+    from repro.sweep.spec import SweepSpec
+
+    try:
+        if isinstance(raw, str):
+            scenario = load_scenario(raw)
+        elif isinstance(raw, Mapping):
+            scenario = parse_scenario(raw, source="<submitted scenario>")
+        else:
+            raise SubmitError(
+                "'scenario' must be a built-in name or an inline scenario "
+                f"document, got {type(raw).__name__}"
+            )
+    except ScenarioError as error:
+        raise SubmitError(str(error)) from None
+    if instructions is not None:
+        scenario = dataclasses.replace(scenario, instructions=instructions)
+    spec = SweepSpec(scenario)
+    return _ParsedJob(
+        kind="scenario",
+        title=f"sweep:{scenario.name}",
+        requests=list(spec.definition().requests),
+        instructions=scenario.instructions,
+        scenario=scenario,
+    )
+
+
+def _parse_cells_job(
+    raw: Any, instructions: Optional[int], default_instructions: Optional[int]
+) -> _ParsedJob:
+    from repro.workloads.registry import UnknownWorkloadError, resolve_workload
+    from repro.workloads.trace_ingest import TraceIngestError
+    from repro.workloads.workload_spec import WorkloadSpecError
+
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)) or not raw:
+        raise SubmitError("'cells' must be a non-empty list of cell objects")
+    budget = instructions or default_instructions or 20_000
+    requests: List[CellRequest] = []
+    labels: Set[Tuple[str, str]] = set()
+    for index, cell in enumerate(raw):
+        what = f"cells[{index}]"
+        if not isinstance(cell, Mapping):
+            raise SubmitError(f"{what} must be an object, got {type(cell).__name__}")
+        unknown = set(cell) - {"benchmark", "flavour", "scheme", "machine", "label"}
+        if unknown:
+            raise SubmitError(f"{what}: unknown key(s) {sorted(unknown)}")
+        benchmark = cell.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            raise SubmitError(f"{what}: 'benchmark' must be a non-empty string")
+        try:
+            resolve_workload(benchmark)
+        except (UnknownWorkloadError, WorkloadSpecError, TraceIngestError) as error:
+            raise SubmitError(f"{what}: {error}") from None
+        flavour = cell.get("flavour", IF_CONVERTED)
+        if flavour not in FLAVOURS:
+            raise SubmitError(
+                f"{what}: unknown flavour {flavour!r}; expected one of {FLAVOURS}"
+            )
+        scheme = _parse_scheme(cell.get("scheme", "predicate"), what)
+        machine = _parse_machine(cell.get("machine", {}), what)
+        label = cell.get("label") or f"{scheme.describe()}@{machine.describe()}"
+        if not isinstance(label, str):
+            raise SubmitError(f"{what}: 'label' must be a string")
+        if (benchmark, label) in labels:
+            raise SubmitError(
+                f"{what}: duplicate (benchmark, label) ({benchmark!r}, {label!r}); "
+                "give duplicate cells distinct labels"
+            )
+        labels.add((benchmark, label))
+        requests.append(
+            CellRequest(
+                benchmark=benchmark,
+                flavour=flavour,
+                label=label,
+                scheme=scheme,
+                machine=machine,
+            )
+        )
+    return _ParsedJob(
+        kind="cells",
+        title=f"{len(requests)} cell(s)",
+        requests=requests,
+        instructions=budget,
+    )
+
+
+def _parse_scheme(raw: Any, what: str) -> SchemeSpec:
+    if isinstance(raw, str):
+        kind, options = raw, {}
+    elif isinstance(raw, Mapping):
+        unknown = set(raw) - {"kind", "options"}
+        if unknown:
+            raise SubmitError(f"{what}.scheme: unknown key(s) {sorted(unknown)}")
+        kind = raw.get("kind")
+        options = raw.get("options", {})
+        if not isinstance(options, Mapping):
+            raise SubmitError(f"{what}.scheme: 'options' must be an object")
+    else:
+        raise SubmitError(
+            f"{what}: 'scheme' must be a kind name or {{'kind', 'options'}} object"
+        )
+    if kind not in _SCHEME_KINDS:
+        raise SubmitError(
+            f"{what}: unknown scheme kind {kind!r}; expected one of {_SCHEME_KINDS}"
+        )
+    spec = SchemeSpec.make(kind, **dict(options))
+    try:
+        spec.build()  # surface bad option names/values at submit time
+    except (TypeError, ValueError) as error:
+        raise SubmitError(f"{what}.scheme: {error}") from None
+    return spec
+
+
+def _parse_machine(raw: Any, what: str) -> MachineSpec:
+    if not isinstance(raw, Mapping):
+        raise SubmitError(f"{what}: 'machine' must be an object of overrides")
+    try:
+        return MachineSpec.make(**dict(raw))
+    except (TypeError, ValueError) as error:
+        raise SubmitError(f"{what}.machine: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class ExperimentService:
+    """Schedules submitted jobs onto one shared store, with coalescing."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        jobs: int = 1,
+        workers: int = 2,
+        max_store_bytes: Optional[int] = None,
+        default_instructions: Optional[int] = None,
+    ) -> None:
+        if store is None:
+            raise ValueError(
+                "ExperimentService needs an ArtifactStore: coalescing and "
+                "cross-job deduplication hand results over through it"
+            )
+        if max_store_bytes is not None and max_store_bytes < 1:
+            raise ValueError(
+                f"max_store_bytes must be a positive integer, got {max_store_bytes}"
+            )
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.workers = max(1, int(workers))
+        self.max_store_bytes = max_store_bytes
+        self.default_instructions = default_instructions
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[JobRecord]]" = queue.Queue()
+        self._records: Dict[str, JobRecord] = {}
+        self._parsed: Dict[str, _ParsedJob] = {}
+        #: simulate key → Event of the job currently computing it.
+        self._inflight: Dict[str, threading.Event] = {}
+        #: job id → every artifact key its graph touches (eviction shield).
+        self._protected: Dict[str, Set[str]] = {}
+        self._evicted = {"count": 0, "bytes": 0}
+        self._started = False
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-serve-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def shutdown(self, wait: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the workers; with ``wait`` block until they drain."""
+        with self._lock:
+            threads, self._threads = self._threads, []
+            self._started = False
+        for _ in threads:
+            self._queue.put(None)
+        if wait:
+            for thread in threads:
+                thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Submission and inspection
+    # ------------------------------------------------------------------
+    def submit(self, document: Mapping[str, Any]) -> JobRecord:
+        """Validate ``document``, enqueue it, and return its job record."""
+        parsed = parse_submission(document, self.default_instructions)
+        record = JobRecord(
+            id=uuid.uuid4().hex[:12], kind=parsed.kind, title=parsed.title
+        )
+        with self._lock:
+            self._records[record.id] = record
+            self._parsed[record.id] = parsed
+        self.start()
+        self._queue.put(record)
+        return record
+
+    def job(self, job_id: str) -> JobRecord:
+        """The record of one job (:class:`KeyError` for unknown ids)."""
+        with self._lock:
+            return self._records[job_id]
+
+    def list_jobs(self) -> List[JobRecord]:
+        """Every job record, oldest first."""
+        with self._lock:
+            return sorted(self._records.values(), key=lambda record: record.created)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until one job reaches a terminal state (or ``timeout``)."""
+        record = self.job(job_id)
+        record.done_event.wait(timeout)
+        return record
+
+    def store_stats(self) -> Dict[str, Any]:
+        """Per-kind store usage plus the service's eviction accounting."""
+        usage = self.store.usage()
+        with self._lock:
+            evicted = dict(self._evicted)
+            inflight = len(self._inflight)
+        return {
+            "root": self.store.root,
+            "kinds": usage,
+            "max_store_bytes": self.max_store_bytes,
+            "evicted": evicted,
+            "inflight_keys": inflight,
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            record = self._queue.get()
+            if record is None:
+                return
+            try:
+                self._execute(record)
+            except Exception as error:  # noqa: BLE001 - job isolation boundary
+                record.state = FAILED
+                record.error = f"{type(error).__name__}: {error}"
+                record.finished = time.time()
+                record.done_event.set()
+
+    def _engine(self, parsed: _ParsedJob) -> ExecutionEngine:
+        from repro.experiments.setup import ExperimentProfile
+
+        if parsed.kind == "scenario":
+            from repro.sweep.runner import sweep_profile
+
+            profile = sweep_profile(parsed.scenario)
+        else:
+            benchmarks: List[str] = []
+            for request in parsed.requests:
+                if request.benchmark not in benchmarks:
+                    benchmarks.append(request.benchmark)
+            profile = ExperimentProfile(
+                name="serve",
+                instructions_per_benchmark=parsed.instructions,
+                benchmarks=benchmarks,
+                profile_budget=min(parsed.instructions, 20_000),
+            )
+        return ExecutionEngine(profile=profile, store=self.store, jobs=self.jobs)
+
+    def _execute(self, record: JobRecord) -> None:
+        with self._lock:
+            parsed = self._parsed[record.id]
+        record.state = RUNNING
+        record.started = time.time()
+        engine = self._engine(parsed)
+        definition = ExperimentDefinition(
+            name=record.id, requests=list(parsed.requests)
+        )
+        graph = engine.plan([definition])
+        record.planned = graph.job_counts()
+        simulate_keys = list(graph.simulations)
+        protect = (
+            set(graph.builds) | set(graph.traces) | set(graph.simulations)
+        )
+        own = threading.Event()
+        claimed: List[str] = []
+        waited: Set[str] = set()
+        with self._lock:
+            self._protected[record.id] = protect
+        try:
+            self._claim_or_wait(simulate_keys, own, claimed, waited)
+            record.coalesced_keys = len(waited)
+            outcome = run_cells(
+                parsed.requests, name=definition.name, engine=engine
+            )
+        finally:
+            with self._lock:
+                for key in claimed:
+                    self._inflight.pop(key, None)
+                self._protected.pop(record.id, None)
+            own.set()
+        record.stats = outcome.stats.as_dict()
+        record.timings = [dataclasses.asdict(timing) for timing in outcome.timings]
+        self._render(record, parsed, outcome)
+        record.state = DONE
+        record.finished = time.time()
+        # Evict before signalling completion so a client that saw the job
+        # finish also sees the store back under budget.
+        self._evict()
+        record.done_event.set()
+
+    def _claim_or_wait(
+        self,
+        simulate_keys: List[str],
+        own: threading.Event,
+        claimed: List[str],
+        waited: Set[str],
+    ) -> None:
+        """Coalesce against in-flight work, then claim what remains.
+
+        Loops until no foreign job holds any of ``simulate_keys``: each pass
+        waits (holding no claims, so overlapping jobs cannot deadlock) for
+        every foreign in-flight event, then re-checks.  On the final pass it
+        atomically claims every key not already in the store, which is what
+        makes a concurrent duplicate submission wait instead of re-running.
+        """
+        from repro.engine.store import RESULTS
+
+        while True:
+            with self._lock:
+                foreign = {
+                    key: self._inflight[key]
+                    for key in simulate_keys
+                    if key in self._inflight
+                }
+                if not foreign:
+                    for key in simulate_keys:
+                        if not self.store.contains(RESULTS, key):
+                            self._inflight[key] = own
+                            claimed.append(key)
+                    return
+                waited.update(foreign)
+            for event in foreign.values():
+                event.wait()
+
+    def _render(self, record: JobRecord, parsed: _ParsedJob, outcome) -> None:
+        """Fill ``result_text``/``result_json`` from a finished run."""
+        if parsed.kind == "scenario":
+            from repro.sweep.report import render_sweep
+            from repro.sweep.runner import SweepRun
+            from repro.sweep.spec import SweepSpec
+
+            spec = SweepSpec(parsed.scenario)
+            run = SweepRun(scenario=parsed.scenario, spec=spec, stats=outcome.stats)
+            by_label = {
+                label: (scheme, point)
+                for (scheme, label), point in spec.labels().items()
+            }
+            rows = []
+            for (benchmark, label), result in outcome.results.items():
+                scheme, point = by_label[label]
+                run.results[(scheme, point, benchmark)] = result
+                rows.append(_result_row(result, benchmark, scheme, point.describe()))
+            record.result_text = render_sweep(run)
+            record.result_json = rows
+            return
+        by_request = {
+            (request.benchmark, request.label): request for request in parsed.requests
+        }
+        rows = []
+        lines = [f"{'benchmark':16s} {'label':32s} {'IPC':>7s} {'mispredict':>10s}"]
+        for (benchmark, label), result in outcome.results.items():
+            request = by_request[(benchmark, label)]
+            rows.append(
+                _result_row(result, benchmark, request.scheme.describe(), label)
+            )
+            lines.append(
+                f"{benchmark:16s} {label:32s} {result.metrics.ipc:7.3f} "
+                f"{100 * result.accuracy.misprediction_rate:9.2f}%"
+            )
+        record.result_text = "\n".join(lines)
+        record.result_json = rows
+
+    def _evict(self) -> None:
+        if self.max_store_bytes is None:
+            return
+        with self._lock:
+            protect: Set[str] = set(self._inflight)
+            for keys in self._protected.values():
+                protect |= keys
+        removed = self.store.evict(self.max_store_bytes, protect=protect)
+        with self._lock:
+            self._evicted["count"] += removed["count"]
+            self._evicted["bytes"] += removed["bytes"]
+
+
+def _result_row(result, benchmark: str, scheme: str, label: str) -> Dict[str, Any]:
+    """One simulation result as a flat JSON-ready counter row."""
+    metrics = result.metrics
+    accuracy = result.accuracy
+    return {
+        "benchmark": benchmark,
+        "scheme": scheme,
+        "label": label,
+        "ipc": metrics.ipc,
+        "cycles": metrics.cycles,
+        "instructions": metrics.committed_instructions,
+        "branches": accuracy.branches,
+        "misprediction_rate": accuracy.misprediction_rate,
+    }

@@ -1,9 +1,9 @@
 """Run a sweep through the job-graph engine and collect per-point results.
 
 The runner is deliberately thin: :func:`run_sweep` expands the scenario
-(:class:`~repro.sweep.spec.SweepSpec`), hands the single resulting
-:class:`~repro.engine.planner.ExperimentDefinition` to an
-:class:`~repro.engine.ExecutionEngine` — which deduplicates builds and
+(:class:`~repro.sweep.spec.SweepSpec`), hands the resulting cell requests
+to the unified :func:`repro.engine.run.run_cells` entrypoint — whose
+:class:`~repro.engine.ExecutionEngine` deduplicates builds and
 traces across points (all points of one benchmark/flavour share one trace:
 the functional emulation does not depend on the timing machine), runs cells
 in parallel under ``--jobs N`` and serves every previously-computed result
@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.engine import EngineStats, ExecutionEngine
+from repro.api import EngineStats, ExecutionEngine, run_cells
 from repro.experiments.setup import ExperimentProfile
 from repro.pipeline.core import SimulationResult
 from repro.sweep.scenario import Scenario, load_scenario
@@ -87,8 +87,11 @@ def run_sweep(
                 "with sweep_profile(scenario)"
             )
     definition = spec.definition()
-    outputs = engine.run([definition], jobs=jobs)[definition.name]
-    run = SweepRun(scenario=scenario, spec=spec, stats=engine.stats)
+    outcome = run_cells(
+        definition.requests, name=definition.name, engine=engine, jobs=jobs
+    )
+    outputs = outcome.results
+    run = SweepRun(scenario=scenario, spec=spec, stats=outcome.stats)
     by_label = {
         label: (scheme, point) for (scheme, label), point in spec.labels().items()
     }

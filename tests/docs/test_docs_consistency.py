@@ -176,7 +176,8 @@ class TestExamplesInCI:
 
 
 @pytest.mark.parametrize(
-    "module_name", ["repro.engine", "repro.perf", "repro.sweep", "repro.workloads"]
+    "module_name",
+    ["repro.engine", "repro.perf", "repro.serve", "repro.sweep", "repro.workloads"],
 )
 def test_public_packages_have_module_docstrings(module_name):
     import importlib
