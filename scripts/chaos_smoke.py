@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI chaos smoke: a faulted parallel sweep must match a clean run.
+
+Runs the Figure 5 sweep three times:
+
+1. serially, with no faults and no store — the reference counters;
+2. with ``--jobs 4`` onto a fresh store while the requested ``REPRO_FAULTS``
+   spec is armed (worker kills, artifact corruption, ...);
+3. with ``--jobs 4`` again over the *same* store after dropping the cached
+   traces/results, so the rerun reads the (possibly damaged) binary
+   artifacts back through the digest check.
+
+Every run must produce bit-identical per-cell counters; a worker-kill spec
+must additionally report lost workers and retried jobs, and a corruption
+spec must leave the damaged artifact in quarantine rather than in a result.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [fault-spec] [budget]
+
+The fault spec defaults to ``$REPRO_FAULTS`` or, failing that, to the
+worker-kill + artifact-corruption combination.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+DEFAULT_SPEC = "kill-worker-on-nth-simulate:1,corrupt-artifact-bytes:1"
+
+
+def main() -> int:
+    spec = sys.argv[1] if len(sys.argv) > 1 else os.environ.get("REPRO_FAULTS", "")
+    spec = spec or DEFAULT_SPEC
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+    scratch = tempfile.mkdtemp(prefix="repro-chaos-")
+
+    # Import (and build the clean reference) before arming any fault.
+    os.environ.pop("REPRO_FAULTS", None)
+    from repro.engine import ArtifactStore, ExecutionEngine
+    from repro.engine.store import RESULTS, TRACES
+    from repro.experiments.figure5 import figure5_definition
+    from repro.experiments.setup import ExperimentProfile
+
+    profile = ExperimentProfile(
+        name="chaos-smoke",
+        instructions_per_benchmark=budget,
+        benchmarks=["gzip", "swim", "mcf"],
+        profile_budget=budget,
+    )
+    definition = figure5_definition(profile.benchmarks)
+
+    def outputs_of(engine):
+        run = engine.run([definition])[definition.name]
+        return {
+            slot: (result.metrics.summary(), result.misprediction_rate)
+            for slot, result in run.items()
+        }
+
+    reference = outputs_of(ExecutionEngine(profile))
+
+    # Arm the faults: the claim directory is shared by every forked worker,
+    # so each one-shot fault fires exactly once across the whole run.
+    os.environ["REPRO_FAULTS"] = spec
+    os.environ["REPRO_FAULTS_STATE"] = os.path.join(scratch, "fault-state")
+    print(f"chaos smoke: REPRO_FAULTS={spec} (budget {budget})")
+
+    store = ArtifactStore(os.path.join(scratch, "cache"))
+    first = ExecutionEngine(profile, store=store, jobs=4)
+    if outputs_of(first) != reference:
+        print("FAIL: faulted run diverged from the clean reference", file=sys.stderr)
+        return 1
+    if "kill-worker" in spec and not (
+        first.stats.workers_lost >= 1 and first.stats.jobs_retried >= 1
+    ):
+        print(
+            "FAIL: worker-kill spec ran without losing a worker "
+            f"(workers_lost={first.stats.workers_lost}, "
+            f"jobs_retried={first.stats.jobs_retried})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Force the rerun through the binary artifacts (a result-level cache
+    # hit would never read the damaged payload back).
+    store.clear(RESULTS)
+    store.clear(TRACES)
+    second = ExecutionEngine(profile, store=store, jobs=4)
+    if outputs_of(second) != reference:
+        print("FAIL: store rerun diverged from the clean reference", file=sys.stderr)
+        return 1
+    quarantined = store.quarantine_usage()
+    damaging = ("corrupt-artifact-bytes" in spec) or ("truncate-payload" in spec)
+    if damaging and quarantined["count"] < 1:
+        print("FAIL: corruption spec left nothing in quarantine", file=sys.stderr)
+        return 1
+
+    print(f"  faulted run:  {first.stats.render()}")
+    print(f"  store rerun:  {second.stats.render()}")
+    print(f"  quarantined:  {quarantined['count']} artifact(s)")
+    print("chaos smoke: OK (bit-identical under injected faults)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,12 @@
 Starts the daemon as a subprocess on an ephemeral port, submits a
 rob-scaling sweep at a small instruction budget through the ``repro
 submit`` CLI, polls it to completion, then sends SIGTERM and asserts the
-daemon exits cleanly (status 0).  Exercises exactly what a deployment
-would: process startup, the HTTP API, the client CLI, and signal-driven
-shutdown.
+daemon exits cleanly (status 0).  A *second* daemon is then started over
+the same cache directory: its job journal must list the first daemon's
+job as done (``recovered``) and still serve its result — the restart
+recovery path, over the wire.  Exercises exactly what a deployment
+would: process startup, the HTTP API, the client CLI, signal-driven
+shutdown, and journal-based recovery.
 
 Usage::
 
@@ -15,13 +18,55 @@ Usage::
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import signal
 import subprocess
 import sys
+import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def start_daemon(env):
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--max-store-bytes",
+            "64M",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    banner = daemon.stdout.readline()
+    print(banner.strip())
+    match = re.search(r"http://[\d.]+:\d+", banner)
+    return daemon, (match.group(0) if match else None)
+
+
+def stop_daemon(daemon):
+    """SIGTERM the daemon; return its exit code (None on timeout)."""
+    daemon.send_signal(signal.SIGTERM)
+    try:
+        code = daemon.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        return None
+    print(daemon.stdout.read(), end="")
+    return code
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
 
 
 def main() -> int:
@@ -30,22 +75,12 @@ def main() -> int:
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
     env.setdefault("REPRO_CACHE_DIR", os.path.join(REPO_ROOT, ".serve-smoke-cache"))
 
-    daemon = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0", "--max-store-bytes", "64M"],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-        env=env,
-        cwd=REPO_ROOT,
-    )
+    daemon, url = start_daemon(env)
+    revived = None
     try:
-        banner = daemon.stdout.readline()
-        print(banner.strip())
-        match = re.search(r"http://[\d.]+:\d+", banner)
-        if not match:
+        if url is None:
             print("FAIL: daemon did not print its bound address", file=sys.stderr)
             return 1
-        url = match.group(0)
 
         submit = subprocess.run(
             [
@@ -60,30 +95,74 @@ def main() -> int:
                 url,
                 "--timeout",
                 "300",
+                "--retries",
+                "3",
             ],
             env=env,
             cwd=REPO_ROOT,
             timeout=420,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
         )
+        print(submit.stdout, end="")
         if submit.returncode != 0:
             print(f"FAIL: repro submit exited {submit.returncode}", file=sys.stderr)
             return 1
+        match = re.search(r"job ([0-9a-f]+):", submit.stdout)
+        if not match:
+            print("FAIL: submit output did not name its job id", file=sys.stderr)
+            return 1
+        job_id = match.group(1)
 
-        daemon.send_signal(signal.SIGTERM)
-        try:
-            code = daemon.wait(timeout=30)
-        except subprocess.TimeoutExpired:
-            print("FAIL: daemon did not exit within 30s of SIGTERM", file=sys.stderr)
-            return 1
-        print(daemon.stdout.read(), end="")
+        code = stop_daemon(daemon)
         if code != 0:
-            print(f"FAIL: daemon exited {code} on SIGTERM", file=sys.stderr)
+            print(f"FAIL: daemon exited {code!r} on SIGTERM", file=sys.stderr)
             return 1
-        print("serve smoke: OK (submit completed, daemon shut down cleanly)")
+
+        # Restart over the same cache directory: the journal must bring the
+        # finished job back, listable and with its result still servable.
+        revived, revived_url = start_daemon(env)
+        if revived_url is None:
+            print("FAIL: restarted daemon printed no address", file=sys.stderr)
+            return 1
+        jobs = get_json(f"{revived_url}/v1/jobs")["jobs"]
+        recovered = {job["id"]: job for job in jobs}.get(job_id)
+        if recovered is None:
+            print(
+                f"FAIL: restarted daemon does not list job {job_id}",
+                file=sys.stderr,
+            )
+            return 1
+        if recovered["state"] != "done" or not recovered["recovered"]:
+            print(
+                f"FAIL: job {job_id} came back as {recovered['state']} "
+                f"(recovered={recovered['recovered']}), expected a recovered "
+                "'done'",
+                file=sys.stderr,
+            )
+            return 1
+        result = get_json(f"{revived_url}/v1/jobs/{job_id}/result?format=json")
+        if not result.get("cells"):
+            print(
+                f"FAIL: recovered job {job_id} served no result cells",
+                file=sys.stderr,
+            )
+            return 1
+
+        code = stop_daemon(revived)
+        if code != 0:
+            print(f"FAIL: restarted daemon exited {code!r} on SIGTERM", file=sys.stderr)
+            return 1
+        print(
+            "serve smoke: OK (submit completed, daemon restarted, "
+            f"job {job_id} recovered from the journal)"
+        )
         return 0
     finally:
-        if daemon.poll() is None:
-            daemon.kill()
+        for process in (daemon, revived):
+            if process is not None and process.poll() is None:
+                process.kill()
 
 
 if __name__ == "__main__":

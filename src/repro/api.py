@@ -24,6 +24,9 @@ The blessed surface (see ``docs/api.md`` for the reference):
 * **The experiment service** — :class:`ServeClient` (HTTP client of a
   ``repro serve`` daemon) and :class:`ExperimentService` (the in-process
   job scheduler it talks to).
+* **Operations** — :func:`configure_logging` (the runtime's structured
+  stderr logging) and :func:`fault_points` (the deterministic
+  fault-injection catalog behind ``REPRO_FAULTS``).
 
 Attributes resolve lazily (PEP 562), so ``import repro.api`` is cheap and
 the facade can be imported from anywhere inside the package without
@@ -72,6 +75,9 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "ServeClient": ("repro.client", "ServeClient"),
     "ServeError": ("repro.client", "ServeError"),
     "ExperimentService": ("repro.serve.service", "ExperimentService"),
+    # Operations (logging and chaos testing)
+    "configure_logging": ("repro.log", "configure_logging"),
+    "fault_points": ("repro.faults", "fault_points"),
 }
 
 __all__ = sorted(_EXPORTS)

@@ -130,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent artifact cache for this run",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="stderr logging verbosity for the repro runtime "
+        "(default: $REPRO_LOG_LEVEL or warning)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("table1", help="print the Table 1 machine configuration")
@@ -225,9 +232,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache = subparsers.add_parser("cache", help="inspect or clear the artifact cache")
     cache.add_argument(
         "action",
-        choices=["stats", "clear", "path"],
-        help="stats: per-kind counts/sizes; clear: delete artifacts; "
-        "path: print the cache directory",
+        choices=["stats", "clear", "path", "quarantine"],
+        help="stats: per-kind counts/sizes (quarantine included); clear: "
+        "delete artifacts; path: print the cache directory; "
+        "'quarantine clear': delete quarantined artifacts",
+    )
+    cache.add_argument(
+        "subaction",
+        nargs="?",
+        choices=["clear"],
+        default=None,
+        help="with 'quarantine': clear deletes the quarantined artifacts",
     )
     cache.add_argument(
         "--kind",
@@ -301,6 +316,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict least-recently-hit artifacts to keep the store under "
         "SIZE (bytes, or with a K/M/G suffix); default: unbounded",
     )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail any job still running after SECONDS and release its "
+        "coalescing claims (default: no deadline)",
+    )
+    serve.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="JSONL job journal for restart recovery (default: "
+        "<cache-dir>/serve-journal.jsonl; 'none' disables)",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit a job to a running 'repro serve' daemon"
@@ -332,6 +363,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="json_output",
         help="print raw per-cell counters as JSON instead of the table",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry idempotent polls this many times on connection errors "
+        "(default: 0)",
+    )
+    submit.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="base backoff between poll retries, doubled per attempt "
+        "(default: 0.2)",
     )
 
     workloads = subparsers.add_parser(
@@ -670,6 +716,8 @@ def _command_workloads(args: argparse.Namespace) -> str:
 
 def _command_cache(args: argparse.Namespace) -> str:
     store = ArtifactStore(default_cache_dir(args.cache_dir))
+    if args.subaction and args.action != "quarantine":
+        raise SystemExit(f"'cache {args.action}' takes no subaction")
     if args.action == "path":
         store.ensure_root()
         return store.root
@@ -677,6 +725,21 @@ def _command_cache(args: argparse.Namespace) -> str:
         removed = store.clear(args.kind)
         scope = args.kind or "all kinds"
         return f"removed {removed} artifacts ({scope}) from {store.root}"
+    if args.action == "quarantine":
+        if args.subaction == "clear":
+            removed = store.clear_quarantine()
+            return f"removed {removed} quarantined artifacts from {store.root}"
+        entries = store.quarantine_entries()
+        if not entries:
+            return f"no quarantined artifacts in {store.root}"
+        lines = [f"quarantined artifacts in {store.root}:"]
+        for entry in entries:
+            lines.append(
+                f"  {entry.get('kind', '?'):10s} {str(entry.get('key', '?'))[:16]:16s} "
+                f"{entry.get('quarantine_reason', 'unknown reason')}"
+            )
+        lines.append("run 'repro cache quarantine clear' to delete them")
+        return "\n".join(lines)
     import time as time_mod
 
     report = store.usage()
@@ -706,6 +769,13 @@ def _command_cache(args: argparse.Namespace) -> str:
     lines.append(
         f"  {'total':10s} {total['count']:5d} artifacts  {total['bytes'] / 1024:8.1f} KiB"
     )
+    quarantine = report["quarantine"]
+    if quarantine["count"]:
+        lines.append(
+            f"  {'quarantine':10s} {quarantine['count']:5d} artifacts  "
+            f"{quarantine['bytes'] / 1024:8.1f} KiB"
+            "  (damaged; 'repro cache quarantine' to inspect)"
+        )
     return "\n".join(lines)
 
 
@@ -738,13 +808,28 @@ def _command_serve(args: argparse.Namespace) -> str:
             "'serve' needs the artifact store (coalescing and cross-job "
             "deduplication live there); drop --no-cache"
         )
+    store = ArtifactStore(default_cache_dir(args.cache_dir))
+    journal = None
+    if args.journal != "none":
+        from repro.serve.service import JobJournal
+
+        journal = JobJournal(
+            args.journal or os.path.join(store.root, "serve-journal.jsonl")
+        )
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        raise SystemExit(f"--job-timeout must be positive, got {args.job_timeout}")
     service = ExperimentService(
-        ArtifactStore(default_cache_dir(args.cache_dir)),
+        store,
         jobs=args.jobs,
         workers=args.workers,
         max_store_bytes=_parse_size(args.max_store_bytes),
         default_instructions=args.instructions,
+        job_timeout=args.job_timeout,
+        journal=journal,
     )
+    # Start the workers up front: jobs re-queued from the journal must run
+    # even if no new submission ever arrives.
+    service.start()
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     # One parseable line before blocking: smoke scripts read the bound port.
@@ -773,7 +858,11 @@ def _command_submit(args: argparse.Namespace) -> str:
     if args.instructions is not None:
         document["instructions"] = args.instructions
 
-    client = ServeClient(args.url)
+    if args.retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {args.retries}")
+    client = ServeClient(
+        args.url, retries=args.retries, retry_backoff=args.retry_backoff
+    )
     try:
         job = client.submit(document)
         if args.no_wait:
@@ -841,6 +930,9 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro``."""
     args = build_parser().parse_args(argv)
+    from repro.log import configure_logging
+
+    configure_logging(args.log_level)
     output = _COMMANDS[args.command](args)
     print(output)
     return 0

@@ -17,6 +17,16 @@ so a client needs nothing beyond the standard library::
 API errors surface as :class:`ServeError` carrying the HTTP status and the
 daemon's ``error`` message (e.g. a 400 for an invalid submission, a 409
 for a result requested before the job finished).
+
+**Resilience.** With ``retries`` set, *idempotent* GETs that fail with a
+connection error are retried with exponential backoff before giving up —
+a flaky network or a daemon mid-restart no longer kills a long poll.
+Submissions (POSTs) are never retried by this layer: the daemon's request
+coalescing makes an *intentional* duplicate submission cheap, but a blind
+retry could still double-submit, so exactly-once stays the caller's call.
+:meth:`~ServeClient.wait` additionally tolerates transient connection
+errors between polls regardless of ``retries``, honouring only its own
+deadline.
 """
 
 from __future__ import annotations
@@ -27,7 +37,11 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional
 
+from repro import faults
+from repro.log import get_logger
 from repro.serve.service import DONE, FAILED
+
+_log = get_logger(__name__)
 
 #: Terminal job states — :meth:`ServeClient.wait` returns on either.
 _TERMINAL_STATES = (DONE, FAILED)
@@ -49,10 +63,24 @@ class ServeError(RuntimeError):
 class ServeClient:
     """Talk to a running ``repro serve`` daemon over HTTP+JSON."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
-        """``base_url`` like ``http://127.0.0.1:8321``; ``timeout`` per request."""
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 0,
+        retry_backoff: float = 0.2,
+    ) -> None:
+        """``base_url`` like ``http://127.0.0.1:8321``; ``timeout`` per request.
+
+        ``retries`` re-issues *idempotent GETs* that fail with a connection
+        error, sleeping ``retry_backoff * 2**attempt`` seconds between
+        attempts.  HTTP error responses (the daemon answered) and POSTs are
+        never retried.
+        """
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
 
     # ------------------------------------------------------------------
     def _request(
@@ -64,23 +92,46 @@ class ServeClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = response.read()
-                content_type = response.headers.get("Content-Type", "")
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+        # Only idempotent GETs may retry; a POST is exactly-once here.
+        attempts = 1 + (self.retries if payload is None else 0)
+        for attempt in range(attempts):
+            request = urllib.request.Request(url, data=data, headers=headers)
             try:
-                message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
-            except ValueError:
-                message = raw.decode("utf-8", "replace")
-            raise ServeError(error.code, message) from None
-        except urllib.error.URLError as error:
-            raise ServeError(0, f"cannot reach {url}: {error.reason}") from None
-        if content_type.startswith("application/json"):
-            return json.loads(body)
-        return body.decode("utf-8")
+                if payload is None and faults.drop_http_response():
+                    raise urllib.error.URLError("injected drop-http-response")
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    body = response.read()
+                    content_type = response.headers.get("Content-Type", "")
+            except urllib.error.HTTPError as error:
+                raw = error.read()
+                try:
+                    message = json.loads(raw).get(
+                        "error", raw.decode("utf-8", "replace")
+                    )
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServeError(error.code, message) from None
+            except urllib.error.URLError as error:
+                if attempt + 1 < attempts:
+                    delay = self.retry_backoff * (2**attempt)
+                    _log.info(
+                        "GET %s failed (%s); retrying in %.2fs (%d/%d)",
+                        path,
+                        error.reason,
+                        delay,
+                        attempt + 1,
+                        self.retries,
+                    )
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                raise ServeError(0, f"cannot reach {url}: {error.reason}") from None
+            if content_type.startswith("application/json"):
+                return json.loads(body)
+            return body.decode("utf-8")
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -112,16 +163,32 @@ class ServeClient:
     ) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state; return its snapshot.
 
-        Raises :class:`ServeError` (status 0) if ``timeout`` seconds elapse
-        first.
+        A transient connection error on one poll does not abort the wait —
+        the daemon may be mid-restart or the network mid-hiccup; polling
+        simply continues.  Raises :class:`ServeError` (status 0) if
+        ``timeout`` seconds elapse first (with no timeout, a daemon that
+        never comes back means polling forever — pass a timeout when the
+        daemon's liveness is in question).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        state = "unknown"
         while True:
-            snapshot = self.job(job_id)
-            if snapshot["state"] in _TERMINAL_STATES:
-                return snapshot
+            try:
+                snapshot = self.job(job_id)
+            except ServeError as error:
+                if error.status != 0:
+                    raise  # The daemon answered: a real API error.
+                _log.info(
+                    "poll for job %s failed (%s); continuing to poll",
+                    job_id,
+                    error.message,
+                )
+            else:
+                state = snapshot["state"]
+                if state in _TERMINAL_STATES:
+                    return snapshot
             if deadline is not None and time.monotonic() > deadline:
                 raise ServeError(
-                    0, f"timed out waiting for job {job_id} (state: {snapshot['state']})"
+                    0, f"timed out waiting for job {job_id} (state: {state})"
                 )
             time.sleep(poll_interval)

@@ -13,13 +13,23 @@ keeps at most ``max_cached_traces`` of them in memory and evicts in LRU
 order.  Experiments no longer manage trace memory by hand.
 
 With ``jobs > 1`` the engine executes independent (benchmark, flavour) cells
-in parallel worker processes via :mod:`multiprocessing`; workers share the
-on-disk store (writes are atomic) and return their (small) results by
-pickle.  Traces are never queue-pickled: with a store they travel as
-columnar artifact files, and without one the parent spills its in-memory
-traces into an ephemeral trace-only store the workers read back.
-Simulation is deterministic given a trace and a scheme spec, so parallel
-runs are bit-identical to serial ones.
+in parallel worker processes; workers share the on-disk store (writes are
+atomic) and return their (small) results by pickle.  Traces are never
+queue-pickled: with a store they travel as columnar artifact files, and
+without one the parent spills its in-memory traces into an ephemeral
+trace-only store the workers read back.  Simulation is deterministic given
+a trace and a scheme spec, so parallel runs are bit-identical to serial
+ones.
+
+**Supervision.** Parallel execution survives worker death (an OOM-killed
+or crashed process surfaces as a broken pool): the lost cells' jobs are
+re-planned — workers consult the store first, so finished sub-jobs are
+never redone — and retried on a fresh pool, up to ``max_retries`` rounds;
+past the budget the engine degrades to in-process serial execution of the
+remainder, so a sweep completes (slowly) rather than dying.  A progress
+watchdog (``job_timeout`` seconds without any cell completing) kills a
+stalled pool the same way.  :class:`EngineStats` accounts for all of it
+(``workers_lost``/``jobs_retried``/``jobs_timed_out``).
 """
 
 from __future__ import annotations
@@ -28,9 +38,14 @@ import multiprocessing
 import shutil
 import tempfile
 from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import faults
+from repro.log import get_logger
 
 from repro.compiler.binaries import BinaryFactory
 from repro.emulator.executor import Emulator
@@ -60,8 +75,13 @@ from repro.program.program import Program
 from repro.workloads.registry import build_workload
 from repro.workloads.spec_suite import workload_names
 
+_log = get_logger(__name__)
+
 #: (benchmark, flavour)
 Cell = Tuple[str, str]
+
+#: What one parallel worker receives: (profile, store root, spill root, jobs).
+_CellPayload = Tuple[Any, Optional[str], Optional[str], List[SimulateJob]]
 
 #: What an experiment gets back: (benchmark, label) → result.
 ExperimentOutputs = Dict[Tuple[str, str], SimulationResult]
@@ -87,6 +107,12 @@ class EngineStats:
     #: (work actually performed, cache hits excluded).
     trace_seconds: float = 0.0
     simulate_seconds: float = 0.0
+    #: Fault-recovery accounting: simulate jobs resubmitted after a pool
+    #: failure, worker-death events survived, and jobs whose pool was
+    #: killed by the progress watchdog.  All zero on a clean run.
+    jobs_retried: int = 0
+    workers_lost: int = 0
+    jobs_timed_out: int = 0
 
     def merge(self, other: Dict[str, Any]) -> None:
         """Accumulate a worker's stats dict into this record (field-wise add)."""
@@ -106,12 +132,19 @@ class EngineStats:
         batched = ""
         if self.batches_run:
             batched = f", {self.batched_lanes} lanes in {self.batches_run} batches"
+        recovered = ""
+        if self.workers_lost or self.jobs_retried or self.jobs_timed_out:
+            recovered = (
+                f", recovered from {self.workers_lost} lost workers "
+                f"({self.jobs_retried} jobs retried, "
+                f"{self.jobs_timed_out} timed out)"
+            )
         return (
             f"built {self.binaries_built} binaries ({self.binaries_loaded} cached), "
             f"collected {self.traces_collected} traces ({self.traces_loaded} cached) "
             f"in {self.trace_seconds:.2f}s, "
             f"ran {self.simulations_run} simulations ({self.results_loaded} cached) "
-            f"in {self.simulate_seconds:.2f}s{batched}"
+            f"in {self.simulate_seconds:.2f}s{batched}{recovered}"
         )
 
 
@@ -156,12 +189,25 @@ class ExecutionEngine:
         max_cached_traces: int = 2,
         trace_spill: Optional[ArtifactStore] = None,
         oracle_stats: bool = True,
+        max_retries: int = 2,
+        job_timeout: Optional[float] = None,
     ) -> None:
         # Lazy import: repro.experiments imports repro.engine.
         from repro.experiments.setup import PAPER_PROFILE
 
         self.profile = profile or PAPER_PROFILE
         self.store = store
+        #: Supervision budget for parallel runs: how many retry rounds a
+        #: broken/stalled pool is rebuilt before degrading to in-process
+        #: serial execution of the remaining cells.
+        self.max_retries = max(0, int(max_retries))
+        #: Progress-watchdog window (seconds): with ``jobs > 1``, if no
+        #: cell completes for this long the pool is presumed wedged,
+        #: killed, and its outstanding cells retried.  ``None`` disables
+        #: the watchdog.  This is deliberately *progress*-based — the pool
+        #: API cannot observe when a queued cell starts running, so a
+        #: per-job clock would penalise jobs for time spent queued.
+        self.job_timeout = float(job_timeout) if job_timeout else None
         #: Ephemeral trace-only store used by parallel runs without a
         #: persistent store: the parent spills its in-memory traces there as
         #: columnar files and workers read them back, so traces cross the
@@ -349,6 +395,7 @@ class ExecutionEngine:
 
     def _simulate_uncached(self, job: SimulateJob) -> SimulationResult:
         """Run one simulate job through the scalar core (store miss path)."""
+        faults.on_simulate_launch()
         trace = self.collect_trace(job.benchmark, job.flavour)
         core = OutOfOrderCore(config=job.machine.build_config())
         scheme = job.scheme.build()
@@ -417,6 +464,7 @@ class ExecutionEngine:
         self, batch: BatchedSimulateJob, trace: TracePack
     ) -> Dict[str, SimulationResult]:
         """Execute a batched simulate job; fan results out to lane keys."""
+        faults.on_simulate_launch()
         jobs = batch.lanes
         lanes = [
             LaneSpec(
@@ -503,6 +551,14 @@ class ExecutionEngine:
     def _execute_parallel(
         self, cells: "OrderedDict[Cell, List[SimulateJob]]", jobs: int
     ) -> Dict[str, SimulationResult]:
+        """Run cells across worker processes, surviving worker failures.
+
+        Each round submits the pending cells to a fresh pool; cells lost to
+        a dead worker or the progress watchdog are retried for up to
+        ``max_retries`` further rounds (their finished sub-jobs come back
+        from the store, so a retry only redoes lost work).  Past the budget
+        the remainder runs serially in this process — degraded, never dead.
+        """
         store_root = self.store.root if self.store is not None else None
         spill_root: Optional[str] = None
         if store_root is None:
@@ -512,18 +568,106 @@ class ExecutionEngine:
             # the directory lives only for the duration of the pool.
             spill_root = tempfile.mkdtemp(prefix="repro-trace-spill-")
             self._spill_traces(ArtifactStore(spill_root))
-        payloads = [
+        payloads: List[_CellPayload] = [
             (self.profile, store_root, spill_root, list(cell_jobs))
             for cell_jobs in cells.values()
         ]
         results: Dict[str, SimulationResult] = {}
-        context = _mp_context()
-        processes = min(jobs, len(payloads))
         try:
-            with context.Pool(processes=processes) as pool:
-                for cell_results, stats, timings, oracle in pool.imap_unordered(
-                    _execute_cell, payloads
-                ):
+            pending = payloads
+            rounds = 0
+            while pending:
+                lost = self._run_pool(pending, min(jobs, len(pending)), results)
+                if not lost:
+                    break
+                rounds += 1
+                if rounds > self.max_retries:
+                    _log.warning(
+                        "retry budget exhausted after %d rounds; running "
+                        "%d remaining cells serially in-process",
+                        self.max_retries,
+                        len(lost),
+                    )
+                    for payload in lost:
+                        results.update(self.run_cell_jobs(payload[3]))
+                    break
+                self.stats.jobs_retried += sum(len(p[3]) for p in lost)
+                _log.warning(
+                    "retrying %d lost cells on a fresh worker pool "
+                    "(round %d of %d)",
+                    len(lost),
+                    rounds,
+                    self.max_retries,
+                )
+                pending = lost
+        finally:
+            if spill_root is not None:
+                shutil.rmtree(spill_root, ignore_errors=True)
+        return results
+
+    def _run_pool(
+        self,
+        payloads: List[_CellPayload],
+        processes: int,
+        results: Dict[str, SimulationResult],
+    ) -> List[_CellPayload]:
+        """One supervised pool round; return the cells that were lost.
+
+        Merges every completed cell into ``results``/``self.stats`` as it
+        lands.  Cells whose worker died (broken pool) or whose pool made no
+        progress within ``job_timeout`` are returned for the caller to
+        retry; a worker raising an ordinary exception is a *job* failure,
+        not a worker failure, and propagates to the caller unchanged.
+        """
+        executor = ProcessPoolExecutor(
+            max_workers=processes, mp_context=_mp_context()
+        )
+        futures: Dict[Future, _CellPayload] = {
+            executor.submit(_execute_cell, payload): payload
+            for payload in payloads
+        }
+        outstanding: Set[Future] = set(futures)
+        lost: List[_CellPayload] = []
+        pool_broken = False
+        try:
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding,
+                    timeout=self.job_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Watchdog: nothing completed for job_timeout seconds.
+                    # The pool is presumed wedged — kill it and report the
+                    # outstanding cells as lost.
+                    timed_out = [futures[future] for future in outstanding]
+                    jobs_hit = sum(len(p[3]) for p in timed_out)
+                    self.stats.jobs_timed_out += jobs_hit
+                    self.stats.workers_lost += 1
+                    _log.warning(
+                        "no cell completed within %.1fs; killing the pool "
+                        "(%d cells / %d jobs outstanding)",
+                        self.job_timeout,
+                        len(timed_out),
+                        jobs_hit,
+                    )
+                    lost.extend(timed_out)
+                    self._terminate_workers(executor)
+                    break
+                for future in done:
+                    payload = futures[future]
+                    try:
+                        cell_results, stats, timings, oracle = future.result()
+                    except BrokenProcessPool:
+                        if not pool_broken:
+                            pool_broken = True
+                            self.stats.workers_lost += 1
+                            _log.warning(
+                                "a worker process died; lost cells will be "
+                                "re-planned against the store and retried"
+                            )
+                        lost.append(payload)
+                        continue
                     results.update(cell_results)
                     self.stats.merge(stats)
                     self.job_timings.extend(timings)
@@ -531,10 +675,30 @@ class ExecutionEngine:
                     # results, so the parent never re-materialises a trace
                     # just to recompute them.
                     self._oracle_accuracy_cache.update(oracle)
+                if pool_broken:
+                    # Every future still outstanding on a broken pool is
+                    # doomed; collect them now instead of draining errors.
+                    lost.extend(futures[future] for future in outstanding)
+                    break
         finally:
-            if spill_root is not None:
-                shutil.rmtree(spill_root, ignore_errors=True)
-        return results
+            executor.shutdown(wait=False, cancel_futures=True)
+        return lost
+
+    @staticmethod
+    def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+        """Hard-kill a pool's worker processes (stalled-pool recovery).
+
+        ``ProcessPoolExecutor`` has no public kill switch; its
+        ``_processes`` map has been stable across CPython releases and is
+        the accepted escape hatch.  Guarded so an implementation change
+        degrades to leaking the stalled workers, not crashing the run.
+        """
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - platform specific
+                pass
 
     def _spill_traces(self, spill: ArtifactStore) -> None:
         """Write the in-memory trace cache into ``spill`` (columnar files)."""

@@ -55,16 +55,21 @@ def run_cells(
     jobs: Optional[int] = None,
     instructions: Optional[int] = None,
     profile_budget: Optional[int] = None,
+    max_retries: Optional[int] = None,
+    job_timeout: Optional[float] = None,
 ) -> CellRunOutcome:
     """Run cell requests through the job-graph engine; return the outcome.
 
     Either pass ``engine`` (an :class:`ExecutionEngine` whose profile
     carries the instruction budget — ``store``/``instructions``/
-    ``profile_budget`` must then be omitted), or let this function build
-    one: ``store`` (optional persistent artifact cache), ``jobs`` (worker
-    processes), ``instructions`` (fetched-instruction budget per benchmark,
-    default 20 000) and ``profile_budget`` (compiler profiling budget,
-    default ``min(instructions, 20_000)``).
+    ``profile_budget``/``max_retries``/``job_timeout`` must then be
+    omitted), or let this function build one: ``store`` (optional
+    persistent artifact cache), ``jobs`` (worker processes),
+    ``instructions`` (fetched-instruction budget per benchmark, default
+    20 000), ``profile_budget`` (compiler profiling budget, default
+    ``min(instructions, 20_000)``), ``max_retries`` (worker-failure retry
+    rounds before serial fallback, default 2) and ``job_timeout``
+    (progress-watchdog seconds for parallel runs, default off).
 
     The requests become one :class:`ExperimentDefinition` named ``name``;
     planning deduplicates shared builds/traces/simulations, the store
@@ -82,11 +87,17 @@ def run_cells(
             "key the result table, so every request needs a distinct one"
         )
     if engine is None:
-        engine = _build_engine(requests, store, jobs, instructions, profile_budget)
-    elif store is not None or instructions is not None or profile_budget is not None:
+        engine = _build_engine(
+            requests, store, jobs, instructions, profile_budget, max_retries, job_timeout
+        )
+    elif any(
+        option is not None
+        for option in (store, instructions, profile_budget, max_retries, job_timeout)
+    ):
         raise ValueError(
             "pass either engine= or the engine-construction options "
-            "(store/instructions/profile_budget), not both"
+            "(store/instructions/profile_budget/max_retries/job_timeout), "
+            "not both"
         )
     definition = ExperimentDefinition(name=name, requests=requests)
     results = engine.run([definition], jobs=jobs)[definition.name]
@@ -104,6 +115,8 @@ def _build_engine(
     jobs: Optional[int],
     instructions: Optional[int],
     profile_budget: Optional[int],
+    max_retries: Optional[int] = None,
+    job_timeout: Optional[float] = None,
 ) -> ExecutionEngine:
     """An engine scoped to exactly the requested benchmarks and budget."""
     from repro.experiments.setup import ExperimentProfile
@@ -123,4 +136,10 @@ def _build_engine(
             min(instructions, 20_000) if profile_budget is None else int(profile_budget)
         ),
     )
-    return ExecutionEngine(profile=profile, store=store, jobs=jobs or 1)
+    return ExecutionEngine(
+        profile=profile,
+        store=store,
+        jobs=jobs or 1,
+        max_retries=2 if max_retries is None else max_retries,
+        job_timeout=job_timeout,
+    )

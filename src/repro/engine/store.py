@@ -15,8 +15,18 @@ invalidate everything at once)::
     <root>/v1/results/<key>.pkl   + <key>.json
 
 Writes are atomic (unique temp file + ``os.replace``) so concurrent worker
-processes can share one store; unreadable or stale artifacts are treated as
-cache misses and deleted.
+processes can share one store.
+
+**Integrity.** Every ``put`` records a SHA-256 digest of the encoded
+payload in the metadata sidecar, and every ``get`` verifies it before
+decoding — so at-rest corruption (bit flips, torn writes) is *detected*,
+not just decode failures.  Damaged artifacts are **quarantined** (moved to
+``<root>/v1/quarantine/``, surfaced by :meth:`ArtifactStore.usage` and the
+``repro cache stats`` CLI) rather than silently deleted, and the ``get``
+reports a miss so the caller transparently regenerates the artifact.
+Orphaned ``.json`` sidecars — left when a crash interrupts a remove
+between the payload unlink and the sidecar unlink — are swept by
+:meth:`ArtifactStore.ensure_root`.
 
 For long-running multi-tenant use (the ``repro serve`` daemon) the store
 also supports **size-gated LRU eviction**: every cache hit touches the
@@ -27,6 +37,7 @@ skipped — until total payload bytes fit under a byte budget.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -34,8 +45,12 @@ import time
 import uuid
 from typing import Any, Callable, Collection, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.emulator.trace import deserialize_trace, serialize_trace
 from repro.emulator.tracepack import PackBackendUnavailable
+from repro.log import get_logger
+
+_log = get_logger(__name__)
 
 #: Bump to invalidate every previously stored artifact.
 STORE_FORMAT_VERSION = 1
@@ -87,13 +102,45 @@ class ArtifactStore:
         created directory, or ``None`` when creation failed (e.g. the
         configured root is not a writable directory) — in that case the
         store still behaves as empty.
+
+        Also sweeps **orphaned sidecars**: a remove that crashed between
+        the payload unlink and the sidecar unlink leaves a ``.json`` with
+        no ``.pkl``, which would skew :meth:`entries`-based reporting
+        forever.  ``put`` writes the payload before the sidecar, so a
+        sidecar without a payload is always stale — never a write in
+        flight.
         """
         base = os.path.join(self.root, f"v{STORE_FORMAT_VERSION}")
         try:
             os.makedirs(base, exist_ok=True)
         except OSError:
             return None
+        self._sweep_orphan_sidecars()
         return base
+
+    def _sweep_orphan_sidecars(self) -> int:
+        """Remove ``.json`` sidecars whose payload is gone; return count."""
+        removed = 0
+        for kind in KINDS:
+            directory = self._kind_dir(kind)
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            present = set(names)
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                if f"{name[: -len('.json')]}.pkl" in present:
+                    continue
+                try:
+                    os.remove(os.path.join(directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        if removed:
+            _log.info("swept %d orphaned metadata sidecar(s) under %s", removed, self.root)
+        return removed
 
     def _kind_dir(self, kind: str) -> str:
         if kind not in KINDS:
@@ -115,14 +162,23 @@ class ArtifactStore:
     def get(self, kind: str, key: str) -> Optional[Any]:
         """Load one artifact, or ``None`` on a miss.
 
-        Corrupt or stale-format artifacts are removed and reported as
-        misses so the caller transparently regenerates them.
+        The payload's SHA-256 digest is verified against the metadata
+        sidecar (when one recorded it) *before* decoding, so silent at-rest
+        corruption — a bit flip that still unpickles — is caught, not just
+        decode failures.  Damaged artifacts are quarantined (moved under
+        ``<root>/v1/quarantine/``, never silently deleted) and reported as
+        misses, so the caller transparently regenerates them while the
+        evidence stays inspectable.
         """
         path = self.path(kind, key)
         try:
             with open(path, "rb") as handle:
                 data = handle.read()
         except OSError:
+            return None
+        recorded = self._recorded_digest(kind, key)
+        if recorded is not None and hashlib.sha256(data).hexdigest() != recorded:
+            self._quarantine(kind, key, "payload digest mismatch")
             return None
         try:
             obj = _CODECS[kind][1](data)
@@ -131,8 +187,8 @@ class ArtifactStore:
             # artifact is valid, this process just cannot decode it.  Report
             # a miss but leave it for numpy-enabled processes.
             return None
-        except Exception:
-            self._remove(kind, key)
+        except Exception as error:
+            self._quarantine(kind, key, f"decode failed: {type(error).__name__}")
             return None
         # Record the hit: payload mtime is the artifact's last-hit time,
         # which is what size-gated eviction orders by (LRU).
@@ -145,20 +201,44 @@ class ArtifactStore:
     def put(
         self, kind: str, key: str, obj: Any, metadata: Optional[Dict[str, Any]] = None
     ) -> str:
-        """Store one artifact atomically and return its payload path."""
+        """Store one artifact atomically and return its payload path.
+
+        The metadata sidecar records a SHA-256 digest of the encoded
+        payload; :meth:`get` verifies it on every load.
+        """
         directory = self._kind_dir(kind)
         os.makedirs(directory, exist_ok=True)
         data = _CODECS[kind][0](obj)
         path = self.path(kind, key)
         self._atomic_write(directory, path, data)
         meta = dict(metadata or {})
-        meta.update(kind=kind, key=key, size_bytes=len(data), created=time.time())
+        meta.update(
+            kind=kind,
+            key=key,
+            size_bytes=len(data),
+            created=time.time(),
+            sha256=hashlib.sha256(data).hexdigest(),
+        )
         self._atomic_write(
             directory,
             self._meta_path(kind, key),
             json.dumps(meta, sort_keys=True).encode("utf-8"),
         )
+        # Chaos-testing hook: corrupt-artifact-bytes / truncate-payload
+        # damage the payload *after* the true digest was recorded, exactly
+        # like post-write bit rot (no-op unless REPRO_FAULTS enables them).
+        faults.corrupt_payload(path)
         return path
+
+    def _recorded_digest(self, kind: str, key: str) -> Optional[str]:
+        """The sidecar's payload digest, or ``None`` when not recorded."""
+        try:
+            with open(self._meta_path(kind, key), "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        digest = meta.get("sha256")
+        return digest if isinstance(digest, str) else None
 
     @staticmethod
     def _atomic_write(directory: str, path: str, data: bytes) -> None:
@@ -173,6 +253,111 @@ class ArtifactStore:
                 os.remove(path)
             except OSError:
                 pass
+
+    # ------------------------------------------------------------------
+    # Quarantine (damaged artifacts; see get())
+    # ------------------------------------------------------------------
+    def quarantine_dir(self) -> str:
+        """Directory holding quarantined (damaged) artifacts."""
+        return os.path.join(self.root, f"v{STORE_FORMAT_VERSION}", "quarantine")
+
+    def _quarantine(self, kind: str, key: str, reason: str) -> None:
+        """Move a damaged artifact (payload + sidecar) into quarantine.
+
+        The sidecar is rewritten with the quarantine ``reason`` and
+        timestamp so a post-mortem knows what failed and when.  Filenames
+        are ``<kind>__<key>.*`` — kinds share one directory, and a repeat
+        quarantine of the same key overwrites the previous evidence.
+        """
+        directory = self.quarantine_dir()
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError:
+            self._remove(kind, key)
+            return
+        _log.warning("quarantining %s/%s: %s", kind, key, reason)
+        payload = self.path(kind, key)
+        sidecar = self._meta_path(kind, key)
+        try:
+            os.replace(payload, os.path.join(directory, f"{kind}__{key}.pkl"))
+        except OSError:
+            pass
+        meta: Dict[str, Any] = {}
+        try:
+            with open(sidecar, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                meta = loaded
+        except (OSError, ValueError):
+            pass
+        meta.update(
+            kind=kind,
+            key=key,
+            quarantine_reason=reason,
+            quarantined=time.time(),
+        )
+        self._atomic_write(
+            directory,
+            os.path.join(directory, f"{kind}__{key}.json"),
+            json.dumps(meta, sort_keys=True).encode("utf-8"),
+        )
+        try:
+            os.remove(sidecar)
+        except OSError:
+            pass
+
+    def quarantine_usage(self) -> Dict[str, int]:
+        """Quarantined artifact count and payload bytes."""
+        count = 0
+        size = 0
+        try:
+            names = os.listdir(self.quarantine_dir())
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            count += 1
+            try:
+                size += os.path.getsize(os.path.join(self.quarantine_dir(), name))
+            except OSError:
+                pass
+        return {"count": count, "bytes": size}
+
+    def quarantine_entries(self) -> List[Dict[str, Any]]:
+        """Metadata of every quarantined artifact (reason, timestamps)."""
+        directory = self.quarantine_dir()
+        found: List[Dict[str, Any]] = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return found
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(directory, name), "r", encoding="utf-8") as fh:
+                    found.append(json.load(fh))
+            except (OSError, ValueError):
+                continue
+        return found
+
+    def clear_quarantine(self) -> int:
+        """Delete all quarantined artifacts; return payload count removed."""
+        directory = self.quarantine_dir()
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return 0
+        removed = 0
+        for name in names:
+            if name.endswith(".pkl"):
+                removed += 1
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
+        return removed
 
     # ------------------------------------------------------------------
     # Inspection (the ``repro cache`` CLI)
@@ -229,7 +414,10 @@ class ArtifactStore:
         each kind additionally reports ``oldest_hit``/``newest_hit`` (epoch
         seconds of the least/most recently hit payload, ``None`` when the
         kind is empty), and a ``total`` pseudo-kind aggregates counts and
-        bytes across kinds — the number eviction gates on.
+        bytes across kinds — the number eviction gates on.  A ``quarantine``
+        pseudo-kind reports damaged artifacts set aside by :meth:`get`;
+        those bytes are *not* part of ``total`` (they are never evicted or
+        served, only inspected and cleared).
         """
         self.ensure_root()
         report: Dict[str, Dict[str, Any]] = {}
@@ -254,6 +442,7 @@ class ArtifactStore:
                 "newest_hit": newest,
             }
         report["total"] = {"count": total_count, "bytes": total_bytes}
+        report["quarantine"] = dict(self.quarantine_usage())
         return report
 
     def _payloads(self, kind: str):

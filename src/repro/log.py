@@ -1,0 +1,95 @@
+"""Structured logging for the repro runtime.
+
+Every long-running layer of the system — the execution engine's worker
+supervision, the artifact store's integrity checks, the serve daemon's job
+scheduler and the HTTP client's retry loop — reports operational events
+through one ``repro``-rooted :mod:`logging` hierarchy instead of printing
+(or staying silent).  Libraries only ever call :func:`get_logger`; the
+hierarchy carries a ``NullHandler`` by default, so importing the package
+never spams a host application's stderr.
+
+Entry points (the CLI's global ``--log-level`` flag, the serve daemon, the
+smoke scripts) opt in by calling :func:`configure_logging`, which attaches
+one stderr handler with a timestamped single-line format.  The level
+resolves as: explicit argument > ``$REPRO_LOG_LEVEL`` > ``WARNING`` — so a
+deployment can turn on debug logging without touching the command line.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO, Optional
+
+#: Environment variable consulted when no explicit level is passed.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: One event per line: time, severity, component, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+# Importing the package must never emit "no handler" warnings into a host
+# application; opted-in handlers are attached by configure_logging().
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro``-rooted logger of one component.
+
+    ``name`` may be a module's ``__name__`` (already under ``repro.``) or a
+    bare component name, which is nested under the package root so one
+    :func:`configure_logging` call controls everything.
+    """
+    if name == ROOT_LOGGER or name.startswith(f"{ROOT_LOGGER}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def resolve_level(level: Optional[str] = None) -> int:
+    """Map a level name to its numeric value (arg > env > WARNING).
+
+    Unknown names raise :class:`ValueError` naming the accepted levels, so
+    a typo in ``--log-level``/``$REPRO_LOG_LEVEL`` fails loudly instead of
+    silently logging nothing.
+    """
+    raw = level or os.environ.get(LOG_LEVEL_ENV) or "warning"
+    resolved = logging.getLevelName(str(raw).strip().upper())
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {raw!r}; expected one of "
+            "debug, info, warning, error, critical"
+        )
+    return resolved
+
+
+def configure_logging(
+    level: Optional[str] = None, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger hierarchy.
+
+    ``level`` is a case-insensitive level name (``debug``/``info``/
+    ``warning``/``error``/``critical``); when omitted, ``$REPRO_LOG_LEVEL``
+    applies, then ``warning``.  Calling again reconfigures (the previous
+    stream handler is replaced, not stacked), so tests and long-lived
+    processes can adjust verbosity at runtime.  Returns the root ``repro``
+    logger.
+    """
+    resolved = resolve_level(level)
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    # Events stay inside the repro hierarchy: do not double-log through any
+    # root handlers a host application may have installed.
+    root.propagate = False
+    return root

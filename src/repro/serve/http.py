@@ -16,7 +16,10 @@ A deliberately small, versioned HTTP+JSON API over
                                 (``?format=json``)
 ``GET /v1/store/stats``         per-kind artifact counts/bytes, the
                                 eviction budget and what it removed
-``GET /v1/health``              liveness probe
+``GET /v1/health``              liveness probe with degradation detail
+                                (workers lost, jobs timed out,
+                                quarantined artifacts, journal-recovered
+                                jobs)
 ==============================  =======================================
 
 Errors are JSON too: ``400`` for invalid documents (the
@@ -116,7 +119,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         route = parts[1:]
         if route == ["health"]:
-            self._send(200, {"status": "ok", "version": API_VERSION})
+            payload = self.service.health()
+            payload["version"] = API_VERSION
+            self._send(200, payload)
             return
         if route == ["store", "stats"]:
             self._send(200, self.service.store_stats())

@@ -24,11 +24,24 @@ Two multi-tenant properties live here:
   least-recently-hit artifacts are dropped (hot keys survive, because every
   cache hit refreshes an artifact's last-hit time) until the store fits the
   budget.  Artifacts of still-running jobs are protected.
+
+Fault tolerance adds two more:
+
+* **Job deadlines** — with ``job_timeout`` set, a job that has not
+  finished within the window is failed and its coalescing claims released,
+  so waiters re-plan against the store instead of hanging on a wedged job.
+* **The job journal** — with ``journal`` set, every submission and state
+  transition appends one JSONL event; a restarted daemon replays it, so
+  previously completed jobs stay listable (and their results servable),
+  jobs that died mid-run are reported ``failed``, and jobs that never
+  started are re-queued.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 import queue
 import threading
 import time
@@ -41,7 +54,10 @@ from repro.engine.jobs import FLAVOURS, IF_CONVERTED, SchemeSpec
 from repro.engine.planner import CellRequest, ExperimentDefinition
 from repro.engine.run import run_cells
 from repro.engine.store import ArtifactStore
+from repro.log import get_logger
 from repro.pipeline.machine import MachineSpec
+
+_log = get_logger(__name__)
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -83,6 +99,10 @@ class JobRecord:
     #: Rendered report text and raw per-cell counters, set on completion.
     result_text: Optional[str] = None
     result_json: Optional[Any] = None
+    #: True when this record was reconstructed from the job journal after
+    #: a daemon restart (its results come from the journal/store, not from
+    #: an execution in this process).
+    recovered: bool = False
     #: Signalled when the job reaches a terminal state.
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
@@ -101,6 +121,7 @@ class JobRecord:
             "coalesced_keys": self.coalesced_keys,
             "stats": dict(self.stats) if self.stats is not None else None,
             "timings": list(self.timings),
+            "recovered": self.recovered,
         }
 
 
@@ -286,6 +307,67 @@ def _parse_machine(raw: Any, what: str) -> MachineSpec:
 
 
 # ----------------------------------------------------------------------
+# The job journal
+# ----------------------------------------------------------------------
+class JobTimeoutError(RuntimeError):
+    """A job exceeded the service's per-job deadline."""
+
+
+class JobJournal:
+    """An append-only JSONL record of job lifecycle events.
+
+    Each line is one event object: ``submitted`` (with the original job
+    document), ``started``, ``done`` (with the rendered results and engine
+    stats) or ``failed`` (with the error).  The format is recovery-first:
+    :meth:`replay` tolerates a truncated final line (the daemon may have
+    died mid-append), and ``done`` events carry the full result payload so
+    a restarted daemon serves prior results without re-running anything.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Append one event line (best-effort: IO errors are logged, not raised)."""
+        try:
+            line = json.dumps(event, sort_keys=True, default=str)
+        except (TypeError, ValueError) as error:  # pragma: no cover - defensive
+            _log.warning("journal event not serialisable (%s); dropped", error)
+            return
+        try:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with self._lock, open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError as error:
+            _log.warning("journal append to %s failed: %s", self.path, error)
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """Every well-formed event, in order (missing file → empty list)."""
+        events: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        # A torn final line from a crashed append; any
+                        # malformed interior line is equally skippable.
+                        continue
+                    if isinstance(event, dict):
+                        events.append(event)
+        except OSError:
+            return []
+        return events
+
+
+# ----------------------------------------------------------------------
 # The service
 # ----------------------------------------------------------------------
 class ExperimentService:
@@ -299,6 +381,8 @@ class ExperimentService:
         workers: int = 2,
         max_store_bytes: Optional[int] = None,
         default_instructions: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if store is None:
             raise ValueError(
@@ -309,11 +393,15 @@ class ExperimentService:
             raise ValueError(
                 f"max_store_bytes must be a positive integer, got {max_store_bytes}"
             )
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be positive, got {job_timeout}")
         self.store = store
         self.jobs = max(1, int(jobs))
         self.workers = max(1, int(workers))
         self.max_store_bytes = max_store_bytes
         self.default_instructions = default_instructions
+        self.job_timeout = job_timeout
+        self.journal = journal
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[JobRecord]]" = queue.Queue()
         self._records: Dict[str, JobRecord] = {}
@@ -323,8 +411,97 @@ class ExperimentService:
         #: job id → every artifact key its graph touches (eviction shield).
         self._protected: Dict[str, Set[str]] = {}
         self._evicted = {"count": 0, "bytes": 0}
+        self._timed_out = 0
+        self._recovered = 0
         self._started = False
         self._threads: List[threading.Thread] = []
+        if journal is not None:
+            self._recover(journal.replay())
+
+    # ------------------------------------------------------------------
+    # Journal recovery
+    # ------------------------------------------------------------------
+    def _recover(self, events: List[Dict[str, Any]]) -> None:
+        """Rebuild job records from a prior daemon's journal events.
+
+        Jobs that finished (``done``/``failed``) come back as terminal
+        records — listable, waitable, their results served straight from
+        the journal.  Jobs that had ``started`` but never finished were
+        killed with the old daemon and are reported ``failed``.  Jobs that
+        were only ever ``submitted`` never ran at all: their documents are
+        re-validated and re-queued.
+        """
+        latest: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        for event in events:
+            job_id = event.get("id")
+            if not isinstance(job_id, str):
+                continue
+            if job_id not in latest:
+                latest[job_id] = {}
+                order.append(job_id)
+            latest[job_id][event.get("event")] = event
+        requeue: List[Tuple[JobRecord, _ParsedJob]] = []
+        for job_id in order:
+            seen = latest[job_id]
+            submitted = seen.get("submitted", {})
+            record = JobRecord(
+                id=job_id,
+                kind=submitted.get("kind", "cells"),
+                title=submitted.get("title", "recovered job"),
+                recovered=True,
+            )
+            if isinstance(submitted.get("created"), (int, float)):
+                record.created = submitted["created"]
+            if "done" in seen:
+                done = seen["done"]
+                record.state = DONE
+                record.finished = done.get("time")
+                record.result_text = done.get("result_text")
+                record.result_json = done.get("result_json")
+                record.stats = done.get("stats")
+                record.planned = done.get("planned") or {}
+                record.coalesced_keys = done.get("coalesced_keys") or 0
+                record.done_event.set()
+            elif "failed" in seen:
+                record.state = FAILED
+                record.error = seen["failed"].get("error") or "failed"
+                record.finished = seen["failed"].get("time")
+                record.done_event.set()
+            elif "started" in seen:
+                record.state = FAILED
+                record.error = "interrupted by daemon restart"
+                record.finished = time.time()
+                record.done_event.set()
+            else:
+                # Submitted but never started: run it on this daemon.
+                document = submitted.get("document")
+                try:
+                    parsed = parse_submission(
+                        document or {}, self.default_instructions
+                    )
+                except SubmitError as error:
+                    record.state = FAILED
+                    record.error = f"re-queue after restart failed: {error}"
+                    record.finished = time.time()
+                    record.done_event.set()
+                else:
+                    record.state = QUEUED
+                    requeue.append((record, parsed))
+            self._records[job_id] = record
+            self._recovered += 1
+        if self._recovered:
+            _log.info(
+                "journal recovery: %d prior jobs restored (%d re-queued)",
+                self._recovered,
+                len(requeue),
+            )
+        for record, parsed in requeue:
+            self._parsed[record.id] = parsed
+        # Enqueue after every record exists; the jobs run once the worker
+        # threads start (first submission, or the daemon's explicit start).
+        for record, _ in requeue:
+            self._queue.put(record)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -367,6 +544,17 @@ class ExperimentService:
         with self._lock:
             self._records[record.id] = record
             self._parsed[record.id] = parsed
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "event": "submitted",
+                    "id": record.id,
+                    "kind": record.kind,
+                    "title": record.title,
+                    "created": record.created,
+                    "document": dict(document),
+                }
+            )
         self.start()
         self._queue.put(record)
         return record
@@ -401,6 +589,39 @@ class ExperimentService:
             "inflight_keys": inflight,
         }
 
+    def health(self) -> Dict[str, Any]:
+        """Service health with degradation detail (``GET /v1/health``).
+
+        ``status`` is ``"degraded"`` when any fault-recovery machinery has
+        fired — workers lost or jobs timed out/retried, artifacts sitting
+        in quarantine, or jobs recovered from a prior daemon's journal —
+        and ``"ok"`` otherwise.  Degraded is informational, not fatal: it
+        means the service *survived* something worth investigating.
+        """
+        with self._lock:
+            records = list(self._records.values())
+            timed_out = self._timed_out
+            recovered = self._recovered
+        workers_lost = 0
+        jobs_retried = 0
+        for record in records:
+            stats = record.stats or {}
+            workers_lost += int(stats.get("workers_lost", 0) or 0)
+            jobs_retried += int(stats.get("jobs_retried", 0) or 0)
+        quarantined = self.store.quarantine_usage()
+        degraded = bool(
+            workers_lost or jobs_retried or timed_out or quarantined["count"]
+            or recovered
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "workers_lost": workers_lost,
+            "jobs_retried": jobs_retried,
+            "jobs_timed_out": timed_out,
+            "quarantined": quarantined,
+            "recovered_jobs": recovered,
+        }
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -415,6 +636,19 @@ class ExperimentService:
                 record.state = FAILED
                 record.error = f"{type(error).__name__}: {error}"
                 record.finished = time.time()
+                if isinstance(error, JobTimeoutError):
+                    with self._lock:
+                        self._timed_out += 1
+                _log.warning("job %s failed: %s", record.id, record.error)
+                if self.journal is not None:
+                    self.journal.append(
+                        {
+                            "event": "failed",
+                            "id": record.id,
+                            "time": record.finished,
+                            "error": record.error,
+                        }
+                    )
                 record.done_event.set()
 
     def _engine(self, parsed: _ParsedJob) -> ExecutionEngine:
@@ -442,6 +676,10 @@ class ExperimentService:
             parsed = self._parsed[record.id]
         record.state = RUNNING
         record.started = time.time()
+        if self.journal is not None:
+            self.journal.append(
+                {"event": "started", "id": record.id, "time": record.started}
+            )
         engine = self._engine(parsed)
         definition = ExperimentDefinition(
             name=record.id, requests=list(parsed.requests)
@@ -460,10 +698,11 @@ class ExperimentService:
         try:
             self._claim_or_wait(simulate_keys, own, claimed, waited)
             record.coalesced_keys = len(waited)
-            outcome = run_cells(
-                parsed.requests, name=definition.name, engine=engine
-            )
+            outcome = self._run_with_deadline(record, parsed, definition, engine)
         finally:
+            # Releases this job's claims whether it finished, failed or
+            # timed out — waiters wake, re-check the store, and re-plan
+            # whatever is missing instead of hanging on a dead job.
             with self._lock:
                 for key in claimed:
                     self._inflight.pop(key, None)
@@ -474,10 +713,57 @@ class ExperimentService:
         self._render(record, parsed, outcome)
         record.state = DONE
         record.finished = time.time()
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "event": "done",
+                    "id": record.id,
+                    "time": record.finished,
+                    "planned": dict(record.planned),
+                    "coalesced_keys": record.coalesced_keys,
+                    "stats": dict(record.stats),
+                    "result_text": record.result_text,
+                    "result_json": record.result_json,
+                }
+            )
         # Evict before signalling completion so a client that saw the job
         # finish also sees the store back under budget.
         self._evict()
         record.done_event.set()
+
+    def _run_with_deadline(self, record, parsed, definition, engine):
+        """Run one job's cells, enforcing the service's per-job deadline.
+
+        Without a deadline the run happens inline.  With one, it happens in
+        a helper thread joined for ``job_timeout`` seconds; on expiry this
+        raises :class:`JobTimeoutError` (failing the job and releasing its
+        claims) while the orphaned run finishes into the store, where its
+        artifacts benefit whoever re-plans the work.
+        """
+        if self.job_timeout is None:
+            return run_cells(parsed.requests, name=definition.name, engine=engine)
+        box: Dict[str, Any] = {}
+
+        def _target() -> None:
+            try:
+                box["outcome"] = run_cells(
+                    parsed.requests, name=definition.name, engine=engine
+                )
+            except BaseException as error:  # noqa: BLE001 - crosses threads
+                box["error"] = error
+
+        thread = threading.Thread(
+            target=_target, name=f"repro-serve-job-{record.id}", daemon=True
+        )
+        thread.start()
+        thread.join(self.job_timeout)
+        if thread.is_alive():
+            raise JobTimeoutError(
+                f"job exceeded the {self.job_timeout:.1f}s deadline"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["outcome"]
 
     def _claim_or_wait(
         self,

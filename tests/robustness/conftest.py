@@ -1,0 +1,35 @@
+"""Shared fixtures for the fault-injection (chaos) suite.
+
+Every test starts with a clean fault state: no ``REPRO_FAULTS`` spec, no
+claim markers, fresh per-process counters.  Tests opt into faults through
+:func:`activate_faults`, which also points the cross-process claim
+directory at a per-test scratch path so one-shot faults fire exactly once
+per *test*, even across forked worker processes and retried pools.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_STATE_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture
+def activate_faults(monkeypatch, tmp_path):
+    """Turn on a ``REPRO_FAULTS`` spec with a per-test claim directory."""
+
+    def _activate(spec: str) -> None:
+        monkeypatch.setenv(faults.FAULTS_ENV, spec)
+        monkeypatch.setenv(faults.FAULTS_STATE_ENV, str(tmp_path / "fault-state"))
+        faults.reset()
+
+    return _activate

@@ -1,0 +1,97 @@
+"""Chaos parity: faulted parallel sweeps produce bit-identical results.
+
+The acceptance criterion of the fault-tolerance layer, as tests: a
+``--jobs 4`` Figure 5 sweep under every fault permutation — a worker
+killed mid-run, artifacts corrupted or truncated at rest, and their
+combination — completes without hanging and with per-cell counters
+bit-identical to a clean serial run.  A second run over the *same* store
+then proves the at-rest damage was quarantined and regenerated rather
+than silently served.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ArtifactStore, ExecutionEngine
+from repro.engine.store import RESULTS, TRACES
+from repro.experiments.figure5 import figure5_definition
+from repro.experiments.setup import ExperimentProfile
+
+PROFILE = ExperimentProfile(
+    name="chaos-parity",
+    instructions_per_benchmark=1_200,
+    benchmarks=["gzip", "swim", "mcf"],
+    profile_budget=1_200,
+)
+
+#: The CI chaos matrix: every injection point that can hit a sweep, alone
+#: and combined.  (drop-http-response has no engine-side site; it is
+#: exercised by the serve-resilience suite.)
+FAULT_SPECS = [
+    "kill-worker-on-nth-simulate:1",
+    "corrupt-artifact-bytes:1",
+    "truncate-payload:1",
+    "kill-worker-on-nth-simulate:1,corrupt-artifact-bytes:1",
+]
+
+
+def fig5_outputs(engine):
+    definition = figure5_definition(PROFILE.benchmarks)
+    return engine.run([definition])[definition.name]
+
+
+def assert_outputs_equal(outputs, reference):
+    assert set(outputs) == set(reference)
+    for slot, result in reference.items():
+        assert outputs[slot].metrics.summary() == result.metrics.summary()
+        assert outputs[slot].misprediction_rate == result.misprediction_rate
+
+
+@pytest.fixture(scope="module")
+def clean_outputs():
+    """The ground truth: a serial, fault-free, store-less run."""
+    return fig5_outputs(ExecutionEngine(PROFILE))
+
+
+@pytest.mark.parametrize("spec", FAULT_SPECS)
+def test_faulted_parallel_sweep_is_bit_identical(
+    spec, activate_faults, clean_outputs, tmp_path
+):
+    activate_faults(spec)
+    store = ArtifactStore(str(tmp_path / "cache"))
+
+    # Run 1, faults armed: the sweep must complete (no waiter hangs) with
+    # counters identical to the clean run, recovering whatever fires.
+    first = ExecutionEngine(PROFILE, store=store, jobs=4)
+    assert_outputs_equal(fig5_outputs(first), clean_outputs)
+    if "kill-worker" in spec:
+        assert first.stats.workers_lost >= 1
+        assert first.stats.jobs_retried >= 1
+        assert "recovered from" in first.stats.render()
+
+    # Run 2 on the SAME store: every one-shot fault has been claimed, so
+    # this run is clean — and any at-rest damage run 1 left behind must be
+    # detected by the digest check, quarantined, and regenerated.  Dropping
+    # the cached results and traces forces the rerun to read the binary
+    # artifacts back (a result-level cache hit would never touch them).
+    store.clear(RESULTS)
+    store.clear(TRACES)
+    second = ExecutionEngine(PROFILE, store=store, jobs=4)
+    assert_outputs_equal(fig5_outputs(second), clean_outputs)
+    assert second.stats.workers_lost == 0
+
+    if "corrupt-artifact-bytes" in spec or "truncate-payload" in spec:
+        # The damaged artifact ended in quarantine (during whichever run
+        # first read it back), never in a result.
+        assert store.quarantine_usage()["count"] >= 1
+
+
+def test_clean_parallel_sweep_reports_no_recovery(clean_outputs, tmp_path):
+    store = ArtifactStore(str(tmp_path / "cache"))
+    engine = ExecutionEngine(PROFILE, store=store, jobs=4)
+    assert_outputs_equal(fig5_outputs(engine), clean_outputs)
+    assert engine.stats.workers_lost == 0
+    assert engine.stats.jobs_retried == 0
+    assert engine.stats.jobs_timed_out == 0
+    assert store.quarantine_usage() == {"count": 0, "bytes": 0}

@@ -1,0 +1,103 @@
+"""Unit tests of the deterministic fault-injection module itself."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+
+
+class TestSpecParsing:
+    def test_no_env_means_no_faults(self):
+        assert faults.active_faults() == {}
+
+    def test_parse_defaults_and_args(self, activate_faults):
+        activate_faults("drop-http-response, corrupt-artifact-bytes:3")
+        assert faults.active_faults() == {
+            "drop-http-response": 1,
+            "corrupt-artifact-bytes": 3,
+        }
+
+    def test_unknown_point_rejected(self, activate_faults):
+        activate_faults("explode-the-moon:2")
+        with pytest.raises(faults.FaultSpecError, match="unknown fault point"):
+            faults.active_faults()
+
+    @pytest.mark.parametrize("arg", ["zero", "0", "-1", "1.5"])
+    def test_bad_argument_rejected(self, activate_faults, arg):
+        activate_faults(f"drop-http-response:{arg}")
+        with pytest.raises(faults.FaultSpecError):
+            faults.active_faults()
+
+    def test_catalog_is_complete(self):
+        assert set(faults.fault_points()) == {
+            "kill-worker-on-nth-simulate",
+            "corrupt-artifact-bytes",
+            "truncate-payload",
+            "drop-http-response",
+            "stall-simulate",
+        }
+
+
+class TestFiring:
+    def test_one_shot_fires_on_exact_ordinal_once(self, activate_faults):
+        activate_faults("corrupt-artifact-bytes:3")
+        fired = [faults.should_fire(faults.CORRUPT_ARTIFACT) for _ in range(6)]
+        assert fired == [None, None, 3, None, None, None]
+
+    def test_counting_point_fires_first_n_events(self, activate_faults):
+        activate_faults("drop-http-response:2")
+        fired = [faults.drop_http_response() for _ in range(4)]
+        assert fired == [True, True, False, False]
+
+    def test_claim_marker_is_cross_process_exclusive(self, activate_faults, tmp_path):
+        activate_faults("kill-worker-on-nth-simulate:1")
+        assert faults.should_fire(faults.KILL_WORKER) is None or True  # counts
+        # Simulate "another process" by resetting local state: the on-disk
+        # marker must still block a second firing.
+        state = os.environ[faults.FAULTS_STATE_ENV]
+        faults._counters.clear()
+        faults._claimed.clear()
+        assert os.listdir(state)  # the first firing left its marker
+        assert faults.should_fire(faults.KILL_WORKER) is None
+
+    def test_reset_clears_local_state(self, activate_faults):
+        activate_faults("drop-http-response:1")
+        assert faults.drop_http_response() is True
+        faults.reset()
+        assert faults.drop_http_response() is True
+
+    def test_stall_argument_is_seconds_not_ordinal(self, activate_faults):
+        # stall-simulate:30 must fire on the FIRST event (returning 30),
+        # not wait for the 30th.
+        activate_faults("stall-simulate:30")
+        assert faults.should_fire(faults.STALL_SIMULATE) == 30
+        assert faults.should_fire(faults.STALL_SIMULATE) is None
+
+
+class TestPayloadCorruption:
+    def test_corrupt_flips_one_byte(self, activate_faults, tmp_path):
+        activate_faults("corrupt-artifact-bytes:1")
+        path = tmp_path / "payload.bin"
+        original = bytes(range(16))
+        path.write_bytes(original)
+        faults.corrupt_payload(str(path))
+        damaged = path.read_bytes()
+        assert len(damaged) == len(original)
+        assert damaged != original
+        assert sum(a != b for a, b in zip(damaged, original)) == 1
+
+    def test_truncate_halves_the_payload(self, activate_faults, tmp_path):
+        activate_faults("truncate-payload:1")
+        path = tmp_path / "payload.bin"
+        path.write_bytes(bytes(100))
+        faults.corrupt_payload(str(path))
+        assert path.stat().st_size == 50
+
+    def test_noop_without_spec(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        path.write_bytes(b"pristine")
+        faults.corrupt_payload(str(path))
+        assert path.read_bytes() == b"pristine"

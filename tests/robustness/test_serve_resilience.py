@@ -1,0 +1,286 @@
+"""Serve resilience: job deadlines, journal recovery, and client retries.
+
+Three failure domains of the ``repro serve`` stack:
+
+* **Deadlines** — a wedged job is failed at ``job_timeout`` and its
+  coalescing claims released, so a duplicate submission re-plans and
+  completes instead of hanging on the corpse.
+* **The job journal** — a restarted daemon replays its JSONL journal:
+  finished jobs stay listable with their results servable, interrupted
+  jobs are reported failed, never-started jobs are re-queued and run.
+* **Client retries** — idempotent GETs survive injected connection drops
+  with ``retries`` set, and :meth:`ServeClient.wait` tolerates dropped
+  polls even without them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.client import ServeClient, ServeError
+from repro.engine.store import ArtifactStore
+from repro.serve import make_server, serve_until_shutdown
+from repro.serve.service import (
+    DONE,
+    FAILED,
+    ExperimentService,
+    JobJournal,
+    JobTimeoutError,
+)
+
+ONE_CELL = {
+    "cells": [{"benchmark": "gzip", "scheme": "predicate"}],
+    "instructions": 1500,
+}
+
+
+def _drain_job_threads() -> None:
+    """Join any orphaned deadline helper threads before leaving a test."""
+    for thread in threading.enumerate():
+        if thread.name.startswith("repro-serve-job-"):
+            thread.join(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+class TestJobDeadline:
+    def test_zero_timeout_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        with pytest.raises(ValueError, match="job_timeout"):
+            ExperimentService(store, job_timeout=0)
+
+    def test_fast_job_completes_under_deadline(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        service = ExperimentService(store, job_timeout=120.0)
+        try:
+            record = service.wait(service.submit(ONE_CELL).id, timeout=120)
+            assert record.state == DONE, record.error
+            assert record.result_text
+        finally:
+            service.shutdown(wait=True, timeout=10)
+            _drain_job_threads()
+
+    def test_deadline_fails_wedged_job_and_releases_claims(
+        self, monkeypatch, tmp_path
+    ):
+        """The first job wedges; its duplicate must re-plan, not hang."""
+        import repro.serve.service as service_module
+
+        release = threading.Event()
+        wedged_once = []
+        real_run_cells = service_module.run_cells
+
+        def run_cells_wedging_first(*args, **kwargs):
+            if not wedged_once:
+                wedged_once.append(True)
+                release.wait(60)  # the stand-in for a wedged engine run
+            return real_run_cells(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "run_cells", run_cells_wedging_first)
+        store = ArtifactStore(str(tmp_path / "cache"))
+        service = ExperimentService(store, jobs=1, workers=2, job_timeout=2.0)
+        try:
+            first = service.submit(ONE_CELL)
+            second = service.submit(ONE_CELL)
+            service.wait(first.id, timeout=60)
+            service.wait(second.id, timeout=60)
+            # Exactly one of the two (whichever claimed the simulate keys
+            # first) hit the deadline; the other — its coalescing waiter —
+            # was woken by the claim release and ran the work itself.
+            states = {first.state, second.state}
+            assert states == {DONE, FAILED}
+            failed = first if first.state == FAILED else second
+            done = first if first.state == DONE else second
+            assert "deadline" in failed.error
+            assert failed.error.startswith(JobTimeoutError.__name__)
+            assert done.result_text
+            health = service.health()
+            assert health["jobs_timed_out"] == 1
+            assert health["status"] == "degraded"
+        finally:
+            release.set()
+            service.shutdown(wait=True, timeout=10)
+            _drain_job_threads()
+
+
+# ----------------------------------------------------------------------
+# The job journal
+# ----------------------------------------------------------------------
+class TestJournalRecovery:
+    def test_done_jobs_survive_restart_with_results(self, tmp_path):
+        journal_path = str(tmp_path / "journal.jsonl")
+        store = ArtifactStore(str(tmp_path / "cache"))
+        service = ExperimentService(store, journal=JobJournal(journal_path))
+        record = service.wait(service.submit(ONE_CELL).id, timeout=120)
+        assert record.state == DONE, record.error
+        service.shutdown(wait=True, timeout=10)
+
+        revived = ExperimentService(store, journal=JobJournal(journal_path))
+        try:
+            recovered = revived.job(record.id)
+            assert recovered.state == DONE
+            assert recovered.recovered is True
+            assert recovered.snapshot()["recovered"] is True
+            assert recovered.result_text == record.result_text
+            assert recovered.result_json == record.result_json
+            assert recovered.planned == record.planned
+            assert (
+                recovered.stats["simulations_run"]
+                == record.stats["simulations_run"]
+            )
+            assert recovered.done_event.is_set()  # wait() returns immediately
+            health = revived.health()
+            assert health["recovered_jobs"] == 1
+            assert health["status"] == "degraded"
+        finally:
+            revived.shutdown(wait=True, timeout=10)
+
+    def test_submitted_only_jobs_are_requeued_and_run(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        event = {
+            "event": "submitted",
+            "id": "requeue-test-1",
+            "kind": "cells",
+            "title": "1 cell(s)",
+            "created": 123.0,
+            "document": ONE_CELL,
+        }
+        journal_path.write_text(json.dumps(event) + "\n", encoding="utf-8")
+        store = ArtifactStore(str(tmp_path / "cache"))
+        service = ExperimentService(store, journal=JobJournal(str(journal_path)))
+        try:
+            # The daemon's explicit start is what runs re-queued jobs.
+            service.start()
+            record = service.wait("requeue-test-1", timeout=120)
+            assert record.state == DONE, record.error
+            assert record.recovered is True
+            assert record.result_text
+        finally:
+            service.shutdown(wait=True, timeout=10)
+
+    def test_started_unfinished_jobs_fail_on_restart(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        events = [
+            {
+                "event": "submitted",
+                "id": "interrupted-1",
+                "kind": "cells",
+                "title": "1 cell(s)",
+                "created": 1.0,
+                "document": ONE_CELL,
+            },
+            {"event": "started", "id": "interrupted-1", "time": 2.0},
+        ]
+        journal_path.write_text(
+            "".join(json.dumps(event) + "\n" for event in events), encoding="utf-8"
+        )
+        store = ArtifactStore(str(tmp_path / "cache"))
+        service = ExperimentService(store, journal=JobJournal(str(journal_path)))
+        try:
+            record = service.job("interrupted-1")
+            assert record.state == FAILED
+            assert record.error == "interrupted by daemon restart"
+            assert record.done_event.is_set()
+        finally:
+            service.shutdown(wait=True, timeout=10)
+
+    def test_invalid_document_requeue_fails_cleanly(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        event = {
+            "event": "submitted",
+            "id": "bad-document-1",
+            "kind": "cells",
+            "title": "1 cell(s)",
+            "created": 1.0,
+            "document": {"cells": []},  # invalid: empty cell list
+        }
+        journal_path.write_text(json.dumps(event) + "\n", encoding="utf-8")
+        store = ArtifactStore(str(tmp_path / "cache"))
+        service = ExperimentService(store, journal=JobJournal(str(journal_path)))
+        try:
+            record = service.job("bad-document-1")
+            assert record.state == FAILED
+            assert "re-queue after restart failed" in record.error
+        finally:
+            service.shutdown(wait=True, timeout=10)
+
+    def test_replay_tolerates_a_torn_final_line(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "journal.jsonl"))
+        journal.append({"event": "submitted", "id": "whole-line"})
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "subm')  # the daemon died mid-append
+        events = journal.replay()
+        assert events == [{"event": "submitted", "id": "whole-line"}]
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert JobJournal(str(tmp_path / "never-written.jsonl")).replay() == []
+
+
+# ----------------------------------------------------------------------
+# Client retries under injected connection drops
+# ----------------------------------------------------------------------
+@pytest.fixture
+def server(tmp_path):
+    store = ArtifactStore(str(tmp_path / "cache"))
+    service = ExperimentService(store, jobs=1, workers=2, default_instructions=1500)
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(
+        target=serve_until_shutdown, args=(server, False), daemon=True
+    )
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+@pytest.fixture
+def base_url(server):
+    return f"http://127.0.0.1:{server.server_address[1]}"
+
+
+class TestClientResilience:
+    def test_wait_survives_dropped_poll_responses(self, activate_faults, base_url):
+        """The satellite regression: a transient drop must not abort a wait."""
+        client = ServeClient(base_url, timeout=30)  # note: retries=0
+        job = client.submit(ONE_CELL)
+        activate_faults("drop-http-response:2")
+        done = client.wait(job["id"], timeout=120, poll_interval=0.05)
+        assert done["state"] == "done", done["error"]
+
+    def test_request_retries_recover_idempotent_gets(
+        self, activate_faults, base_url
+    ):
+        activate_faults("drop-http-response:2")
+        client = ServeClient(base_url, retries=2, retry_backoff=0.01)
+        payload = client.health()  # both drops absorbed inside one call
+        assert payload["status"] in ("ok", "degraded")
+
+    def test_without_retries_a_drop_is_fatal(self, activate_faults, base_url):
+        activate_faults("drop-http-response:1")
+        client = ServeClient(base_url)
+        with pytest.raises(ServeError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert "drop-http-response" in excinfo.value.message
+
+    def test_http_error_responses_are_never_retried(
+        self, activate_faults, base_url
+    ):
+        # A 404 is the daemon *answering*; retrying it would only mask bugs.
+        client = ServeClient(base_url, retries=3, retry_backoff=10.0)
+        with pytest.raises(ServeError) as excinfo:
+            client._request("/v1/nope")
+        assert excinfo.value.status == 404
+
+    def test_posts_are_never_retried(self, activate_faults, base_url):
+        # drop-http-response only gates idempotent GETs: a POST with the
+        # fault active goes straight through, exactly once.
+        activate_faults("drop-http-response:5")
+        client = ServeClient(base_url, retries=5, retry_backoff=0.01)
+        job = client.submit(ONE_CELL)
+        assert job["id"]

@@ -1,0 +1,191 @@
+"""Store integrity: digest verification, quarantine, orphan-sidecar sweep."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.binaries import BinaryFactory
+from repro.emulator.executor import Emulator
+from repro.emulator.tracepack import TracePack, pack_supported
+from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore
+from repro.experiments.setup import make_predicate_scheme
+from repro.pipeline.core import OutOfOrderCore
+from repro.workloads.spec_suite import build_workload
+
+BUDGET = 1_200
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    """One compiled binary, its v1 (object) trace, and a simulation result."""
+    factory = BinaryFactory(profile_budget=BUDGET)
+    program = factory.build_baseline("gzip", lambda: build_workload("gzip"))
+    trace = list(Emulator(program).run(BUDGET))
+    result = OutOfOrderCore().run(
+        iter(trace), make_predicate_scheme(), program_name="gzip"
+    )
+    return program, trace, result
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "cache"))
+
+
+def _payload_objects(artifacts):
+    """(kind, object) pairs covering all kinds and both trace codecs."""
+    program, trace, result = artifacts
+    pairs = [(BINARIES, program), (TRACES, trace), (RESULTS, result)]
+    if pack_supported():
+        pairs.append((TRACES, TracePack.from_dyninsts(trace)))
+    return pairs
+
+
+class TestDigest:
+    def test_put_records_sha256(self, store, artifacts):
+        program, _, _ = artifacts
+        store.put(BINARIES, "k", program)
+        with open(store._meta_path(BINARIES, "k"), encoding="utf-8") as handle:
+            meta = json.load(handle)
+        assert isinstance(meta["sha256"], str) and len(meta["sha256"]) == 64
+
+    def test_clean_round_trip_still_hits(self, store, artifacts):
+        _, _, result = artifacts
+        store.put(RESULTS, "k", result)
+        reloaded = store.get(RESULTS, "k")
+        assert reloaded.metrics.summary() == result.metrics.summary()
+
+    def test_legacy_sidecar_without_digest_still_reads(self, store, artifacts):
+        _, _, result = artifacts
+        store.put(RESULTS, "k", result)
+        meta_path = store._meta_path(RESULTS, "k")
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        del meta["sha256"]
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        assert store.get(RESULTS, "k") is not None
+
+
+class TestQuarantine:
+    def test_bit_flip_quarantines_and_reports_miss(self, store, artifacts):
+        _, _, result = artifacts
+        path = store.put(RESULTS, "k", result)
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            handle.seek(len(data) // 2)
+            handle.write(bytes([data[len(data) // 2] ^ 0xFF]))
+        assert store.get(RESULTS, "k") is None
+        assert not store.contains(RESULTS, "k")
+        usage = store.quarantine_usage()
+        assert usage["count"] == 1 and usage["bytes"] > 0
+        entries = store.quarantine_entries()
+        assert entries[0]["quarantine_reason"] == "payload digest mismatch"
+        assert entries[0]["kind"] == RESULTS
+
+    def test_quarantine_surfaces_in_usage_but_not_total(self, store, artifacts):
+        _, _, result = artifacts
+        path = store.put(RESULTS, "k", result)
+        with open(path, "r+b") as handle:
+            handle.write(b"\xff" * 8)
+        store.get(RESULTS, "k")
+        report = store.usage()
+        assert report["quarantine"]["count"] == 1
+        assert report["total"]["count"] == 0
+
+    def test_clear_quarantine(self, store, artifacts):
+        _, _, result = artifacts
+        path = store.put(RESULTS, "k", result)
+        with open(path, "r+b") as handle:
+            handle.write(b"\xff" * 8)
+        store.get(RESULTS, "k")
+        assert store.clear_quarantine() == 1
+        assert store.quarantine_usage() == {"count": 0, "bytes": 0}
+
+    def test_store_clear_leaves_quarantine(self, store, artifacts):
+        _, _, result = artifacts
+        path = store.put(RESULTS, "k", result)
+        with open(path, "r+b") as handle:
+            handle.write(b"\xff" * 8)
+        store.get(RESULTS, "k")
+        store.clear()
+        assert store.quarantine_usage()["count"] == 1
+
+    def test_numpy_less_read_does_not_quarantine(self, store, artifacts, monkeypatch):
+        """A PackBackendUnavailable decode is a miss, never a quarantine."""
+        if not pack_supported():
+            pytest.skip("columnar packs require numpy")
+        _, trace, _ = artifacts
+        store.put(TRACES, "k", TracePack.from_dyninsts(trace))
+        import repro.emulator.tracepack as tracepack
+
+        monkeypatch.setattr(tracepack, "_np", None)
+        assert store.get(TRACES, "k") is None
+        monkeypatch.undo()
+        assert store.quarantine_usage()["count"] == 0
+        assert store.get(TRACES, "k") is not None
+
+
+class TestOrphanSidecars:
+    def test_ensure_root_sweeps_orphaned_sidecars(self, store, artifacts):
+        _, _, result = artifacts
+        store.put(RESULTS, "keep", result)
+        store.put(RESULTS, "orphan", result)
+        os.remove(store.path(RESULTS, "orphan"))  # the crashed-remove shape
+        store.ensure_root()
+        assert not os.path.exists(store._meta_path(RESULTS, "orphan"))
+        assert os.path.exists(store._meta_path(RESULTS, "keep"))
+        assert store.get(RESULTS, "keep") is not None
+
+    def test_swept_orphans_no_longer_skew_entries(self, store, artifacts):
+        _, _, result = artifacts
+        store.put(RESULTS, "orphan", result)
+        os.remove(store.path(RESULTS, "orphan"))
+        store.ensure_root()
+        assert store.entries(RESULTS) == []
+
+
+class TestCorruptionProperty:
+    """Any corruption of any stored payload → quarantine + clean regeneration."""
+
+    @given(
+        which=st.integers(min_value=0, max_value=3),
+        mode=st.sampled_from(["flip", "truncate"]),
+        position=st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_corruption_never_escapes_the_store(
+        self, tmp_path_factory, artifacts, which, mode, position
+    ):
+        pairs = _payload_objects(artifacts)
+        kind, obj = pairs[which % len(pairs)]
+        store = ArtifactStore(str(tmp_path_factory.mktemp("chaos-store")))
+        path = store.put(kind, "k", obj)
+        size = os.path.getsize(path)
+        offset = min(int(size * position), size - 1)
+        if mode == "flip":
+            with open(path, "r+b") as handle:
+                handle.seek(offset)
+                byte = handle.read(1)
+                handle.seek(offset)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+        else:
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, offset))
+        # Never an exception: damaged artifacts read as a miss.
+        assert store.get(kind, "k") is None
+        assert store.quarantine_usage()["count"] == 1
+        # Regeneration: a fresh put of the same object round-trips with
+        # bit-identical counters.
+        store.put(kind, "k", obj)
+        reloaded = store.get(kind, "k")
+        assert reloaded is not None
+        if kind == RESULTS:
+            assert reloaded.metrics.summary() == obj.metrics.summary()
+        elif kind == TRACES:
+            assert len(reloaded) == len(obj)

@@ -46,7 +46,13 @@ def client(server):
 
 class TestAPI:
     def test_health(self, client):
-        assert client.health() == {"status": "ok", "version": "v1"}
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["version"] == "v1"
+        assert payload["workers_lost"] == 0
+        assert payload["jobs_timed_out"] == 0
+        assert payload["quarantined"] == {"count": 0, "bytes": 0}
+        assert payload["recovered_jobs"] == 0
 
     def test_unknown_routes_are_404(self, client):
         for path in ("/v1/nope", "/v2/jobs", "/v1/jobs/nope"):
