@@ -46,8 +46,10 @@ Common options: ``--instructions N`` (per-benchmark budget),
 ``--benchmarks a,b,c`` (registry names and/or workload file paths),
 ``--jobs N`` (parallel worker processes), ``--cache-dir PATH`` /
 ``--no-cache`` (persistent artifact store; defaults to
-``$REPRO_CACHE_DIR`` or ``.repro-cache``), and for ``simulate``:
-``--scheme``, ``--flavour``.
+``$REPRO_CACHE_DIR`` or ``.repro-cache``), ``--checkpoint-every ROWS``
+(periodic resume checkpoints through the store; see
+``docs/internals/traces.md``), and for ``simulate``: ``--scheme``,
+``--flavour``, ``--sampling SPEC`` (sampled simulation).
 
 The full command reference, with expected outputs, lives in
 ``docs/experiments.md``.
@@ -118,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for independent (benchmark, flavour) cells "
         "(default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="write a resume checkpoint to the artifact cache every ROWS "
+        "simulated branches, so a killed run restarts mid-trace "
+        "(default: off; needs the cache)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -414,6 +425,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=IF_CONVERTED,
         help="binary flavour (default: if-converted)",
     )
+    simulate.add_argument(
+        "--sampling",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="sampled simulation: 'interval[:window[:warmup]]' simulates "
+        "every interval-th window of window branches after warmup "
+        "warm-up branches (e.g. '4:4096:512'); the result is an "
+        "approximation and is flagged as such",
+    )
     return parser
 
 
@@ -452,6 +473,21 @@ def _parse_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
     return benchmarks
 
 
+def _checkpoint_every(args: argparse.Namespace) -> Optional[int]:
+    """The validated ``--checkpoint-every`` value, or ``None`` when off."""
+    value = getattr(args, "checkpoint_every", None)
+    if value is None:
+        return None
+    if value < 1:
+        raise SystemExit(f"--checkpoint-every must be a positive integer, got {value}")
+    if args.no_cache:
+        raise SystemExit(
+            "--checkpoint-every needs the artifact cache (checkpoints are "
+            "stored there); drop --no-cache"
+        )
+    return value
+
+
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
     benchmarks = _parse_benchmarks(args)
     instructions = args.instructions if args.instructions is not None else 20_000
@@ -461,7 +497,12 @@ def _engine(args: argparse.Namespace) -> ExecutionEngine:
         benchmarks=benchmarks,
         profile_budget=min(instructions, 20_000),
     )
-    return ExecutionEngine(profile, store=_store(args), jobs=args.jobs)
+    return ExecutionEngine(
+        profile,
+        store=_store(args),
+        jobs=args.jobs,
+        checkpoint_every=_checkpoint_every(args),
+    )
 
 
 def _command_table1(_args: argparse.Namespace) -> str:
@@ -613,7 +654,12 @@ def _command_sweep(args: argparse.Namespace) -> str:
 
     from repro.sweep.runner import sweep_profile
 
-    engine = ExecutionEngine(sweep_profile(scenario), store=_store(args), jobs=args.jobs)
+    engine = ExecutionEngine(
+        sweep_profile(scenario),
+        store=_store(args),
+        jobs=args.jobs,
+        checkpoint_every=_checkpoint_every(args),
+    )
     run = run_sweep(scenario, engine=engine)
     report = render_sweep(run)
     if args.no_write:
@@ -826,6 +872,7 @@ def _command_serve(args: argparse.Namespace) -> str:
         default_instructions=args.instructions,
         job_timeout=args.job_timeout,
         journal=journal,
+        checkpoint_every=_checkpoint_every(args),
     )
     # Start the workers up front: jobs re-queued from the journal must run
     # even if no new submission ever arrives.
@@ -888,9 +935,19 @@ def _command_submit(args: argparse.Namespace) -> str:
 
 
 def _command_simulate(args: argparse.Namespace) -> str:
+    sampling = None
+    if args.sampling is not None:
+        from repro.pipeline.windowed import SamplingSpec
+
+        try:
+            sampling = SamplingSpec.parse(args.sampling)
+        except ValueError as error:
+            raise SystemExit(f"--sampling: {error}") from None
     engine = _engine(args)
     _resolve_benchmark(args.benchmark)
-    result = engine.simulate(args.benchmark, args.flavour, _SCHEME_SPECS[args.scheme])
+    result = engine.simulate(
+        args.benchmark, args.flavour, _SCHEME_SPECS[args.scheme], sampling=sampling
+    )
     metrics = result.metrics
     accuracy = result.accuracy
     lines = [
@@ -905,6 +962,12 @@ def _command_simulate(args: argparse.Namespace) -> str:
         f"cancelled at rename  {metrics.cancelled_at_rename}",
         f"predicate flushes    {metrics.predicate_flushes}",
     ]
+    if getattr(result, "sampling", None) is not None:
+        lines.insert(
+            2,
+            f"sampling             SAMPLED — {result.sampling.describe()}; "
+            "numbers approximate a full simulation",
+        )
     return "\n".join(lines)
 
 

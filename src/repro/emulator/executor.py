@@ -230,7 +230,12 @@ class Emulator:
                 dyn.next_pc = self._pc_after(frame)
                 yield dyn
 
-    def run_pack(self, max_instructions: int):
+    def run_pack(
+        self,
+        max_instructions: int,
+        segment_rows: Optional[int] = None,
+        on_segment=None,
+    ):
         """Run like :meth:`run` but collect directly into a columnar pack.
 
         This is the optimized trace-build path: instead of allocating one
@@ -243,9 +248,35 @@ class Emulator:
 
         Returns a :class:`~repro.emulator.tracepack.TracePack`; requires
         numpy (see :func:`~repro.emulator.tracepack.pack_supported`).
+
+        With ``segment_rows`` set, the trace is cut into fixed-size row
+        segments.  Each completed segment is finalized immediately and
+        either handed to ``on_segment`` — the streaming mode: nothing is
+        retained here, the caller typically appends it to a
+        :class:`~repro.emulator.tracepack.ChunkedPackWriter`, and the
+        return value is the total row count — or collected into a
+        :class:`~repro.emulator.tracepack.ChunkedTracePack`.  A run that
+        fits in a single segment returns a plain monolithic pack, so small
+        budgets behave exactly as before.
         """
         # Imported here: tracepack imports DynInst from this module.
-        from repro.emulator.tracepack import TracePackBuilder
+        from repro.emulator.tracepack import ChunkedTracePack, TracePackBuilder
+
+        if on_segment is not None and segment_rows is None:
+            raise ValueError("on_segment requires segment_rows")
+        if segment_rows is not None and segment_rows < 1:
+            raise ValueError(f"segment_rows must be positive, got {segment_rows}")
+
+        segments: List[Any] = []
+        rows_flushed = 0
+
+        def flush(pack) -> None:
+            nonlocal rows_flushed
+            rows_flushed += len(pack)
+            if on_segment is not None:
+                on_segment(pack)
+            else:
+                segments.append(pack)
 
         builder = TracePackBuilder()
         append = builder.append_row
@@ -267,7 +298,7 @@ class Emulator:
             if frame.block_index >= len(blocks):
                 if not call_stack:
                     self.halted = True
-                    return builder.finalize()
+                    break
                 frame = call_stack.pop()
                 continue
             block = blocks[frame.block_index]
@@ -301,9 +332,13 @@ class Emulator:
                     scratch, inst, frame, call_stack
                 )
                 append(scratch)
+                if segment_rows is not None and len(builder) >= segment_rows:
+                    flush(builder.finalize())
+                    builder = TracePackBuilder()
+                    append = builder.append_row
                 if stop:
                     self.halted = True
-                    return builder.finalize()
+                    break
             else:
                 if handlers_get is None:
                     self._execute_straightline(scratch, inst)
@@ -316,7 +351,20 @@ class Emulator:
                 frame.inst_index += 1
                 scratch.next_pc = self._pc_after(frame)
                 append(scratch)
-        return builder.finalize()
+                if segment_rows is not None and len(builder) >= segment_rows:
+                    flush(builder.finalize())
+                    builder = TracePackBuilder()
+                    append = builder.append_row
+
+        if segment_rows is None:
+            return builder.finalize()
+        if len(builder) or not rows_flushed:
+            flush(builder.finalize())
+        if on_segment is not None:
+            return rows_flushed
+        if len(segments) == 1:
+            return segments[0]
+        return ChunkedTracePack.from_segments(segments)
 
     # ------------------------------------------------------------------
     def _make_dyn(self, inst: Instruction) -> DynInst:

@@ -13,10 +13,13 @@ Traces have two interchangeable representations:
   statistics below run as vectorized numpy array passes over the pack's
   columns (bit-identical results; the equality is under test).
 
-The on-disk encoding is versioned.  Format 2 (current) is the compressed
-columnar pack encoding; format 1 — a pickle of the ``DynInst`` list — is
-still read for backward compatibility and still written when a caller hands
-us an object trace (the ``REPRO_OPT=0`` reference path).
+The on-disk encoding is versioned.  Format 3 (current) adds the *chunked*
+pack encoding — a sequence of independently decodable format-2 segments
+(see :class:`~repro.emulator.tracepack.ChunkedTracePack`) for streaming-
+scale traces.  Format 2 monolithic packs and format 1 pickles of the
+``DynInst`` list are both still read; format 2 is still written for
+single-segment packs and format 1 when a caller hands us an object trace
+(the ``REPRO_OPT=0`` reference path).
 """
 
 from __future__ import annotations
@@ -27,20 +30,26 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Union
 
 from repro.emulator.executor import DynInst, Emulator
-from repro.emulator.tracepack import OPCLASS_CODES, PACK_MAGIC, TracePack
+from repro.emulator.tracepack import (
+    CHUNK_MAGIC,
+    OPCLASS_CODES,
+    PACK_MAGIC,
+    ChunkedTracePack,
+    TracePack,
+)
 from repro.isa.opcodes import OpClass
 from repro.program.program import Program
 
 #: Bump when the on-disk trace encoding changes.  Folded into the artifact
 #: store's TRACES cache keys (see :mod:`repro.engine.planner`), so a format
 #: bump invalidates stale cached traces instead of failing at load time.
-TRACE_FORMAT_VERSION = 2
+TRACE_FORMAT_VERSION = 3
 
 #: Pickle-container versions :func:`deserialize_trace` still accepts.
-_READABLE_PICKLE_VERSIONS = (1, 2)
+_READABLE_PICKLE_VERSIONS = (1, 2, 3)
 
-#: Either trace representation.
-Trace = Union[List[DynInst], TracePack]
+#: Any trace representation.
+Trace = Union[List[DynInst], TracePack, ChunkedTracePack]
 
 
 @dataclass
@@ -143,7 +152,7 @@ def serialize_trace(trace: Trace) -> bytes:
     object-based.  Both encodings are self-contained: a trace can be
     re-simulated without re-materialising the program it came from.
     """
-    if isinstance(trace, TracePack):
+    if isinstance(trace, (TracePack, ChunkedTracePack)):
         return trace.to_bytes()
     return pickle.dumps(
         (TRACE_FORMAT_VERSION, list(trace)), protocol=pickle.HIGHEST_PROTOCOL
@@ -158,6 +167,8 @@ def deserialize_trace(data: bytes) -> Trace:
     Raises :class:`ValueError` on an unknown encoding so callers (the
     artifact store) treat stale formats as cache misses.
     """
+    if data[:4] == CHUNK_MAGIC:
+        return ChunkedTracePack.from_bytes(data)
     if data[:4] == PACK_MAGIC:
         return TracePack.from_bytes(data)
     version, trace = pickle.loads(data)
@@ -188,8 +199,15 @@ def trace_statistics(trace: Trace) -> TraceStatistics:
 
     Object traces take the reference per-instruction loop; packs take the
     vectorized column pass.  Both produce equal statistics (under test in
-    ``tests/emulator/test_tracepack.py``).
+    ``tests/emulator/test_tracepack.py``).  Chunked packs run the column
+    pass one segment at a time and merge — never holding more than the
+    decode LRU's worth of expanded columns.
     """
+    if isinstance(trace, ChunkedTracePack):
+        stats = TraceStatistics()
+        for index in range(trace.segment_count):
+            _merge_statistics(stats, _trace_statistics_pack(trace.segment(index)))
+        return stats
     if isinstance(trace, TracePack):
         return _trace_statistics_pack(trace)
     stats = TraceStatistics()
@@ -288,8 +306,41 @@ def _trace_statistics_pack(pack: TracePack) -> TraceStatistics:
     return stats
 
 
+def _merge_statistics(into: TraceStatistics, part: TraceStatistics) -> None:
+    """Fold one segment's statistics into the running aggregate.
+
+    Branch sites keep first-occurrence order across segments (segments are
+    consumed in fetch order), matching the reference loop's insertion order.
+    """
+    into.fetched += part.fetched
+    into.executed += part.executed
+    into.nullified += part.nullified
+    into.conditional_branches += part.conditional_branches
+    into.taken_branches += part.taken_branches
+    into.unconditional_branches += part.unconditional_branches
+    into.compares += part.compares
+    into.loads += part.loads
+    into.stores += part.stores
+    into.predicated_instructions += part.predicated_instructions
+    for pc, site in part.branch_sites.items():
+        merged = into.branch_sites.get(pc)
+        if merged is None:
+            into.branch_sites[pc] = BranchSiteStats(
+                pc=pc, executions=site.executions, taken=site.taken
+            )
+        else:
+            merged.executions += site.executions
+            merged.taken += site.taken
+    into.guard_distances.extend(part.guard_distances)
+
+
 def branch_outcome_stream(trace: Trace) -> List[bool]:
     """Return the sequence of conditional-branch outcomes in fetch order."""
+    if isinstance(trace, ChunkedTracePack):
+        stream: List[bool] = []
+        for index in range(trace.segment_count):
+            stream.extend(branch_outcome_stream(trace.segment(index)))
+        return stream
     if isinstance(trace, TracePack):
         if len(trace) == 0:
             return []
@@ -300,6 +351,12 @@ def branch_outcome_stream(trace: Trace) -> List[bool]:
 
 def per_site_outcomes(trace: Trace) -> Dict[int, List[bool]]:
     """Return per-branch-site outcome sequences (keyed by branch PC)."""
+    if isinstance(trace, ChunkedTracePack):
+        merged: Dict[int, List[bool]] = {}
+        for index in range(trace.segment_count):
+            for pc, seg_outcomes in _per_site_outcomes_pack(trace.segment(index)).items():
+                merged.setdefault(pc, []).extend(seg_outcomes)
+        return merged
     if isinstance(trace, TracePack):
         return _per_site_outcomes_pack(trace)
     outcomes: Dict[int, List[bool]] = defaultdict(list)
@@ -332,7 +389,13 @@ def _per_site_outcomes_pack(pack: TracePack) -> Dict[int, List[bool]]:
 
 
 def as_trace_pack(trace: Trace) -> TracePack:
-    """Return ``trace`` as a columnar pack (columnarising object lists)."""
+    """Return ``trace`` as one monolithic columnar pack.
+
+    Object lists are columnarised; chunked packs are concatenated (this
+    materialises every segment — use only where a single pack is required).
+    """
+    if isinstance(trace, ChunkedTracePack):
+        return trace.concat()
     if isinstance(trace, TracePack):
         return trace
     return TracePack.from_dyninsts(trace)

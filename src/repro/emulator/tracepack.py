@@ -63,6 +63,12 @@ from repro.isa.opcodes import OpClass
 #: Magic prefix of the columnar on-disk encoding (trace format version 2).
 PACK_MAGIC = b"RTP2"
 
+#: Magic prefix of the chunked on-disk encoding (trace format version 3):
+#: ``CHUNK_MAGIC`` followed by ``<u64 size><RTP2 segment>`` records and a
+#: ``<u64 0>`` terminator.  Each segment is a complete, self-contained v2
+#: pack, so the chunked format reuses the v2 codec byte for byte.
+CHUNK_MAGIC = b"RTP3"
+
 #: Opcode-class codes used by the ``opclass`` column.  Pinned explicitly —
 #: the codes are part of the on-disk format-2 encoding, so they must not
 #: shift when ``OpClass`` gains or reorders members; a new member must be
@@ -344,18 +350,25 @@ class TracePack:
             for i in range(start, stop)
         )
 
-    def _materialise_pred_writes(self) -> List[Tuple[Tuple[int, bool], ...]]:
-        n = len(self)
-        writes: List[Tuple[Tuple[int, bool], ...]] = [()] * n
-        offsets = self.pred_offsets.tolist()
-        if offsets[-1]:
-            indices = self.pred_index.tolist()
-            values = self.pred_value.tolist()
-            for row in range(n):
-                start, stop = offsets[row], offsets[row + 1]
-                if start != stop:
+    def _materialise_pred_writes(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> List[Tuple[Tuple[int, bool], ...]]:
+        stop = len(self) if stop is None else stop
+        count = max(0, stop - start)
+        writes: List[Tuple[Tuple[int, bool], ...]] = [()] * count
+        if not count:
+            return writes
+        offsets = self.pred_offsets[start : stop + 1].tolist()
+        low, high = offsets[0], offsets[-1]
+        if high != low:
+            # Slice the ragged payload once; local positions are offset-low.
+            indices = self.pred_index[low:high].tolist()
+            values = self.pred_value[low:high].tolist()
+            for row in range(count):
+                first, last = offsets[row] - low, offsets[row + 1] - low
+                if first != last:
                     writes[row] = tuple(
-                        (indices[i], bool(values[i])) for i in range(start, stop)
+                        (indices[i], bool(values[i])) for i in range(first, last)
                     )
         return writes
 
@@ -400,30 +413,37 @@ class TracePack:
         return out
 
     # ------------------------------------------------------------------
-    def cursor(self) -> Iterator[PackCursor]:
-        """Yield one reusable :class:`PackCursor` per row, in fetch order.
+    def cursor(self, start: int = 0, stop: Optional[int] = None) -> Iterator[PackCursor]:
+        """Yield one reusable :class:`PackCursor` per row of ``[start, stop)``.
 
         This is the pipeline fast loop's view of a pack: no per-row object
         is allocated; the flyweight's fields are rewritten in place.  The
         per-column Python lists below are working state of one iteration —
         deliberately *not* cached on the pack, so a pack parked in the
-        engine's trace LRU keeps only its compact typed columns.
+        engine's trace LRU keeps only its compact typed columns.  The range
+        form backs windowed simulation: only the requested rows are ever
+        materialised as Python objects.
         """
+        stop = len(self) if stop is None else min(stop, len(self))
+        start = max(0, start)
         branch_f, compare_f, cond_f = self._cursor_static_flags()
-        seqs = self.seq.tolist()
-        inst_idx = self.inst_index.tolist()
-        pcs = self.pc.tolist()
-        qps = (self.qp_value != 0).tolist()
-        execs = (self.executed != 0).tolist()
-        takens = [None if t < 0 else bool(t) for t in self.taken.tolist()]
-        targets = [None if t < 0 else t for t in self.target_pc.tolist()]
-        nexts = [None if t < 0 else t for t in self.next_pc.tolist()]
+        seqs = self.seq[start:stop].tolist()
+        inst_idx = self.inst_index[start:stop].tolist()
+        pcs = self.pc[start:stop].tolist()
+        qps = (self.qp_value[start:stop] != 0).tolist()
+        execs = (self.executed[start:stop] != 0).tolist()
+        takens = [None if t < 0 else bool(t) for t in self.taken[start:stop].tolist()]
+        targets = [None if t < 0 else t for t in self.target_pc[start:stop].tolist()]
+        nexts = [None if t < 0 else t for t in self.next_pc[start:stop].tolist()]
         mems = [
             m if v else None
-            for m, v in zip(self.mem_address.tolist(), self.mem_valid.tolist())
+            for m, v in zip(
+                self.mem_address[start:stop].tolist(),
+                self.mem_valid[start:stop].tolist(),
+            )
         ]
-        writes = self._materialise_pred_writes()
-        producers = self.guard_producer_seq.tolist()
+        writes = self._materialise_pred_writes(start, stop)
+        producers = self.guard_producer_seq[start:stop].tolist()
         insts = self.insts
         cur = PackCursor()
         for i in range(len(seqs)):
@@ -531,3 +551,254 @@ class TracePack:
         if missing:
             raise ValueError(f"trace pack is missing columns {sorted(missing)}")
         return cls(insts=insts, **{name: columns[name] for name in expected})
+
+
+# ----------------------------------------------------------------------
+# Chunked packs (trace format version 3)
+# ----------------------------------------------------------------------
+def _segment_row_count(blob) -> int:
+    """Row count of one RTP2 segment, read from its uncompressed header.
+
+    Cheap on purpose: indexing a chunked pack touches only the JSON headers,
+    never the zlib bodies, so opening a multi-gigabyte trace costs a few
+    hundred bytes of parsing per segment.
+    """
+    if bytes(blob[:4]) != PACK_MAGIC:
+        raise ValueError("chunked trace pack segment has a bad magic")
+    (header_len,) = struct.unpack_from("<I", blob, 4)
+    if 8 + header_len > len(blob):
+        raise ValueError("chunked trace pack segment header is truncated")
+    header = json.loads(bytes(blob[8 : 8 + header_len]).decode("utf-8"))
+    return int(header["n"])
+
+
+class ChunkedPackWriter:
+    """Streams RTP3 segment records into a binary file object.
+
+    The writer is what keeps ingestion's peak memory bounded: the emulator
+    hands over one finalized segment at a time, the writer encodes and
+    appends it, and nothing upstream retains the segment.  Callers must
+    invoke :meth:`finish` to append the terminator record; a file without it
+    is detectably truncated.
+    """
+
+    __slots__ = ("_handle", "rows", "segments", "_finished")
+
+    def __init__(self, handle) -> None:
+        handle.write(CHUNK_MAGIC)
+        self._handle = handle
+        self.rows = 0
+        self.segments = 0
+        self._finished = False
+
+    def add_segment(self, pack: "TracePack") -> None:
+        if self._finished:
+            raise ValueError("ChunkedPackWriter is finished")
+        blob = pack.to_bytes()
+        self._handle.write(struct.pack("<Q", len(blob)))
+        self._handle.write(blob)
+        self.rows += len(pack)
+        self.segments += 1
+
+    def finish(self) -> int:
+        """Write the terminator record; return the total row count."""
+        if not self._finished:
+            self._handle.write(struct.pack("<Q", 0))
+            self._finished = True
+        return self.rows
+
+
+class ChunkedTracePack:
+    """A dynamic trace stored as a sequence of :class:`TracePack` segments.
+
+    The streaming counterpart of :class:`TracePack`: segments decode lazily
+    (an LRU of :data:`_DECODE_CACHE` blob-backed segments stays decoded), so
+    iterating a huge trace holds at most a couple of segments' worth of
+    decoded columns plus the compressed payload.  :meth:`cursor` hides the
+    segmentation completely — consumers see one uninterrupted row stream,
+    and the range form serves windowed simulation without decoding skipped
+    segments.
+
+    Each segment pickles its own copy of the static instruction table; rows
+    of different segments referring to the same static instruction therefore
+    yield *equal* (same ``uid``, same fields) but not *identical* objects,
+    which every consumer keyed on ``uid`` or field equality handles.
+    """
+
+    #: Blob-backed segments kept decoded at once (adjacent-window locality).
+    _DECODE_CACHE = 2
+
+    __slots__ = ("_packs", "_blobs", "_lengths", "_starts", "_decoded")
+
+    def __init__(self, packs, blobs, lengths) -> None:
+        _require_numpy()
+        self._packs: List[Optional[TracePack]] = list(packs)
+        self._blobs: List[Optional[Any]] = list(blobs)
+        self._lengths: List[int] = [int(length) for length in lengths]
+        starts = [0]
+        for length in self._lengths:
+            starts.append(starts[-1] + length)
+        self._starts: List[int] = starts
+        self._decoded: List[int] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_segments(cls, packs: Sequence["TracePack"]) -> "ChunkedTracePack":
+        """Wrap already-decoded segments (all stay resident; no eviction)."""
+        packs = list(packs)
+        return cls(
+            packs=packs,
+            blobs=[None] * len(packs),
+            lengths=[len(pack) for pack in packs],
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ChunkedTracePack":
+        """Open an RTP3 payload; only segment headers are parsed eagerly."""
+        _require_numpy()
+        if bytes(data[:4]) != CHUNK_MAGIC:
+            raise ValueError("not a chunked trace pack (bad magic)")
+        view = memoryview(data)
+        offset = 4
+        blobs: List[Any] = []
+        lengths: List[int] = []
+        while True:
+            if offset + 8 > len(data):
+                raise ValueError("chunked trace pack is truncated (no terminator)")
+            (size,) = struct.unpack_from("<Q", view, offset)
+            offset += 8
+            if size == 0:
+                break
+            if offset + size > len(data):
+                raise ValueError("chunked trace pack segment overruns the payload")
+            blob = view[offset : offset + size]
+            offset += size
+            lengths.append(_segment_row_count(blob))
+            blobs.append(blob)
+        if offset != len(data):
+            raise ValueError("chunked trace pack has trailing bytes")
+        return cls(packs=[None] * len(blobs), blobs=blobs, lengths=lengths)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._starts[-1]
+
+    def __iter__(self) -> Iterator[DynInst]:
+        for index in range(self.segment_count):
+            for dyn in self.segment(index).to_dyninsts():
+                yield dyn
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._lengths)
+
+    @property
+    def segment_lengths(self) -> Tuple[int, ...]:
+        return tuple(self._lengths)
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size of blob-backed segments plus resident column bytes."""
+        total = 0
+        for index in range(self.segment_count):
+            blob = self._blobs[index]
+            if blob is not None:
+                total += len(blob)
+            elif self._packs[index] is not None:
+                total += self._packs[index].nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    def segment(self, index: int) -> TracePack:
+        """The decoded segment at ``index`` (LRU-cached for blob-backed)."""
+        pack = self._packs[index]
+        if pack is not None:
+            if self._blobs[index] is not None and index in self._decoded:
+                self._decoded.remove(index)
+                self._decoded.append(index)
+            return pack
+        pack = TracePack.from_bytes(bytes(self._blobs[index]))
+        self._packs[index] = pack
+        self._decoded.append(index)
+        while len(self._decoded) > self._DECODE_CACHE:
+            self._packs[self._decoded.pop(0)] = None
+        return pack
+
+    def cursor(self, start: int = 0, stop: Optional[int] = None) -> Iterator[PackCursor]:
+        """One uninterrupted flyweight row stream across segment boundaries.
+
+        Only the segments overlapping ``[start, stop)`` are decoded, in
+        order, so a windowed caller pays for exactly the rows it simulates.
+        """
+        total = len(self)
+        stop = total if stop is None else min(stop, total)
+        start = max(0, start)
+        for index in range(self.segment_count):
+            seg_start = self._starts[index]
+            seg_stop = self._starts[index + 1]
+            if seg_stop <= start:
+                continue
+            if seg_start >= stop:
+                break
+            pack = self.segment(index)
+            for row in pack.cursor(max(0, start - seg_start), min(stop, seg_stop) - seg_start):
+                yield row
+
+    def to_dyninsts(self) -> List[DynInst]:
+        """Materialise the reference object representation, segment by segment."""
+        out: List[DynInst] = []
+        for index in range(self.segment_count):
+            out.extend(self.segment(index).to_dyninsts())
+        return out
+
+    def concat(self) -> TracePack:
+        """Merge every segment into one monolithic :class:`TracePack`.
+
+        Deliberately materialises everything — the escape hatch for
+        consumers that need a single pack (e.g. tests comparing the two
+        layouts), not a streaming path.  Static instruction tables are
+        re-deduplicated by ``uid`` and ``inst_index`` remapped accordingly.
+        """
+        np = _require_numpy()
+        if not self._lengths:
+            return TracePack._empty()
+        insts: List[Any] = []
+        uid_to_index: Dict[int, int] = {}
+        columns: Dict[str, List[Any]] = {name: [] for name, _ in _COLUMNS}
+        payload_base = 0
+        for index in range(self.segment_count):
+            pack = self.segment(index)
+            remap = np.empty(max(1, len(pack.insts)), dtype=np.int32)
+            for position, inst in enumerate(pack.insts):
+                merged = uid_to_index.get(inst.uid)
+                if merged is None:
+                    merged = len(insts)
+                    uid_to_index[inst.uid] = merged
+                    insts.append(inst)
+                remap[position] = merged
+            for name, _dtype in _COLUMNS:
+                if name == "pred_offsets":
+                    offsets = pack.pred_offsets + payload_base
+                    columns[name].append(offsets if index == 0 else offsets[1:])
+                elif name == "inst_index":
+                    columns[name].append(remap[pack.inst_index])
+                else:
+                    columns[name].append(getattr(pack, name))
+            payload_base += int(pack.pred_offsets[-1])
+        merged_columns = {
+            name: np.concatenate(parts).astype(np.dtype(dtype), copy=False)
+            for (name, dtype), parts in zip(_COLUMNS, columns.values())
+        }
+        return TracePack(insts=insts, **merged_columns)
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Encode as RTP3: magic, ``<u64 size><segment>`` records, terminator."""
+        parts: List[bytes] = [CHUNK_MAGIC]
+        for index in range(self.segment_count):
+            blob = self._blobs[index]
+            blob = self._packs[index].to_bytes() if blob is None else bytes(blob)
+            parts.append(struct.pack("<Q", len(blob)))
+            parts.append(blob)
+        parts.append(struct.pack("<Q", 0))
+        return b"".join(parts)

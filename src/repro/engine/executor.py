@@ -35,6 +35,7 @@ stalled pool the same way.  :class:`EngineStats` accounts for all of it
 from __future__ import annotations
 
 import multiprocessing
+import os
 import shutil
 import tempfile
 from collections import OrderedDict
@@ -49,7 +50,12 @@ from repro.log import get_logger
 
 from repro.compiler.binaries import BinaryFactory
 from repro.emulator.executor import Emulator
-from repro.emulator.tracepack import TracePack, pack_supported
+from repro.emulator.tracepack import (
+    ChunkedPackWriter,
+    ChunkedTracePack,
+    TracePack,
+    pack_supported,
+)
 from repro.engine.jobs import (
     BASELINE,
     IF_CONVERTED,
@@ -66,11 +72,12 @@ from repro.engine.planner import (
     make_trace_job,
     plan,
 )
-from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore
+from repro.engine.store import BINARIES, CHECKPOINTS, RESULTS, TRACES, ArtifactStore
 from repro.perf.flags import optimizations_enabled
 from repro.pipeline.batched import LaneSpec, simulate_lanes
 from repro.pipeline.core import OutOfOrderCore, SimulationResult
 from repro.pipeline.machine import MachineSpec
+from repro.pipeline.windowed import SimulationCheckpoint, simulate_windowed
 from repro.program.program import Program
 from repro.workloads.registry import build_workload
 from repro.workloads.spec_suite import workload_names
@@ -80,8 +87,14 @@ _log = get_logger(__name__)
 #: (benchmark, flavour)
 Cell = Tuple[str, str]
 
-#: What one parallel worker receives: (profile, store root, spill root, jobs).
-_CellPayload = Tuple[Any, Optional[str], Optional[str], List[SimulateJob]]
+#: What one parallel worker receives:
+#: (profile, store root, spill root, jobs, engine options).  The options
+#: dict carries the streaming knobs (``checkpoint_every``,
+#: ``trace_segment_rows``) so a retried worker resumes a windowed run from
+#: its persisted checkpoint instead of starting over.
+_CellPayload = Tuple[
+    Any, Optional[str], Optional[str], List[SimulateJob], Dict[str, Any]
+]
 
 #: What an experiment gets back: (benchmark, label) → result.
 ExperimentOutputs = Dict[Tuple[str, str], SimulationResult]
@@ -113,6 +126,12 @@ class EngineStats:
     jobs_retried: int = 0
     workers_lost: int = 0
     jobs_timed_out: int = 0
+    #: Windowed-simulation accounting: mid-run checkpoints persisted to the
+    #: store, and simulate jobs that resumed from one (a retry after a kill
+    #: picks up mid-trace instead of restarting).  Zero unless
+    #: ``checkpoint_every`` is configured.
+    checkpoints_written: int = 0
+    checkpoints_resumed: int = 0
 
     def merge(self, other: Dict[str, Any]) -> None:
         """Accumulate a worker's stats dict into this record (field-wise add)."""
@@ -138,6 +157,11 @@ class EngineStats:
                 f", recovered from {self.workers_lost} lost workers "
                 f"({self.jobs_retried} jobs retried, "
                 f"{self.jobs_timed_out} timed out)"
+            )
+        if self.checkpoints_written or self.checkpoints_resumed:
+            recovered += (
+                f", wrote {self.checkpoints_written} checkpoints "
+                f"({self.checkpoints_resumed} resumed)"
             )
         return (
             f"built {self.binaries_built} binaries ({self.binaries_loaded} cached), "
@@ -191,6 +215,8 @@ class ExecutionEngine:
         oracle_stats: bool = True,
         max_retries: int = 2,
         job_timeout: Optional[float] = None,
+        checkpoint_every: Optional[int] = None,
+        trace_segment_rows: Optional[int] = None,
     ) -> None:
         # Lazy import: repro.experiments imports repro.engine.
         from repro.experiments.setup import PAPER_PROFILE
@@ -217,6 +243,29 @@ class ExecutionEngine:
         #: pass over collected traces (the bench harness's engines never
         #: read it).
         self.oracle_stats = bool(oracle_stats)
+        #: Windowed-simulation cadence (rows per window): with a store, a
+        #: resume checkpoint is persisted after each window, so a killed
+        #: worker's retry continues mid-trace bit-identically.  ``None``
+        #: keeps the straight-through scalar path.  Checkpointed jobs skip
+        #: lane batching (the batched kernel has no window machinery).
+        if checkpoint_every is not None and int(checkpoint_every) < 1:
+            raise ValueError(
+                f"checkpoint_every must be a positive row count, got {checkpoint_every}"
+            )
+        self.checkpoint_every = (
+            int(checkpoint_every) if checkpoint_every is not None else None
+        )
+        #: Trace-collection segmentation (rows per RTP3 segment): budgets
+        #: above this stream completed segments to the store instead of
+        #: materialising the whole pack, bounding peak memory.  ``None``
+        #: keeps monolithic collection (which is what lane batching needs).
+        if trace_segment_rows is not None and int(trace_segment_rows) < 1:
+            raise ValueError(
+                f"trace_segment_rows must be a positive row count, got {trace_segment_rows}"
+            )
+        self.trace_segment_rows = (
+            int(trace_segment_rows) if trace_segment_rows is not None else None
+        )
         self.jobs = max(1, int(jobs))
         self.max_cached_traces = max(1, int(max_cached_traces))
         self.factory = BinaryFactory(profile_budget=self.profile.profile_budget)
@@ -307,15 +356,24 @@ class ExecutionEngine:
             # Convert to the active representation in either direction, so
             # both paths stay end-to-end homogeneous regardless of which
             # mode populated the store.
-            if not optimized and isinstance(trace, TracePack):
+            if not optimized and isinstance(trace, (TracePack, ChunkedTracePack)):
                 trace = trace.to_dyninsts()
-            elif optimized and not isinstance(trace, TracePack):
+            elif optimized and not isinstance(trace, (TracePack, ChunkedTracePack)):
                 trace = TracePack.from_dyninsts(trace)
         else:
             program = self.build_binary(benchmark, flavour)
             emulator = Emulator(program)
+            streamed = (
+                optimized
+                and emulator.optimized
+                and self.store is not None
+                and self.trace_segment_rows is not None
+                and job.instructions > self.trace_segment_rows
+            )
             started = perf_counter()
-            if optimized and emulator.optimized:
+            if streamed:
+                trace = self._collect_trace_streaming(emulator, job)
+            elif optimized and emulator.optimized:
                 trace = emulator.run_pack(job.instructions)
             else:
                 trace = list(emulator.run(job.instructions))
@@ -324,7 +382,8 @@ class ExecutionEngine:
             # Write back to the persistent store only: the spill store is a
             # parent-to-worker handoff, and each cell is assigned to exactly
             # one worker, so a worker-side spill write would never be read.
-            if self.store is not None:
+            # (The streaming path already wrote through the store.)
+            if self.store is not None and not streamed:
                 self.store.put(
                     TRACES,
                     job.key,
@@ -338,7 +397,7 @@ class ExecutionEngine:
         if (
             self.oracle_stats
             and cell not in self._oracle_accuracy_cache
-            and isinstance(trace, TracePack)
+            and isinstance(trace, (TracePack, ChunkedTracePack))
         ):
             # Vectorized pass, ~ms: record the scalar while the trace is in
             # hand.  (The object path skips this — its reference loop is
@@ -354,6 +413,50 @@ class ExecutionEngine:
             self._traces.popitem(last=False)
         return trace
 
+    def _collect_trace_streaming(self, emulator: Emulator, job) -> Any:
+        """Collect one trace segment-by-segment straight into the store.
+
+        Completed RTP3 segments are flushed to a scratch file as the
+        emulator produces them — the full outcome list is never
+        materialised, so peak memory is bounded by ``trace_segment_rows``
+        regardless of the instruction budget.  The finished file is adopted
+        by the store atomically (:meth:`~repro.engine.store.ArtifactStore.
+        put_file`) and read back as a lazily-decoded
+        :class:`~repro.emulator.tracepack.ChunkedTracePack`.
+        """
+        scratch = self.store.scratch_path(TRACES)
+        try:
+            with open(scratch, "wb") as handle:
+                writer = ChunkedPackWriter(handle)
+                emulator.run_pack(
+                    job.instructions,
+                    segment_rows=self.trace_segment_rows,
+                    on_segment=writer.add_segment,
+                )
+                rows = writer.finish()
+            self.store.put_file(
+                TRACES,
+                job.key,
+                scratch,
+                metadata={
+                    "benchmark": job.benchmark,
+                    "flavour": job.flavour,
+                    "instructions": rows,
+                    "segments": writer.segments,
+                },
+            )
+        finally:
+            try:
+                os.remove(scratch)
+            except OSError:
+                pass
+        trace = self.store.get(TRACES, job.key)
+        if trace is None:  # pragma: no cover - requires concurrent damage
+            raise RuntimeError(
+                f"streamed trace {job.key} unreadable immediately after write"
+            )
+        return trace
+
     def release_trace(self, benchmark: str, flavour: str) -> None:
         """Drop one trace from the in-memory cache (a no-op if absent)."""
         self._traces.pop((benchmark, flavour), None)
@@ -364,15 +467,18 @@ class ExecutionEngine:
         flavour: str,
         scheme: SchemeSpec,
         machine: Optional[MachineSpec] = None,
+        sampling=None,
     ) -> SimulationResult:
         """Return the simulation result of one cell under one scheme.
 
         ``machine`` selects the simulated machine configuration (default:
-        the Table 1 machine).
+        the Table 1 machine); ``sampling`` (a
+        :class:`~repro.pipeline.windowed.SamplingSpec`) requests sampled
+        simulation, cached under its own key.
         """
         build = make_build_job(benchmark, flavour, self.factory)
         trace_job = make_trace_job(build, self.profile.instructions_per_benchmark)
-        job = make_simulate_job(trace_job, scheme, machine)
+        job = make_simulate_job(trace_job, scheme, machine, sampling)
         return self._run_simulation(job)
 
     def _run_simulation(self, job: SimulateJob) -> SimulationResult:
@@ -393,19 +499,87 @@ class ExecutionEngine:
         self._record_timing(job, result, perf_counter() - started, cached=True)
         return result
 
+    def _checkpointing(self) -> bool:
+        """True when windowed resume checkpoints are configured and usable."""
+        return self.checkpoint_every is not None and self.store is not None
+
     def _simulate_uncached(self, job: SimulateJob) -> SimulationResult:
-        """Run one simulate job through the scalar core (store miss path)."""
+        """Run one simulate job through the scalar core (store miss path).
+
+        Jobs with a sampling spec, and all jobs when ``checkpoint_every``
+        is configured, run through the windowed driver
+        (:func:`~repro.pipeline.windowed.simulate_windowed`) — checkpoints
+        are loaded from / written through the store under the job's own
+        key, so a retried worker resumes mid-trace bit-identically.
+        """
         faults.on_simulate_launch()
         trace = self.collect_trace(job.benchmark, job.flavour)
         core = OutOfOrderCore(config=job.machine.build_config())
-        scheme = job.scheme.build()
         started = perf_counter()
-        result = core.run(trace, scheme, program_name=job.benchmark)
+        if (job.sampling is not None or self._checkpointing()) and core.optimized:
+            result = self._simulate_windowed(job, core, trace)
+        else:
+            scheme = job.scheme.build()
+            result = core.run(trace, scheme, program_name=job.benchmark)
         elapsed = perf_counter() - started
         self.stats.simulations_run += 1
         self.stats.simulate_seconds += elapsed
         self._record_timing(job, result, elapsed, cached=False)
         self._store_result(job, result)
+        return result
+
+    def _simulate_windowed(
+        self, job: SimulateJob, core: OutOfOrderCore, trace
+    ) -> SimulationResult:
+        """One simulate job via the windowed driver (checkpoints/sampling)."""
+        checkpoint: Optional[SimulationCheckpoint] = None
+        on_checkpoint = None
+        window_rows = None
+        if self._checkpointing():
+            window_rows = self.checkpoint_every
+            loaded = self.store.get(CHECKPOINTS, job.key)
+            if isinstance(loaded, SimulationCheckpoint) and loaded.matches(len(trace)):
+                checkpoint = loaded
+                self.stats.checkpoints_resumed += 1
+                _log.info(
+                    "resuming %s/%s (%s) from checkpoint at %d/%d rows",
+                    job.benchmark,
+                    job.flavour,
+                    job.scheme.describe(),
+                    loaded.rows_done,
+                    loaded.total_rows,
+                )
+
+            def on_checkpoint(ckpt: SimulationCheckpoint) -> None:
+                self.store.put(
+                    CHECKPOINTS,
+                    job.key,
+                    ckpt,
+                    metadata={
+                        "benchmark": job.benchmark,
+                        "flavour": job.flavour,
+                        "scheme": job.scheme.describe(),
+                        "rows_done": ckpt.rows_done,
+                        "total_rows": ckpt.total_rows,
+                    },
+                )
+                self.stats.checkpoints_written += 1
+                faults.on_checkpoint_write()
+
+        result = simulate_windowed(
+            core,
+            trace,
+            job.scheme.build(),
+            program_name=job.benchmark,
+            window_rows=window_rows,
+            sampling=job.sampling,
+            checkpoint=checkpoint,
+            on_checkpoint=on_checkpoint,
+        )
+        if self._checkpointing():
+            # The result is about to be stored; a surviving checkpoint
+            # would only waste eviction budget.
+            self.store.discard(CHECKPOINTS, job.key)
         return result
 
     def _store_result(self, job: SimulateJob, result: SimulationResult) -> None:
@@ -446,16 +620,22 @@ class ExecutionEngine:
                 pending.append(job)
         if not pending:
             return results
+        # Sampled jobs never batch (the lockstep kernel has no window or
+        # warmup machinery), and checkpointed runs take the windowed scalar
+        # path per job; chunked traces fall through too — the batched
+        # kernel requires one monolithic pack.
+        batchable = [job for job in pending if job.sampling is None]
         if (
-            len(pending) >= 2
+            len(batchable) >= 2
+            and not self._checkpointing()
             and optimizations_enabled()
             and pack_supported()
         ):
-            trace = self.collect_trace(pending[0].benchmark, pending[0].flavour)
+            trace = self.collect_trace(batchable[0].benchmark, batchable[0].flavour)
             if isinstance(trace, TracePack):
-                batch = make_batched_simulate_job(pending)
+                batch = make_batched_simulate_job(batchable)
                 results.update(self._run_batch(batch, trace))
-                return results
+                pending = [job for job in pending if job.sampling is not None]
         for job in pending:
             results[job.key] = self._simulate_uncached(job)
         return results
@@ -568,8 +748,12 @@ class ExecutionEngine:
             # the directory lives only for the duration of the pool.
             spill_root = tempfile.mkdtemp(prefix="repro-trace-spill-")
             self._spill_traces(ArtifactStore(spill_root))
+        options: Dict[str, Any] = {
+            "checkpoint_every": self.checkpoint_every,
+            "trace_segment_rows": self.trace_segment_rows,
+        }
         payloads: List[_CellPayload] = [
-            (self.profile, store_root, spill_root, list(cell_jobs))
+            (self.profile, store_root, spill_root, list(cell_jobs), options)
             for cell_jobs in cells.values()
         ]
         results: Dict[str, SimulationResult] = {}
@@ -726,17 +910,19 @@ def _mp_context():
 
 
 def _execute_cell(
-    payload: Tuple[Any, Optional[str], Optional[str], List[SimulateJob]],
+    payload: _CellPayload,
 ) -> Tuple[
     Dict[str, SimulationResult], Dict[str, Any], List[JobTiming], Dict[Cell, float]
 ]:
     """Worker entry point: run one cell's simulations in a fresh engine."""
-    profile, store_root, spill_root, cell_jobs = payload
+    profile, store_root, spill_root, cell_jobs, options = payload
     engine = ExecutionEngine(
         profile=profile,
         store=ArtifactStore(store_root) if store_root is not None else None,
         max_cached_traces=1,
         trace_spill=ArtifactStore(spill_root) if spill_root is not None else None,
+        checkpoint_every=options.get("checkpoint_every"),
+        trace_segment_rows=options.get("trace_segment_rows"),
     )
     results = engine.run_cell_jobs(cell_jobs)
     return (

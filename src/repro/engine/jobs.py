@@ -22,9 +22,10 @@ store work across processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.pipeline.machine import MachineSpec
+from repro.pipeline.windowed import SamplingSpec
 
 #: Binary flavours used by the evaluation (re-exported by the runner shim).
 BASELINE = "baseline"
@@ -141,6 +142,12 @@ class SimulateJob(JobSpec):
     scheme: SchemeSpec = SchemeSpec(kind="conventional")
     trace_key: str = ""
     machine: MachineSpec = field(default_factory=MachineSpec)
+    #: Sampled-simulation parameters (``None`` = full simulation).  A
+    #: sampled job's key folds the spec in, so approximate results can
+    #: never shadow exact ones in the artifact store; sampled jobs are
+    #: also excluded from lane batching (the batched kernel has no
+    #: window/warmup machinery).
+    sampling: Optional[SamplingSpec] = None
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from repro.engine.jobs import (
 )
 from repro.engine.store import STORE_FORMAT_VERSION
 from repro.pipeline.machine import MachineSpec
+from repro.pipeline.windowed import SamplingSpec
 
 
 # ----------------------------------------------------------------------
@@ -49,6 +50,9 @@ class CellRequest:
     label: str
     scheme: SchemeSpec
     machine: MachineSpec = field(default_factory=MachineSpec)
+    #: Sampled-simulation spec (``None`` = full simulation; see
+    #: :class:`~repro.pipeline.windowed.SamplingSpec`).
+    sampling: Optional[SamplingSpec] = None
 
 
 @dataclass
@@ -178,18 +182,27 @@ def make_trace_job(build: BuildJob, instructions: int) -> TraceJob:
 
 
 def make_simulate_job(
-    trace: TraceJob, scheme: SchemeSpec, machine: Optional[MachineSpec] = None
+    trace: TraceJob,
+    scheme: SchemeSpec,
+    machine: Optional[MachineSpec] = None,
+    sampling: Optional[SamplingSpec] = None,
 ) -> SimulateJob:
     """The timing-simulation job replaying ``trace`` under ``scheme`` on
     ``machine`` (default: the Table 1 machine).  The key folds in the trace
-    key, the scheme token and the machine's config token."""
+    key, the scheme token and the machine's config token — plus, for sampled
+    jobs only, the sampling spec: a full simulation's key is unchanged, and
+    an approximate (sampled) result can never be served where an exact one
+    was requested, or vice versa."""
     machine = machine if machine is not None else MachineSpec()
-    key = _artifact_key(
+    parts = [
         "result",
         trace.key,
         scheme.token(),
         machine_fingerprint(machine),
-    )
+    ]
+    if sampling is not None:
+        parts.append(sampling.token())
+    key = _artifact_key(*parts)
     return SimulateJob(
         key=key,
         benchmark=trace.benchmark,
@@ -197,6 +210,7 @@ def make_simulate_job(
         scheme=scheme,
         trace_key=trace.key,
         machine=machine,
+        sampling=sampling,
     )
 
 
@@ -269,7 +283,9 @@ def plan(
             graph.builds.setdefault(build.key, build)
             trace = make_trace_job(build, instructions)
             graph.traces.setdefault(trace.key, trace)
-            simulate = make_simulate_job(trace, request.scheme, request.machine)
+            simulate = make_simulate_job(
+                trace, request.scheme, request.machine, request.sampling
+            )
             graph.simulations.setdefault(simulate.key, simulate)
             table[(request.benchmark, request.label)] = simulate.key
     return graph

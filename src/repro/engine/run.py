@@ -57,6 +57,8 @@ def run_cells(
     profile_budget: Optional[int] = None,
     max_retries: Optional[int] = None,
     job_timeout: Optional[float] = None,
+    checkpoint_every: Optional[int] = None,
+    trace_segment_rows: Optional[int] = None,
 ) -> CellRunOutcome:
     """Run cell requests through the job-graph engine; return the outcome.
 
@@ -68,8 +70,13 @@ def run_cells(
     ``instructions`` (fetched-instruction budget per benchmark, default
     20 000), ``profile_budget`` (compiler profiling budget, default
     ``min(instructions, 20_000)``), ``max_retries`` (worker-failure retry
-    rounds before serial fallback, default 2) and ``job_timeout``
-    (progress-watchdog seconds for parallel runs, default off).
+    rounds before serial fallback, default 2), ``job_timeout``
+    (progress-watchdog seconds for parallel runs, default off),
+    ``checkpoint_every`` (rows per windowed-simulation checkpoint — with a
+    store, killed runs resume mid-trace; default off) and
+    ``trace_segment_rows`` (rows per streamed trace segment — budgets above
+    it collect traces chunked through the store, bounding peak memory;
+    default off).
 
     The requests become one :class:`ExperimentDefinition` named ``name``;
     planning deduplicates shared builds/traces/simulations, the store
@@ -88,16 +95,32 @@ def run_cells(
         )
     if engine is None:
         engine = _build_engine(
-            requests, store, jobs, instructions, profile_budget, max_retries, job_timeout
+            requests,
+            store,
+            jobs,
+            instructions,
+            profile_budget,
+            max_retries,
+            job_timeout,
+            checkpoint_every,
+            trace_segment_rows,
         )
     elif any(
         option is not None
-        for option in (store, instructions, profile_budget, max_retries, job_timeout)
+        for option in (
+            store,
+            instructions,
+            profile_budget,
+            max_retries,
+            job_timeout,
+            checkpoint_every,
+            trace_segment_rows,
+        )
     ):
         raise ValueError(
             "pass either engine= or the engine-construction options "
-            "(store/instructions/profile_budget/max_retries/job_timeout), "
-            "not both"
+            "(store/instructions/profile_budget/max_retries/job_timeout/"
+            "checkpoint_every/trace_segment_rows), not both"
         )
     definition = ExperimentDefinition(name=name, requests=requests)
     results = engine.run([definition], jobs=jobs)[definition.name]
@@ -117,6 +140,8 @@ def _build_engine(
     profile_budget: Optional[int],
     max_retries: Optional[int] = None,
     job_timeout: Optional[float] = None,
+    checkpoint_every: Optional[int] = None,
+    trace_segment_rows: Optional[int] = None,
 ) -> ExecutionEngine:
     """An engine scoped to exactly the requested benchmarks and budget."""
     from repro.experiments.setup import ExperimentProfile
@@ -142,4 +167,6 @@ def _build_engine(
         jobs=jobs or 1,
         max_retries=2 if max_retries is None else max_retries,
         job_timeout=job_timeout,
+        checkpoint_every=checkpoint_every,
+        trace_segment_rows=trace_segment_rows,
     )

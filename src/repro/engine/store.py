@@ -1,7 +1,8 @@
 """Content-addressed on-disk artifact store.
 
-The store persists the three artifact kinds of the experiment job graph —
-compiled binaries, dynamic traces and simulation results — across processes,
+The store persists the artifact kinds of the experiment job graph —
+compiled binaries, dynamic traces, simulation results and mid-simulation
+resume checkpoints — across processes,
 keyed by the content hash of everything that determines them (profile,
 workload, flavour, scheme configuration; see :mod:`repro.engine.planner`).
 Running ``repro figure6`` after ``repro figure5`` therefore never recompiles
@@ -55,11 +56,14 @@ _log = get_logger(__name__)
 #: Bump to invalidate every previously stored artifact.
 STORE_FORMAT_VERSION = 1
 
-#: Artifact kinds, in build order.
+#: Artifact kinds, in build order.  Checkpoints are mid-simulation resume
+#: snapshots (windowed runs; see :mod:`repro.pipeline.windowed`) — transient
+#: by design: the engine discards a job's checkpoint once its result lands.
 BINARIES = "binaries"
 TRACES = "traces"
 RESULTS = "results"
-KINDS = (BINARIES, TRACES, RESULTS)
+CHECKPOINTS = "checkpoints"
+KINDS = (BINARIES, TRACES, RESULTS, CHECKPOINTS)
 
 #: Default store location (overridable via this environment variable).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -83,6 +87,7 @@ _CODECS: Dict[str, Tuple[Callable[[Any], bytes], Callable[[bytes], Any]]] = {
     BINARIES: (_pickle_dumps, pickle.loads),
     TRACES: (serialize_trace, deserialize_trace),
     RESULTS: (_pickle_dumps, pickle.loads),
+    CHECKPOINTS: (_pickle_dumps, pickle.loads),
 }
 
 
@@ -253,6 +258,69 @@ class ArtifactStore:
                 os.remove(path)
             except OSError:
                 pass
+
+    def discard(self, kind: str, key: str) -> None:
+        """Remove one artifact (payload + sidecar); a no-op when absent.
+
+        The engine uses this to drop a job's resume checkpoint once the
+        finished result is stored — a checkpoint that outlived its run
+        would only waste eviction budget.
+        """
+        self._remove(kind, key)
+
+    # ------------------------------------------------------------------
+    # Streaming writes (scratch file → adopt)
+    # ------------------------------------------------------------------
+    def scratch_path(self, kind: str) -> str:
+        """A unique scratch file path inside one kind's directory.
+
+        Streaming producers (chunked trace collection) write their payload
+        incrementally to this path, then hand it over with
+        :meth:`put_file` — same filesystem, so adoption is one atomic
+        rename, never a copy.  The ``.tmp-`` prefix keeps half-written
+        files invisible to every store scan.
+        """
+        directory = self._kind_dir(kind)
+        os.makedirs(directory, exist_ok=True)
+        return os.path.join(directory, f".tmp-{uuid.uuid4().hex}")
+
+    def put_file(
+        self, kind: str, key: str, path: str, metadata: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Adopt an already-encoded payload file as the artifact for ``key``.
+
+        ``path`` must hold bytes the kind's codec decodes (for traces: the
+        versioned trace encoding, e.g. an RTP3 chunk stream written by
+        :class:`~repro.emulator.tracepack.ChunkedPackWriter`).  The file is
+        renamed into place — the streaming counterpart of :meth:`put`, with
+        the same digest-recording sidecar and integrity guarantees, without
+        ever holding the payload in memory.
+        """
+        directory = self._kind_dir(kind)
+        os.makedirs(directory, exist_ok=True)
+        digest = hashlib.sha256()
+        size = 0
+        with open(path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(block)
+                size += len(block)
+        target = self.path(kind, key)
+        os.replace(path, target)
+        meta = dict(metadata or {})
+        meta.update(
+            kind=kind,
+            key=key,
+            size_bytes=size,
+            created=time.time(),
+            sha256=digest.hexdigest(),
+        )
+        self._atomic_write(
+            directory,
+            self._meta_path(kind, key),
+            json.dumps(meta, sort_keys=True).encode("utf-8"),
+        )
+        faults.corrupt_payload(target)
+        return target
 
     # ------------------------------------------------------------------
     # Quarantine (damaged artifacts; see get())

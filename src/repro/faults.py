@@ -16,6 +16,11 @@ Each entry is ``point[:arg]`` where ``arg`` is a positive integer (default
 ``kill-worker-on-nth-simulate:N``
     The process executing its ``N``-th simulate launch dies hard
     (``os._exit``) — the stand-in for an OOM-killed worker.  Fires once.
+``kill-worker-on-nth-checkpoint:N``
+    The process dies hard immediately *after* persisting its ``N``-th
+    mid-simulation checkpoint — the stand-in for a worker killed partway
+    through a windowed run.  A retry must resume from that checkpoint and
+    finish bit-identically.  Fires once.
 ``corrupt-artifact-bytes:N``
     The ``N``-th artifact written to a store has one payload byte flipped
     after the digest was recorded — the stand-in for at-rest bit rot.
@@ -61,20 +66,28 @@ FAULTS_STATE_ENV = "REPRO_FAULTS_STATE"
 
 #: The injection-point catalog.
 KILL_WORKER = "kill-worker-on-nth-simulate"
+KILL_CHECKPOINT = "kill-worker-on-nth-checkpoint"
 CORRUPT_ARTIFACT = "corrupt-artifact-bytes"
 TRUNCATE_PAYLOAD = "truncate-payload"
 DROP_HTTP = "drop-http-response"
 STALL_SIMULATE = "stall-simulate"
 
 #: Points that fire at most once per run (vs. counting down N events).
-_ONE_SHOT = (KILL_WORKER, CORRUPT_ARTIFACT, TRUNCATE_PAYLOAD, STALL_SIMULATE)
+_ONE_SHOT = (KILL_WORKER, KILL_CHECKPOINT, CORRUPT_ARTIFACT, TRUNCATE_PAYLOAD, STALL_SIMULATE)
 
 _log = get_logger(__name__)
 
 
 def fault_points() -> Tuple[str, ...]:
     """The catalog of named injection points ``REPRO_FAULTS`` accepts."""
-    return (KILL_WORKER, CORRUPT_ARTIFACT, TRUNCATE_PAYLOAD, DROP_HTTP, STALL_SIMULATE)
+    return (
+        KILL_WORKER,
+        KILL_CHECKPOINT,
+        CORRUPT_ARTIFACT,
+        TRUNCATE_PAYLOAD,
+        DROP_HTTP,
+        STALL_SIMULATE,
+    )
 
 
 class FaultSpecError(ValueError):
@@ -212,6 +225,17 @@ def on_simulate_launch() -> None:
     if should_fire(KILL_WORKER) is not None:
         # A hard exit, exactly like the OOM killer: no exception handling,
         # no atexit, no queue cleanup.
+        os._exit(17)
+
+
+def on_checkpoint_write() -> None:
+    """Injection site: a windowed simulation just persisted a checkpoint.
+
+    Fires *after* the store write, so a killed worker's retry finds the
+    checkpoint and must resume mid-trace — the scenario the resume parity
+    tests pin down.
+    """
+    if should_fire(KILL_CHECKPOINT) is not None:
         os._exit(17)
 
 

@@ -44,9 +44,12 @@ from repro.pipeline.machine import MachineSpec
 #: metrics (build throughput, peak allocation, serialized size); v3 added
 #: lane-batched sweep cells (``lanes``/``scalar_seconds``/``batch_speedup``
 #: per batch cell, ``lane_batching`` under ``machine``, batch keys in
-#: history rows).  v1/v2 reports remain comparable through the throughput
-#: gate, which reads only aggregate fields present in every version.
-SCHEMA = "repro-bench/v3"
+#: history rows); v4 added the streaming-ingest cell (``ingest_lines`` per
+#: ingest cell — its throughput reports through the trace columns, its sim
+#: columns are zero).  v1–v3 reports remain comparable through the
+#: throughput gate, which reads only aggregate fields present in every
+#: version.
+SCHEMA = "repro-bench/v4"
 
 #: Fetched-instruction budget per cell.
 QUICK_INSTRUCTIONS = 12_000
@@ -108,6 +111,35 @@ class BatchBenchCell:
         return f"{self.benchmark}/{self.flavour}/{self.scheme_label()}"
 
 
+@dataclass(frozen=True)
+class IngestBenchCell:
+    """One streaming-ingest throughput measurement.
+
+    Times :func:`repro.workloads.trace_ingest.ingest_trace_file` over a
+    synthetic ``.trace`` branch-outcome file generated once per run
+    (deterministic content, never timed).  The cell reports through the
+    trace columns — lines parsed as ``trace_instructions``, lines/second
+    as the throughput, the input file size as ``trace_disk_bytes``, and
+    the :mod:`tracemalloc` peak of a dedicated pass as
+    ``trace_peak_alloc_bytes``, which is how the history log tracks that
+    line-iterating ingestion stays flat (see docs/internals/traces.md).
+    Its simulation columns are zero, so it adds nothing to the gated
+    simulator-throughput aggregate.
+    """
+
+    name: str
+    lines: int
+    sites: int = 48
+
+    def scheme_label(self) -> str:
+        """The ingest shape, e.g. ``ingest:synthetic-x60000``."""
+        return f"ingest:{self.name}-x{self.lines}"
+
+    def label(self) -> str:
+        """The cell's full ``benchmark/flavour/scheme`` label (filter target)."""
+        return f"{self.name}/trace-file/{self.scheme_label()}"
+
+
 #: The sweep-shaped batch cells of the quick suite: a pure-conventional ROB
 #: sweep (the lane-bank fast path — one shared decision stream drives all
 #: lanes) and a mixed-scheme cell mirroring the ``rob-scaling`` sweep
@@ -152,6 +184,9 @@ QUICK_CELLS: Sequence[Any] = (
     BenchCell("swim", IF_CONVERTED, "predicate"),
     BenchCell("gzip", IF_CONVERTED, "predicate", MachineSpec.make(rob_entries=64)),
     BenchCell("branchy", IF_CONVERTED, "predicate"),
+    # Streaming-ingest throughput: the line-iterating `.trace` parser at a
+    # size where whole-file buffering would already show in the peak.
+    IngestBenchCell("synthetic", 60_000),
 ) + tuple(QUICK_BATCH_CELLS)
 
 #: The full suite: broader benchmark coverage for every scheme.
@@ -358,6 +393,66 @@ def _measure_batch_cell(cell: BatchBenchCell, instructions: int, repeats: int) -
     }
 
 
+def _write_synthetic_trace(path: str, lines: int, sites: int) -> None:
+    """A deterministic biased branch-outcome file (generation is not timed)."""
+    import random
+
+    rng = random.Random(lines * 31 + sites)
+    pcs = [f"0x{0x400000 + 16 * i:x}" for i in range(sites)]
+    biases = [rng.random() for _ in range(sites)]
+    with open(path, "w", encoding="utf-8") as handle:
+        for _ in range(lines):
+            site = rng.randrange(sites)
+            taken = rng.random() < biases[site]
+            handle.write(f"{pcs[site]} {'T' if taken else 'N'}\n")
+
+
+def _measure_ingest_cell(cell: IngestBenchCell, repeats: int) -> Dict[str, Any]:
+    """Measure one streaming-ingest cell; best-of-``repeats`` wall clock."""
+    import tempfile
+
+    from repro.workloads.trace_ingest import ingest_trace_file
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as scratch:
+        path = os.path.join(scratch, f"{cell.name}.trace")
+        _write_synthetic_trace(path, cell.lines, cell.sites)
+        disk_bytes = os.path.getsize(path)
+        ingest_seconds = float("inf")
+        for _ in range(max(1, repeats)):
+            started = perf_counter()
+            ingest_trace_file(path, name=cell.name)
+            ingest_seconds = min(ingest_seconds, perf_counter() - started)
+        peak = 0
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            try:
+                ingest_trace_file(path, name=cell.name)
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+    return {
+        "benchmark": cell.name,
+        "flavour": "trace-file",
+        "scheme": cell.scheme_label(),
+        "machine": f"sites={cell.sites}",
+        "ingest_lines": cell.lines,
+        "instructions": 0,
+        "cycles": 0,
+        "ipc": 0.0,
+        "misprediction_rate": 0.0,
+        "trace_seconds": ingest_seconds,
+        "trace_instructions": cell.lines,
+        "trace_instructions_per_second": (
+            cell.lines / ingest_seconds if ingest_seconds else 0.0
+        ),
+        "trace_disk_bytes": disk_bytes,
+        "trace_peak_alloc_bytes": int(peak),
+        "sim_seconds": 0.0,
+        "sim_instructions_per_second": 0.0,
+        "sim_cycles_per_second": 0.0,
+    }
+
+
 def filter_cells(cells: Sequence[Any], cell_filter: Optional[str]) -> Sequence[Any]:
     """Cells whose ``benchmark/flavour/scheme`` label contains the filter."""
     if not cell_filter:
@@ -394,6 +489,8 @@ def run_bench(
         for cell in cells:
             if isinstance(cell, BatchBenchCell):
                 measured.append(_measure_batch_cell(cell, instructions, repeats))
+            elif isinstance(cell, IngestBenchCell):
+                measured.append(_measure_ingest_cell(cell, repeats))
             else:
                 measured.append(_measure_cell(cell, instructions, repeats))
     total_instructions = sum(c["instructions"] for c in measured)
@@ -465,6 +562,9 @@ def history_row(report: Dict[str, Any]) -> Dict[str, Any]:
     batch_cells = [c for c in report.get("cells", []) if c.get("lanes", 1) > 1]
     batch_scalar = sum(c.get("scalar_seconds", 0.0) for c in batch_cells)
     batch_batched = sum(c.get("sim_seconds", 0.0) for c in batch_cells)
+    ingest_cells = [c for c in report.get("cells", []) if c.get("ingest_lines")]
+    ingest_lines = sum(c["ingest_lines"] for c in ingest_cells)
+    ingest_seconds = sum(c.get("trace_seconds", 0.0) for c in ingest_cells)
     return {
         "revision": report.get("revision", "unknown"),
         "created_unix": report.get("created_unix", 0.0),
@@ -488,6 +588,13 @@ def history_row(report: Dict[str, Any]) -> Dict[str, Any]:
         "batch_speedup": batch_scalar / batch_batched if batch_batched else 0.0,
         "batch_best_speedup": max(
             (c.get("batch_speedup", 0.0) for c in batch_cells), default=0.0
+        ),
+        # Streaming-ingest trajectory (0.0 in pre-v4 rows): `.trace`-file
+        # lines parsed per second and the parser's peak allocation — the
+        # flat-memory property of streaming ingestion, tracked over time.
+        "ingest_lines_per_second": ingest_lines / ingest_seconds if ingest_seconds else 0.0,
+        "ingest_peak_alloc_bytes": max(
+            (c.get("trace_peak_alloc_bytes", 0) for c in ingest_cells), default=0
         ),
     }
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.emulator.executor import DynInst
-from repro.emulator.tracepack import TracePack
+from repro.emulator.tracepack import ChunkedTracePack, TracePack
 from repro.isa.branches import BranchInstruction
 from repro.isa.compare import CompareInstruction
 from repro.isa.opcodes import FunctionalUnitClass, OpClass
@@ -55,6 +55,14 @@ class SimulationResult:
     metrics: PipelineMetrics
     accuracy: BranchAccuracy
     uops: Optional[List[Uop]] = field(default=None, repr=False)
+    #: Set by the windowed runner when the run was *sampled* (a
+    #: :class:`repro.pipeline.windowed.SamplingSpec`): the metrics cover
+    #: only the measured windows, so result tables must flag them.
+    sampling: Optional[object] = None
+
+    @property
+    def sampled(self) -> bool:
+        return self.sampling is not None
 
     @property
     def ipc(self) -> float:
@@ -133,6 +141,73 @@ class _Decode:
     )
 
 
+class _FastState:
+    """The complete mutable state of one fast-loop run between windows.
+
+    Everything :meth:`OutOfOrderCore._run_fast_window` reads or writes lives
+    here — resource models, the register-timing dict, the decode cache, the
+    metric accumulators and the scheme (whose predictors carry the branch
+    history that makes resume correctness non-trivial).  Pickling one
+    ``_FastState`` pickles the whole object graph in a single blob, so the
+    shared-identity invariants the fast loop relies on (a ``_Decode``'s
+    ``slots`` list *is* the functional-unit pool's next-free list, its
+    ``queue`` *is* one of the issue-queue deques) survive a
+    checkpoint/restore round trip via the pickle memo.  ``rows_done`` is
+    the resume point; ``sampled_cycles`` accumulates measured-window cycle
+    deltas when sampling is active (``None`` for full runs).
+    """
+
+    __slots__ = (
+        "scheme",
+        "fetch",
+        "fus",
+        "lsu",
+        "memory",
+        "rob_q",
+        "int_q",
+        "fp_q",
+        "br_q",
+        "rn_state",
+        "cm_cycle",
+        "cm_used",
+        "regs",
+        "unit_cells",
+        "dcache",
+        "n_insts",
+        "n_executed",
+        "n_cond_branches",
+        "n_mispredictions",
+        "n_override_flushes",
+        "n_predicate_flushes",
+        "n_cancelled",
+        "n_conservative",
+        "n_assume_true",
+        "last_commit",
+        "rows_done",
+        "sampled_cycles",
+    )
+
+    #: The integer metric accumulators (snapshotted around sampling warmup).
+    COUNTER_SLOTS = (
+        "n_insts",
+        "n_executed",
+        "n_cond_branches",
+        "n_mispredictions",
+        "n_override_flushes",
+        "n_predicate_flushes",
+        "n_cancelled",
+        "n_conservative",
+        "n_assume_true",
+    )
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.COUNTER_SLOTS}
+
+    def restore_counters(self, snapshot: Dict[str, int]) -> None:
+        for name, value in snapshot.items():
+            setattr(self, name, value)
+
+
 class OutOfOrderCore:
     """Trace-driven out-of-order timing model.
 
@@ -172,10 +247,10 @@ class OutOfOrderCore:
         retain per-instruction records — materialises the object trace.
         """
         if self.optimized and not keep_uops:
-            if isinstance(trace, TracePack):
+            if isinstance(trace, (TracePack, ChunkedTracePack)):
                 trace = trace.cursor()
             return self._run_fast(trace, scheme, program_name)
-        if isinstance(trace, TracePack):
+        if isinstance(trace, (TracePack, ChunkedTracePack)):
             trace = trace.to_dyninsts()
         return self._run_reference(trace, scheme, program_name, keep_uops)
 
@@ -364,41 +439,81 @@ class OutOfOrderCore:
     ) -> SimulationResult:
         """Optimized timing loop: same semantics as :meth:`_run_reference`.
 
+        One full-range window over a fresh :class:`_FastState` — exactly
+        what the windowed runner (:mod:`repro.pipeline.windowed`) does in
+        pieces, so windowed and straight-through execution are bit-identical
+        by construction.
+        """
+        state = self._fast_state(scheme)
+        self._run_fast_window(state, trace)
+        return self._finalize_fast(state, program_name)
+
+    def _fast_state(self, scheme: BranchHandlingScheme) -> _FastState:
+        """A fresh fast-loop state (row zero, all resources idle)."""
+        cfg = self.config
+        state = _FastState()
+        state.scheme = scheme
+        state.memory = self.memory
+        state.fetch = FetchEngine(cfg, self.memory)
+        state.fus = FunctionalUnitPool(cfg.fu_counts)
+        state.lsu = LoadStoreUnit(cfg, self.memory)
+        state.rob_q = deque()
+        state.int_q = deque()
+        state.fp_q = deque()
+        state.br_q = deque()
+        state.rn_state = [-1, 0]  # rename slotter: (cycle, slots used)
+        state.cm_cycle = -1
+        state.cm_used = 0
+        state.regs = {}
+        state.unit_cells = {}
+        state.dcache = {}
+        for name in _FastState.COUNTER_SLOTS:
+            setattr(state, name, 0)
+        state.last_commit = 0
+        state.rows_done = 0
+        state.sampled_cycles = None
+        return state
+
+    def _run_fast_window(self, state: _FastState, trace: Iterable[DynInst]) -> None:
+        """Drain ``trace`` through the fast timing loop, mutating ``state``.
+
         The loop keeps every per-instruction timestamp in locals, consults a
         per-static-instruction :class:`_Decode` record instead of walking
         instruction property chains, and inlines the sliding-window, slotter
         and functional-unit resource models.  Any behavioural change here
         must keep the parity tests green (bit-identical IPC and
-        misprediction counters against the reference loop).
+        misprediction counters against the reference loop).  Callers bound
+        the window by bounding ``trace`` (a range cursor); the loop itself
+        has no notion of position beyond ``state.rows_done``.
         """
         cfg = self.config
-        fetch = FetchEngine(cfg, self.memory)
-        fus = FunctionalUnitPool(cfg.fu_counts)
-        lsu = LoadStoreUnit(cfg, self.memory)
-        metrics = PipelineMetrics()
+        scheme = state.scheme
+        fetch = state.fetch
+        fus = state.fus
+        lsu = state.lsu
 
         # Inline resource state (parity with SlidingWindowResource /
-        # _InOrderSlotter, held as locals).
-        rob_q: deque = deque()
+        # _InOrderSlotter, held as locals and written back on exit).
+        rob_q = state.rob_q
         rob_cap = cfg.rob_entries
-        int_q: deque = deque()
-        fp_q: deque = deque()
-        br_q: deque = deque()
+        int_q = state.int_q
+        fp_q = state.fp_q
+        br_q = state.br_q
         int_cap = cfg.int_queue_entries
         fp_cap = cfg.fp_queue_entries
         br_cap = cfg.branch_queue_entries
         rn_width = cfg.rename_width
-        rn_state = [-1, 0]  # rename slotter: (cycle, slots used)
+        rn_state = state.rn_state
         cm_width = cfg.commit_width
-        cm_cycle, cm_used = -1, 0
+        cm_cycle, cm_used = state.cm_cycle, state.cm_used
 
         # Register readiness: int register key -> value-ready cycle.
-        regs: Dict[int, int] = {}
+        regs = state.regs
         regs_get = regs.get
 
         # Per-static-instruction decode records, keyed by instruction uid.
-        unit_cells: Dict[FunctionalUnitClass, List[int]] = {}
-        dcache: Dict[int, _Decode] = {}
+        unit_cells = state.unit_cells
+        dcache = state.dcache
         dcache_get = dcache.get
         build_decode = self._build_decode
 
@@ -449,17 +564,17 @@ class OutOfOrderCore:
                 rn_state[1] = slot_used + 1
             return cycle
 
-        # Metric accumulators.
-        n_insts = 0
-        n_executed = 0
-        n_cond_branches = 0
-        n_mispredictions = 0
-        n_override_flushes = 0
-        n_predicate_flushes = 0
-        n_cancelled = 0
-        n_conservative = 0
-        n_assume_true = 0
-        last_commit = 0
+        # Metric accumulators (carried across windows via the state).
+        n_insts = state.n_insts
+        n_executed = state.n_executed
+        n_cond_branches = state.n_cond_branches
+        n_mispredictions = state.n_mispredictions
+        n_override_flushes = state.n_override_flushes
+        n_predicate_flushes = state.n_predicate_flushes
+        n_cancelled = state.n_cancelled
+        n_conservative = state.n_conservative
+        n_assume_true = state.n_assume_true
+        last_commit = state.last_commit
 
         for dyn in trace:
             inst = dyn.inst
@@ -631,31 +746,56 @@ class OutOfOrderCore:
             if dyn.executed:
                 n_executed += 1
 
-        metrics.fetched_instructions = n_insts
-        metrics.committed_instructions = n_insts
-        metrics.executed_instructions = n_executed
-        metrics.nullified_instructions = n_insts - n_executed
-        metrics.conditional_branches = n_cond_branches
-        metrics.branch_mispredictions = n_mispredictions
-        metrics.override_flushes = n_override_flushes
-        metrics.predicate_flushes = n_predicate_flushes
-        metrics.cancelled_at_rename = n_cancelled
-        metrics.conservative_predicated = n_conservative
-        metrics.assume_true_predicated = n_assume_true
-        metrics.cycles = last_commit
-        metrics.memory_stats = self.memory.statistics() if self.memory else {}
-        for unit, cell in unit_cells.items():
+        # Write the scalar locals back; the mutable containers (deques,
+        # dicts, rn_state) were mutated in place.
+        state.cm_cycle, state.cm_used = cm_cycle, cm_used
+        state.n_insts = n_insts
+        state.n_executed = n_executed
+        state.n_cond_branches = n_cond_branches
+        state.n_mispredictions = n_mispredictions
+        state.n_override_flushes = n_override_flushes
+        state.n_predicate_flushes = n_predicate_flushes
+        state.n_cancelled = n_cancelled
+        state.n_conservative = n_conservative
+        state.n_assume_true = n_assume_true
+        state.last_commit = last_commit
+
+    def _finalize_fast(self, state: _FastState, program_name: str) -> SimulationResult:
+        """Fold a finished :class:`_FastState` into a :class:`SimulationResult`.
+
+        Reads the memory hierarchy *from the state* — after a checkpoint
+        restore it is the unpickled hierarchy shared by the state's fetch
+        engine and load/store unit, not this core's own ``self.memory``.
+        """
+        metrics = PipelineMetrics()
+        metrics.fetched_instructions = state.n_insts
+        metrics.committed_instructions = state.n_insts
+        metrics.executed_instructions = state.n_executed
+        metrics.nullified_instructions = state.n_insts - state.n_executed
+        metrics.conditional_branches = state.n_cond_branches
+        metrics.branch_mispredictions = state.n_mispredictions
+        metrics.override_flushes = state.n_override_flushes
+        metrics.predicate_flushes = state.n_predicate_flushes
+        metrics.cancelled_at_rename = state.n_cancelled
+        metrics.conservative_predicated = state.n_conservative
+        metrics.assume_true_predicated = state.n_assume_true
+        metrics.cycles = (
+            state.last_commit if state.sampled_cycles is None else state.sampled_cycles
+        )
+        metrics.memory_stats = state.memory.statistics() if state.memory else {}
+        fus = state.fus
+        for unit, cell in state.unit_cells.items():
             fus.issue_counts[unit] = fus.issue_counts.get(unit, 0) + cell[0]
         metrics.fu_utilisation = fus.utilisation()
-        metrics.counters.set("lsq_forwarded_loads", lsu.forwarded_loads)
-        metrics.counters.set("fetch_redirects", fetch.redirects)
-        metrics.counters.set("icache_stall_cycles", fetch.icache_stall_cycles)
+        metrics.counters.set("lsq_forwarded_loads", state.lsu.forwarded_loads)
+        metrics.counters.set("fetch_redirects", state.fetch.redirects)
+        metrics.counters.set("icache_stall_cycles", state.fetch.icache_stall_cycles)
 
         return SimulationResult(
             program_name=program_name,
-            scheme_name=scheme.name,
+            scheme_name=state.scheme.name,
             metrics=metrics,
-            accuracy=scheme.accuracy,
+            accuracy=state.scheme.accuracy,
             uops=None,
         )
 

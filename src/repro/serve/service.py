@@ -383,6 +383,7 @@ class ExperimentService:
         default_instructions: Optional[int] = None,
         job_timeout: Optional[float] = None,
         journal: Optional[JobJournal] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if store is None:
             raise ValueError(
@@ -395,7 +396,15 @@ class ExperimentService:
             )
         if job_timeout is not None and job_timeout <= 0:
             raise ValueError(f"job_timeout must be positive, got {job_timeout}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be a positive integer, got {checkpoint_every}"
+            )
         self.store = store
+        #: Rows per mid-simulation resume checkpoint for every job's engine
+        #: (None = off).  A job killed by a crash or deadline resumes from
+        #: its last checkpoint when retried instead of starting over.
+        self.checkpoint_every = checkpoint_every
         self.jobs = max(1, int(jobs))
         self.workers = max(1, int(workers))
         self.max_store_bytes = max_store_bytes
@@ -669,7 +678,12 @@ class ExperimentService:
                 benchmarks=benchmarks,
                 profile_budget=min(parsed.instructions, 20_000),
             )
-        return ExecutionEngine(profile=profile, store=self.store, jobs=self.jobs)
+        return ExecutionEngine(
+            profile=profile,
+            store=self.store,
+            jobs=self.jobs,
+            checkpoint_every=self.checkpoint_every,
+        )
 
     def _execute(self, record: JobRecord) -> None:
         with self._lock:

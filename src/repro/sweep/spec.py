@@ -128,6 +128,7 @@ class SweepSpec:
                 label=_point_label(scheme, point),
                 scheme=self.scheme_spec(scheme, point),
                 machine=point.machine,
+                sampling=self.scenario.sampling,
             )
             for benchmark in self._benchmarks
             for point in points

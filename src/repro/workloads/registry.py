@@ -39,7 +39,7 @@ from typing import Callable, List, Optional
 from repro.program.program import Program
 from repro.workloads.spec_suite import SPEC_SUITE, workload_names
 from repro.workloads.kernels import build_program_from_traits
-from repro.workloads.trace_ingest import TraceIngestError, ingest_trace_text
+from repro.workloads.trace_ingest import TraceIngestError, ingest_trace_file
 from repro.workloads.traits import WorkloadTraits
 from repro.workloads.workload_spec import WorkloadSpecError
 
@@ -188,19 +188,23 @@ def _spec_file_definition(path: str, identity: Optional[str] = None) -> Workload
 
 def _trace_definition(path: str) -> WorkloadDefinition:
     stem = os.path.splitext(os.path.basename(path))[0]
+    # Streaming on purpose: CBP-scale outcome streams do not fit in memory,
+    # so both ingestion and the fingerprint fold the file in line by line.
+    digest = hashlib.sha256(b"trace\n")
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
+            for line in handle:
+                digest.update(line.encode("utf-8"))
     except OSError as error:
         raise TraceIngestError(f"cannot read branch trace {path}: {error}") from None
-    ingested = ingest_trace_text(text, name=stem, source=os.path.basename(path))
+    ingested = ingest_trace_file(path, name=stem)
     return WorkloadDefinition(
         name=path,
         display_name=ingested.name,
         origin=TRACE,
         source=path,
         traits=ingested.traits,
-        fingerprint=_text_fingerprint("trace", text),
+        fingerprint=digest.hexdigest()[:32],
         _builder=ingested.build,
     )
 

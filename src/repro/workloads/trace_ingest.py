@@ -70,16 +70,38 @@ _NOT_TAKEN_TOKENS = {"n", "0"}
 #: (:class:`WorkloadTraits` rejects anything smaller than 16).
 _MIN_LENGTH = 64
 
+#: Per-site replay window: outcomes retained verbatim per static branch.
+#: Sites longer than this replay their first ``MAX_SITE_OUTCOMES`` outcomes
+#: cyclically, while rates/classification still reflect the *whole* recorded
+#: stream — the bound that keeps ingestion's peak memory independent of the
+#: trace's length (CBP-scale streams run to hundreds of millions of lines).
+MAX_SITE_OUTCOMES = 1 << 16
+
 
 @dataclass(frozen=True)
 class BranchSite:
-    """One static branch of an ingested trace."""
+    """One static branch of an ingested trace.
+
+    ``outcomes`` is the retained replay window (at most the parser's
+    ``max_site_outcomes``); ``executions``/``taken`` count the whole
+    recorded stream.  Constructing a site with the totals defaulted (as
+    pre-streaming code did) makes the window the whole stream.
+    """
 
     pc: int
     outcomes: Tuple[bool, ...]
+    executions: int = 0
+    taken: int = 0
+
+    @property
+    def recorded_executions(self) -> int:
+        """Total recorded outcomes (>= ``len(outcomes)``)."""
+        return self.executions or len(self.outcomes)
 
     @property
     def taken_rate(self) -> float:
+        if self.executions:
+            return self.taken / self.executions
         return sum(self.outcomes) / len(self.outcomes)
 
     @property
@@ -144,14 +166,24 @@ def _parse_pc(token: str, where: str) -> int:
 
 
 def parse_outcome_lines(
-    lines: Iterable[str], source: str = "<trace>"
+    lines: Iterable[str],
+    source: str = "<trace>",
+    max_site_outcomes: int = MAX_SITE_OUTCOMES,
 ) -> Tuple[BranchSite, ...]:
     """Parse ``<pc> <outcome>`` lines into per-site outcome sequences.
 
     Sites are returned in order of first appearance, which fixes their
-    mapping onto the generated program's branches.
+    mapping onto the generated program's branches.  ``lines`` is consumed
+    strictly one line at a time and each site retains at most
+    ``max_site_outcomes`` outcomes in a compact byte buffer (totals keep
+    counting), so peak memory is bounded by the number of *static* sites —
+    not by the stream's length.
     """
-    per_site: Dict[int, List[bool]] = {}
+    if max_site_outcomes < 1:
+        raise ValueError(f"max_site_outcomes must be positive, got {max_site_outcomes}")
+    windows: Dict[int, bytearray] = {}
+    executions: Dict[int, int] = {}
+    taken_counts: Dict[int, int] = {}
     order: List[int] = []
     count = 0
     for number, raw in enumerate(lines, start=1):
@@ -166,14 +198,29 @@ def parse_outcome_lines(
             )
         pc = _parse_pc(fields[0], where)
         outcome = _parse_outcome(fields[1], where)
-        if pc not in per_site:
-            per_site[pc] = []
+        window = windows.get(pc)
+        if window is None:
+            window = windows[pc] = bytearray()
+            executions[pc] = 0
+            taken_counts[pc] = 0
             order.append(pc)
-        per_site[pc].append(outcome)
+        if len(window) < max_site_outcomes:
+            window.append(1 if outcome else 0)
+        executions[pc] += 1
+        if outcome:
+            taken_counts[pc] += 1
         count += 1
     if not count:
         raise TraceIngestError(f"{source}: trace contains no branch outcomes")
-    return tuple(BranchSite(pc=pc, outcomes=tuple(per_site[pc])) for pc in order)
+    return tuple(
+        BranchSite(
+            pc=pc,
+            outcomes=tuple(bool(value) for value in windows[pc]),
+            executions=executions[pc],
+            taken=taken_counts[pc],
+        )
+        for pc in order
+    )
 
 
 def _content_seed(text: str) -> int:
@@ -186,14 +233,15 @@ def _clamp(value: float, low: float, high: float) -> float:
     return min(max(value, low), high)
 
 
-def ingest_trace_text(text: str, name: str, source: str = "<trace>") -> IngestedWorkload:
-    """Build an :class:`IngestedWorkload` from trace text.
+def _workload_from_sites(
+    sites: Tuple[BranchSite, ...], name: str, seed: int
+) -> IngestedWorkload:
+    """The shared ingestion tail: sites + content seed → workload.
 
     The traits' ``bias`` fields describe the *recorded* rates (clamped into
     the ranges :class:`WorkloadTraits` validation accepts); the actual branch
     outcomes come from the recorded streams, not from those biases.
     """
-    sites = parse_outcome_lines(text.splitlines(), source=source)
     length = max(_MIN_LENGTH, max(len(site.outcomes) for site in sites))
     hard_regions = tuple(
         HardRegionSpec(bias=_clamp(site.taken_rate, 0.01, 0.99))
@@ -210,7 +258,7 @@ def ingest_trace_text(text: str, name: str, source: str = "<trace>") -> Ingested
     traits = WorkloadTraits(
         name=name,
         category="int",
-        seed=_content_seed(text),
+        seed=seed,
         array_length=length,
         hard_regions=hard_regions,
         easy_branches=easy_branches,
@@ -218,11 +266,38 @@ def ingest_trace_text(text: str, name: str, source: str = "<trace>") -> Ingested
     return IngestedWorkload(name=name, sites=sites, traits=traits)
 
 
-def ingest_trace_file(path: str, name: str) -> IngestedWorkload:
-    """Ingest one ``.trace`` outcome-stream file."""
+def ingest_trace_text(text: str, name: str, source: str = "<trace>") -> IngestedWorkload:
+    """Build an :class:`IngestedWorkload` from in-memory trace text."""
+    sites = parse_outcome_lines(iter(text.splitlines()), source=source)
+    return _workload_from_sites(sites, name=name, seed=_content_seed(text))
+
+
+def ingest_trace_file(
+    path: str, name: str, max_site_outcomes: int = MAX_SITE_OUTCOMES
+) -> IngestedWorkload:
+    """Ingest one ``.trace`` outcome-stream file, streaming line by line.
+
+    The file is never read whole: each line is parsed and folded into the
+    content digest as it arrives, so peak memory is bounded by the static
+    site count (times the per-site replay window) no matter how long the
+    recorded stream is.  The resulting workload is identical to
+    ``ingest_trace_text(<file contents>, ...)``.
+    """
+    digest = hashlib.sha256()
+
+    def hashed_lines(handle) -> Iterable[str]:
+        for line in handle:
+            digest.update(line.encode("utf-8"))
+            yield line
+
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
+            sites = parse_outcome_lines(
+                hashed_lines(handle),
+                source=os.path.basename(path),
+                max_site_outcomes=max_site_outcomes,
+            )
     except OSError as error:
         raise TraceIngestError(f"cannot read branch trace {path}: {error}") from None
-    return ingest_trace_text(text, name=name, source=os.path.basename(path))
+    seed = int.from_bytes(digest.digest()[:4], "big") & 0x7FFFFFFF
+    return _workload_from_sites(sites, name=name, seed=seed)

@@ -13,7 +13,9 @@ Three guarantees are under test here:
 
 from __future__ import annotations
 
+import io
 import pickle
+import struct
 
 import pytest
 from hypothesis import given, settings
@@ -28,7 +30,14 @@ from repro.emulator.trace import (
     serialize_trace,
     trace_statistics,
 )
-from repro.emulator.tracepack import PACK_MAGIC, TracePack, pack_supported
+from repro.emulator.tracepack import (
+    CHUNK_MAGIC,
+    ChunkedPackWriter,
+    ChunkedTracePack,
+    PACK_MAGIC,
+    TracePack,
+    pack_supported,
+)
 
 from tests.conftest import build_counting_loop, build_diamond_program
 
@@ -175,6 +184,98 @@ class TestHypothesisFieldRoundTrip:
             assert dyn_state(ref) == dyn_state(got)
 
 
+def _split_at(trace, cuts):
+    """Segment ``trace`` at the (sorted, deduplicated) ``cuts`` row indices."""
+    boundaries = sorted({cut for cut in cuts if 0 < cut < len(trace)})
+    edges = [0] + boundaries + [len(trace)]
+    return [
+        TracePack.from_dyninsts(trace[start:stop])
+        for start, stop in zip(edges, edges[1:])
+    ]
+
+
+class TestChunkedRoundTrip:
+    """Arbitrary segment splits decode identically to the monolithic pack."""
+
+    @given(
+        cuts=st.lists(st.integers(min_value=1, max_value=BUDGET), max_size=8),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_split_round_trips_bit_identical(self, loop_trace, cuts, data):
+        chunked = ChunkedTracePack.from_segments(_split_at(loop_trace, cuts))
+        assert len(chunked) == len(loop_trace)
+
+        encoded = serialize_trace(chunked)
+        assert encoded[:4] == CHUNK_MAGIC
+        # An RTP3 stream IS the serialized form: ChunkedPackWriter output
+        # adopted via put_file and serialize_trace(chunked) are one format.
+        assert encoded == chunked.to_bytes()
+        decoded = deserialize_trace(encoded)
+        assert isinstance(decoded, ChunkedTracePack)
+        assert decoded.segment_lengths == chunked.segment_lengths
+        for ref, got in zip(loop_trace, decoded.to_dyninsts()):
+            assert dyn_state(ref) == dyn_state(got)
+
+        # Range cursors iterate across segment boundaries transparently.
+        # (The cursor is a flyweight advanced in place — read each row
+        # during iteration, exactly as the fast loop does.)
+        start = data.draw(st.integers(0, len(loop_trace)), label="start")
+        stop = data.draw(st.integers(start, len(loop_trace)), label="stop")
+        seen = 0
+        for ref, cur in zip(loop_trace[start:stop], decoded.cursor(start, stop)):
+            assert cur.seq == ref.seq
+            assert cur.pc == ref.pc
+            assert cur.taken == ref.taken
+            assert cur.pred_writes == ref.pred_writes
+            seen += 1
+        assert seen == stop - start
+        assert sum(1 for _ in decoded.cursor(start, stop)) == stop - start
+
+    def test_writer_stream_equals_in_memory_encoding(self, loop_trace):
+        segments = _split_at(loop_trace, [1_000, 2_500, 4_000])
+        buffer = io.BytesIO()
+        writer = ChunkedPackWriter(buffer)
+        for segment in segments:
+            writer.add_segment(segment)
+        rows = writer.finish()
+        assert rows == len(loop_trace)
+        assert writer.segments == len(segments)
+        assert buffer.getvalue() == ChunkedTracePack.from_segments(segments).to_bytes()
+
+    def test_concat_merges_back_to_one_monolithic_pack(self, loop_trace):
+        chunked = ChunkedTracePack.from_segments(_split_at(loop_trace, [700, 1_400]))
+        merged = chunked.concat()
+        assert isinstance(merged, TracePack)
+        for ref, got in zip(loop_trace, merged.to_dyninsts()):
+            assert dyn_state(ref) == dyn_state(got)
+
+    @given(
+        mode=st.sampled_from(["truncate", "overrun", "trailing", "magic"]),
+        position=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_damaged_streams_are_rejected_not_misread(
+        self, loop_trace, mode, position
+    ):
+        data = ChunkedTracePack.from_segments(
+            _split_at(loop_trace, [1_500, 3_000])
+        ).to_bytes()
+        if mode == "truncate":
+            # Any prefix (a writer that died before finish()) must be
+            # detected through the missing terminator or a short segment.
+            damaged = data[: max(4, int(len(data) * position))]
+        elif mode == "overrun":
+            # A segment size pointing past the payload.
+            damaged = data[:4] + struct.pack("<Q", len(data)) + data[12:]
+        elif mode == "trailing":
+            damaged = data + b"\x00garbage"
+        else:
+            damaged = b"XXXX" + data[4:]
+        with pytest.raises(ValueError):
+            ChunkedTracePack.from_bytes(damaged)
+
+
 class TestBackwardCompatibility:
     def test_v1_pickle_still_loads(self, loop_trace):
         archived = pickle.dumps((1, loop_trace), protocol=pickle.HIGHEST_PROTOCOL)
@@ -183,8 +284,18 @@ class TestBackwardCompatibility:
         for ref, got in zip(loop_trace, loaded):
             assert dyn_state(ref)[:-1] == dyn_state(got)[:-1]
 
-    def test_current_version_is_two(self):
-        assert TRACE_FORMAT_VERSION == 2
+    def test_current_version_is_three(self):
+        assert TRACE_FORMAT_VERSION == 3
+
+    def test_v2_monolithic_packs_still_load(self, loop_trace):
+        # A format-2 archive is exactly a monolithic pack payload; the
+        # format-3 deserializer must keep accepting it unchanged.
+        data = TracePack.from_dyninsts(loop_trace).to_bytes()
+        assert data[:4] == PACK_MAGIC
+        loaded = deserialize_trace(data)
+        assert isinstance(loaded, TracePack)
+        for ref, got in zip(loop_trace, loaded.to_dyninsts()):
+            assert dyn_state(ref) == dyn_state(got)
 
     def test_unknown_pickle_version_rejected(self, loop_trace):
         stale = pickle.dumps((99, loop_trace), protocol=pickle.HIGHEST_PROTOCOL)

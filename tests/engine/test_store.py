@@ -108,7 +108,11 @@ class TestStoreBehaviour:
         assert stats[BINARIES]["count"] == 1
         assert stats[TRACES]["count"] == 1
         assert stats[RESULTS]["count"] == 1
-        assert all(entry["bytes"] > 0 for entry in stats.values())
+        # The checkpoints kind exists but holds nothing here: transient
+        # resume state is only ever present mid-run (see CHECKPOINTS).
+        assert all(
+            entry["bytes"] > 0 for entry in stats.values() if entry["count"]
+        )
         entries = store.entries(BINARIES)
         assert len(entries) == 1
         assert entries[0]["benchmark"] == "gzip"

@@ -126,6 +126,44 @@ class TestCellFilter:
         assert report["cells"][0]["benchmark"] == "twolf"
 
 
+class TestIngestCell:
+    @pytest.fixture(scope="class")
+    def ingest_report(self):
+        cells = (bench.IngestBenchCell("synthetic", 5_000),)
+        return bench.run_bench(quick=True, cells=cells, optimized=True)
+
+    def test_ingest_cell_reports_through_trace_columns(self, ingest_report):
+        (cell,) = ingest_report["cells"]
+        assert cell["scheme"] == "ingest:synthetic-x5000"
+        assert cell["ingest_lines"] == 5_000
+        assert cell["trace_instructions"] == 5_000
+        assert cell["trace_seconds"] > 0
+        assert cell["trace_instructions_per_second"] > 0
+        assert cell["trace_disk_bytes"] > 0
+        assert cell["trace_peak_alloc_bytes"] > 0
+        # No simulation ran: nothing leaks into the gated sim aggregate.
+        assert cell["instructions"] == 0 and cell["sim_seconds"] == 0.0
+        assert ingest_report["aggregate"]["total_instructions"] == 0
+
+    def test_ingest_trajectory_lands_in_the_history_row(self, ingest_report):
+        row = bench.history_row(ingest_report)
+        assert row["ingest_lines_per_second"] > 0
+        assert row["ingest_peak_alloc_bytes"] > 0
+
+    def test_quick_suite_carries_one_ingest_cell(self):
+        ingest = [
+            cell
+            for cell in bench.QUICK_CELLS
+            if isinstance(cell, bench.IngestBenchCell)
+        ]
+        assert len(ingest) == 1
+        assert "ingest:" in ingest[0].label()
+
+    def test_render_table_handles_ingest_rows(self, ingest_report):
+        table = render_table(ingest_report)
+        assert "ingest:synthetic-x5000" in table
+
+
 class TestHistory:
     def test_append_history_writes_jsonl_rows(self, tiny_report, tmp_path):
         directory = str(tmp_path / "history")

@@ -1,0 +1,136 @@
+"""Checkpointability of every predictor backend.
+
+The windowed-simulation checkpoint (see ``repro.pipeline.windowed``) pickles
+the whole fast-loop state graph, predictor tables included.  Its contract is
+that a restored predictor continues *bit-identically*: for every backend,
+pickling mid-stream, restoring, and stepping the remainder of a random
+(pc, history, outcome) stream must produce exactly the predictions the
+uninterrupted predictor makes.  Equal prediction streams on the same update
+stream mean equal table state — any divergence shows up within a few steps.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.history import LocalHistoryTable
+from repro.predictors.peppa import PEPPAPredictor
+from repro.predictors.perceptron import PerceptronConfig, PerceptronPredictor
+from repro.predictors.predicate_perceptron import (
+    PredicatePredictorConfig,
+    PredicatePerceptronPredictor,
+)
+
+STEPS = 400
+SPLIT = STEPS // 2
+
+#: A small, shared PC alphabet so entries alias and tables actually train.
+PCS = [0x4000 + 16 * i for i in range(23)]
+
+
+def _stream(seed):
+    """A deterministic (pc, global_history, outcome, extra-bit) stream."""
+    rng = random.Random(seed)
+    events = []
+    history = 0
+    for _ in range(STEPS):
+        pc = rng.choice(PCS)
+        outcome = rng.random() < 0.6
+        extra = rng.random() < 0.5
+        events.append((pc, history, outcome, extra))
+        history = ((history << 1) | (1 if outcome else 0)) & 0xFFFF
+    return events
+
+
+def _roundtrip_parity(make, step):
+    """Drive ``make()`` through the stream; pickle at SPLIT; compare tails.
+
+    ``step(predictor, event)`` consumes one event and returns the hashable
+    observation (prediction + any raw output) the parity is asserted over.
+    """
+    events = _stream(seed=7)
+    straight = make()
+    reference = [step(straight, event) for event in events]
+
+    resumed = make()
+    for event in events[:SPLIT]:
+        step(resumed, event)
+    blob = pickle.dumps(resumed, protocol=pickle.HIGHEST_PROTOCOL)
+    # Keep driving the ORIGINAL after the snapshot: a restore must not
+    # depend on the source object staying frozen.
+    for event in events[SPLIT:]:
+        step(resumed, event)
+
+    restored = pickle.loads(blob)
+    tail = [step(restored, event) for event in events[SPLIT:]]
+    assert tail == reference[SPLIT:]
+
+
+class TestGshare:
+    def test_save_restore_step_equals_straight_step(self):
+        def step(predictor, event):
+            pc, history, outcome, _ = event
+            prediction = predictor.predict(pc, history)
+            predictor.update(pc, history, outcome)
+            return prediction
+
+        _roundtrip_parity(lambda: GsharePredictor(history_bits=10), step)
+
+
+class TestLocalHistoryTable:
+    def test_save_restore_step_equals_straight_step(self):
+        def step(table, event):
+            pc, _, outcome, _ = event
+            history = table.read(pc)
+            table.update(pc, outcome)
+            return history
+
+        _roundtrip_parity(lambda: LocalHistoryTable(entries=64, bits=10), step)
+
+
+class TestPerceptron:
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_save_restore_step_equals_straight_step(self, optimized):
+        config = PerceptronConfig()
+
+        def step(predictor, event):
+            pc, history, outcome, _ = event
+            observed = predictor.predict_with_output(pc, history)
+            predictor.update(pc, history, outcome)
+            return observed
+
+        _roundtrip_parity(
+            lambda: PerceptronPredictor(config, optimized=optimized), step
+        )
+
+
+class TestPredicatePerceptron:
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_save_restore_step_equals_straight_step(self, optimized):
+        config = PredicatePredictorConfig()
+
+        def step(predictor, event):
+            pc, history, outcome, slot_bit = event
+            slot = predictor.SLOT_SECOND if slot_bit else predictor.SLOT_FIRST
+            observed = predictor.predict_slot(pc, slot, history)
+            predictor.update_slot(pc, slot, history, outcome)
+            return observed
+
+        _roundtrip_parity(
+            lambda: PredicatePerceptronPredictor(config, optimized=optimized), step
+        )
+
+
+class TestPEPPA:
+    def test_save_restore_step_equals_straight_step(self):
+        def step(predictor, event):
+            pc, _, outcome, predicate_value = event
+            prediction = predictor.predict(pc, predicate_value)
+            predictor.update(pc, predicate_value, outcome)
+            return prediction
+
+        _roundtrip_parity(PEPPAPredictor, step)

@@ -34,6 +34,7 @@ class TestSpecParsing:
     def test_catalog_is_complete(self):
         assert set(faults.fault_points()) == {
             "kill-worker-on-nth-simulate",
+            "kill-worker-on-nth-checkpoint",
             "corrupt-artifact-bytes",
             "truncate-payload",
             "drop-http-response",

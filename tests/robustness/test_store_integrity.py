@@ -11,8 +11,13 @@ from hypothesis import strategies as st
 
 from repro.compiler.binaries import BinaryFactory
 from repro.emulator.executor import Emulator
-from repro.emulator.tracepack import TracePack, pack_supported
-from repro.engine.store import BINARIES, RESULTS, TRACES, ArtifactStore
+from repro.emulator.tracepack import (
+    ChunkedPackWriter,
+    ChunkedTracePack,
+    TracePack,
+    pack_supported,
+)
+from repro.engine.store import BINARIES, CHECKPOINTS, RESULTS, TRACES, ArtifactStore
 from repro.experiments.setup import make_predicate_scheme
 from repro.pipeline.core import OutOfOrderCore
 from repro.workloads.spec_suite import build_workload
@@ -38,11 +43,30 @@ def store(tmp_path):
 
 
 def _payload_objects(artifacts):
-    """(kind, object) pairs covering all kinds and both trace codecs."""
+    """(kind, object) pairs covering all kinds and all three trace codecs."""
     program, trace, result = artifacts
-    pairs = [(BINARIES, program), (TRACES, trace), (RESULTS, result)]
+    pairs = [
+        (BINARIES, program),
+        (TRACES, trace),
+        (RESULTS, result),
+        # Checkpoints are pickled state blobs; integrity is codec-agnostic.
+        (CHECKPOINTS, {"version": 1, "rows_done": 400, "state": list(range(64))}),
+    ]
     if pack_supported():
-        pairs.append((TRACES, TracePack.from_dyninsts(trace)))
+        pack = TracePack.from_dyninsts(trace)
+        pairs.append((TRACES, pack))
+        half = len(trace) // 2
+        pairs.append(
+            (
+                TRACES,
+                ChunkedTracePack.from_segments(
+                    [
+                        TracePack.from_dyninsts(trace[:half]),
+                        TracePack.from_dyninsts(trace[half:]),
+                    ]
+                ),
+            )
+        )
     return pairs
 
 
@@ -154,7 +178,7 @@ class TestCorruptionProperty:
     """Any corruption of any stored payload → quarantine + clean regeneration."""
 
     @given(
-        which=st.integers(min_value=0, max_value=3),
+        which=st.integers(min_value=0, max_value=5),
         mode=st.sampled_from(["flip", "truncate"]),
         position=st.floats(min_value=0.0, max_value=0.999),
     )
@@ -189,3 +213,66 @@ class TestCorruptionProperty:
             assert reloaded.metrics.summary() == obj.metrics.summary()
         elif kind == TRACES:
             assert len(reloaded) == len(obj)
+
+
+class TestStreamedAdoption:
+    """``scratch_path`` + ``put_file``: the streamed-ingest write path."""
+
+    def _write_chunked(self, store, trace, segment_rows=400):
+        path = store.scratch_path(TRACES)
+        with open(path, "wb") as handle:
+            writer = ChunkedPackWriter(handle)
+            for start in range(0, len(trace), segment_rows):
+                writer.add_segment(
+                    TracePack.from_dyninsts(trace[start : start + segment_rows])
+                )
+            rows = writer.finish()
+        return path, rows
+
+    def test_adopted_stream_round_trips(self, store, artifacts):
+        if not pack_supported():
+            pytest.skip("columnar packs require numpy")
+        _, trace, _ = artifacts
+        path, rows = self._write_chunked(store, trace)
+        store.put_file(TRACES, "k", path, metadata={"instructions": rows})
+        assert not os.path.exists(path)  # adopted, not copied
+        loaded = store.get(TRACES, "k")
+        assert isinstance(loaded, ChunkedTracePack)
+        assert len(loaded) == len(trace)
+        assert loaded.segment_count >= 2
+
+    def test_adopted_stream_digest_detects_corruption(self, store, artifacts):
+        if not pack_supported():
+            pytest.skip("columnar packs require numpy")
+        _, trace, _ = artifacts
+        path, _ = self._write_chunked(store, trace)
+        target = store.put_file(TRACES, "k", path)
+        with open(target, "r+b") as handle:
+            handle.seek(os.path.getsize(target) // 2)
+            handle.write(b"\xff\xff\xff\xff")
+        assert store.get(TRACES, "k") is None
+        assert store.quarantine_usage()["count"] == 1
+
+    def test_unfinished_stream_is_quarantined_not_misread(self, store, artifacts):
+        if not pack_supported():
+            pytest.skip("columnar packs require numpy")
+        _, trace, _ = artifacts
+        path, _ = self._write_chunked(store, trace)
+        # The crashed-writer shape: adopt a stream missing its terminator.
+        # put_file digests the bytes as-is, so the damage only surfaces at
+        # decode time — which must quarantine, never return a partial trace.
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 8)
+        store.put_file(TRACES, "k", path)
+        assert store.get(TRACES, "k") is None
+        entries = store.quarantine_entries()
+        assert entries and "decode failed" in entries[0]["quarantine_reason"]
+
+    def test_discard_removes_payload_and_sidecar(self, store, artifacts):
+        _, _, result = artifacts
+        store.put(CHECKPOINTS, "k", {"rows_done": 1, "state": result.metrics.cycles})
+        assert store.contains(CHECKPOINTS, "k")
+        store.discard(CHECKPOINTS, "k")
+        assert not store.contains(CHECKPOINTS, "k")
+        assert store.entries(CHECKPOINTS) == []
+        store.discard(CHECKPOINTS, "k")  # idempotent

@@ -126,3 +126,53 @@ class TestReplay:
     def test_missing_file(self, tmp_path):
         with pytest.raises(TraceIngestError, match="cannot read"):
             ingest_trace_file(str(tmp_path / "absent.trace"), name="x")
+
+
+class TestStreamingMemory:
+    """Ingestion memory is bounded by static sites, not stream length."""
+
+    @staticmethod
+    def _write_trace(path, lines):
+        with open(path, "w", encoding="utf-8") as handle:
+            for index in range(lines):
+                handle.write(f"0x4000 {'T' if index % 3 else 'N'}\n")
+                handle.write(f"0x4010 {'1' if index % 17 else '0'}\n")
+
+    @staticmethod
+    def _peak_ingest(path):
+        import gc
+        import tracemalloc
+
+        gc.collect()
+        tracemalloc.start()
+        try:
+            workload = ingest_trace_file(str(path), name="mem", max_site_outcomes=512)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return workload, peak
+
+    def test_peak_memory_flat_as_input_grows_10x(self, tmp_path):
+        small = tmp_path / "small.trace"
+        large = tmp_path / "large.trace"
+        self._write_trace(small, 12_000)
+        self._write_trace(large, 120_000)
+        workload_small, peak_small = self._peak_ingest(small)
+        workload_large, peak_large = self._peak_ingest(large)
+        # Same two static sites either way; totals keep counting past the
+        # bounded replay window.
+        assert len(workload_large.sites) == len(workload_small.sites) == 2
+        assert workload_large.sites[0].executions == 120_000
+        assert len(workload_large.sites[0].outcomes) == 512
+        # A whole-file read would scale peak ~10x (the large file is ~2.2MB);
+        # the streaming parser must stay flat within allocator noise.
+        assert peak_large < peak_small * 2 + 256 * 1024, (peak_small, peak_large)
+
+    def test_long_site_totals_survive_the_window_cap(self, tmp_path):
+        path = tmp_path / "capped.trace"
+        self._write_trace(path, 2_000)
+        workload = ingest_trace_file(str(path), name="cap", max_site_outcomes=64)
+        site = workload.sites[0]
+        assert site.executions == 2_000
+        assert len(site.outcomes) == 64
+        assert 0 < site.taken_rate < 1
