@@ -3,8 +3,10 @@
 
 Starts the daemon as a subprocess on an ephemeral port, submits a
 rob-scaling sweep at a small instruction budget through the ``repro
-submit`` CLI, polls it to completion, then sends SIGTERM and asserts the
-daemon exits cleanly (status 0).  A *second* daemon is then started over
+submit`` CLI, follows with a cell-document submission of a wish-branch
+cell (the non-paper scheme kinds go through the same submit path), polls
+both to completion, then sends SIGTERM and asserts the daemon exits
+cleanly (status 0).  A *second* daemon is then started over
 the same cache directory: its job journal must list the first daemon's
 job as done (``recovered``) and still serve its result — the restart
 recovery path, over the wire.  Exercises exactly what a deployment
@@ -24,6 +26,7 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -114,6 +117,56 @@ def main() -> int:
             print("FAIL: submit output did not name its job id", file=sys.stderr)
             return 1
         job_id = match.group(1)
+
+        # A cell document naming a non-paper scheme kind: the wish-branch
+        # scheme must flow through submit -> parse -> engine like any other.
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", dir=REPO_ROOT, delete=False
+        ) as handle:
+            json.dump(
+                {
+                    "cells": [
+                        {"benchmark": "gzip", "scheme": {"kind": "wish"}},
+                    ],
+                    "instructions": int(budget),
+                },
+                handle,
+            )
+            cells_path = handle.name
+        try:
+            wish = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "submit",
+                    cells_path,
+                    "--url",
+                    url,
+                    "--timeout",
+                    "300",
+                    "--retries",
+                    "3",
+                ],
+                env=env,
+                cwd=REPO_ROOT,
+                timeout=420,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+        finally:
+            os.unlink(cells_path)
+        print(wish.stdout, end="")
+        if wish.returncode != 0:
+            print(f"FAIL: wish-cell submit exited {wish.returncode}", file=sys.stderr)
+            return 1
+        if "wish" not in wish.stdout:
+            print(
+                "FAIL: wish-cell result does not mention the wish scheme",
+                file=sys.stderr,
+            )
+            return 1
 
         code = stop_daemon(daemon)
         if code != 0:

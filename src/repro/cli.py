@@ -76,7 +76,7 @@ from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.idealized import run_idealized_study
 from repro.experiments.selective_ipc import run_selective_ipc
-from repro.experiments.setup import ExperimentProfile, paper_table1
+from repro.experiments.setup import SCHEME_FACTORIES, ExperimentProfile, paper_table1
 from repro.experiments.suite import run_all, write_reports
 from repro.workloads.registry import (
     UnknownWorkloadError,
@@ -86,11 +86,7 @@ from repro.workloads.registry import (
 from repro.workloads.trace_ingest import TraceIngestError
 from repro.workloads.workload_spec import WorkloadSpecError
 
-_SCHEME_SPECS = {
-    "conventional": SchemeSpec.make("conventional"),
-    "pep-pa": SchemeSpec.make("pep-pa"),
-    "predicate": SchemeSpec.make("predicate"),
-}
+_SCHEME_SPECS = {kind: SchemeSpec.make(kind) for kind in SCHEME_FACTORIES}
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -15,20 +15,34 @@ interface:
   fetch-time gshare prediction) and by if-converted instructions (selective
   predicate prediction), with early-resolved branches reading the computed
   value directly.
+
+Two competing design points from the surrounding literature complete the
+comparison axis:
+
+* :class:`~repro.core.wish_scheme.WishBranchScheme` — Kim/Mutlu/Stark/Patt
+  wish branches: per-hammock confidence-gated fallback from predication to
+  branching;
+* :class:`~repro.core.predicate_aware_scheme.PredicateAwareScheme` —
+  Simon/Calder/Ferrante predicate-aware branch prediction: resolved
+  predicate bits folded into the branch history.
 """
 
 from repro.core.conventional import ConventionalScheme
 from repro.core.peppa_scheme import PEPPAScheme
+from repro.core.predicate_aware_scheme import PredicateAwareScheme
 from repro.core.predicate_scheme import PredicatePredictionScheme, PredicateSchemeOptions
 from repro.core.selective import SelectivePredicationPolicy
+from repro.core.wish_scheme import WishBranchScheme
 from repro.core.early_resolution import accuracy_breakdown, AccuracyBreakdown
 
 __all__ = [
     "ConventionalScheme",
     "PEPPAScheme",
+    "PredicateAwareScheme",
     "PredicatePredictionScheme",
     "PredicateSchemeOptions",
     "SelectivePredicationPolicy",
+    "WishBranchScheme",
     "accuracy_breakdown",
     "AccuracyBreakdown",
 ]

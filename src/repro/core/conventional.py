@@ -22,6 +22,7 @@ from repro.predictors.history import GlobalHistoryRegister
 from repro.predictors.ideal import NoAliasPerceptron
 from repro.predictors.multilevel import TwoLevelOverridePredictor
 from repro.predictors.perceptron import PerceptronConfig, PerceptronPredictor
+from repro.predictors.tage import TAGEConfig, TAGEPredictor
 from repro.stats.accuracy import BranchRecord
 
 
@@ -44,19 +45,38 @@ class ConventionalScheme(BranchHandlingScheme):
         perceptron_config: Optional[PerceptronConfig] = None,
         ideal_no_alias: bool = False,
         perfect_history: bool = False,
+        second_level: str = "perceptron",
     ) -> None:
         super().__init__()
         self.perceptron_config = perceptron_config or PerceptronConfig()
-        slow = (
-            NoAliasPerceptron(self.perceptron_config)
-            if ideal_no_alias
-            else PerceptronPredictor(self.perceptron_config)
-        )
+        self.second_level = second_level
+        if second_level == "tage":
+            # The geometric-history backend replaces the perceptron as the
+            # slow level; the GHR widens to its longest history length.
+            if ideal_no_alias:
+                raise ValueError(
+                    "ideal_no_alias is a perceptron idealization; it cannot "
+                    "be combined with second_level='tage'"
+                )
+            slow = TAGEPredictor(TAGEConfig())
+            history_bits = slow.config.history_bits
+        elif second_level == "perceptron":
+            slow = (
+                NoAliasPerceptron(self.perceptron_config)
+                if ideal_no_alias
+                else PerceptronPredictor(self.perceptron_config)
+            )
+            history_bits = self.perceptron_config.global_bits
+        else:
+            raise ValueError(
+                f"unknown second_level {second_level!r}; "
+                "expected 'perceptron' or 'tage'"
+            )
         self.predictor = TwoLevelOverridePredictor(
             fast=GsharePredictor(history_bits=14),
             slow=slow,  # type: ignore[arg-type]
         )
-        self.ghr = GlobalHistoryRegister(self.perceptron_config.global_bits)
+        self.ghr = GlobalHistoryRegister(history_bits)
         self.ideal_no_alias = ideal_no_alias
         #: With perfect history the GHR is updated with the architectural
         #: outcome at prediction time.  For a conventional predictor on a
@@ -120,9 +140,14 @@ class ConventionalScheme(BranchHandlingScheme):
 
         Only the plain scheme (table-indexed perceptron + gshare) can be
         stepped as lane-axis arrays; the idealized no-alias variant indexes
-        differently and subclasses may override hooks, so both opt out.
+        differently, a TAGE second level has no bank implementation, and
+        subclasses may override hooks, so all three opt out.
         """
-        if type(self) is not ConventionalScheme or self.ideal_no_alias:
+        if (
+            type(self) is not ConventionalScheme
+            or self.ideal_no_alias
+            or self.second_level != "perceptron"
+        ):
             return None
         fast = self.predictor.fast
         return (self.perceptron_config, fast.history_bits, fast.counter_bits)

@@ -56,6 +56,7 @@ from repro.predictors.predicate_perceptron import (
     PredicatePerceptronPredictor,
     PredicatePredictorConfig,
 )
+from repro.predictors.tage import TAGEConfig, TagePredicatePredictor
 from repro.stats.accuracy import BranchRecord
 
 
@@ -79,6 +80,10 @@ class PredicateSchemeOptions:
     #: prediction is used for speculation only when the counter is saturated,
     #: i.e. after 2**confidence_bits - 1 consecutive correct predictions.
     confidence_bits: int = 4
+    #: Predicate-predictor structure: the paper's dual-hash perceptron
+    #: (``"perceptron"``) or the TAGE-class backend behind the same slot
+    #: interface (``"tage"``, see :mod:`repro.predictors.tage`).
+    second_level: str = "perceptron"
 
 
 @dataclass
@@ -100,21 +105,39 @@ class PredicatePredictionScheme(BranchHandlingScheme):
         self.options = options or PredicateSchemeOptions()
         config = self.options.predictor_config or PredicatePredictorConfig()
         self.predictor_config = config
-        if self.options.ideal_no_alias:
-            self.predictor = NoAliasPredicatePerceptron(config)
-            confidence_entries = 1 << 20
+        if self.options.second_level == "tage":
+            if self.options.ideal_no_alias:
+                raise ValueError(
+                    "ideal_no_alias is a perceptron idealization; it cannot "
+                    "be combined with second_level='tage'"
+                )
+            self.predictor = TagePredicatePredictor(TAGEConfig())
+            confidence_entries = self.predictor.confidence_entries
+            history_bits = self.predictor.config.history_bits
+        elif self.options.second_level == "perceptron":
+            if self.options.ideal_no_alias:
+                self.predictor = NoAliasPredicatePerceptron(config)
+                confidence_entries = 1 << 20
+            else:
+                self.predictor = PredicatePerceptronPredictor(config)
+                confidence_entries = config.entries
+            history_bits = config.global_bits
         else:
-            self.predictor = PredicatePerceptronPredictor(config)
-            confidence_entries = config.entries
+            raise ValueError(
+                f"unknown second_level {self.options.second_level!r}; "
+                "expected 'perceptron' or 'tage'"
+            )
         self.confidence = ConfidenceEstimator(
             confidence_entries, bits=self.options.confidence_bits
         )
         self.selective = SelectivePredicationPolicy(self.options.selective_predication)
         self.pprf = PredicatePhysicalRegisterFile()
         #: Global history of the predicate predictor, fed by compares only.
-        self.ghr = GlobalHistoryRegister(config.global_bits)
+        self.ghr = GlobalHistoryRegister(history_bits)
         #: First-level branch predictor (fetch-time, overridden at rename).
-        self.first_level = GsharePredictor(history_bits=14) if self.options.use_first_level else None
+        self.first_level = (
+            GsharePredictor(history_bits=14) if self.options.use_first_level else None
+        )
         self._branch_ghr = GlobalHistoryRegister(14)
         #: Architectural (committed) values of logical predicate registers.
         self._logical_values: List[bool] = [False] * NUM_PREDICATE_REGISTERS

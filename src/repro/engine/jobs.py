@@ -62,25 +62,9 @@ class SchemeSpec:
         """Instantiate the scheme (a fresh object on every call)."""
         # Imported lazily: repro.experiments imports repro.engine, so a
         # top-level import here would be circular.
-        from repro.experiments.setup import (
-            make_conventional_scheme,
-            make_peppa_scheme,
-            make_predicate_scheme,
-        )
+        from repro.experiments.setup import scheme_factory
 
-        builders = {
-            "conventional": make_conventional_scheme,
-            "pep-pa": make_peppa_scheme,
-            "predicate": make_predicate_scheme,
-        }
-        try:
-            builder = builders[self.kind]
-        except KeyError:
-            raise ValueError(
-                f"unknown scheme kind {self.kind!r}; expected one of "
-                f"{sorted(builders)}"
-            ) from None
-        return builder(**dict(self.options))
+        return scheme_factory(self.kind)(**dict(self.options))
 
     def token(self) -> Dict[str, Any]:
         """The scheme's contribution to a cache key."""

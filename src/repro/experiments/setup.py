@@ -9,11 +9,14 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.conventional import ConventionalScheme
 from repro.core.peppa_scheme import PEPPAScheme
+from repro.core.predicate_aware_scheme import PredicateAwareScheme
 from repro.core.predicate_scheme import PredicatePredictionScheme, PredicateSchemeOptions
+from repro.core.wish_scheme import WishBranchScheme
 from repro.memory.hierarchy import MemoryHierarchyConfig
 from repro.pipeline.config import PipelineConfig
 from repro.predictors.peppa import PEPPAConfig
 from repro.predictors.perceptron import PerceptronConfig
+from repro.predictors.predicate_aware import PredicateAwareConfig
 from repro.predictors.predicate_perceptron import PredicatePredictorConfig
 
 
@@ -159,25 +162,27 @@ def _geometry_overrides(
     return {name: value for name, value in requested.items() if value is not None}
 
 
+#: Valid values of every *string-valued* scheme-factory option; the sweep
+#: scenario parser validates string axis positions against these eagerly.
+SCHEME_OPTION_CHOICES: Dict[str, tuple] = {
+    "second_level": ("perceptron", "tage"),
+}
+
+
 def scheme_option_defaults(kind: str) -> Dict[str, Any]:
     """The *effective* default of every option a scheme factory accepts.
 
-    Boolean flags carry their default right in the factory signature;
-    geometry options take ``None`` as "keep the Table 1 value", so the
-    value a ``None`` resolves to is read from the predictor configs.
-    Callers that need option values to be canonical — the sweep subsystem
-    normalizes away options equal to these before building a
+    Boolean flags and string choices carry their default right in the
+    factory signature; geometry options take ``None`` as "keep the Table 1
+    value", so the value a ``None`` resolves to is read from the predictor
+    configs.  Callers that need option values to be canonical — the sweep
+    subsystem normalizes away options equal to these before building a
     :class:`~repro.engine.jobs.SchemeSpec`, so a Table 1 point contributes
     the same cache token as the plain scheme — read them from here.
     """
-    factories = {
-        "conventional": make_conventional_scheme,
-        "pep-pa": make_peppa_scheme,
-        "predicate": make_predicate_scheme,
-    }
     defaults: Dict[str, Any] = {
         name: parameter.default
-        for name, parameter in inspect.signature(factories[kind]).parameters.items()
+        for name, parameter in inspect.signature(scheme_factory(kind)).parameters.items()
         if parameter.default is not inspect.Parameter.empty
         and parameter.default is not None
     }
@@ -185,6 +190,15 @@ def scheme_option_defaults(kind: str) -> Dict[str, Any]:
         config: Any = PerceptronConfig()
     elif kind == "predicate":
         config = PredicatePredictorConfig()
+    elif kind == "predicate-aware":
+        config = PredicateAwareConfig()
+        defaults.update(
+            entries=config.entries,
+            global_bits=config.global_bits,
+            local_bits=config.local_bits,
+            predicate_bits=config.predicate_bits,
+        )
+        return defaults
     else:
         return defaults
     defaults.update(
@@ -201,11 +215,14 @@ def make_conventional_scheme(
     entries: Optional[int] = None,
     global_bits: Optional[int] = None,
     local_bits: Optional[int] = None,
+    second_level: str = "perceptron",
 ) -> ConventionalScheme:
     """The 148 KB (+4 KB gshare) conventional two-level override predictor.
 
     ``entries`` / ``global_bits`` / ``local_bits`` override the second-level
-    perceptron geometry (``None`` keeps the Table 1 value).
+    perceptron geometry (``None`` keeps the Table 1 value; they are ignored
+    by the TAGE backend).  ``second_level`` selects the slow predictor:
+    ``"perceptron"`` (Table 1) or ``"tage"``.
     """
     config = replace(
         PerceptronConfig(), **_geometry_overrides(entries, global_bits, local_bits)
@@ -214,6 +231,7 @@ def make_conventional_scheme(
         perceptron_config=config,
         ideal_no_alias=ideal_no_alias,
         perfect_history=perfect_history,
+        second_level=second_level,
     )
 
 
@@ -230,11 +248,15 @@ def make_predicate_scheme(
     entries: Optional[int] = None,
     global_bits: Optional[int] = None,
     local_bits: Optional[int] = None,
+    second_level: str = "perceptron",
 ) -> PredicatePredictionScheme:
     """The 148 KB predicate perceptron scheme (the paper's proposal).
 
     ``entries`` / ``global_bits`` / ``local_bits`` override the predicate
-    perceptron geometry (``None`` keeps the Table 1 value).
+    perceptron geometry (``None`` keeps the Table 1 value; they are ignored
+    by the TAGE backend).  ``second_level`` selects the predicate-predictor
+    structure: the paper's dual-hash perceptron (``"perceptron"``) or the
+    TAGE-class backend behind the same slot interface (``"tage"``).
     """
     config = replace(
         PredicatePredictorConfig(split_pvt=split_pvt),
@@ -245,5 +267,69 @@ def make_predicate_scheme(
         selective_predication=selective_predication,
         ideal_no_alias=ideal_no_alias,
         perfect_history=perfect_history,
+        second_level=second_level,
     )
     return PredicatePredictionScheme(options)
+
+
+def make_wish_scheme(
+    second_level: str = "perceptron",
+    confidence_bits: int = 4,
+) -> WishBranchScheme:
+    """The wish-branch scheme: confidence-gated predication-to-branching.
+
+    ``second_level`` selects the slow *branch* predictor (``"perceptron"``
+    or ``"tage"``); the guard predictor is always the 148 KB dual-hash
+    predicate perceptron gated by a ``confidence_bits``-wide saturating
+    counter per entry.
+    """
+    return WishBranchScheme(
+        second_level=second_level, confidence_bits=confidence_bits
+    )
+
+
+def make_predicate_aware_scheme(
+    entries: Optional[int] = None,
+    global_bits: Optional[int] = None,
+    local_bits: Optional[int] = None,
+    predicate_bits: Optional[int] = None,
+) -> PredicateAwareScheme:
+    """The predicate-aware branch predictor (mixed branch/predicate history).
+
+    The geometry options override the predicate-aware perceptron
+    (``None`` keeps the default ~148 KB-comparable configuration).
+    """
+    overrides = _geometry_overrides(entries, global_bits, local_bits)
+    if predicate_bits is not None:
+        overrides["predicate_bits"] = predicate_bits
+    config = replace(PredicateAwareConfig(), **overrides)
+    return PredicateAwareScheme(config)
+
+
+#: Scheme kind -> factory.  This is *the* scheme registry: SchemeSpec.build,
+#: the sweep scenario parser and the serve submission validator all resolve
+#: kinds through it, so registering a factory here is all it takes for a new
+#: scheme to compose with sweeps, bench cells and serve submissions.
+SCHEME_FACTORIES = {
+    "conventional": make_conventional_scheme,
+    "pep-pa": make_peppa_scheme,
+    "predicate": make_predicate_scheme,
+    "predicate-aware": make_predicate_aware_scheme,
+    "wish": make_wish_scheme,
+}
+
+
+def scheme_kinds() -> tuple:
+    """Every registered scheme kind, in registry order."""
+    return tuple(SCHEME_FACTORIES)
+
+
+def scheme_factory(kind: str):
+    """The factory registered for ``kind`` (raises ``ValueError`` if none)."""
+    try:
+        return SCHEME_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme kind {kind!r}; expected one of "
+            f"{sorted(SCHEME_FACTORIES)}"
+        ) from None

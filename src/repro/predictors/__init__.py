@@ -23,6 +23,13 @@ Structures provided:
   predicate predictions through two hash functions over a single PVT;
 * :class:`~repro.predictors.confidence.ConfidenceEstimator` — the saturating
   counter confidence filter used by selective predicate prediction;
+* :class:`~repro.predictors.tage.TAGEPredictor` — a TAGE-class geometric-
+  history backend (tagged tables, provider/altpred selection, usefulness
+  counters) usable as an alternative second level in any scheme, plus its
+  predicate-slot adapter;
+* :class:`~repro.predictors.predicate_aware.PredicateAwarePredictor` — the
+  predicate-enhanced perceptron whose input mixes branch history with
+  resolved predicate bits;
 * idealized variants (no aliasing, oracle history) used by the paper's
   isolation experiments.
 """
@@ -39,6 +46,11 @@ from repro.predictors.predicate_perceptron import (
     PredicatePredictorConfig,
 )
 from repro.predictors.confidence import ConfidenceEstimator
+from repro.predictors.predicate_aware import (
+    PredicateAwareConfig,
+    PredicateAwarePredictor,
+)
+from repro.predictors.tage import TAGEConfig, TAGEPredictor, TagePredicatePredictor
 from repro.predictors.ideal import (
     IdealHistoryOracle,
     NoAliasPerceptron,
@@ -61,6 +73,11 @@ __all__ = [
     "PredicatePerceptronPredictor",
     "PredicatePredictorConfig",
     "ConfidenceEstimator",
+    "PredicateAwareConfig",
+    "PredicateAwarePredictor",
+    "TAGEConfig",
+    "TAGEPredictor",
+    "TagePredicatePredictor",
     "IdealHistoryOracle",
     "NoAliasPerceptron",
     "NoAliasPredicatePerceptron",

@@ -1,0 +1,360 @@
+"""TAGE-class branch predictor (Seznec & Michaud, JILP 2006).
+
+A geometric-history tagged predictor usable as an alternative *second-level*
+backend in any scheme (``second_level = "tage"`` on the scheme factories): a
+bimodal base table plus a stack of partially-tagged tables indexed by
+geometrically growing slices of the global history.  The longest-history
+table whose tag matches provides the prediction; the next match (or the base
+table) is the alternate prediction.  Per-entry usefulness counters arbitrate
+allocation on mispredictions and are periodically decayed so stale entries
+can be reclaimed.
+
+Two deliberate departures from the original keep the structure inside this
+code base's scheme contract:
+
+* History is supplied *externally* by the scheme layer (like every other
+  predictor here): indices and tags are pure functions of ``(pc, history)``,
+  so a prediction and its later training with the same captured history
+  always address the same entries regardless of what renamed in between.
+  Geometric lengths are therefore capped at the scheme GHR width.
+* Allocation is deterministic: on an allocation miss the candidate tables
+  are scanned longest-history-first from a rotating start position, and if
+  every candidate is useful, all candidate usefulness counters are decayed
+  instead.  (The original flips a coin; a cache-keyed simulator cannot.)
+
+Like :mod:`repro.predictors.gshare`, the predictor has two access paths over
+one table state: a structured reference path and an optimized path (the
+default, see :mod:`repro.perf.flags`) that inlines the table walk over the
+backing lists.  Both paths share the same lists, so they are bit-identical
+by construction; the hypothesis parity tests drive both with common random
+branch streams — allocation and usefulness-decay edge cases included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.perf.flags import resolve_optimized
+from repro.predictors.base import DirectionPredictor, PredictorSizeReport, fold_pc
+
+
+@dataclass(frozen=True)
+class TAGEConfig:
+    """Geometry of a TAGE predictor.
+
+    The defaults give a ~11 KB structure — deliberately an order of
+    magnitude below the paper's 148 KB perceptron budget, because TAGE's
+    selling point is accuracy per bit; the shootout scenario compares the
+    two as-is and the size report keeps the comparison honest.
+    """
+
+    #: log2 entries of the bimodal base table (2-bit counters).
+    base_bits: int = 12
+    #: log2 entries of each tagged table.
+    table_bits: int = 10
+    #: Partial tag width of the tagged tables.
+    tag_bits: int = 9
+    #: Signed prediction counter width of the tagged tables.
+    counter_bits: int = 3
+    #: Usefulness counter width of the tagged tables.
+    useful_bits: int = 2
+    #: Geometric history lengths, shortest first.  The longest one bounds
+    #: the GHR width a scheme must provide.
+    history_lengths: Tuple[int, ...] = (5, 9, 15, 25, 44)
+    #: Tagged-table updates between usefulness-column decays (halving).
+    decay_period: int = 4096
+
+    @property
+    def history_bits(self) -> int:
+        """GHR width the hosting scheme must maintain."""
+        return max(self.history_lengths)
+
+    def storage_bits(self) -> int:
+        base = (1 << self.base_bits) * 2
+        per_entry = self.tag_bits + self.counter_bits + self.useful_bits
+        tagged = len(self.history_lengths) * (1 << self.table_bits) * per_entry
+        return base + tagged + self.history_bits
+
+
+def _fold_history(history: int, length: int, bits: int) -> int:
+    """Fold the ``length`` newest history bits into a ``bits``-wide hash."""
+    value = history & ((1 << length) - 1)
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
+
+
+class TAGEPredictor(DirectionPredictor):
+    """Tagged geometric-history predictor with provider/altpred selection."""
+
+    def __init__(
+        self,
+        config: Optional[TAGEConfig] = None,
+        optimized: Optional[bool] = None,
+    ) -> None:
+        self.config = config or TAGEConfig()
+        cfg = self.config
+        if not cfg.history_lengths or list(cfg.history_lengths) != sorted(
+            set(cfg.history_lengths)
+        ):
+            raise ValueError(
+                "TAGE history lengths must be strictly increasing, got "
+                f"{cfg.history_lengths!r}"
+            )
+        self.optimized = resolve_optimized(optimized)
+        self.num_tables = len(cfg.history_lengths)
+        self._base_entries = 1 << cfg.base_bits
+        self._entries = 1 << cfg.table_bits
+        self._index_mask = self._entries - 1
+        self._tag_mask = (1 << cfg.tag_bits) - 1
+        self._ctr_max = (1 << (cfg.counter_bits - 1)) - 1
+        self._ctr_min = -(1 << (cfg.counter_bits - 1))
+        self._u_max = (1 << cfg.useful_bits) - 1
+        #: Base bimodal table, weakly not-taken (2-bit counters).
+        self._base: List[int] = [1] * self._base_entries
+        #: Tagged tables: parallel tag/counter/usefulness columns per table.
+        self._tags: List[List[int]] = [[0] * self._entries for _ in range(self.num_tables)]
+        self._ctrs: List[List[int]] = [[0] * self._entries for _ in range(self.num_tables)]
+        self._useful: List[List[int]] = [[0] * self._entries for _ in range(self.num_tables)]
+        #: Tagged-table update count, drives the periodic usefulness decay.
+        self._update_count = 0
+        #: Rotating start offset of the deterministic allocation scan.
+        self._alloc_rotation = 0
+
+    # ------------------------------------------------------------------
+    # Index and tag hashes (pure functions of (pc, history))
+    # ------------------------------------------------------------------
+    def _base_index(self, pc: int) -> int:
+        return fold_pc(pc, self.config.base_bits)
+
+    def _index(self, pc: int, history: int, table: int) -> int:
+        length = self.config.history_lengths[table]
+        folded = _fold_history(history, length, self.config.table_bits)
+        return (fold_pc(pc, self.config.table_bits) ^ folded ^ (table + 1)) & self._index_mask
+
+    def _tag(self, pc: int, history: int, table: int) -> int:
+        length = self.config.history_lengths[table]
+        cfg = self.config
+        folded = _fold_history(history, length, cfg.tag_bits)
+        twisted = _fold_history(history, length, cfg.tag_bits - 1) << 1
+        return (fold_pc(pc, cfg.tag_bits) ^ folded ^ twisted ^ (table + 1)) & self._tag_mask
+
+    # ------------------------------------------------------------------
+    # Lookup: provider / altpred selection
+    # ------------------------------------------------------------------
+    def _lookup(self, pc: int, history: int):
+        """(provider_table|None, provider_index, pred, alt_pred, indices, tags).
+
+        ``pred`` is the provider's direction (or the base prediction when no
+        tag matches); ``alt_pred`` is the next matching table's direction (or
+        the base prediction).  Indices and tags are returned for update-time
+        reuse — they are pure functions of the arguments, so prediction and
+        training with the same captured history address the same entries.
+        """
+        if self.optimized:
+            # Optimized walk: local bindings, one pass, no helper calls.
+            cfg = self.config
+            table_bits = cfg.table_bits
+            tag_bits = cfg.tag_bits
+            pc_index = fold_pc(pc, table_bits)
+            pc_tag = fold_pc(pc, tag_bits)
+            index_mask = self._index_mask
+            tag_mask = self._tag_mask
+            lengths = cfg.history_lengths
+            indices = []
+            tags = []
+            for table in range(self.num_tables):
+                length = lengths[table]
+                value = history & ((1 << length) - 1)
+                folded_i = 0
+                imask = index_mask
+                while value:
+                    folded_i ^= value & imask
+                    value >>= table_bits
+                value = history & ((1 << length) - 1)
+                folded_t = 0
+                while value:
+                    folded_t ^= value & tag_mask
+                    value >>= tag_bits
+                value = history & ((1 << length) - 1)
+                folded_h = 0
+                half_mask = (1 << (tag_bits - 1)) - 1
+                while value:
+                    folded_h ^= value & half_mask
+                    value >>= tag_bits - 1
+                indices.append((pc_index ^ folded_i ^ (table + 1)) & index_mask)
+                tags.append((pc_tag ^ folded_t ^ (folded_h << 1) ^ (table + 1)) & tag_mask)
+        else:
+            indices = [self._index(pc, history, t) for t in range(self.num_tables)]
+            tags = [self._tag(pc, history, t) for t in range(self.num_tables)]
+
+        base_pred = self._base[self._base_index(pc)] >= 2
+        provider = None
+        alt = None
+        for table in range(self.num_tables - 1, -1, -1):
+            if self._tags[table][indices[table]] == tags[table]:
+                if provider is None:
+                    provider = table
+                else:
+                    alt = table
+                    break
+        if provider is None:
+            return None, 0, base_pred, base_pred, indices, tags
+        pred = self._ctrs[provider][indices[provider]] >= 0
+        if alt is None:
+            alt_pred = base_pred
+        else:
+            alt_pred = self._ctrs[alt][indices[alt]] >= 0
+        return provider, indices[provider], pred, alt_pred, indices, tags
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, global_history: int) -> bool:
+        _, _, pred, _, _, _ = self._lookup(pc, global_history)
+        return pred
+
+    def update(self, pc: int, global_history: int, outcome: bool) -> None:
+        provider, p_index, pred, alt_pred, indices, tags = self._lookup(pc, global_history)
+        mispredicted = pred != outcome
+
+        # Usefulness: the provider proved (or disproved) its worth only when
+        # it actually disagreed with the alternate prediction.
+        if provider is not None and pred != alt_pred:
+            useful = self._useful[provider]
+            value = useful[p_index]
+            if pred == outcome:
+                if value < self._u_max:
+                    useful[p_index] = value + 1
+            elif value > 0:
+                useful[p_index] = value - 1
+
+        # Train the provider (tagged counter) or the base bimodal entry.
+        if provider is not None:
+            ctrs = self._ctrs[provider]
+            value = ctrs[p_index]
+            if outcome:
+                if value < self._ctr_max:
+                    ctrs[p_index] = value + 1
+            elif value > self._ctr_min:
+                ctrs[p_index] = value - 1
+            self._update_count += 1
+            if self._update_count % self.config.decay_period == 0:
+                self._decay_usefulness()
+        else:
+            base = self._base
+            index = self._base_index(pc)
+            value = base[index]
+            if outcome:
+                if value < 3:
+                    base[index] = value + 1
+            elif value > 0:
+                base[index] = value - 1
+
+        # Allocate a longer-history entry on a misprediction.
+        if mispredicted:
+            start = 0 if provider is None else provider + 1
+            if start < self.num_tables:
+                self._allocate(start, indices, tags, outcome)
+
+    def _allocate(
+        self, start: int, indices: List[int], tags: List[int], outcome: bool
+    ) -> None:
+        """Claim one not-useful entry in a longer-history table.
+
+        Candidates are scanned shortest-history-first from a rotating offset
+        (deterministic stand-in for the original's randomized start); if
+        every candidate is useful, their usefulness counters are all decayed
+        so a persistent misprediction eventually frees a slot.
+        """
+        candidates = list(range(start, self.num_tables))
+        rotation = self._alloc_rotation % len(candidates)
+        self._alloc_rotation += 1
+        for position in range(len(candidates)):
+            table = candidates[(position + rotation) % len(candidates)]
+            index = indices[table]
+            if self._useful[table][index] == 0:
+                self._tags[table][index] = tags[table]
+                self._ctrs[table][index] = 0 if outcome else -1
+                self._useful[table][index] = 0
+                return
+        for table in candidates:
+            useful = self._useful[table]
+            index = indices[table]
+            if useful[index] > 0:
+                useful[index] -= 1
+
+    def _decay_usefulness(self) -> None:
+        """Halve every usefulness counter (the periodic graceful reset)."""
+        for useful in self._useful:
+            for i, value in enumerate(useful):
+                if value:
+                    useful[i] = value >> 1
+
+    # ------------------------------------------------------------------
+    def table_state(self):
+        """Full table state as nested tuples (parity tests)."""
+        return (
+            tuple(self._base),
+            tuple(tuple(column) for column in self._tags),
+            tuple(tuple(column) for column in self._ctrs),
+            tuple(tuple(column) for column in self._useful),
+            self._update_count,
+            self._alloc_rotation,
+        )
+
+    def size_report(self) -> PredictorSizeReport:
+        cfg = self.config
+        report = PredictorSizeReport()
+        report.add("tage-base", self._base_entries * 2)
+        per_entry = cfg.tag_bits + cfg.counter_bits + cfg.useful_bits
+        report.add("tage-tagged", self.num_tables * self._entries * per_entry)
+        report.add("tage-ghr", cfg.history_bits)
+        return report
+
+
+class TagePredicatePredictor:
+    """A TAGE backend behind the predicate-predictor slot interface.
+
+    The predicate scheme predicts up to two targets per compare
+    (:class:`~repro.predictors.predicate_perceptron.PredicatePerceptronPredictor`'s
+    ``predict_slot`` / ``update_slot`` / ``index_for_slot`` contract).  The
+    adapter salts the compare PC per slot — slot 1 lands on the next aligned
+    address, which every fold treats as a distinct static instruction — and
+    exposes a stable per-(pc, slot) index for the confidence estimator.
+    """
+
+    SLOT_FIRST = 0
+    SLOT_SECOND = 1
+
+    def __init__(
+        self,
+        config: Optional[TAGEConfig] = None,
+        optimized: Optional[bool] = None,
+    ) -> None:
+        self.tage = TAGEPredictor(config, optimized=optimized)
+        self.config = self.tage.config
+        #: Entry count the confidence estimator should be sized with (one
+        #: counter per (base-table entry, slot) pair).
+        self.confidence_entries = (1 << self.config.base_bits) * 2
+
+    @staticmethod
+    def _salted(pc: int, slot: int) -> int:
+        return pc + (slot << 2)
+
+    # ------------------------------------------------------------------
+    def predict_slot(self, pc: int, slot: int, history: int) -> Tuple[bool, int]:
+        prediction = self.tage.predict(self._salted(pc, slot), history)
+        return prediction, 1 if prediction else -1
+
+    def update_slot(self, pc: int, slot: int, history: int, outcome: bool) -> None:
+        self.tage.update(self._salted(pc, slot), history, outcome)
+
+    def index_for_slot(self, pc: int, slot: int) -> int:
+        return (fold_pc(self._salted(pc, slot), self.config.base_bits) << 1) | slot
+
+    # ------------------------------------------------------------------
+    def size_report(self) -> PredictorSizeReport:
+        return self.tage.size_report()

@@ -65,8 +65,9 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 
-#: Scheme kinds a cell document may request (mirrors SchemeSpec.build()).
-_SCHEME_KINDS = ("conventional", "pep-pa", "predicate")
+#: Scheme kinds a cell document may request (mirrors the factory registry,
+#: :data:`repro.experiments.setup.SCHEME_FACTORIES`).
+_SCHEME_KINDS = ("conventional", "pep-pa", "predicate", "predicate-aware", "wish")
 
 
 class SubmitError(ValueError):

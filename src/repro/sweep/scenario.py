@@ -9,7 +9,8 @@ A scenario file (TOML or JSON) has three sections::
     #   spec/trace file paths (see repro.workloads.registry)
     flavour = "if-converted"        # optional, default "if-converted"
     instructions = 12000            # optional fetched-instruction budget
-    schemes = ["conventional", "predicate"]   # optional, default all three
+    schemes = ["conventional", "predicate"]   # optional, default the
+    #   paper's trio; "predicate-aware" and "wish" may also be requested
     sampling = "4:4096:512"         # optional sampled simulation:
     #   interval[:window[:warmup]] — simulate every 4th 4096-row window
     #   after a 512-row warmup; results are approximate and flagged
@@ -30,8 +31,10 @@ several overrides applied together (e.g. sweeping the branch and predicate
 misprediction penalties in lockstep, which keeps the grid free of
 combinations the paper's recovery model would never pair).  Validation is
 eager and total: unknown section keys, unknown config fields, non-list
-axes, unknown scheme kinds and scheme options a factory does not accept all
-raise :class:`ScenarioError` at load time, before any simulation runs.
+axes, unknown scheme kinds and scheme options *no* scenario scheme's factory
+accepts all raise :class:`ScenarioError` at load time, before any simulation
+runs.  (An option some schemes lack is fine: those schemes ignore the axis
+and their cells collapse onto one cached simulation per point.)
 
 TOML parsing uses :mod:`tomllib` (Python ≥ 3.11).  On older interpreters
 TOML scenario files raise a clear :class:`ScenarioError`; JSON scenarios
@@ -64,8 +67,12 @@ class ScenarioError(ValueError):
 #: Directory holding the built-in scenario files shipped with the package.
 _BUILTIN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "scenarios")
 
-#: Scheme kinds a scenario may request (mirrors SchemeSpec.build()).
-SCHEME_KINDS = ("conventional", "pep-pa", "predicate")
+#: The paper's own schemes — the default when a scenario omits ``schemes``.
+PAPER_SCHEME_KINDS = ("conventional", "pep-pa", "predicate")
+
+#: Every scheme kind a scenario may request (mirrors the factory registry,
+#: :data:`repro.experiments.setup.SCHEME_FACTORIES`).
+SCHEME_KINDS = ("conventional", "pep-pa", "predicate", "predicate-aware", "wish")
 
 _SCENARIO_KEYS = {
     "name",
@@ -111,7 +118,7 @@ class Scenario:
     benchmarks: Tuple[str, ...] = ()
     flavour: str = IF_CONVERTED
     instructions: int = DEFAULT_INSTRUCTIONS
-    schemes: Tuple[str, ...] = SCHEME_KINDS
+    schemes: Tuple[str, ...] = PAPER_SCHEME_KINDS
     #: Sampled-simulation spec (``None`` = full simulation).  Sampled sweep
     #: results are approximate and flagged as such in reports.
     sampling: "SamplingSpec | None" = None
@@ -187,17 +194,9 @@ def _parse_pipeline_axis(name: str, raw: Any) -> Axis:
 def _scheme_factory(kind: str):
     # Imported lazily for the same reason SchemeSpec.build() does: the
     # experiments package imports the engine.
-    from repro.experiments.setup import (
-        make_conventional_scheme,
-        make_peppa_scheme,
-        make_predicate_scheme,
-    )
+    from repro.experiments.setup import scheme_factory
 
-    return {
-        "conventional": make_conventional_scheme,
-        "pep-pa": make_peppa_scheme,
-        "predicate": make_predicate_scheme,
-    }[kind]
+    return scheme_factory(kind)
 
 
 def _parse_scheme_axis(name: str, raw: Any, schemes: Sequence[str]) -> Axis:
@@ -205,26 +204,50 @@ def _parse_scheme_axis(name: str, raw: Any, schemes: Sequence[str]) -> Axis:
         raise ScenarioError(
             f"scheme axis {name!r} must be a non-empty list of values, got {raw!r}"
         )
+    # An axis option must be accepted by at least one scheme of the
+    # scenario; schemes whose factory does not take it simply ignore the
+    # axis (their cells collapse onto one cached simulation per point).
     flag_option = False
+    choice_option = False
+    accepting = []
+    all_options: set = set()
     for kind in schemes:
         accepted = inspect.signature(_scheme_factory(kind)).parameters
-        if name not in accepted:
-            raise ScenarioError(
-                f"scheme axis {name!r} is not an option of scheme {kind!r}; "
-                f"options: {', '.join(sorted(accepted))}"
-            )
-        # Factories agree on option shapes: feature flags default to a
-        # bool, geometry sizes default to None (resolve to positive ints).
-        flag_option = isinstance(accepted[name].default, bool)
+        all_options.update(accepted)
+        if name in accepted:
+            accepting.append(kind)
+            # Factories agree on option shapes: feature flags default to a
+            # bool, string choices to a string, geometry sizes to None
+            # (resolve to positive ints).
+            flag_option = isinstance(accepted[name].default, bool)
+            choice_option = isinstance(accepted[name].default, str)
+    if not accepting:
+        raise ScenarioError(
+            f"scheme axis {name!r} is not an option of any scenario scheme "
+            f"({', '.join(schemes)}); options: {', '.join(sorted(all_options))}"
+        )
+    choices: Tuple[str, ...] = ()
+    if choice_option:
+        from repro.experiments.setup import SCHEME_OPTION_CHOICES
+
+        choices = SCHEME_OPTION_CHOICES.get(name, ())
     for position in raw:
-        # Anything non-scalar — strings, floats, tables — would only blow
-        # up deep inside a worker's scheme build, violating the eager-
-        # validation contract of this module.
+        # Anything non-scalar — floats, tables, strings outside the
+        # declared choices — would only blow up deep inside a worker's
+        # scheme build, violating the eager-validation contract of this
+        # module.
         if flag_option:
             if not isinstance(position, bool):
                 raise ScenarioError(
                     f"scheme axis {name!r} is a feature flag: values must be "
                     f"booleans, got {position!r}"
+                )
+            continue
+        if choice_option:
+            if not isinstance(position, str) or (choices and position not in choices):
+                raise ScenarioError(
+                    f"scheme axis {name!r}: values must be among "
+                    f"{list(choices)}, got {position!r}"
                 )
             continue
         if isinstance(position, bool) or not isinstance(position, int):
@@ -280,7 +303,7 @@ def parse_scenario(data: Mapping[str, Any], source: str = "<scenario>") -> Scena
             f"{source}: unknown flavour {flavour!r}; expected one of {FLAVOURS}"
         )
 
-    schemes = tuple(header.get("schemes", SCHEME_KINDS))
+    schemes = tuple(header.get("schemes", PAPER_SCHEME_KINDS))
     bad = [kind for kind in schemes if kind not in SCHEME_KINDS]
     if bad or not schemes:
         raise ScenarioError(

@@ -107,14 +107,20 @@ class SweepSpec:
         normalized away — a Table 1 point (e.g. ``entries = 3634``) builds
         the *plain* scheme spec and therefore the same cache token, mirroring
         what :class:`~repro.pipeline.machine.MachineSpec` does for machine
-        overrides."""
-        from repro.experiments.setup import scheme_option_defaults
+        overrides.  Options the scheme's factory does not accept are dropped
+        the same way: a scheme untouched by an axis (e.g. ``pep-pa`` on a
+        ``second_level`` sweep) contributes one cached simulation per point
+        instead of an error or a spurious re-run."""
+        import inspect
 
+        from repro.experiments.setup import scheme_factory, scheme_option_defaults
+
+        accepted = inspect.signature(scheme_factory(scheme)).parameters
         defaults = scheme_option_defaults(scheme)
         options = {
             name: value
             for name, value in point.scheme_options
-            if name not in defaults or defaults[name] != value
+            if name in accepted and (name not in defaults or defaults[name] != value)
         }
         return SchemeSpec.make(scheme, **options)
 

@@ -53,6 +53,9 @@ SCHEME_SPECS = (
     SchemeSpec.make("predicate"),
     SchemeSpec.make("pep-pa"),
     SchemeSpec.make("conventional", perfect_history=True),
+    SchemeSpec.make("wish"),
+    SchemeSpec.make("predicate-aware"),
+    SchemeSpec.make("conventional", second_level="tage"),
 )
 MACHINES = (
     MachineSpec.make(),
@@ -142,6 +145,14 @@ class TestBatchedScalarParity:
         assert stream_eligible(SCHEME_SPECS[0].build())
         assert not stream_eligible(SCHEME_SPECS[1].build())  # predicate hooks
         assert not stream_eligible(SCHEME_SPECS[2].build())  # pep-pa hooks
+        # wish reads rename-vs-guard-ready cycles: timing-dependent hook lane.
+        assert not stream_eligible(SCHEME_SPECS[4].build())
+        # predicate-aware is timing-independent but folds compare results
+        # through an overridden compare hook: hook lane, not stream lane.
+        assert not stream_eligible(SCHEME_SPECS[5].build())
+        # A TAGE second level changes only the backend, not the hook shape:
+        # the conventional scheme stays a stream lane.
+        assert stream_eligible(SCHEME_SPECS[6].build())
 
 
 class TestLaneBank:

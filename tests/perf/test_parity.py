@@ -19,7 +19,7 @@ from repro.experiments.setup import FAST_PROFILE
 from repro.pipeline.core import OutOfOrderCore
 
 BENCHMARKS = list(FAST_PROFILE.benchmarks)
-SCHEMES = ["conventional", "pep-pa", "predicate"]
+SCHEMES = ["conventional", "pep-pa", "predicate", "predicate-aware", "wish"]
 
 requires_numpy = pytest.mark.skipif(
     not pack_supported(), reason="columnar packs require numpy"
@@ -90,6 +90,19 @@ class TestCoreParity:
                       "conservative_predicated", "predicate_flushes"):
             assert getattr(reference.metrics, field) == getattr(optimized.metrics, field)
         assert reference.metrics.summary() == optimized.metrics.summary()
+
+    @pytest.mark.parametrize("scheme_kind", ["conventional", "predicate", "wish"])
+    def test_tage_second_level_matches(self, engine, scheme_kind):
+        """Every scheme taking a TAGE second level stays loop-parity clean."""
+        trace = engine.collect_trace("gzip", IF_CONVERTED)
+        spec = SchemeSpec.make(scheme_kind, second_level="tage")
+        reference = OutOfOrderCore(optimized=False).run(iter(trace), spec.build())
+        optimized = OutOfOrderCore(optimized=True).run(iter(trace), spec.build())
+        assert reference.metrics.summary() == optimized.metrics.summary()
+        assert (
+            reference.metrics.counters.as_dict() == optimized.metrics.counters.as_dict()
+        )
+        assert reference.accuracy.records == optimized.accuracy.records
 
     def test_keep_uops_falls_back_to_reference(self, engine):
         trace = engine.collect_trace("gzip", IF_CONVERTED)

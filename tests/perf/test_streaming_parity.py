@@ -56,6 +56,9 @@ SCHEME_SPECS = (
     SchemeSpec.make("conventional"),
     SchemeSpec.make("predicate"),
     SchemeSpec.make("pep-pa"),
+    SchemeSpec.make("wish"),
+    SchemeSpec.make("predicate-aware"),
+    SchemeSpec.make("conventional", second_level="tage"),
 )
 MACHINES = (
     MachineSpec.make(),

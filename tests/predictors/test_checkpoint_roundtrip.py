@@ -20,9 +20,24 @@ from repro.predictors.gshare import GsharePredictor
 from repro.predictors.history import LocalHistoryTable
 from repro.predictors.peppa import PEPPAPredictor
 from repro.predictors.perceptron import PerceptronConfig, PerceptronPredictor
+from repro.predictors.predicate_aware import (
+    PredicateAwareConfig,
+    PredicateAwarePredictor,
+)
 from repro.predictors.predicate_perceptron import (
     PredicatePredictorConfig,
     PredicatePerceptronPredictor,
+)
+from repro.predictors.tage import TAGEConfig, TAGEPredictor, TagePredicatePredictor
+
+#: A deliberately tiny TAGE so 400 steps exercise allocation pressure and
+#: cross the usefulness-decay period on both sides of the snapshot.
+SMALL_TAGE = TAGEConfig(
+    base_bits=5,
+    table_bits=4,
+    tag_bits=6,
+    history_lengths=(3, 6, 11, 16),
+    decay_period=64,
 )
 
 STEPS = 400
@@ -122,6 +137,52 @@ class TestPredicatePerceptron:
 
         _roundtrip_parity(
             lambda: PredicatePerceptronPredictor(config, optimized=optimized), step
+        )
+
+
+class TestTAGE:
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_save_restore_step_equals_straight_step(self, optimized):
+        def step(predictor, event):
+            pc, history, outcome, _ = event
+            prediction = predictor.predict(pc, history)
+            predictor.update(pc, history, outcome)
+            return (prediction, predictor.table_state())
+
+        _roundtrip_parity(lambda: TAGEPredictor(SMALL_TAGE, optimized=optimized), step)
+
+
+class TestTagePredicate:
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_save_restore_step_equals_straight_step(self, optimized):
+        def step(predictor, event):
+            pc, history, outcome, slot_bit = event
+            slot = 1 if slot_bit else 0
+            observed = predictor.predict_slot(pc, slot, history)
+            predictor.update_slot(pc, slot, history, outcome)
+            return observed
+
+        _roundtrip_parity(
+            lambda: TagePredicatePredictor(SMALL_TAGE, optimized=optimized), step
+        )
+
+
+class TestPredicateAware:
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_save_restore_step_equals_straight_step(self, optimized):
+        config = PredicateAwareConfig()
+
+        def step(predictor, event):
+            pc, history, outcome, extra = event
+            # Mixed-history input: derive a predicate-bit window from the
+            # stream so both input partitions vary.
+            predicate_bits = ((history >> 3) | (1 if extra else 0)) & 0x3F
+            observed = predictor.predict_with_output(pc, history, predicate_bits)
+            predictor.update(pc, history, predicate_bits, outcome)
+            return observed
+
+        _roundtrip_parity(
+            lambda: PredicateAwarePredictor(config, optimized=optimized), step
         )
 
 

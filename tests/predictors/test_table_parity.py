@@ -14,10 +14,15 @@ from hypothesis import strategies as st
 from repro.predictors.gshare import GsharePredictor
 from repro.predictors.history import GlobalHistoryRegister, LocalHistoryTable
 from repro.predictors.perceptron import PerceptronConfig, PerceptronPredictor
+from repro.predictors.predicate_aware import (
+    PredicateAwareConfig,
+    PredicateAwarePredictor,
+)
 from repro.predictors.predicate_perceptron import (
     PredicatePredictorConfig,
     PredicatePerceptronPredictor,
 )
+from repro.predictors.tage import TAGEConfig, TAGEPredictor
 
 #: One predictor access: (pc, global history, resolved outcome).
 steps = st.lists(
@@ -92,6 +97,61 @@ class TestPredicatePerceptronParity:
             optimized.update_slot(pc, slot, history, outcome)
             index = reference.index_for_slot(pc, slot)
             assert optimized.weight_row(index) == reference.weight_row(index)
+
+
+class TestTAGEParity:
+    """TAGE reference vs optimized over arbitrary branch streams.
+
+    The config is deliberately tiny: 16-entry tagged tables make tag
+    conflicts (and therefore allocation scans, including the all-useful
+    decay-everything fallback) routine, and a 16-update decay period puts
+    several periodic usefulness halvings inside every 120-step stream.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=steps)
+    def test_matches_reference_update_for_update(self, stream):
+        config = TAGEConfig(
+            base_bits=5,
+            table_bits=4,
+            tag_bits=6,
+            history_lengths=(3, 6, 11, 16),
+            decay_period=16,
+        )
+        reference = TAGEPredictor(config, optimized=False)
+        optimized = TAGEPredictor(config, optimized=True)
+        for pc, history, outcome in stream:
+            assert optimized.predict(pc, history) == reference.predict(pc, history)
+            reference.update(pc, history, outcome)
+            optimized.update(pc, history, outcome)
+            assert optimized.table_state() == reference.table_state()
+
+
+class TestPredicateAwareParity:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=steps)
+    def test_matches_reference_update_for_update(self, stream):
+        config = PredicateAwareConfig(
+            global_bits=10,
+            predicate_bits=4,
+            local_bits=6,
+            entries=64,
+            local_history_entries=32,
+        )
+        reference = PredicateAwarePredictor(config, optimized=False)
+        optimized = PredicateAwarePredictor(config, optimized=True)
+        touched = set()
+        for pc, history, outcome in stream:
+            predicate_bits = (history >> 7) & 0xF
+            assert optimized.predict_with_output(
+                pc, history, predicate_bits
+            ) == reference.predict_with_output(pc, history, predicate_bits)
+            reference.update(pc, history, predicate_bits, outcome)
+            optimized.update(pc, history, predicate_bits, outcome)
+            touched.add(reference._index(pc))
+            for index in touched:
+                assert optimized.weight_row(index) == reference.weight_row(index)
+        assert optimized._weights == reference._weights
 
 
 class TestHistoryStructures:

@@ -100,6 +100,24 @@ class TestParseSubmission:
         with pytest.raises(SubmitError, match=match):
             parse_submission(document)
 
+    def test_new_scheme_kinds_accepted(self):
+        document = {
+            "cells": [
+                {"benchmark": "gzip", "scheme": {"kind": "wish"}},
+                {
+                    "benchmark": "gzip",
+                    "scheme": {"kind": "conventional", "options": {"second_level": "tage"}},
+                },
+                {"benchmark": "gzip", "scheme": "predicate-aware"},
+            ]
+        }
+        parsed = parse_submission(document)
+        assert {request.scheme.kind for request in parsed.requests} == {
+            "wish",
+            "conventional",
+            "predicate-aware",
+        }
+
     def test_scheme_options_probed_at_submit_time(self):
         document = {
             "cells": [

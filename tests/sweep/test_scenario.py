@@ -239,10 +239,38 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="duplicate benchmark"):
             parse_scenario(minimal_document(benchmarks=["gzip", "gzip"]))
 
-    def test_scheme_axis_option_unknown_to_factory(self):
+    def test_scheme_axis_option_unknown_to_every_factory(self):
         document = minimal_document(schemes=["pep-pa"])
         document["axes"] = {"scheme": {"entries": [256, 512]}}
-        with pytest.raises(ScenarioError, match="not an option of scheme 'pep-pa'"):
+        with pytest.raises(
+            ScenarioError, match="not an option of any scenario scheme"
+        ):
+            parse_scenario(document)
+
+    def test_scheme_axis_option_known_to_some_factories_parses(self):
+        # pep-pa takes no `entries`; predicate does.  The axis parses and
+        # pep-pa simply ignores it (its cells collapse per point).
+        document = minimal_document(schemes=["pep-pa", "predicate"])
+        document["axes"] = {"scheme": {"entries": [256, 512]}}
+        scenario = parse_scenario(document)
+        assert scenario.axes[0].display == ("256", "512")
+
+    def test_choice_scheme_axis_parses(self):
+        document = minimal_document(schemes=["conventional", "wish"])
+        document["axes"] = {"scheme": {"second_level": ["perceptron", "tage"]}}
+        scenario = parse_scenario(document)
+        assert scenario.axes[0].display == ("perceptron", "tage")
+
+    def test_choice_scheme_axis_unknown_value_rejected(self):
+        document = minimal_document(schemes=["conventional"])
+        document["axes"] = {"scheme": {"second_level": ["perceptron", "ltage"]}}
+        with pytest.raises(ScenarioError, match="values must be among"):
+            parse_scenario(document)
+
+    def test_choice_scheme_axis_non_string_value_rejected(self):
+        document = minimal_document(schemes=["conventional"])
+        document["axes"] = {"scheme": {"second_level": ["perceptron", 2]}}
+        with pytest.raises(ScenarioError, match="values must be among"):
             parse_scenario(document)
 
     def test_base_shadowed_by_axis(self):
@@ -307,6 +335,7 @@ class TestBuiltins:
             "mispredict-penalty",
             "predictor-budget",
             "rob-scaling",
+            "scheme-shootout",
         ]
 
     @pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
@@ -318,13 +347,14 @@ class TestBuiltins:
             "mispredict-penalty",
             "predictor-budget",
             "rob-scaling",
+            "scheme-shootout",
         ],
     )
     def test_builtins_parse_and_expand(self, name):
         scenario = load_scenario(name)
         assert scenario.name == name
         spec = SweepSpec(scenario)
-        assert len(spec.points()) >= 3
+        assert len(spec.points()) >= 2
         assert spec.cell_count() == (
             len(spec.benchmarks()) * len(spec.points()) * len(scenario.schemes)
         )
